@@ -1,0 +1,90 @@
+// A1: the cost of rewriting itself. The paper argues rewriting pays off
+// because it targets hot code ("rewriting makes sense only for performance
+// sensitive hot code paths"); this harness quantifies the claim: rewrite
+// time vs per-sweep savings and the break-even iteration count.
+#include "bench_common.hpp"
+#include "stencil_bench_common.hpp"
+
+using namespace brew;
+using namespace brew::bench;
+using stencil::Matrix;
+
+namespace {
+
+const brew_stencil g_s = stencil::fivePoint();
+
+void BM_RewriteApply(benchmark::State& state) {
+  for (auto _ : state) {
+    Rewriter rewriter{stencilConfig(sizeof g_s)};
+    auto rewritten = rewriter.rewriteFn(
+        reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kSide,
+        &g_s);
+    benchmark::DoNotOptimize(rewritten);
+  }
+}
+BENCHMARK(BM_RewriteApply);
+
+void BM_RewritePgasStyleBranchy(benchmark::State& state) {
+  // A branchier subject: grouped stencil.
+  const brew_gstencil g = stencil::fivePointGrouped();
+  for (auto _ : state) {
+    Rewriter rewriter{stencilConfig(sizeof g)};
+    auto rewritten = rewriter.rewriteFn(
+        reinterpret_cast<const void*>(&brew_stencil_apply_grouped), nullptr,
+        kSide, &g);
+    benchmark::DoNotOptimize(rewritten);
+  }
+}
+BENCHMARK(BM_RewritePgasStyleBranchy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("A1: rewrite cost and amortization\n");
+
+  // Median-ish rewrite cost over a few runs.
+  double bestMs = 1e9;
+  for (int i = 0; i < 5; ++i) {
+    Timer timer;
+    Rewriter rewriter{stencilConfig(sizeof g_s)};
+    auto rewritten = rewriter.rewriteFn(
+        reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kSide,
+        &g_s);
+    if (!rewritten.ok()) {
+      std::fprintf(stderr, "rewrite failed\n");
+      return 2;
+    }
+    bestMs = std::min(bestMs, timer.millis());
+  }
+
+  RewrittenFunction rewritten = rewriteApply(g_s);
+  Matrix a(kSide, kSide), b(kSide, kSide);
+  a.fillDeterministic();
+  const double genericSweep = timeIt([&] {
+    stencil::runIterations(a, b, 20, &brew_stencil_apply, g_s);
+  }) / 20.0;
+  a.fillDeterministic();
+  const double rewrittenSweep = timeIt([&] {
+    stencil::runIterations(a, b, 20, rewritten.as<brew_stencil_fn>(), g_s);
+  }) / 20.0;
+
+  const double savedPerSweep = genericSweep - rewrittenSweep;
+  const double breakEven = bestMs / 1e3 / savedPerSweep;
+
+  std::printf("\n  rewrite cost (best of 5):        %8.3f ms\n", bestMs);
+  std::printf("  generic sweep:                   %8.3f ms\n",
+              genericSweep * 1e3);
+  std::printf("  rewritten sweep:                 %8.3f ms\n",
+              rewrittenSweep * 1e3);
+  std::printf("  saved per sweep:                 %8.3f ms\n",
+              savedPerSweep * 1e3);
+  std::printf("  break-even after:                %8.2f sweeps "
+              "(paper workload: 1000)\n", breakEven);
+
+  ShapeChecks checks;
+  checks.expect(savedPerSweep > 0, "specialization saves time per sweep");
+  checks.expect(breakEven < 100,
+                "rewrite cost amortizes well before the paper's 1000 "
+                "iterations");
+  return finish(checks, argc, argv);
+}

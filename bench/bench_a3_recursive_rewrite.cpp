@@ -1,0 +1,117 @@
+// A3 (§III-B): composability — "the result of a rewriting step itself can
+// be used as input for further rewriting". Two-stage specialization of a
+// generic polynomial evaluator; each stage is timed and verified.
+#include "bench_common.hpp"
+
+#include "core/rewriter.hpp"
+
+using namespace brew;
+using namespace brew::bench;
+
+namespace {
+
+__attribute__((noinline)) double polyEval(const double* c, long n,
+                                          double x) {
+  double sum = 0.0;
+  double power = 1.0;
+  for (long i = 0; i < n; i++) {
+    sum += c[i] * power;
+    power *= x;
+  }
+  return sum;
+}
+
+using poly_t = double (*)(const double*, long, double);
+
+const double g_coeffs[8] = {1.0, -2.0, 0.5, 3.0, -0.25, 2.0, 1.5, -1.0};
+
+poly_t g_stage1 = nullptr;
+poly_t g_stage2 = nullptr;
+
+void BM_Generic(benchmark::State& state) {
+  double x = 1.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(polyEval(g_coeffs, 8, x));
+    x += 1e-9;
+  }
+}
+BENCHMARK(BM_Generic);
+
+void BM_Stage1(benchmark::State& state) {
+  double x = 1.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_stage1(nullptr, 0, x));
+    x += 1e-9;
+  }
+}
+BENCHMARK(BM_Stage1);
+
+void BM_Stage2(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(g_stage2(nullptr, 0, 0.0));
+}
+BENCHMARK(BM_Stage2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("A3: composable rewriting (rewrite of a rewritten function)\n");
+  ShapeChecks checks;
+
+  // Stage 1: bake coefficients + degree.
+  Config c1;
+  c1.setParamKnownPtr(0, sizeof g_coeffs);
+  c1.setParamKnown(1);
+  c1.setParamFloat(2);
+  c1.setReturnKind(ReturnKind::Float);
+  Rewriter r1{c1};
+  Timer timer;
+  auto stage1 = r1.rewriteFn(reinterpret_cast<const void*>(&polyEval),
+                             g_coeffs, 8L, 0.0);
+  const double stage1Ms = timer.millis();
+  if (!stage1.ok()) {
+    std::fprintf(stderr, "stage 1 failed: %s\n",
+                 stage1.error().message().c_str());
+    return 2;
+  }
+  g_stage1 = stage1->as<poly_t>();
+
+  // Stage 2: rewrite the stage-1 output, baking x as well.
+  Config c2;
+  c2.setParamKnown(2, /*isFloat=*/true);
+  c2.setReturnKind(ReturnKind::Float);
+  Rewriter r2{c2};
+  timer.reset();
+  auto stage2 = r2.rewriteFn(reinterpret_cast<const void*>(g_stage1),
+                             nullptr, 0L, 2.0);
+  const double stage2Ms = timer.millis();
+  if (!stage2.ok()) {
+    std::fprintf(stderr, "stage 2 failed: %s\n",
+                 stage2.error().message().c_str());
+    return 2;
+  }
+  g_stage2 = stage2->as<poly_t>();
+
+  const double want = polyEval(g_coeffs, 8, 2.0);
+  std::printf("\n%-36s %10s %12s %14s\n", "stage", "value", "instrs",
+              "rewrite[ms]");
+  std::printf("%-36s %10.2f %12s %14s\n", "generic polyEval(c, 8, 2.0)",
+              want, "-", "-");
+  std::printf("%-36s %10.2f %12zu %14.2f\n",
+              "stage 1 (coeffs+degree baked)", g_stage1(nullptr, 0, 2.0),
+              stage1->emitStats().instructions, stage1Ms);
+  std::printf("%-36s %10.2f %12zu %14.2f\n", "stage 2 (x baked too)",
+              g_stage2(nullptr, 0, 0.0), stage2->emitStats().instructions,
+              stage2Ms);
+
+  checks.expect(g_stage1(nullptr, 0, 2.0) == want,
+                "stage 1 output matches the generic function");
+  checks.expect(g_stage2(nullptr, 0, 123.0) == want,
+                "stage 2 output is the fully folded constant");
+  checks.expect(stage2->emitStats().instructions <
+                    stage1->emitStats().instructions,
+                "each stage shrinks the code");
+  checks.expect(stage2->emitStats().instructions <= 4,
+                "stage 2 is (nearly) a constant return");
+  return finish(checks, argc, argv);
+}

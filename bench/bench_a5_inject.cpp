@@ -1,0 +1,111 @@
+// A5 (§III-D): overhead of injected instrumentation — handler calls at
+// function entry/exit and before captured memory accesses, generated into
+// the rewritten variant (the original stays untouched).
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "stencil_bench_common.hpp"
+
+using namespace brew;
+using namespace brew::bench;
+using stencil::Matrix;
+
+namespace {
+
+const brew_stencil g_s = stencil::fivePoint();
+
+std::atomic<uint64_t> g_loads{0};
+std::atomic<uint64_t> g_entries{0};
+
+void onLoad(uint64_t) { g_loads.fetch_add(1, std::memory_order_relaxed); }
+void onEntry(uint64_t) { g_entries.fetch_add(1, std::memory_order_relaxed); }
+
+RewrittenFunction* g_bmVariant = nullptr;
+
+void BM_InstrumentedApply(benchmark::State& state) {
+  Matrix m(kSide, kSide);
+  m.fillDeterministic();
+  const double* cell = m.data() + kSide + 1;
+  auto fn = g_bmVariant->as<brew_stencil_fn>();
+  for (auto _ : state) benchmark::DoNotOptimize(fn(cell, kSide, &g_s));
+}
+BENCHMARK(BM_InstrumentedApply);
+
+RewrittenFunction rewriteInstrumented(bool loads, bool entry) {
+  Config config = stencilConfig(sizeof g_s);
+  if (loads) config.injection().onLoad = &onLoad;
+  if (entry) config.injection().onEntry = &onEntry;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(
+      reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kSide,
+      &g_s);
+  if (!rewritten.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", rewritten.error().message().c_str());
+    std::exit(2);
+  }
+  return std::move(*rewritten);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = std::max(1, iterations() / 10);  // handlers are slow
+  std::printf("A5: injected instrumentation overhead (%d iterations)\n",
+              iters);
+
+  RewrittenFunction plain = rewriteInstrumented(false, false);
+  RewrittenFunction withEntry = rewriteInstrumented(false, true);
+  RewrittenFunction withLoads = rewriteInstrumented(true, false);
+  g_bmVariant = &withLoads;
+
+  Matrix a(kSide, kSide), b(kSide, kSide);
+
+  a.fillDeterministic();
+  const double tPlain = timeIt([&] {
+    stencil::runIterations(a, b, iters, plain.as<brew_stencil_fn>(), g_s);
+  });
+  const double checksum = a.interiorChecksum();
+
+  a.fillDeterministic();
+  g_entries = 0;
+  const double tEntry = timeIt([&] {
+    stencil::runIterations(a, b, iters, withEntry.as<brew_stencil_fn>(),
+                           g_s);
+  });
+  const uint64_t entries = g_entries.load();
+  const double checksumEntry = a.interiorChecksum();
+
+  a.fillDeterministic();
+  g_loads = 0;
+  const double tLoads = timeIt([&] {
+    stencil::runIterations(a, b, iters, withLoads.as<brew_stencil_fn>(),
+                           g_s);
+  });
+  const uint64_t loads = g_loads.load();
+  const double checksumLoads = a.interiorChecksum();
+
+  const uint64_t cells =
+      static_cast<uint64_t>(kSide - 2) * (kSide - 2) * iters;
+
+  PaperTable table("A5", "instrumentation injected into the variant");
+  table.addRow("rewritten, no handlers", -1.0, tPlain);
+  table.addRow("+ entry handler", -1.0, tEntry);
+  table.addRow("+ per-load handler", -1.0, tLoads);
+  table.print();
+  std::printf("  entry handler calls: %llu (expected %llu)\n",
+              static_cast<unsigned long long>(entries),
+              static_cast<unsigned long long>(cells));
+  std::printf("  load handler calls:  %llu (5 loads/cell => expected %llu)\n",
+              static_cast<unsigned long long>(loads),
+              static_cast<unsigned long long>(cells * 5));
+
+  ShapeChecks checks;
+  checks.expect(entries == cells, "one entry handler call per cell update");
+  checks.expect(loads == cells * 5,
+                "one load handler call per captured matrix load");
+  checks.expect(checksumEntry == checksum && checksumLoads == checksum,
+                "instrumentation does not change results");
+  checks.expect(tEntry >= tPlain && tLoads >= tEntry,
+                "overhead grows with instrumentation density");
+  return finish(checks, argc, argv);
+}

@@ -1,0 +1,113 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every bench binary prints the table the paper reports (paper value vs
+// measured value, both normalized to the baseline row) and then checks the
+// SHAPE of the result — who wins and by roughly what factor — rather than
+// absolute seconds: the substrate is this container's CPU, not the paper's
+// i7-3740QM (see DESIGN.md §2). Each binary also registers
+// google-benchmark microbenchmarks for the per-call kernels.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace brew::bench {
+
+class PaperTable {
+ public:
+  PaperTable(std::string experiment, std::string title)
+      : experiment_(std::move(experiment)), title_(std::move(title)) {}
+
+  // paperSeconds < 0 marks a row the paper has no number for (our
+  // extension measurements).
+  void addRow(const std::string& name, double paperSeconds,
+              double measuredSeconds) {
+    rows_.push_back({name, paperSeconds, measuredSeconds});
+  }
+
+  double measured(size_t row) const { return rows_[row].measured; }
+
+  void print() const {
+    std::printf("\n=== %s: %s ===\n", experiment_.c_str(), title_.c_str());
+    std::printf("%-34s %12s %9s %12s %9s\n", "configuration", "paper[s]",
+                "rel", "measured[s]", "rel");
+    const double paperBase = rows_.empty() ? 1.0 : rows_[0].paper;
+    const double measuredBase = rows_.empty() ? 1.0 : rows_[0].measured;
+    for (const Row& row : rows_) {
+      if (row.paper >= 0)
+        std::printf("%-34s %12.2f %8.0f%% %12.3f %8.0f%%\n",
+                    row.name.c_str(), row.paper,
+                    100.0 * row.paper / paperBase, row.measured,
+                    100.0 * row.measured / measuredBase);
+      else
+        std::printf("%-34s %12s %9s %12.3f %8.0f%%\n", row.name.c_str(),
+                    "-", "-", row.measured,
+                    100.0 * row.measured / measuredBase);
+    }
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double paper;
+    double measured;
+  };
+  std::string experiment_;
+  std::string title_;
+  std::vector<Row> rows_;
+};
+
+// Shape assertions: printed PASS/FAIL, aggregated into the process exit
+// code so the harness run surfaces regressions.
+class ShapeChecks {
+ public:
+  void expect(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) ++failures_;
+  }
+  // a should be faster than b by at least `factor`.
+  void expectFaster(double a, double b, double factor,
+                    const std::string& what) {
+    expect(a * factor <= b, what);
+  }
+  int failures() const { return failures_; }
+
+ private:
+  int failures_ = 0;
+};
+
+inline double timeIt(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.seconds();
+}
+
+// Best-of-N timing for small measurements on a shared/noisy machine.
+inline double bestOf(int n, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < n; ++i) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+// Runs the registered google-benchmark microbenchmarks (unless the
+// environment asks to skip them) and returns the shape-check verdict.
+inline int finish(const ShapeChecks& checks, int argc, char** argv) {
+  std::printf("\n--- per-call microbenchmarks (google-benchmark) ---\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return checks.failures() == 0 ? 0 : 1;
+}
+
+}  // namespace brew::bench

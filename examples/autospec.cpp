@@ -1,0 +1,106 @@
+// §III-D end to end — profile-guided automatic specialization: "statistical
+// information can be collected by profiling ... a specific variant can be
+// generated which is called after a check for the parameter actually being
+// 42. Otherwise, the original function should be executed."
+//
+// A generic power kernel is called through AutoSpecializer's entry: it
+// first observes the exponent across calls, then transparently installs
+// specialized variants for the hot exponents behind a guard check.
+//
+//   $ ./autospec
+#include <cstdio>
+
+#include "core/autospec.hpp"
+#include "support/timer.hpp"
+
+using namespace brew;
+
+namespace {
+
+// Pre-compiled generic kernel: evaluate model `m`'s polynomial at x. The
+// model table lives in .rodata, so specialization folds the table lookup
+// AND the coefficient loads to constants and unrolls the loop.
+const double kModels[8][6] = {
+    {1, 0.5, 0.25, 0.125, 0.0625, 0.03125},
+    {2, -1, 0.5, -0.25, 0.125, -0.0625},
+    {0, 1, 0, -0.1666, 0, 0.00833},
+    {1, -1, 1, -1, 1, -1},
+    {3, 0, 2, 0, 1, 0},
+    {0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+    {5, 4, 3, 2, 1, 0},
+    {1, 1, 1, 1, 1, 1},
+};
+
+__attribute__((noinline)) double evalModel(long m, double x) {
+  const double* c = kModels[m];
+  double sum = 0.0, p = 1.0;
+  for (int i = 0; i < 6; i++) {
+    sum += c[i] * p;
+    p *= x;
+  }
+  return sum;
+}
+using pow_t = double (*)(long, double);
+
+double workload(pow_t fn, int calls) {
+  // 80% of calls use model 4, 15% model 1, 5% scattered.
+  double sum = 0.0;
+  for (int i = 0; i < calls; ++i) {
+    long m = 4;
+    if (i % 20 >= 16) m = 1;
+    if (i % 20 == 19) m = i % 8;
+    sum += fn(m, 1.0 + 1e-9 * i);
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  AutoSpecializer::Options options;
+  options.sampleCalls = 200;
+  options.maxVariants = 2;
+  options.minShare = 0.10;
+  AutoSpecializer spec(
+      reinterpret_cast<const void*>(&evalModel), /*paramIndex=*/0,
+      {ArgValue::fromInt(0), ArgValue::fromDouble(0.0)},
+      Config{}.setReturnKind(ReturnKind::Float), options);
+  auto fn = spec.as<pow_t>();
+
+  std::printf("sampling phase (first %zu calls)...\n", options.sampleCalls);
+  workload(fn, 256);
+  std::printf("observed histogram:");
+  for (const auto& [value, count] : spec.histogram())
+    std::printf("  m=%llu:%llu", static_cast<unsigned long long>(value),
+                static_cast<unsigned long long>(count));
+  std::printf("\nspecialized: %s (%zu variants)\n",
+              spec.specialized() ? "yes" : "no", spec.variantCount());
+
+  // Correctness across hot and cold values.
+  const double x = 1.5;
+  for (long m : {0L, 1L, 4L, 7L}) {
+    const double got = fn(m, x);
+    const double want = evalModel(m, x);
+    std::printf("  model %ld at %.1f = %-12g %s\n", m, x, got,
+                got == want ? "(matches original)" : "MISMATCH");
+  }
+
+  // Throughput: the hot-exponent loop now runs through an unrolled,
+  // multiplication-chain variant instead of the generic loop.
+  const int calls = 2'000'000;
+  Timer timer;
+  double s1 = 0;
+  for (int i = 0; i < calls; ++i) s1 += evalModel(4, 1.0 + 1e-9 * (i & 7));
+  const double generic = timer.seconds();
+  timer.reset();
+  // Steady state: fetch the dispatcher directly (one indirection less).
+  auto fast = spec.current<pow_t>();
+  double s2 = 0;
+  for (int i = 0; i < calls; ++i) s2 += fast(4, 1.0 + 1e-9 * (i & 7));
+  const double specialized = timer.seconds();
+  std::printf("\n%d calls with hot model 4: generic %.1f ms, "
+              "auto-specialized %.1f ms (%.2fx)%s\n",
+              calls, generic * 1e3, specialized * 1e3,
+              generic / specialized, s1 == s2 ? "" : "  MISMATCH");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §III-B composability example — "the result of a rewriting step itself can
+// be used as input for further rewriting": specialize a generic polynomial
+// evaluator in two stages, each stage fixing one more parameter.
+//
+//   $ ./compose_rewrites
+#include <cstdio>
+
+#include "core/rewriter.hpp"
+
+using namespace brew;
+
+namespace {
+
+// Pre-compiled generic kernel: evaluate sum_i c[i] * x^i.
+__attribute__((noinline)) double polyEval(const double* c, long n, double x) {
+  double sum = 0.0;
+  double power = 1.0;
+  for (long i = 0; i < n; i++) {
+    sum += c[i] * power;
+    power *= x;
+  }
+  return sum;
+}
+
+using poly_t = double (*)(const double*, long, double);
+
+}  // namespace
+
+int main() {
+  static const double coeffs[4] = {1.0, -2.0, 0.5, 3.0};
+
+  std::printf("original polyEval(c, 4, 2.0) = %.2f\n",
+              polyEval(coeffs, 4, 2.0));
+
+  // Stage 1: fix the coefficients and the degree. The loop unrolls, the
+  // coefficient loads fold to constants; x stays a runtime value.
+  Config stage1Config;
+  stage1Config.setParamKnownPtr(0, sizeof coeffs);
+  stage1Config.setParamKnown(1);
+  stage1Config.setParamFloat(2);
+  stage1Config.setReturnKind(ReturnKind::Float);
+  Rewriter stage1{stage1Config};
+  auto fixed = stage1.rewriteFn(reinterpret_cast<const void*>(&polyEval),
+                                coeffs, 4L, 0.0);
+  if (!fixed.ok()) {
+    std::printf("stage 1 failed: %s\n", fixed.error().message().c_str());
+    return 1;
+  }
+  auto poly4 = fixed->as<poly_t>();
+  std::printf("stage 1 (coeffs+degree baked): poly4(-, -, 2.0) = %.2f, "
+              "%zu instructions\n",
+              poly4(nullptr, 0, 2.0), fixed->emitStats().instructions);
+
+  // Stage 2: rewrite the REWRITTEN function, now also fixing x. Everything
+  // folds; the result is a constant function.
+  Config stage2Config;
+  stage2Config.setParamKnown(2, /*isFloat=*/true);
+  stage2Config.setReturnKind(ReturnKind::Float);
+  Rewriter stage2{stage2Config};
+  auto constant = stage2.rewriteFn(reinterpret_cast<const void*>(poly4),
+                                   nullptr, 0L, 2.0);
+  if (!constant.ok()) {
+    std::printf("stage 2 failed: %s\n", constant.error().message().c_str());
+    return 1;
+  }
+  auto polyConst = constant->as<poly_t>();
+  std::printf("stage 2 (x=2.0 baked too):    polyConst() = %.2f, "
+              "%zu instructions\n",
+              polyConst(nullptr, 0, 0.0), constant->emitStats().instructions);
+  std::printf("\n=== stage 2 generated code ===\n%s",
+              constant->disassembly().c_str());
+  return 0;
+}

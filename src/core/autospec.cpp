@@ -1,0 +1,158 @@
+#include "core/autospec.hpp"
+
+#include <algorithm>
+
+#include "jit/assembler.hpp"
+#include "support/log.hpp"
+
+namespace brew {
+
+using isa::makeInstr;
+using isa::MemOperand;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+
+extern "C" void brewAutospecHook(uint64_t value, AutoSpecializer* self);
+
+// Bounce used by the generated sampler; keeps the C++ method out of the
+// ABI-sensitive path.
+struct AutoSpecializerHook {
+  static void record(uint64_t value, AutoSpecializer* self) {
+    self->recordSample(value);
+  }
+};
+
+extern "C" void brewAutospecHook(uint64_t value, AutoSpecializer* self) {
+  AutoSpecializerHook::record(value, self);
+}
+
+namespace {
+
+// Builds the sampling proxy: preserve the argument state, report the
+// profiled register's value to the hook, restore, tail-jump to the target.
+Result<ExecMemory> buildSampler(const void* target, Reg profiledArg,
+                                AutoSpecializer* self) {
+  jit::Assembler as;
+  const Reg saved[] = {Reg::rdi, Reg::rsi, Reg::rdx, Reg::rcx,
+                       Reg::r8, Reg::r9, Reg::rax};
+  // Entry rsp ≡ 8 (mod 16); 7 pushes make it ≡ 0 — aligned for the call.
+  for (Reg r : saved)
+    as.emit(makeInstr(Mnemonic::Push, 8, Operand::makeReg(r)));
+  // SSE argument registers may carry live doubles.
+  as.emit(makeInstr(Mnemonic::Sub, 8, Operand::makeReg(Reg::rsp),
+                    Operand::makeImm(128)));
+  for (int i = 0; i < 8; ++i)
+    as.emit(makeInstr(Mnemonic::Movups, 16,
+                      Operand::makeMem(MemOperand{.base = Reg::rsp,
+                                                  .disp = i * 16}),
+                      Operand::makeReg(isa::xmmFromNum(i))));
+  if (profiledArg != Reg::rdi) as.movRegReg(Reg::rdi, profiledArg);
+  as.movRegImm(Reg::rsi, static_cast<int64_t>(
+                             reinterpret_cast<uintptr_t>(self)));
+  as.callAbs(reinterpret_cast<uint64_t>(&brewAutospecHook));
+  for (int i = 0; i < 8; ++i)
+    as.emit(makeInstr(Mnemonic::Movups, 16, Operand::makeReg(isa::xmmFromNum(i)),
+                      Operand::makeMem(MemOperand{.base = Reg::rsp,
+                                                  .disp = i * 16})));
+  as.emit(makeInstr(Mnemonic::Add, 8, Operand::makeReg(Reg::rsp),
+                    Operand::makeImm(128)));
+  for (auto it = std::rbegin(saved); it != std::rend(saved); ++it)
+    as.emit(makeInstr(Mnemonic::Pop, 8, Operand::makeReg(*it)));
+  as.jmpAbs(reinterpret_cast<uint64_t>(target));
+  return as.finalizeExecutable();
+}
+
+// The stable entry: an indirect jump through a writable pointer cell, so
+// upgrading from sampler to dispatcher is a single pointer store.
+Result<ExecMemory> buildEntryStub(void** cell) {
+  jit::Assembler as;
+  as.movRegImm(Reg::r11,
+               static_cast<int64_t>(reinterpret_cast<uintptr_t>(cell)));
+  as.emit(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
+                    Operand::makeMem(MemOperand{.base = Reg::r11})));
+  as.emit(makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::r11)));
+  return as.finalizeExecutable();
+}
+
+}  // namespace
+
+AutoSpecializer::AutoSpecializer(const void* fn, size_t paramIndex,
+                                 std::vector<ArgValue> prototypeArgs,
+                                 Config config, Options options)
+    : fn_(fn),
+      paramIndex_(paramIndex),
+      prototypeArgs_(std::move(prototypeArgs)),
+      config_(std::move(config)),
+      options_(options) {
+  for (size_t i = 0; i < paramIndex_ && i < prototypeArgs_.size(); ++i)
+    if (!prototypeArgs_[i].isFloat) ++intIndex_;
+
+  auto sampler = buildSampler(fn_, isa::abi::kIntArgs[intIndex_], this);
+  if (sampler.ok()) {
+    samplerCode_ = std::move(*sampler);
+    entrySlot_ = const_cast<uint8_t*>(samplerCode_.data());
+  } else {
+    entrySlot_ = const_cast<void*>(fn_);  // degrade to a plain forwarder
+  }
+  auto stub = buildEntryStub(&entrySlot_);
+  if (stub.ok())
+    entryStub_ = std::make_unique<ExecMemory>(std::move(*stub));
+}
+
+AutoSpecializer::~AutoSpecializer() = default;
+
+void* AutoSpecializer::entry() const {
+  if (entryStub_) return const_cast<uint8_t*>(entryStub_->data());
+  return const_cast<void*>(fn_);
+}
+
+size_t AutoSpecializer::observedCalls() const {
+  return static_cast<size_t>(calls_);
+}
+
+void AutoSpecializer::recordSample(uint64_t value) {
+  if (specialized_) return;
+  ++counts_[value];
+  if (++calls_ >= options_.sampleCalls) finalize();
+}
+
+void AutoSpecializer::finalize() {
+  if (specialized_) return;
+  specialized_ = true;
+
+  // Hot values by share.
+  std::vector<std::pair<uint64_t, uint64_t>> byCount(counts_.begin(),
+                                                     counts_.end());
+  std::sort(byCount.begin(), byCount.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<uint64_t> hot;
+  for (const auto& [value, count] : byCount) {
+    if (hot.size() >= options_.maxVariants) break;
+    if (calls_ == 0 ||
+        static_cast<double>(count) / static_cast<double>(calls_) <
+            options_.minShare)
+      break;
+    hot.push_back(value);
+  }
+  if (hot.empty()) {
+    entrySlot_ = const_cast<void*>(fn_);  // stop sampling, plain dispatch
+    return;
+  }
+
+  Rewriter rewriter{config_};
+  auto guarded = rewriteGuarded(rewriter, fn_, prototypeArgs_, paramIndex_,
+                                hot);
+  if (!guarded.ok()) {
+    BREW_LOG_INFO("autospec of %p failed: %s", fn_,
+                  guarded.error().message().c_str());
+    entrySlot_ = const_cast<void*>(fn_);
+    return;
+  }
+  guarded_ = std::make_unique<GuardedFunction>(std::move(*guarded));
+  entrySlot_ = guarded_->dispatch.entry();
+  BREW_LOG_INFO("autospec of %p: %zu variants after %zu samples", fn_,
+                guarded_->variants.size(), static_cast<size_t>(calls_));
+}
+
+}  // namespace brew

@@ -1,0 +1,102 @@
+// Profile-guided automatic specialization (§III-D): "Partial evaluation
+// works when input data is known. This often may not be known at first,
+// but statistical information can be collected by profiling."
+//
+// AutoSpecializer observes the values one integer parameter takes across
+// calls (through its own counting proxy — the original function stays
+// untouched), and once enough samples exist it specializes the function
+// for the hottest values and installs a guarded dispatcher in front of the
+// original (§III-D's "check for the parameter actually being 42").
+//
+// Usage:
+//   AutoSpecializer spec(&kernel, /*paramIndex=*/0, options);
+//   auto fn = spec.as<kernel_t>();   // call through this
+//   ... fn(...) repeatedly: first samples, then dispatches specialized.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+#include <memory>
+
+#include "core/guard.hpp"
+#include "core/rewriter.hpp"
+
+namespace brew {
+
+class AutoSpecializer {
+ public:
+  struct Options {
+    size_t sampleCalls = 256;  // observe this many calls before deciding
+    size_t maxVariants = 4;    // specialize at most this many hot values
+    // A value must account for at least this fraction of samples.
+    double minShare = 0.10;
+  };
+
+  // `fn` is the target, `paramIndex` the 0-based INTEGER-class parameter
+  // to profile and specialize on. `prototypeArgs` provides the argument
+  // classes/values used when tracing (the profiled parameter is replaced
+  // by each hot value). The `config` seeds the rewriter configuration.
+  AutoSpecializer(const void* fn, size_t paramIndex,
+                  std::vector<ArgValue> prototypeArgs, Config config)
+      : AutoSpecializer(fn, paramIndex, std::move(prototypeArgs),
+                        std::move(config), Options{}) {}
+  AutoSpecializer(const void* fn, size_t paramIndex,
+                  std::vector<ArgValue> prototypeArgs, Config config,
+                  Options options);
+  ~AutoSpecializer();
+
+  AutoSpecializer(const AutoSpecializer&) = delete;
+  AutoSpecializer& operator=(const AutoSpecializer&) = delete;
+
+  // The callable entry: a stable trampoline whose behavior upgrades from
+  // "count and forward" to "guard-dispatch to specialized variants".
+  template <typename Fn>
+  Fn as() const {
+    return reinterpret_cast<Fn>(entry());
+  }
+  void* entry() const;
+
+  // The CURRENT target behind the stable entry (sampler, dispatcher or
+  // original). One indirection less for steady-state hot loops; refetch
+  // after specialized() flips, and do not cache across finalize().
+  template <typename Fn>
+  Fn current() const {
+    return reinterpret_cast<Fn>(entrySlot_);
+  }
+
+  // --- introspection ---
+  bool specialized() const { return specialized_; }
+  size_t observedCalls() const;
+  const std::map<uint64_t, uint64_t>& histogram() const { return counts_; }
+  size_t variantCount() const {
+    return guarded_ ? guarded_->variants.size() : 0;
+  }
+
+  // Forces the decision now (tests / phase boundaries).
+  void finalize();
+
+ private:
+  friend struct AutoSpecializerHook;
+  void recordSample(uint64_t value);
+
+  const void* fn_;
+  size_t paramIndex_;
+  size_t intIndex_ = 0;  // integer-register index of the parameter
+  std::vector<ArgValue> prototypeArgs_;
+  Config config_;
+  Options options_;
+
+  std::map<uint64_t, uint64_t> counts_;
+  uint64_t calls_ = 0;
+  bool specialized_ = false;
+
+  // Sampling trampoline (counts, then tail-calls the original) and the
+  // final dispatcher; `entrySlot_` is the indirection both share.
+  ExecMemory samplerCode_;
+  std::unique_ptr<GuardedFunction> guarded_;
+  mutable void* entrySlot_ = nullptr;
+  std::unique_ptr<ExecMemory> entryStub_;
+};
+
+}  // namespace brew

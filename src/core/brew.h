@@ -1,0 +1,113 @@
+/* BREW — Binary REWriting at runtime (C API).
+ *
+ * Mirrors the paper's proposed interface (Figures 2, 3 and 5):
+ *
+ *   brew_conf* conf = brew_initConf();
+ *   brew_setnpar(conf, 3);
+ *   brew_setpar(conf, 2, BREW_KNOWN);
+ *   brew_setpar_ptr(conf, 3, sizeof(struct S));      // BREW_PTR_TOKNOWN
+ *   apply_t app2 = (apply_t)brew_rewrite(conf, (void*)apply, 0, xs, &s5);
+ *   ...
+ *   brew_release(app2);
+ *   brew_freeConf(conf);
+ *
+ * Parameter indices are 1-based like in the paper. Rewriting failure is not
+ * catastrophic: brew_rewrite returns NULL and the caller keeps using the
+ * original function (brew_lastError explains why).
+ */
+#ifndef BREW_H_
+#define BREW_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct brew_conf brew_conf;
+
+enum {
+  BREW_UNKNOWN = 0,
+  BREW_KNOWN = 1,
+};
+
+/* Flags for brew_setfn. */
+enum {
+  BREW_FN_INLINE = 0,        /* default: trace into calls to this function */
+  BREW_FN_NOINLINE = 1 << 0, /* keep calls to this function */
+  BREW_FN_NOUNROLL = 1 << 1, /* treat all produced values as unknown (§V-C) */
+  BREW_FN_PURE = 1 << 2,     /* callee does not write caller-visible memory */
+};
+
+brew_conf* brew_initConf(void);
+void brew_freeConf(brew_conf* conf);
+
+/* Total number of parameters of functions rewritten with this conf.
+ * brew_rewrite reads exactly this many variadic arguments. */
+void brew_setnpar(brew_conf* conf, int count);
+
+/* Declare parameter `index` (1-based) known/unknown (BREW_KNOWN...). */
+void brew_setpar(brew_conf* conf, int index, int state);
+
+/* Declare parameter `index` a pointer to `size` bytes of constant data
+ * (the paper's BREW_PTR_TOKNOWN): the pointer value becomes known and loads
+ * through it fold to constants. */
+void brew_setpar_ptr(brew_conf* conf, int index, size_t size);
+
+/* Declare parameter `index` an SSE-class (double) argument. Needed so the
+ * variadic arguments of brew_rewrite are read with the right type and
+ * assigned to the right ABI register. */
+void brew_setpar_double(brew_conf* conf, int index, int state);
+
+/* Declare [start, end) constant data (paper's brew_setmem). */
+void brew_setmem(brew_conf* conf, const void* start, const void* end,
+                 int state);
+
+/* Return-type class of the rewritten function: lets the rewriter skip
+ * materializing unused ABI return registers. */
+enum {
+  BREW_RET_UNKNOWN = 0,
+  BREW_RET_INT = 1,
+  BREW_RET_DOUBLE = 2,
+  BREW_RET_VOID = 3,
+};
+void brew_setret(brew_conf* conf, int kind);
+
+/* Per-function rewriting options, keyed by function address (§III-C). */
+void brew_setfn(brew_conf* conf, const void* fn, int flags);
+
+/* Instrumentation injection (§III-D). Handlers receive the guest address. */
+typedef void (*brew_handler)(uint64_t guest_address);
+void brew_set_entry_handler(brew_conf* conf, brew_handler handler);
+void brew_set_exit_handler(brew_conf* conf, brew_handler handler);
+void brew_set_load_handler(brew_conf* conf, brew_handler handler);
+void brew_set_store_handler(brew_conf* conf, brew_handler handler);
+
+/* Rewrites `fn`, emulating a call with the given arguments (one variadic
+ * argument per declared parameter; doubles for parameters declared with
+ * brew_setpar_double, pointer/integer values otherwise).
+ * Returns the new function pointer (same signature as `fn`) or NULL. */
+void* brew_rewrite(brew_conf* conf, const void* fn, ...);
+
+/* Releases the code of a function returned by brew_rewrite. */
+void brew_release(void* rewritten);
+
+/* Message for the most recent brew_rewrite failure on this conf. */
+const char* brew_lastError(const brew_conf* conf);
+
+/* Statistics of the most recent successful rewrite on this conf. */
+typedef struct brew_stats {
+  size_t traced_instructions;
+  size_t captured_instructions;
+  size_t elided_instructions;
+  size_t blocks;
+  size_t code_bytes;
+} brew_stats;
+void brew_getstats(const brew_conf* conf, brew_stats* out);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* BREW_H_ */

@@ -1,0 +1,160 @@
+// C API implementation: thin wrapper over brew::Rewriter. Generated
+// functions are tracked in a registry so brew_release can free them by
+// entry pointer.
+#include "core/brew.h"
+
+#include <cstdarg>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/rewriter.hpp"
+
+struct brew_conf {
+  brew::Config config;
+  int paramCount = 0;
+  std::string lastError;
+  brew_stats stats{};
+};
+
+namespace {
+
+std::mutex g_registryMutex;
+std::map<void*, brew::RewrittenFunction>& registry() {
+  static auto* map = new std::map<void*, brew::RewrittenFunction>();
+  return *map;
+}
+
+bool validIndex(int index) {
+  return index >= 1 &&
+         index <= static_cast<int>(brew::Config::kMaxParams);
+}
+
+}  // namespace
+
+extern "C" {
+
+brew_conf* brew_initConf(void) { return new brew_conf(); }
+
+void brew_freeConf(brew_conf* conf) { delete conf; }
+
+void brew_setnpar(brew_conf* conf, int count) {
+  if (conf != nullptr && count >= 0 &&
+      count <= static_cast<int>(brew::Config::kMaxParams))
+    conf->paramCount = count;
+}
+
+void brew_setpar(brew_conf* conf, int index, int state) {
+  if (conf == nullptr || !validIndex(index)) return;
+  if (state == BREW_KNOWN) conf->config.setParamKnown(index - 1);
+  if (index > conf->paramCount) conf->paramCount = index;
+}
+
+void brew_setpar_ptr(brew_conf* conf, int index, size_t size) {
+  if (conf == nullptr || !validIndex(index)) return;
+  conf->config.setParamKnownPtr(index - 1, size);
+  if (index > conf->paramCount) conf->paramCount = index;
+}
+
+void brew_setpar_double(brew_conf* conf, int index, int state) {
+  if (conf == nullptr || !validIndex(index)) return;
+  if (state == BREW_KNOWN)
+    conf->config.setParamKnown(index - 1, /*isFloat=*/true);
+  else
+    conf->config.setParamFloat(index - 1);
+  if (index > conf->paramCount) conf->paramCount = index;
+}
+
+void brew_setmem(brew_conf* conf, const void* start, const void* end,
+                 int state) {
+  if (conf == nullptr || state != BREW_KNOWN || start >= end) return;
+  conf->config.addKnownRegion(
+      start, static_cast<size_t>(static_cast<const char*>(end) -
+                                 static_cast<const char*>(start)));
+}
+
+void brew_setret(brew_conf* conf, int kind) {
+  if (conf == nullptr) return;
+  switch (kind) {
+    case BREW_RET_INT: conf->config.setReturnKind(brew::ReturnKind::Int); break;
+    case BREW_RET_DOUBLE:
+      conf->config.setReturnKind(brew::ReturnKind::Float);
+      break;
+    case BREW_RET_VOID:
+      conf->config.setReturnKind(brew::ReturnKind::Void);
+      break;
+    default:
+      conf->config.setReturnKind(brew::ReturnKind::Unknown);
+      break;
+  }
+}
+
+void brew_setfn(brew_conf* conf, const void* fn, int flags) {
+  if (conf == nullptr || fn == nullptr) return;
+  brew::FunctionOptions options;
+  options.inlineCalls = (flags & BREW_FN_NOINLINE) == 0;
+  options.forceUnknownResults = (flags & BREW_FN_NOUNROLL) != 0;
+  options.pure = (flags & BREW_FN_PURE) != 0;
+  conf->config.setFunctionOptions(fn, options);
+}
+
+void brew_set_entry_handler(brew_conf* conf, brew_handler handler) {
+  if (conf != nullptr) conf->config.injection().onEntry = handler;
+}
+void brew_set_exit_handler(brew_conf* conf, brew_handler handler) {
+  if (conf != nullptr) conf->config.injection().onExit = handler;
+}
+void brew_set_load_handler(brew_conf* conf, brew_handler handler) {
+  if (conf != nullptr) conf->config.injection().onLoad = handler;
+}
+void brew_set_store_handler(brew_conf* conf, brew_handler handler) {
+  if (conf != nullptr) conf->config.injection().onStore = handler;
+}
+
+void* brew_rewrite(brew_conf* conf, const void* fn, ...) {
+  if (conf == nullptr || fn == nullptr) return nullptr;
+  std::vector<brew::ArgValue> args;
+  va_list ap;
+  va_start(ap, fn);
+  for (int i = 0; i < conf->paramCount; ++i) {
+    const brew::ParamSpec& spec =
+        conf->config.param(static_cast<size_t>(i));
+    if (spec.isFloat)
+      args.push_back(brew::ArgValue::fromDouble(va_arg(ap, double)));
+    else
+      args.push_back(brew::ArgValue::fromInt(va_arg(ap, uint64_t)));
+  }
+  va_end(ap);
+
+  brew::Rewriter rewriter(conf->config);
+  auto result = rewriter.rewrite(fn, args);
+  if (!result) {
+    conf->lastError = result.error().message();
+    return nullptr;
+  }
+  conf->lastError.clear();
+  const brew::TraceStats& ts = result->traceStats();
+  conf->stats = brew_stats{ts.tracedInstructions, ts.capturedInstructions,
+                           ts.elidedInstructions, ts.blocks,
+                           result->codeSize()};
+  void* entry = result->entry();
+  std::lock_guard<std::mutex> lock(g_registryMutex);
+  registry()[entry] = std::move(*result);
+  return entry;
+}
+
+void brew_release(void* rewritten) {
+  if (rewritten == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_registryMutex);
+  registry().erase(rewritten);
+}
+
+const char* brew_lastError(const brew_conf* conf) {
+  return conf != nullptr ? conf->lastError.c_str() : "null conf";
+}
+
+void brew_getstats(const brew_conf* conf, brew_stats* out) {
+  if (conf != nullptr && out != nullptr) *out = conf->stats;
+}
+
+}  // extern "C"

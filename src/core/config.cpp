@@ -1,0 +1,63 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace brew {
+
+ArgValue ArgValue::fromDouble(double d) {
+  ArgValue v;
+  std::memcpy(&v.bits, &d, 8);
+  v.isFloat = true;
+  return v;
+}
+
+Config& Config::setParamKnown(size_t index, bool isFloat) {
+  if (index < kMaxParams) {
+    params_[index].kind = ParamKind::Known;
+    params_[index].isFloat = isFloat;
+    declaredParams_ = std::max(declaredParams_, index + 1);
+  }
+  return *this;
+}
+
+Config& Config::setParamKnownPtr(size_t index, size_t pointeeSize) {
+  if (index < kMaxParams) {
+    params_[index].kind = ParamKind::KnownPtr;
+    params_[index].isFloat = false;
+    params_[index].pointeeSize = pointeeSize;
+    declaredParams_ = std::max(declaredParams_, index + 1);
+  }
+  return *this;
+}
+
+Config& Config::setParamFloat(size_t index) {
+  if (index < kMaxParams) {
+    params_[index].isFloat = true;
+    declaredParams_ = std::max(declaredParams_, index + 1);
+  }
+  return *this;
+}
+
+Config& Config::addKnownRegion(const void* start, size_t bytes) {
+  const auto addr = reinterpret_cast<uint64_t>(start);
+  knownRegions_.push_back(MemRegion{addr, addr + bytes});
+  return *this;
+}
+
+bool Config::isKnownRegion(uint64_t addr, size_t bytes) const {
+  return std::any_of(knownRegions_.begin(), knownRegions_.end(),
+                     [&](const MemRegion& r) { return r.contains(addr, bytes); });
+}
+
+Config& Config::setFunctionOptions(const void* fn, FunctionOptions options) {
+  perFunction_[reinterpret_cast<uint64_t>(fn)] = options;
+  return *this;
+}
+
+FunctionOptions Config::functionOptions(uint64_t fn) const {
+  auto it = perFunction_.find(fn);
+  return it != perFunction_.end() ? it->second : defaults_;
+}
+
+}  // namespace brew

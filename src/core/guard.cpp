@@ -1,0 +1,83 @@
+#include "core/guard.hpp"
+
+#include "jit/assembler.hpp"
+
+namespace brew {
+
+using isa::Cond;
+using isa::makeInstr;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+
+Result<GuardedDispatch> GuardedDispatch::build(
+    const void* original, size_t intParamIndex,
+    std::span<const GuardCase> cases) {
+  if (original == nullptr)
+    return Error{ErrorCode::InvalidArgument, 0, "null original"};
+  if (intParamIndex >= 6)
+    return Error{ErrorCode::InvalidArgument, 0,
+                 "guarded parameter must be a register argument"};
+
+  const Reg arg = isa::abi::kIntArgs[intParamIndex];
+  jit::Assembler as;
+  std::vector<jit::Label> hit(cases.size());
+  for (auto& label : hit) label = as.newLabel();
+
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const int64_t value = static_cast<int64_t>(cases[i].value);
+    if (value >= INT32_MIN && value <= INT32_MAX) {
+      as.aluRegImm(Mnemonic::Cmp, arg, value, 8);
+    } else {
+      // cmp reg, imm64 does not exist; stage through the scratch register.
+      as.movRegImm(Reg::r11, value, 8);
+      as.aluRegReg(Mnemonic::Cmp, arg, Reg::r11, 8);
+    }
+    as.jcc(Cond::E, hit[i]);
+  }
+  as.jmpAbs(reinterpret_cast<uint64_t>(original));
+  for (size_t i = 0; i < cases.size(); ++i) {
+    as.bind(hit[i]);
+    as.jmpAbs(reinterpret_cast<uint64_t>(cases[i].target));
+  }
+
+  auto mem = as.finalizeExecutable();
+  if (!mem) return mem.error();
+  GuardedDispatch dispatch;
+  dispatch.code_ = std::move(*mem);
+  return dispatch;
+}
+
+Result<GuardedFunction> rewriteGuarded(Rewriter& rewriter, const void* fn,
+                                       std::span<const ArgValue> args,
+                                       size_t paramIndex,
+                                       std::span<const uint64_t> guardValues) {
+  if (paramIndex >= args.size())
+    return Error{ErrorCode::InvalidArgument, 0, "guard parameter index"};
+  // Which integer register does this parameter land in?
+  size_t intIndex = 0;
+  for (size_t i = 0; i < paramIndex; ++i)
+    if (!args[i].isFloat) ++intIndex;
+  if (args[paramIndex].isFloat)
+    return Error{ErrorCode::InvalidArgument, 0,
+                 "guarded parameter must be integer-class"};
+
+  rewriter.config().setParamKnown(paramIndex);
+
+  GuardedFunction result;
+  std::vector<GuardCase> cases;
+  for (const uint64_t value : guardValues) {
+    std::vector<ArgValue> caseArgs(args.begin(), args.end());
+    caseArgs[paramIndex] = ArgValue::fromInt(value);
+    auto variant = rewriter.rewrite(fn, caseArgs);
+    if (!variant) continue;  // graceful: this value dispatches to original
+    cases.push_back(GuardCase{value, variant->entry()});
+    result.variants.push_back(std::move(*variant));
+  }
+  auto dispatch = GuardedDispatch::build(fn, intIndex, cases);
+  if (!dispatch) return dispatch.error();
+  result.dispatch = std::move(*dispatch);
+  return result;
+}
+
+}  // namespace brew

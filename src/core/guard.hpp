@@ -1,0 +1,66 @@
+// Guarded dispatch (§III-D): "it may be observed that a parameter to a
+// function often is 42. In this case, a specific variant can be generated
+// which is called after a check for the parameter actually being 42.
+// Otherwise, the original function should be executed."
+//
+// GuardedDispatch builds a drop-in dispatcher: it compares one integer
+// argument against the case values and tail-jumps to the matching
+// specialized variant, falling back to the original function. Because the
+// dispatcher only reads argument registers and the r11 scratch register,
+// it is transparent to the ABI.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rewriter.hpp"
+#include "support/error.hpp"
+#include "support/exec_memory.hpp"
+
+namespace brew {
+
+struct GuardCase {
+  uint64_t value = 0;     // the observed parameter value
+  const void* target = nullptr;  // the variant specialized for it
+};
+
+class GuardedDispatch {
+ public:
+  GuardedDispatch() = default;
+
+  // `intParamIndex` counts INTEGER-class parameters (0 = rdi, 1 = rsi, ...).
+  static Result<GuardedDispatch> build(const void* original,
+                                       size_t intParamIndex,
+                                       std::span<const GuardCase> cases);
+
+  template <typename Fn>
+  Fn as() const {
+    return reinterpret_cast<Fn>(const_cast<uint8_t*>(code_.data()));
+  }
+  void* entry() const { return const_cast<uint8_t*>(code_.data()); }
+
+ private:
+  ExecMemory code_;
+};
+
+// Convenience: specialize `fn` for each guard value of one known integer
+// parameter (all other parameters keep the given default arguments) and
+// build the dispatcher over the variants. Returns the dispatcher plus the
+// owned variants; cases whose rewrite fails fall back to the original
+// (graceful per §VIII).
+struct GuardedFunction {
+  GuardedDispatch dispatch;
+  std::vector<RewrittenFunction> variants;
+
+  template <typename Fn>
+  Fn as() const {
+    return dispatch.as<Fn>();
+  }
+};
+
+Result<GuardedFunction> rewriteGuarded(Rewriter& rewriter, const void* fn,
+                                       std::span<const ArgValue> args,
+                                       size_t paramIndex,
+                                       std::span<const uint64_t> guardValues);
+
+}  // namespace brew

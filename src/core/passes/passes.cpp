@@ -1,0 +1,435 @@
+// Optimization passes over captured code (§IV).
+//
+// The rewriter's input is already compiler-optimized, so these passes only
+// clean up artifacts of tracing itself: materializations that turned out
+// redundant, compares whose branches were resolved, and loads duplicated by
+// unrolling. They run on the block CFG before emission.
+#include <map>
+#include <vector>
+
+#include "core/rewriter.hpp"
+#include "ir/captured.hpp"
+#include "isa/instruction.hpp"
+
+namespace brew {
+
+namespace {
+
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Operand;
+
+bool isPureFlagWriter(const Instruction& in) {
+  switch (in.mnemonic) {
+    case Mnemonic::Cmp:
+    case Mnemonic::Test:
+    case Mnemonic::Ucomisd:
+    case Mnemonic::Comisd:
+    case Mnemonic::Ucomiss:
+    case Mnemonic::Comiss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool hasMemOperand(const Instruction& in) {
+  for (unsigned i = 0; i < in.nops; ++i)
+    if (in.ops[i].isMem()) return true;
+  return false;
+}
+
+// --- peephole: remove no-op moves ----------------------------------------
+
+bool isNoopMove(const Instruction& in) {
+  if (in.nops != 2 || !in.ops[0].isReg() || !in.ops[1].isReg() ||
+      in.ops[0].reg != in.ops[1].reg)
+    return false;
+  switch (in.mnemonic) {
+    case Mnemonic::Mov:
+      return in.width == 8;  // 32-bit same-reg mov still zero-extends
+    case Mnemonic::Movsd:    // same-register low-lane merge
+    case Mnemonic::Movapd:
+    case Mnemonic::Movaps:
+    case Mnemonic::Movupd:
+    case Mnemonic::Movups:
+    case Mnemonic::Movdqa:
+    case Mnemonic::Movdqu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+size_t runPeephole(ir::CapturedFunction& fn) {
+  size_t removed = 0;
+  for (ir::Block& block : fn.blocks()) {
+    std::vector<Instruction> kept;
+    kept.reserve(block.instrs.size());
+    for (const Instruction& in : block.instrs) {
+      if (isNoopMove(in)) {
+        ++removed;
+        continue;
+      }
+      // lea r, [r+0] is a no-op.
+      if (in.mnemonic == Mnemonic::Lea && in.ops[0].isReg() &&
+          in.ops[1].mem.base == in.ops[0].reg &&
+          in.ops[1].mem.index == isa::Reg::none && in.ops[1].mem.disp == 0 &&
+          !in.ops[1].mem.ripRelative && in.width == 8) {
+        ++removed;
+        continue;
+      }
+      kept.push_back(in);
+    }
+    block.instrs = std::move(kept);
+  }
+  return removed;
+}
+
+// --- dead pure flag writers -----------------------------------------------
+//
+// Single-bit backward liveness of "the flags" across the CFG; a pure flag
+// writer whose result is overwritten before any consumer is removed.
+// Consumers: adc/sbb/cmovcc/setcc/jcc instructions and CondJmp terminators;
+// calls and rets are treated as consumers conservatively (the flags are dead
+// across them per the ABI, but injected code may pushfq).
+
+size_t runDeadFlagWriters(ir::CapturedFunction& fn) {
+  const int n = fn.blockCount();
+  std::vector<uint8_t> liveIn(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> liveOut(static_cast<size_t>(n), 0);
+
+  auto blockLiveIn = [&](const ir::Block& block, bool out) {
+    // Backward scan: does a consumer appear before the first full writer?
+    bool live = out;
+    if (block.term.kind == ir::Terminator::Kind::CondJmp) live = true;
+    for (auto it = block.instrs.rbegin(); it != block.instrs.rend(); ++it) {
+      if (isa::flagsRead(*it) != 0 || it->mnemonic == Mnemonic::Pushfq ||
+          it->mnemonic == Mnemonic::CallInd ||
+          it->mnemonic == Mnemonic::Call) {
+        live = true;
+      } else if (isa::flagsWritten(*it) == isa::kAllFlags) {
+        live = false;
+      }
+    }
+    return live;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      const ir::Block& block = fn.block(i);
+      uint8_t out = 0;
+      if (block.term.kind == ir::Terminator::Kind::Jmp)
+        out = liveIn[static_cast<size_t>(block.term.taken)];
+      if (block.term.kind == ir::Terminator::Kind::CondJmp)
+        out = 1;  // terminator itself consumes
+      if (out != liveOut[static_cast<size_t>(i)]) {
+        liveOut[static_cast<size_t>(i)] = out;
+        changed = true;
+      }
+      const uint8_t in = blockLiveIn(block, out != 0) ? 1 : 0;
+      if (in != liveIn[static_cast<size_t>(i)]) {
+        liveIn[static_cast<size_t>(i)] = in;
+        changed = true;
+      }
+    }
+  }
+
+  size_t removed = 0;
+  for (int i = 0; i < n; ++i) {
+    ir::Block& block = fn.block(i);
+    bool live = liveOut[static_cast<size_t>(i)] != 0;
+    if (block.term.kind == ir::Terminator::Kind::CondJmp) live = true;
+    std::vector<bool> keep(block.instrs.size(), true);
+    for (size_t k = block.instrs.size(); k-- > 0;) {
+      const Instruction& in = block.instrs[k];
+      if (isa::flagsRead(in) != 0 || in.mnemonic == Mnemonic::Pushfq ||
+          in.mnemonic == Mnemonic::Call || in.mnemonic == Mnemonic::CallInd) {
+        live = true;
+      } else if (isPureFlagWriter(in)) {
+        if (!live && !hasMemOperand(in)) {
+          // Memory-operand compares are kept: their load could fault, and
+          // a faulting load the original performed must be preserved? No —
+          // the original performed it on the same address, so removing is
+          // safe; we keep them only to avoid dropping injected onLoad
+          // pairing. Register-only compares always go.
+          keep[k] = false;
+          ++removed;
+          continue;
+        }
+        live = false;
+      } else if (isa::flagsWritten(in) == isa::kAllFlags) {
+        live = false;
+      }
+    }
+    if (removed != 0) {
+      std::vector<Instruction> kept;
+      kept.reserve(block.instrs.size());
+      for (size_t k = 0; k < block.instrs.size(); ++k)
+        if (keep[k]) kept.push_back(block.instrs[k]);
+      block.instrs = std::move(kept);
+    }
+  }
+  return removed;
+}
+
+// --- redundant load forwarding ---------------------------------------------
+//
+// Within a block: a second load of the same memory operand into the same
+// register, with no intervening store/call and no write to the address
+// registers or the destination, is removed; into a different register it
+// becomes a register move.
+
+struct LoadKey {
+  Mnemonic mn;
+  uint8_t width;
+  isa::MemOperand mem;
+
+  bool operator<(const LoadKey& other) const {
+    if (mn != other.mn) return mn < other.mn;
+    if (width != other.width) return width < other.width;
+    if (mem.base != other.mem.base) return mem.base < other.mem.base;
+    if (mem.index != other.mem.index) return mem.index < other.mem.index;
+    if (mem.scale != other.mem.scale) return mem.scale < other.mem.scale;
+    if (mem.disp != other.mem.disp) return mem.disp < other.mem.disp;
+    if (mem.poolSlot != other.mem.poolSlot)
+      return mem.poolSlot < other.mem.poolSlot;
+    if (mem.ripTarget != other.mem.ripTarget)
+      return mem.ripTarget < other.mem.ripTarget;
+    return mem.ripRelative < other.mem.ripRelative;
+  }
+};
+
+bool isPlainLoad(const Instruction& in) {
+  if (in.nops != 2 || !in.ops[0].isReg() || !in.ops[1].isMem()) return false;
+  switch (in.mnemonic) {
+    case Mnemonic::Mov:
+      return in.width >= 4;  // partial loads merge, not worth forwarding
+    case Mnemonic::Movsd:
+    case Mnemonic::Movss:
+    case Mnemonic::Movapd:
+    case Mnemonic::Movupd:
+    case Mnemonic::Movaps:
+    case Mnemonic::Movups:
+    case Mnemonic::Movdqa:
+    case Mnemonic::Movdqu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Mnemonic regMoveFor(Mnemonic loadMn) {
+  switch (loadMn) {
+    case Mnemonic::Mov: return Mnemonic::Mov;
+    // movsd/movss reg-reg merge instead of replacing the full register, so
+    // a full-register copy is used.
+    case Mnemonic::Movsd: case Mnemonic::Movss: return Mnemonic::Movapd;
+    case Mnemonic::Movupd: return Mnemonic::Movapd;
+    case Mnemonic::Movups: return Mnemonic::Movaps;
+    case Mnemonic::Movdqu: return Mnemonic::Movdqa;
+    default: return loadMn;
+  }
+}
+
+size_t runRedundantLoads(ir::CapturedFunction& fn) {
+  size_t forwarded = 0;
+  for (ir::Block& block : fn.blocks()) {
+    std::map<LoadKey, isa::Reg> available;  // mem -> register holding it
+    for (Instruction& in : block.instrs) {
+      bool insertFact = false;
+      LoadKey key{};
+      if (isPlainLoad(in)) {
+        // movsd/movss loads zero the rest of the register, so forwarding
+        // from a register with live upper bits would differ — but the
+        // previous load zeroed them too, so same-key forwarding is exact.
+        key = LoadKey{in.mnemonic, in.width, in.ops[1].mem};
+        auto it = available.find(key);
+        if (it != available.end()) {
+          if (it->second == in.ops[0].reg) {
+            in.mnemonic = Mnemonic::Nop;
+            in.nops = 0;
+            ++forwarded;
+            continue;
+          }
+          const Instruction replacement = isa::makeInstr(
+              regMoveFor(in.mnemonic), isa::isXmm(in.ops[0].reg) ? 16 : 8,
+              Operand::makeReg(in.ops[0].reg), Operand::makeReg(it->second));
+          in = replacement;
+          ++forwarded;
+        }
+        // Record (after the kill scan below — the load overwrites its own
+        // destination, which must not erase the fresh fact).
+        insertFact = true;
+      }
+
+      // Invalidate facts the instruction kills.
+      const uint32_t written = isa::regsWritten(in);
+      const bool storesMem = isa::writesMemory(in) ||
+                             in.mnemonic == Mnemonic::Call ||
+                             in.mnemonic == Mnemonic::CallInd ||
+                             in.mnemonic == Mnemonic::Push ||
+                             in.mnemonic == Mnemonic::Pushfq;
+      for (auto it = available.begin(); it != available.end();) {
+        const uint32_t addrRegs =
+            (it->first.mem.base != isa::Reg::none
+                 ? isa::regBit(it->first.mem.base)
+                 : 0u) |
+            (it->first.mem.index != isa::Reg::none
+                 ? isa::regBit(it->first.mem.index)
+                 : 0u);
+        const bool poolRef = it->first.mem.poolSlot >= 0;
+        const bool killed =
+            (written & (addrRegs | isa::regBit(it->second))) != 0 ||
+            (storesMem && !poolRef);  // pool constants are immutable
+        if (killed)
+          it = available.erase(it);
+        else
+          ++it;
+      }
+      if (insertFact) available[key] = in.ops[0].reg;
+    }
+    // Drop instructions neutralized above.
+    std::vector<Instruction> kept;
+    kept.reserve(block.instrs.size());
+    for (const Instruction& in : block.instrs)
+      if (!(in.mnemonic == Mnemonic::Nop && in.nops == 0 && in.length == 0 &&
+            in.address == 0))
+        kept.push_back(in);
+    block.instrs = std::move(kept);
+  }
+  return forwarded;
+}
+
+// --- zero-add forwarding ---------------------------------------------------
+//
+// The tracer materializes a known +0.0 accumulator seed as a pool load;
+// the following addsd then computes 0 + y. Within a block:
+//   movsd  X, [pool +0.0] ... addsd X, src   (no use/def of X between)
+// becomes a single load (mem src) or movq copy (reg src; movq zeroes the
+// upper lane exactly like the deleted pool load did).
+
+bool isZeroPoolLoad(const Instruction& in, const ir::CapturedFunction& fn) {
+  if (in.mnemonic != Mnemonic::Movsd || in.nops != 2 || !in.ops[0].isReg() ||
+      !in.ops[1].isMem() || in.ops[1].mem.poolSlot < 0)
+    return false;
+  const ir::PoolEntry& entry =
+      fn.pool()[static_cast<size_t>(in.ops[1].mem.poolSlot)];
+  return entry.lo == 0 && entry.hi == 0;  // +0.0 exactly
+}
+
+size_t runFoldZeroAdd(ir::CapturedFunction& fn) {
+  size_t folded = 0;
+  for (ir::Block& block : fn.blocks()) {
+    // For each register: index of a pending +0.0 seed load, or -1.
+    int pending[32];
+    for (int& v : pending) v = -1;
+    std::vector<bool> drop(block.instrs.size(), false);
+    for (size_t k = 0; k < block.instrs.size(); ++k) {
+      Instruction& in = block.instrs[k];
+      if (isZeroPoolLoad(in, fn)) {
+        pending[16 + isa::regNum(in.ops[0].reg)] = static_cast<int>(k);
+        continue;
+      }
+      // addsd X, src with a pending seed for X?
+      if (in.mnemonic == Mnemonic::Addsd && in.nops == 2 &&
+          in.ops[0].isReg()) {
+        int& seed = pending[16 + isa::regNum(in.ops[0].reg)];
+        if (seed >= 0) {
+          drop[static_cast<size_t>(seed)] = true;
+          if (in.ops[1].isMem()) {
+            in.mnemonic = Mnemonic::Movsd;  // load replaces the lane, hi=0
+          } else {
+            in.mnemonic = Mnemonic::Movq;   // reg copy, zeroes the hi lane
+          }
+          seed = -1;
+          ++folded;
+          // The destination now holds a fresh value; fall through to the
+          // kill handling below so other facts stay correct.
+        }
+      }
+      // Any other use or redefinition of a seeded register kills the fact.
+      const uint32_t touched = isa::regsRead(in) | isa::regsWritten(in);
+      for (unsigned r = 0; r < 16; ++r)
+        if (touched & (1u << (16 + r))) pending[16 + r] = -1;
+      // Calls/branches end all facts (conservative).
+      if (in.isBranch())
+        for (int& v : pending) v = -1;
+    }
+    std::vector<Instruction> kept;
+    kept.reserve(block.instrs.size());
+    for (size_t k = 0; k < block.instrs.size(); ++k)
+      if (!drop[k]) kept.push_back(block.instrs[k]);
+    block.instrs = std::move(kept);
+  }
+  return folded;
+}
+
+// --- block merging ----------------------------------------------------------
+//
+// A block reached only by a single unconditional-jump predecessor is
+// appended to it. The emptied block becomes unreachable; the emitter's
+// layout prunes unreachable blocks, so no stub code is generated.
+
+size_t runMergeBlocks(ir::CapturedFunction& fn) {
+  const int n = fn.blockCount();
+  std::vector<int> predCount(static_cast<size_t>(n), 0);
+  std::vector<int> soleJmpPred(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const ir::Terminator& t = fn.block(i).term;
+    auto note = [&](int succ, bool viaJmp) {
+      if (succ < 0) return;
+      ++predCount[static_cast<size_t>(succ)];
+      soleJmpPred[static_cast<size_t>(succ)] = viaJmp ? i : -1;
+    };
+    switch (t.kind) {
+      case ir::Terminator::Kind::Jmp:
+        note(t.taken, true);
+        break;
+      case ir::Terminator::Kind::CondJmp:
+        note(t.taken, false);
+        note(t.fall, false);
+        break;
+      default:
+        break;
+    }
+  }
+
+  size_t merged = 0;
+  for (int b = 0; b < n; ++b) {
+    if (b == fn.entry()) continue;
+    if (predCount[static_cast<size_t>(b)] != 1) continue;
+    const int pred = soleJmpPred[static_cast<size_t>(b)];
+    if (pred < 0 || pred == b) continue;
+    ir::Block& from = fn.block(b);
+    ir::Block& into = fn.block(pred);
+    if (into.term.kind != ir::Terminator::Kind::Jmp || into.term.taken != b)
+      continue;
+    into.instrs.insert(into.instrs.end(), from.instrs.begin(),
+                       from.instrs.end());
+    into.term = from.term;
+    from.instrs.clear();
+    from.term = ir::Terminator{};  // unreachable; pruned at layout
+    from.term.kind = ir::Terminator::Kind::Ret;
+    ++merged;
+    // Chains (A->B->C) resolve over the fixpoint loop in runPasses.
+  }
+  return merged;
+}
+
+}  // namespace
+
+void runPasses(ir::CapturedFunction& fn, const PassOptions& options) {
+  if (options.mergeBlocks)
+    while (runMergeBlocks(fn) != 0) {
+    }
+  if (options.peephole) runPeephole(fn);
+  if (options.deadFlagWriters) runDeadFlagWriters(fn);
+  if (options.foldZeroAdd) runFoldZeroAdd(fn);
+  if (options.redundantLoads) runRedundantLoads(fn);
+  if (options.peephole) runPeephole(fn);  // cleanups may expose more
+}
+
+}  // namespace brew

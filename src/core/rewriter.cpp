@@ -1,0 +1,63 @@
+#include "core/rewriter.hpp"
+
+#include <cstdio>
+
+#include "isa/printer.hpp"
+#include "support/log.hpp"
+#include "support/perf_map.hpp"
+
+namespace brew {
+
+std::string RewrittenFunction::disassembly() const {
+  return isa::disassemble(
+      std::span<const uint8_t>(memory_.data(), memory_.size()),
+      reinterpret_cast<uint64_t>(memory_.data()),
+      /*maxInstructions=*/100000);
+}
+
+Result<RewrittenFunction> Rewriter::rewrite(const void* fn,
+                                            std::span<const ArgValue> args) {
+  if (fn == nullptr)
+    return Error{ErrorCode::InvalidArgument, 0, "null function pointer"};
+
+  Tracer tracer(config_);
+  auto captured = tracer.trace(reinterpret_cast<uint64_t>(fn), args);
+  if (!captured) {
+    BREW_LOG_INFO("rewrite of %p failed: %s", fn,
+                  captured.error().message().c_str());
+    return captured.error();
+  }
+
+  runPasses(*captured, passOptions_);
+
+  ir::EmitStats emitStats;
+  auto memory =
+      ir::emit(*captured, config_.limits().maxCodeBytes, &emitStats);
+  if (!memory) {
+    BREW_LOG_INFO("emit of %p failed: %s", fn,
+                  memory.error().message().c_str());
+    return memory.error();
+  }
+
+  if (perfMapEnabled()) {
+    char name[48];
+    std::snprintf(name, sizeof name, "brew_rewrite_%p", fn);
+    perfMapRegister(memory->data(), emitStats.codeBytes, name);
+  }
+
+  RewrittenFunction result;
+  result.memory_ = std::move(*memory);
+  result.captured_ = std::move(*captured);
+  result.traceStats_ = tracer.stats();
+  result.emitStats_ = emitStats;
+  BREW_LOG_INFO(
+      "rewrote %p: %zu traced, %zu captured, %zu elided, %zu blocks, "
+      "%zu bytes",
+      fn, result.traceStats_.tracedInstructions,
+      result.traceStats_.capturedInstructions,
+      result.traceStats_.elidedInstructions, result.traceStats_.blocks,
+      result.emitStats_.codeBytes);
+  return result;
+}
+
+}  // namespace brew

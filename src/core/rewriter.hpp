@@ -1,0 +1,111 @@
+// Public C++ API of BREW: Rewriter::rewrite(fn, args...) returns a
+// RewrittenFunction whose entry pointer is a drop-in replacement for `fn`
+// (same signature, §III-E), specialized for the configured known values.
+//
+// The C API in brew.h (matching the paper's Figures 2/3/5) wraps this.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/tracer.hpp"
+#include "ir/captured.hpp"
+#include "support/error.hpp"
+#include "support/exec_memory.hpp"
+
+namespace brew {
+
+// Optimization passes over the captured code, run between trace and emit
+// (§IV: the prototype keeps them simple and case-specific).
+struct PassOptions {
+  bool peephole = true;        // drop no-op moves / identity arithmetic
+  bool deadFlagWriters = true; // remove compares whose flags are never read
+  bool redundantLoads = true;  // forward identical loads within a block
+  // Fold "x = +0.0; x += y" accumulator idioms into "x = y". Superseded by
+  // the tracer-level fold (Config::setFoldZeroAccumulator, on by default),
+  // which sees lane states and emits domain-friendly copies; this IR-level
+  // variant uses movq (integer domain) and is kept for ablation. Same
+  // -0.0 / sNaN caveats.
+  bool foldZeroAdd = false;
+  // Merge a block into its unique Jmp predecessor (removes the stub blocks
+  // that migration compensation and resolved control flow leave behind).
+  bool mergeBlocks = true;
+};
+
+class RewrittenFunction {
+ public:
+  RewrittenFunction() = default;
+
+  template <typename Fn>
+  Fn as() const {
+    return reinterpret_cast<Fn>(const_cast<uint8_t*>(memory_.data()));
+  }
+  void* entry() const {
+    return const_cast<uint8_t*>(memory_.data());
+  }
+  size_t codeSize() const { return emitStats_.codeBytes; }
+
+  const TraceStats& traceStats() const { return traceStats_; }
+  const ir::EmitStats& emitStats() const { return emitStats_; }
+
+  // Captured-form dump (blocks + pool) and final disassembly.
+  std::string dumpCaptured() const { return captured_.dump(); }
+  std::string disassembly() const;
+
+ private:
+  friend class Rewriter;
+  ExecMemory memory_;
+  ir::CapturedFunction captured_;
+  TraceStats traceStats_;
+  ir::EmitStats emitStats_;
+};
+
+class Rewriter {
+ public:
+  explicit Rewriter(Config config) : config_(std::move(config)) {}
+
+  Config& config() { return config_; }
+  const Config& config() const { return config_; }
+
+  PassOptions& passes() { return passOptions_; }
+
+  // Core entry point: trace + optimize + emit.
+  Result<RewrittenFunction> rewrite(const void* fn,
+                                    std::span<const ArgValue> args);
+
+  // Convenience: arguments converted from native values.
+  template <typename... Args>
+  Result<RewrittenFunction> rewriteFn(const void* fn, Args... args) {
+    const ArgValue converted[] = {toArgValue(args)...};
+    return rewrite(fn, std::span<const ArgValue>(converted, sizeof...(args)));
+  }
+  Result<RewrittenFunction> rewriteFn(const void* fn) {
+    return rewrite(fn, {});
+  }
+
+ private:
+  static ArgValue toArgValue(double v) { return ArgValue::fromDouble(v); }
+  static ArgValue toArgValue(float v) {
+    return ArgValue::fromDouble(static_cast<double>(v));
+  }
+  template <typename T>
+  static ArgValue toArgValue(T* p) {
+    return ArgValue::fromPtr(static_cast<const void*>(p));
+  }
+  static ArgValue toArgValue(std::nullptr_t) { return ArgValue::fromInt(0); }
+  template <typename T>
+  static ArgValue toArgValue(T v) {
+    return ArgValue::fromInt(static_cast<uint64_t>(static_cast<int64_t>(v)));
+  }
+
+  Config config_;
+  PassOptions passOptions_;
+};
+
+// Pass driver (implemented in passes/).
+void runPasses(ir::CapturedFunction& fn, const PassOptions& options);
+
+}  // namespace brew

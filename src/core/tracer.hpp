@@ -1,0 +1,158 @@
+// The tracing rewriter of §III: emulates a call to the subject function
+// instruction by instruction against a known-world state, captures the
+// residual instructions (partial evaluation), inlines calls via a shadow
+// call stack, resolves known branches (which unrolls known loops), forks
+// pending blocks at unknown branches, and bounds code growth with block
+// variants + known-world-state migration.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "emu/known_state.hpp"
+#include "emu/semantics.hpp"
+#include "ir/captured.hpp"
+#include "support/error.hpp"
+
+namespace brew {
+
+struct TraceStats {
+  size_t tracedInstructions = 0;   // instructions emulated
+  size_t capturedInstructions = 0; // instructions placed in output blocks
+  size_t elidedInstructions = 0;   // folded away by partial evaluation
+  size_t blocks = 0;
+  size_t inlinedCalls = 0;
+  size_t keptCalls = 0;
+  size_t resolvedBranches = 0;
+  size_t capturedBranches = 0;
+  size_t migrations = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const Config& config) : config_(config) {}
+
+  // Traces `fn` called with `args` (signature order; see Config parameter
+  // specs) and returns the captured function, or the first failure.
+  Result<ir::CapturedFunction> trace(uint64_t fn,
+                                     std::span<const ArgValue> args);
+
+  const TraceStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    uint64_t address = 0;
+    int blockId = -1;
+    uint64_t currentFunction = 0;
+    emu::KnownWorldState state;
+  };
+  struct Variant {
+    uint64_t digest = 0;
+    int blockId = -1;
+    emu::KnownWorldState state;  // entry state the block was traced with
+  };
+
+  // --- queue / variants ---
+  struct VariantRef {
+    int blockId = -1;
+    bool created = false;
+  };
+  Result<VariantRef> getOrCreateVariant(uint64_t address,
+                                        const emu::KnownWorldState& state,
+                                        uint64_t currentFunction);
+  // Migration when the per-address variant threshold is hit: generalizes
+  // the state towards an existing variant, appending compensation code
+  // (materializations) to the current block.
+  Result<VariantRef> migrateToVariant(uint64_t address,
+                                      emu::KnownWorldState state,
+                                      uint64_t currentFunction);
+
+  // --- per-block tracing ---
+  Status traceBlock(Pending pending);
+  Status traceOne(const isa::Instruction& instr, uint64_t next);
+
+  // Continue control flow at `address` (resolved jump / inline call /
+  // inline return): terminates the current block with a jump to the
+  // (possibly new) variant.
+  Status continueAt(uint64_t address);
+  Status endBlockCond(isa::Cond cond, uint64_t takenAddress,
+                      uint64_t fallAddress);
+  Status endBlockRet();
+
+  // --- operand plumbing ---
+  emu::Value memAddress(const isa::MemOperand& m, uint64_t nextRip) const;
+  Result<emu::Value> loadAbstract(const emu::Value& addr, unsigned width,
+                                  uint64_t guestAddr);
+  Status storeAbstract(const emu::Value& addr, unsigned width,
+                       const emu::Value& value, uint64_t guestAddr);
+  Result<emu::Value> readOperand(const isa::Instruction& instr,
+                                 const isa::Operand& op, unsigned width,
+                                 uint64_t next);
+  Status writeRegResult(isa::Reg reg, unsigned width, const emu::Value& value);
+
+  // --- capture machinery ---
+  void capture(isa::Instruction instr);
+  Status materializeGpr(isa::Reg reg);
+  Status materializeXmmLo(isa::Reg reg);
+  Status materializeXmmHi(isa::Reg reg);
+  // Materializes whichever lanes are known-but-unmaterialized.
+  Status materializeXmmLanes(isa::Reg reg);
+  Status materializeStackRel(isa::Reg reg);
+  // Makes a register operand runtime-valid; may rewrite `op` to an
+  // immediate when allowed.
+  Status prepareRegOperand(isa::Operand& op, unsigned width, bool canFoldImm);
+  // Folds known index/base registers into the displacement and
+  // materializes what remains; converts RIP-relative references.
+  Status prepareMemOperand(isa::MemOperand& m, uint64_t nextRip,
+                           bool isAddressOnly);
+  // Replaces a load from known-constant memory by a literal-pool reference.
+  bool tryPoolFold(isa::MemOperand& m, uint64_t addr, unsigned width);
+  Status materializeForCall(uint64_t guestAddr);
+  Status materializeForReturn();
+  void emitInjectedCall(Injection::Handler handler, uint64_t arg);
+
+  // --- families ---
+  Status traceGprArith(const isa::Instruction& instr, uint64_t next);
+  Status traceMov(const isa::Instruction& instr, uint64_t next);
+  Status traceLea(const isa::Instruction& instr, uint64_t next);
+  Status tracePush(const isa::Instruction& instr, uint64_t next);
+  Status tracePop(const isa::Instruction& instr, uint64_t next);
+  Status traceWideMulDiv(const isa::Instruction& instr, uint64_t next);
+  Status traceCmovSetcc(const isa::Instruction& instr, uint64_t next);
+  Status traceSse(const isa::Instruction& instr, uint64_t next);
+  Status traceBranch(const isa::Instruction& instr, uint64_t next);
+
+  Status captureGeneric(isa::Instruction instr, uint64_t next,
+                        bool resultKnown = false,
+                        const emu::Value& knownResult = emu::Value::unknown());
+
+  FunctionOptions policy() const {
+    return config_.functionOptions(currentFunction_);
+  }
+  int64_t rspOffset() const;
+  bool inKnownRegion(uint64_t addr, unsigned width) const;
+  Status checkStackAccess(int64_t offset, uint64_t guestAddr) const;
+
+  const Config& config_;
+  ir::CapturedFunction out_;
+  std::deque<Pending> queue_;
+  std::map<uint64_t, std::vector<Variant>> variants_;
+  // KnownPtr parameter regions discovered at trace start.
+  std::vector<MemRegion> extraRegions_;
+  TraceStats stats_;
+
+  // Current block context. Blocks are addressed by id because newBlock()
+  // may reallocate the block vector mid-trace.
+  emu::KnownWorldState st_;
+  int curId_ = -1;
+  uint64_t currentFunction_ = 0;
+  uint64_t entryFunction_ = 0;
+  bool blockDone_ = false;
+  bool injecting_ = false;  // reentrancy guard for emitInjectedCall
+};
+
+}  // namespace brew

@@ -1,0 +1,55 @@
+// Concrete interpreter for the BREW x86-64 subset.
+//
+// Executes machine code instruction by instruction against the live process
+// address space (loads/stores go to real memory; the call stack lives in a
+// private buffer). Used for differential testing — native execution,
+// interpretation of the original function, and interpretation of rewritten
+// code must all agree — and as a portable fallback to run captured code
+// without mapping executable pages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "emu/semantics.hpp"
+#include "isa/instruction.hpp"
+#include "support/error.hpp"
+
+namespace brew::emu {
+
+class Interpreter {
+ public:
+  struct Options {
+    size_t maxSteps = 10'000'000;
+    size_t stackBytes = 1 << 20;
+  };
+
+  Interpreter() : Interpreter(Options{}) {}
+  explicit Interpreter(Options options);
+
+  // Calls `fn` with System V argument registers filled from intArgs
+  // (rdi, rsi, rdx, rcx, r8, r9) and fpArgs (xmm0..xmm7). Returns rax and
+  // xmm0 after the outermost ret.
+  struct CallResult {
+    uint64_t intResult = 0;
+    uint64_t fpResultBits = 0;
+    double fpResult() const;
+    size_t steps = 0;
+  };
+  Result<CallResult> call(uint64_t fn, std::span<const uint64_t> intArgs,
+                          std::span<const double> fpArgs = {});
+
+ private:
+  Status step();
+
+  Options options_;
+  uint64_t gpr_[16] = {};
+  uint64_t xmm_[16][2] = {};
+  uint8_t flags_ = 0;
+  uint64_t rip_ = 0;
+  std::vector<uint8_t> stack_;
+  size_t steps_ = 0;
+};
+
+}  // namespace brew::emu

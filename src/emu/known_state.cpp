@@ -1,0 +1,202 @@
+#include "emu/known_state.hpp"
+
+#include <cassert>
+
+namespace brew::emu {
+
+using isa::Reg;
+
+// --- StackShadow ----------------------------------------------------------
+
+Value StackShadow::read(int64_t offset, unsigned width) const {
+  if (width == 8) {
+    auto slot = slots_.find(offset);
+    if (slot != slots_.end()) return slot->second;
+  }
+  uint64_t bits = 0;
+  bool materialized = true;
+  for (unsigned i = 0; i < width; ++i) {
+    auto it = bytes_.find(offset + static_cast<int64_t>(i));
+    if (it == bytes_.end() || !it->second.known) return Value::unknown();
+    bits |= static_cast<uint64_t>(it->second.value) << (8 * i);
+    materialized = materialized && it->second.materialized;
+  }
+  return Value::known(bits, materialized);
+}
+
+bool StackShadow::isMaterialized(int64_t offset, unsigned width) const {
+  for (unsigned i = 0; i < width; ++i) {
+    auto it = bytes_.find(offset + static_cast<int64_t>(i));
+    if (it != bytes_.end() && it->second.known && !it->second.materialized)
+      return false;
+    // StackRel slots are never materialized implicitly.
+    if (width == 8) {
+      auto slot = slots_.find(offset);
+      if (slot != slots_.end() && !slot->second.materialized) return false;
+    }
+  }
+  return true;
+}
+
+void StackShadow::invalidateSlotsOverlapping(int64_t offset, unsigned width) {
+  // StackRel slots are 8 bytes wide starting at their key.
+  auto it = slots_.lower_bound(offset - 7);
+  while (it != slots_.end() && it->first < offset + static_cast<int64_t>(width))
+    it = slots_.erase(it);
+}
+
+void StackShadow::write(int64_t offset, unsigned width, const Value& value) {
+  invalidateSlotsOverlapping(offset, width);
+  if (value.isStackRel()) {
+    // Byte-wise representation is impossible; track 8-byte spills in the
+    // side table, degrade anything else to unknown bytes.
+    for (unsigned i = 0; i < width; ++i)
+      bytes_.erase(offset + static_cast<int64_t>(i));
+    if (width == 8) {
+      slots_[offset] = value;
+    }
+    return;
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    const int64_t at = offset + static_cast<int64_t>(i);
+    if (value.isKnown()) {
+      bytes_[at] = ShadowByte{true, value.materialized,
+                              static_cast<uint8_t>(value.bits >> (8 * i))};
+    } else {
+      bytes_.erase(at);  // unknown: runtime owns the bytes
+    }
+  }
+}
+
+void StackShadow::markMaterialized(int64_t offset, unsigned width) {
+  for (unsigned i = 0; i < width; ++i) {
+    auto it = bytes_.find(offset + static_cast<int64_t>(i));
+    if (it != bytes_.end()) it->second.materialized = true;
+  }
+  if (width == 8) {
+    auto slot = slots_.find(offset);
+    if (slot != slots_.end()) slot->second.materialized = true;
+  }
+}
+
+void StackShadow::clobber() {
+  bytes_.clear();
+  slots_.clear();
+}
+
+void StackShadow::clobberBelow(int64_t offset) {
+  bytes_.erase(bytes_.begin(), bytes_.lower_bound(offset));
+  // An 8-byte slot starting below the boundary overlaps the dead zone.
+  auto it = slots_.begin();
+  while (it != slots_.end() && it->first < offset) it = slots_.erase(it);
+}
+
+bool StackShadow::sameContent(const StackShadow& other) const {
+  if (slots_.size() != other.slots_.size()) return false;
+  for (const auto& [off, value] : slots_) {
+    auto it = other.slots_.find(off);
+    if (it == other.slots_.end() || !value.sameContent(it->second))
+      return false;
+  }
+  // Compare known bytes only (unknown bytes are absent from the map).
+  auto a = bytes_.begin();
+  auto b = other.bytes_.begin();
+  while (a != bytes_.end() && b != other.bytes_.end()) {
+    if (a->first != b->first || a->second.known != b->second.known ||
+        a->second.value != b->second.value)
+      return false;
+    ++a;
+    ++b;
+  }
+  return a == bytes_.end() && b == other.bytes_.end();
+}
+
+namespace {
+void hashMix(uint64_t& hash, uint64_t value) {
+  hash ^= value + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+}
+void hashValue(uint64_t& hash, const Value& value) {
+  hashMix(hash, static_cast<uint64_t>(value.tag));
+  if (!value.isUnknown()) hashMix(hash, value.bits);
+}
+}  // namespace
+
+void StackShadow::addToDigest(uint64_t& hash) const {
+  for (const auto& [off, byte] : bytes_) {
+    hashMix(hash, static_cast<uint64_t>(off));
+    hashMix(hash, byte.value | (byte.known ? 0x100u : 0u));
+  }
+  for (const auto& [off, value] : slots_) {
+    hashMix(hash, static_cast<uint64_t>(off) * 31);
+    hashValue(hash, value);
+  }
+}
+
+// --- KnownWorldState -------------------------------------------------------
+
+KnownWorldState::KnownWorldState() {
+  for (auto& v : gpr_) v = Value::unknown();
+  for (auto& x : xmm_) x = XmmValue::unknown();
+  // rsp at entry is the frame base.
+  gpr_[static_cast<int>(Reg::rsp)] = Value::stackRel(0);
+}
+
+Value& KnownWorldState::gpr(Reg r) {
+  assert(isa::isGpr(r));
+  return gpr_[isa::regNum(r)];
+}
+const Value& KnownWorldState::gpr(Reg r) const {
+  assert(isa::isGpr(r));
+  return gpr_[isa::regNum(r)];
+}
+XmmValue& KnownWorldState::xmm(Reg r) {
+  assert(isa::isXmm(r));
+  return xmm_[isa::regNum(r)];
+}
+const XmmValue& KnownWorldState::xmm(Reg r) const {
+  assert(isa::isXmm(r));
+  return xmm_[isa::regNum(r)];
+}
+
+void KnownWorldState::applyCallClobbers(bool clobberStack) {
+  for (unsigned i = 0; i < 16; ++i) {
+    const Reg r = isa::gprFromNum(i);
+    if (isa::abi::isCallerSaved(r)) gpr_[i] = Value::unknown();
+  }
+  for (auto& x : xmm_) x = XmmValue::unknown();
+  flags_.clobber();
+  if (clobberStack) stack_.clobber();
+}
+
+bool KnownWorldState::sameContent(const KnownWorldState& other) const {
+  for (unsigned i = 0; i < 16; ++i) {
+    if (!gpr_[i].sameContent(other.gpr_[i])) return false;
+    if (!xmm_[i].sameContent(other.xmm_[i])) return false;
+  }
+  if (flags_.known != other.flags_.known) return false;
+  if ((flags_.values & flags_.known) !=
+      (other.flags_.values & other.flags_.known))
+    return false;
+  if (callStack_.size() != other.callStack_.size()) return false;
+  for (size_t i = 0; i < callStack_.size(); ++i) {
+    if (callStack_[i].returnAddress != other.callStack_[i].returnAddress)
+      return false;
+  }
+  return stack_.sameContent(other.stack_);
+}
+
+uint64_t KnownWorldState::digest() const {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned i = 0; i < 16; ++i) {
+    hashValue(hash, gpr_[i]);
+    hashValue(hash, xmm_[i].lo);
+    hashValue(hash, xmm_[i].hi);
+  }
+  hashMix(hash, flags_.known);
+  hashMix(hash, flags_.values & flags_.known);
+  for (const CallFrame& frame : callStack_) hashMix(hash, frame.returnAddress);
+  stack_.addToDigest(hash);
+  return hash;
+}
+
+}  // namespace brew::emu

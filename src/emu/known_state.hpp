@@ -1,0 +1,146 @@
+// The "known-world state" of §III-F: for every value location the tracer
+// models — 16 GPRs, 16 XMM registers (two 64-bit lanes each), the six
+// status flags, the traced function's stack — whether the value is known,
+// and if so which bits it holds.
+//
+// The state is a value type: it is saved when a trace forks at an unknown
+// conditional branch and restored when the corresponding pending block is
+// traced. Block variants are keyed by a content digest of this state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "emu/value.hpp"
+#include "isa/instruction.hpp"
+#include "isa/registers.hpp"
+
+namespace brew::emu {
+
+struct FlagsState {
+  uint8_t known = 0;   // kFlag* bits whose values are known
+  uint8_t values = 0;  // their values (only meaningful where known)
+  // True when the runtime RFLAGS at this point actually reflect the modeled
+  // flags (the last flag writer was captured, or nothing wrote flags yet).
+  // An elided flag writer leaves known-but-stale runtime flags; those can
+  // be folded but never consumed by captured code.
+  bool materialized = true;
+
+  void setAll(uint8_t knownMask, uint8_t valueBits, bool mat) {
+    known = knownMask;
+    values = static_cast<uint8_t>(valueBits & knownMask);
+    materialized = mat;
+  }
+  void clobber() {
+    known = 0;
+    materialized = true;  // unknown runtime flags are trivially "real"
+  }
+  bool isKnown(uint8_t mask) const { return (known & mask) == mask; }
+};
+
+struct XmmValue {
+  Value lo, hi;
+
+  static XmmValue unknown() { return {Value::unknown(), Value::unknown()}; }
+  bool sameContent(const XmmValue& other) const {
+    return lo.sameContent(other.lo) && hi.sameContent(other.hi);
+  }
+};
+
+// Byte-granular shadow of the traced function's stack. Offsets are relative
+// to the frame base: rsp at entry = 0, the function's own frame grows
+// negative. Nonnegative offsets belong to the caller (return address, stack
+// arguments) and read as unknown.
+class StackShadow {
+ public:
+  struct ShadowByte {
+    bool known = false;
+    bool materialized = false;
+    uint8_t value = 0;
+  };
+
+  // Reads `width` bytes; Known only if all bytes are known. An 8-byte read
+  // that exactly matches a spilled StackRel slot returns that value.
+  Value read(int64_t offset, unsigned width) const;
+
+  // True when every byte of the range is either unknown (runtime holds it)
+  // or known-and-materialized — i.e. a captured load from it is valid.
+  bool isMaterialized(int64_t offset, unsigned width) const;
+
+  void write(int64_t offset, unsigned width, const Value& value);
+  void markMaterialized(int64_t offset, unsigned width);
+  // Everything becomes unknown (e.g. opaque call could have written).
+  void clobber();
+  // Bytes strictly below `offset` become unknown (a kept call pushes its
+  // own frames there, and the red zone below rsp is dead across calls).
+  void clobberBelow(int64_t offset);
+
+  bool sameContent(const StackShadow& other) const;
+  void addToDigest(uint64_t& hash) const;
+
+  // Enumeration helper for state migration: offsets of known bytes.
+  const std::map<int64_t, ShadowByte>& bytes() const { return bytes_; }
+  const std::map<int64_t, Value>& stackRelSlots() const { return slots_; }
+
+ private:
+  void invalidateSlotsOverlapping(int64_t offset, unsigned width);
+
+  std::map<int64_t, ShadowByte> bytes_;
+  // 8-byte-aligned spills of StackRel values (e.g. a saved frame pointer);
+  // these cannot be represented byte-wise. Any overlapping write kills them.
+  std::map<int64_t, Value> slots_;
+};
+
+// One inlined-call frame on the shadow call stack (§III-E): where `ret`
+// should resume tracing, whose per-function options to restore on return,
+// and where the callee's frame begins. Stack accesses at or above
+// `entrySpOffset` would touch the return-address slot or stack arguments,
+// which do not exist in the inlined layout — the tracer fails the rewrite
+// (NonInlinableCall) when it sees one.
+struct CallFrame {
+  uint64_t returnAddress = 0;
+  uint64_t callerFunction = 0;  // options of this function resume on ret
+  uint64_t calleeEntry = 0;
+  int64_t entrySpOffset = 0;
+};
+
+class KnownWorldState {
+ public:
+  KnownWorldState();
+
+  Value& gpr(isa::Reg r);
+  const Value& gpr(isa::Reg r) const;
+  XmmValue& xmm(isa::Reg r);
+  const XmmValue& xmm(isa::Reg r) const;
+
+  FlagsState& flags() { return flags_; }
+  const FlagsState& flags() const { return flags_; }
+
+  StackShadow& stack() { return stack_; }
+  const StackShadow& stack() const { return stack_; }
+
+  std::vector<CallFrame>& callStack() { return callStack_; }
+  const std::vector<CallFrame>& callStack() const { return callStack_; }
+
+  // ABI clobber at a kept (non-inlined) call: caller-saved registers and
+  // all flags become unknown; callee-saved keep their known-state. Memory
+  // below rsp and any unknown-address memory may have changed, so the
+  // shadow stack is clobbered conservatively unless the callee is known
+  // to be pure.
+  void applyCallClobbers(bool clobberStack);
+
+  // Content identity (ignores materialization), used for block-variant
+  // keying and migration.
+  bool sameContent(const KnownWorldState& other) const;
+  uint64_t digest() const;
+
+ private:
+  Value gpr_[16];
+  XmmValue xmm_[16];
+  FlagsState flags_;
+  StackShadow stack_;
+  std::vector<CallFrame> callStack_;
+};
+
+}  // namespace brew::emu

@@ -1,0 +1,274 @@
+#include "ir/captured.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "isa/encoder.hpp"
+#include "isa/printer.hpp"
+
+namespace brew::ir {
+
+int CapturedFunction::newBlock(uint64_t guestAddress, uint64_t stateDigest) {
+  Block block;
+  block.guestAddress = guestAddress;
+  block.stateDigest = stateDigest;
+  blocks_.push_back(std::move(block));
+  return static_cast<int>(blocks_.size() - 1);
+}
+
+int CapturedFunction::addPoolConstant(uint64_t lo, uint64_t hi) {
+  const PoolEntry entry{lo, hi};
+  for (size_t i = 0; i < pool_.size(); ++i)
+    if (pool_[i] == entry) return static_cast<int>(i);
+  pool_.push_back(entry);
+  return static_cast<int>(pool_.size() - 1);
+}
+
+size_t CapturedFunction::totalInstructions() const {
+  size_t n = 0;
+  for (const Block& b : blocks_) n += b.instrs.size();
+  return n;
+}
+
+std::string CapturedFunction::dump() const {
+  std::string out;
+  char buf[128];
+  for (int i = 0; i < blockCount(); ++i) {
+    const Block& b = blocks_[static_cast<size_t>(i)];
+    std::snprintf(buf, sizeof buf,
+                  "block %d (guest 0x%" PRIx64 ", state %016" PRIx64 ")%s:\n",
+                  i, b.guestAddress, b.stateDigest,
+                  i == entry_ ? " [entry]" : "");
+    out += buf;
+    for (const auto& instr : b.instrs) {
+      out += "  ";
+      out += isa::toString(instr);
+      out += '\n';
+    }
+    switch (b.term.kind) {
+      case Terminator::Kind::None:
+        out += "  <no terminator>\n";
+        break;
+      case Terminator::Kind::Ret:
+        out += "  ret\n";
+        break;
+      case Terminator::Kind::Jmp:
+        std::snprintf(buf, sizeof buf, "  jmp block %d\n", b.term.taken);
+        out += buf;
+        break;
+      case Terminator::Kind::CondJmp:
+        std::snprintf(buf, sizeof buf, "  j%s block %d, else block %d\n",
+                      isa::condName(b.term.cond), b.term.taken, b.term.fall);
+        out += buf;
+        break;
+      case Terminator::Kind::Stop:
+        out += "  <tail transfer>\n";
+        break;
+    }
+  }
+  if (!pool_.empty()) {
+    out += "pool:\n";
+    for (size_t i = 0; i < pool_.size(); ++i) {
+      double d;
+      std::memcpy(&d, &pool_[i].lo, 8);
+      std::snprintf(buf, sizeof buf,
+                    "  [%zu] 0x%016" PRIx64 " %016" PRIx64 "  (%g)\n", i,
+                    pool_[i].hi, pool_[i].lo, d);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::vector<int> layoutOrder(const CapturedFunction& fn) {
+  std::vector<int> order;
+  std::vector<bool> placed(static_cast<size_t>(fn.blockCount()), false);
+  order.reserve(static_cast<size_t>(fn.blockCount()));
+
+  // Reachability from the entry block: merged/dead blocks are not emitted.
+  std::vector<bool> reachable(static_cast<size_t>(fn.blockCount()), false);
+  {
+    std::vector<int> work{fn.entry()};
+    while (!work.empty()) {
+      const int id = work.back();
+      work.pop_back();
+      if (id < 0 || reachable[static_cast<size_t>(id)]) continue;
+      reachable[static_cast<size_t>(id)] = true;
+      const Terminator& t = fn.block(id).term;
+      if (t.kind == Terminator::Kind::Jmp ||
+          t.kind == Terminator::Kind::CondJmp)
+        work.push_back(t.taken);
+      if (t.kind == Terminator::Kind::CondJmp) work.push_back(t.fall);
+    }
+  }
+
+  // Greedy fall-through chaining starting from the entry: after a CondJmp
+  // place the fall-through successor next (so no extra jmp is needed);
+  // after a Jmp place its target next when still unplaced.
+  auto placeChain = [&](int start) {
+    int current = start;
+    while (current >= 0 && reachable[static_cast<size_t>(current)] &&
+           !placed[static_cast<size_t>(current)]) {
+      placed[static_cast<size_t>(current)] = true;
+      order.push_back(current);
+      const Terminator& t = fn.block(current).term;
+      switch (t.kind) {
+        case Terminator::Kind::CondJmp:
+          current = t.fall;
+          break;
+        case Terminator::Kind::Jmp:
+          current = t.taken;
+          break;
+        default:
+          current = -1;
+          break;
+      }
+    }
+  };
+
+  placeChain(fn.entry());
+  // Remaining reachable blocks (branch-taken targets) in discovery order.
+  for (int i = 0; i < fn.blockCount(); ++i)
+    if (reachable[static_cast<size_t>(i)] && !placed[static_cast<size_t>(i)])
+      placeChain(i);
+  return order;
+}
+
+Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
+                        EmitStats* stats) {
+  if (fn.blockCount() == 0)
+    return Error{ErrorCode::InvalidArgument, 0, "empty captured function"};
+
+  const std::vector<int> order = layoutOrder(fn);
+
+  struct BlockFixup {
+    size_t fieldOffset;
+    int targetBlock;
+  };
+  struct PoolFixup {
+    size_t fieldOffset;
+    size_t instrEnd;  // RIP-relative displacements are relative to the
+                      // instruction end, which may include trailing imm bytes
+    int slot;
+  };
+  std::vector<uint8_t> code;
+  std::vector<BlockFixup> blockFixups;
+  std::vector<PoolFixup> poolFixups;
+  std::vector<int64_t> blockOffset(static_cast<size_t>(fn.blockCount()), -1);
+  size_t instructions = 0;
+
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const int id = order[pos];
+    const Block& block = fn.block(id);
+    blockOffset[static_cast<size_t>(id)] = static_cast<int64_t>(code.size());
+
+    for (const isa::Instruction& instr : block.instrs) {
+      const size_t start = code.size();
+      isa::EncodeInfo info;
+      if (Status s = isa::encode(instr, start, code, &info); !s)
+        return s.error();
+      if (info.rel32Offset >= 0 && info.isPoolRef)
+        poolFixups.push_back({start + static_cast<size_t>(info.rel32Offset),
+                              start + info.length, info.poolSlot});
+      ++instructions;
+      if (code.size() > maxCodeBytes)
+        return Error{ErrorCode::CodeBufferFull, block.guestAddress,
+                     "generated code exceeds configured maximum"};
+    }
+
+    const int next =
+        (pos + 1 < order.size()) ? order[pos + 1] : -1;
+    auto emitJumpTo = [&](isa::Mnemonic mn, isa::Cond cond,
+                          int target) -> Status {
+      const size_t start = code.size();
+      isa::Instruction j = isa::makeInstr(mn, 8, isa::Operand::makeImm(0));
+      j.cond = cond;
+      isa::EncodeInfo info;
+      if (Status s = isa::encode(j, start, code, &info); !s) return s;
+      blockFixups.push_back(
+          {start + static_cast<size_t>(info.rel32Offset), target});
+      ++instructions;
+      return Status::okStatus();
+    };
+
+    switch (block.term.kind) {
+      case Terminator::Kind::Ret: {
+        if (Status s = isa::encode(isa::makeInstr(isa::Mnemonic::Ret, 8),
+                                   code.size(), code);
+            !s)
+          return s.error();
+        ++instructions;
+        break;
+      }
+      case Terminator::Kind::Jmp:
+        if (block.term.taken != next)
+          if (Status s = emitJumpTo(isa::Mnemonic::Jmp, isa::Cond::O,
+                                    block.term.taken);
+              !s)
+            return s.error();
+        break;
+      case Terminator::Kind::CondJmp: {
+        if (Status s = emitJumpTo(isa::Mnemonic::Jcc, block.term.cond,
+                                  block.term.taken);
+            !s)
+          return s.error();
+        if (block.term.fall != next)
+          if (Status s = emitJumpTo(isa::Mnemonic::Jmp, isa::Cond::O,
+                                    block.term.fall);
+              !s)
+            return s.error();
+        break;
+      }
+      case Terminator::Kind::Stop:
+        break;  // last instruction already transferred control
+      case Terminator::Kind::None:
+        return Error{ErrorCode::InvalidArgument, block.guestAddress,
+                     "block without terminator"};
+    }
+    if (code.size() > maxCodeBytes)
+      return Error{ErrorCode::CodeBufferFull, block.guestAddress,
+                   "generated code exceeds configured maximum"};
+  }
+
+  // Literal pool, 16-byte aligned after the code.
+  size_t poolOffset = (code.size() + 15) & ~size_t{15};
+  code.resize(poolOffset, 0xCC /* int3 padding */);
+  for (const PoolEntry& entry : fn.pool()) {
+    const uint8_t* lo = reinterpret_cast<const uint8_t*>(&entry.lo);
+    const uint8_t* hi = reinterpret_cast<const uint8_t*>(&entry.hi);
+    code.insert(code.end(), lo, lo + 8);
+    code.insert(code.end(), hi, hi + 8);
+  }
+
+  // Relocation (§III-G last step).
+  for (const BlockFixup& fixup : blockFixups) {
+    const int64_t target = blockOffset[static_cast<size_t>(fixup.targetBlock)];
+    if (target < 0)
+      return Error{ErrorCode::InvalidArgument, 0, "jump to unplaced block"};
+    const int64_t rel = target - (static_cast<int64_t>(fixup.fieldOffset) + 4);
+    const auto rel32 = static_cast<int32_t>(rel);
+    std::memcpy(code.data() + fixup.fieldOffset, &rel32, 4);
+  }
+  for (const PoolFixup& fixup : poolFixups) {
+    const int64_t target =
+        static_cast<int64_t>(poolOffset) + fixup.slot * 16;
+    const int64_t rel = target - static_cast<int64_t>(fixup.instrEnd);
+    const auto rel32 = static_cast<int32_t>(rel);
+    std::memcpy(code.data() + fixup.fieldOffset, &rel32, 4);
+  }
+
+  auto mem = ExecMemory::allocate(code.size());
+  if (!mem) return mem.error();
+  std::memcpy(mem->data(), code.data(), code.size());
+  if (Status s = mem->finalize(); !s) return s.error();
+
+  if (stats != nullptr) {
+    stats->codeBytes = poolOffset;
+    stats->poolBytes = fn.pool().size() * 16;
+    stats->instructions = instructions;
+  }
+  return std::move(*mem);
+}
+
+}  // namespace brew::ir

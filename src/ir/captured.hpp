@@ -1,0 +1,92 @@
+// Captured-code IR: the rewriter's output before final binary emission.
+//
+// A CapturedFunction is a small CFG of blocks of decoded-form instructions
+// (§III-G: "captured instructions are kept in decoded form"). Terminators
+// reference successor blocks by id; the emitter lays blocks out (preferring
+// fall-through), encodes, and relocates intra-function jumps. Floating-point
+// and 64-bit constants the rewriter materializes live in a per-function
+// literal pool addressed RIP-relatively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "support/error.hpp"
+#include "support/exec_memory.hpp"
+
+namespace brew::ir {
+
+struct Terminator {
+  enum class Kind : uint8_t {
+    None,     // block under construction
+    Ret,
+    Jmp,      // unconditional to `taken`
+    CondJmp,  // jcc `cond` to `taken`, else fall through to `fall`
+    Stop,     // control already left via the block's last instruction
+              // (kept tail call: jmp to external code)
+  };
+  Kind kind = Kind::None;
+  isa::Cond cond = isa::Cond::O;
+  int taken = -1;
+  int fall = -1;
+};
+
+struct Block {
+  std::vector<isa::Instruction> instrs;
+  Terminator term;
+  // Provenance for diagnostics and tests.
+  uint64_t guestAddress = 0;
+  uint64_t stateDigest = 0;
+};
+
+// 16-byte literal pool entry (low half carries scalar constants).
+struct PoolEntry {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const PoolEntry&) const = default;
+};
+
+class CapturedFunction {
+ public:
+  int newBlock(uint64_t guestAddress, uint64_t stateDigest);
+  Block& block(int id) { return blocks_[static_cast<size_t>(id)]; }
+  const Block& block(int id) const { return blocks_[static_cast<size_t>(id)]; }
+  int blockCount() const { return static_cast<int>(blocks_.size()); }
+  std::vector<Block>& blocks() { return blocks_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  int entry() const { return entry_; }
+  void setEntry(int id) { entry_ = id; }
+
+  // Returns the slot index of a (deduplicated) pool constant.
+  int addPoolConstant(uint64_t lo, uint64_t hi = 0);
+  const std::vector<PoolEntry>& pool() const { return pool_; }
+
+  size_t totalInstructions() const;
+
+  // Human-readable dump (tests, BREW_LOG).
+  std::string dump() const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<PoolEntry> pool_;
+  int entry_ = 0;
+};
+
+struct EmitStats {
+  size_t codeBytes = 0;
+  size_t poolBytes = 0;
+  size_t instructions = 0;
+};
+
+// Lays out, encodes and relocates the function into executable memory.
+// `maxCodeBytes` bounds the emitted size (ErrorCode::CodeBufferFull).
+Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
+                        EmitStats* stats = nullptr);
+
+// Block ordering used by emit(): entry first, then fall-through chains
+// (§III-G "determination of the best order of generated blocks").
+std::vector<int> layoutOrder(const CapturedFunction& fn);
+
+}  // namespace brew::ir

@@ -1,0 +1,30 @@
+// x86-64 instruction decoder for the BREW subset.
+//
+// The decoder handles the instructions gcc/clang emit for scalar integer and
+// SSE2 floating-point code at -O0..-O3: integer ALU group, moves and
+// extensions, lea, push/pop, shifts, mul/div, control flow, setcc/cmovcc,
+// scalar/packed SSE2, and all NOP forms. Anything outside the subset yields
+// ErrorCode::UndecodableInstruction — by design a recoverable condition: the
+// rewriter reports failure and the caller keeps the original function.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "isa/instruction.hpp"
+#include "support/error.hpp"
+
+namespace brew::isa {
+
+// Decodes one instruction from `bytes` (which must hold at least the full
+// instruction, at most 15 bytes are examined). `address` is the guest
+// address of bytes[0]; RIP-relative operands and branch targets are
+// materialized as absolute addresses using it.
+Result<Instruction> decodeOne(std::span<const uint8_t> bytes,
+                              uint64_t address);
+
+// Decodes the instruction located at a live address in this process.
+// Convenience used by the tracer which follows arbitrary function pointers.
+Result<Instruction> decodeAt(uint64_t address);
+
+}  // namespace brew::isa

@@ -1,0 +1,238 @@
+// Decoded-instruction representation shared by the decoder, encoder,
+// printer, tracer and interpreter.
+//
+// Operand convention follows Intel order: ops[0] is the destination (or the
+// first source for compare-like instructions), ops[1] the source, ops[2] an
+// optional extra (3-operand imul immediate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/registers.hpp"
+
+namespace brew::isa {
+
+enum class Mnemonic : uint8_t {
+  Invalid = 0,
+  // Moves / address arithmetic
+  Mov,       // r<-r / r<-m / m<-r / r<-imm / m<-imm (64-bit imm = movabs)
+  Movsxd,    // r64 <- sign-extended r/m32
+  Movsx,     // r <- sign-extended smaller r/m (srcWidth gives source size)
+  Movzx,     // r <- zero-extended smaller r/m
+  Lea,
+  Push,
+  Pop,
+  // Integer arithmetic / logic (flag writers)
+  Add, Adc, Sub, Sbb, Cmp, And, Or, Xor, Test,
+  Not, Neg, Inc, Dec,
+  Imul,      // 2-operand r <- r * r/m, or 3-operand r <- r/m * imm
+  ImulWide,  // one-operand: rdx:rax <- rax * r/m (signed)
+  MulWide,   // one-operand: rdx:rax <- rax * r/m (unsigned)
+  Idiv, Div, // one-operand: rax,rdx <- rdx:rax / r/m
+  Shl, Shr, Sar, Rol, Ror,
+  Cdq,       // edx:eax <- sign of eax (width 4) / rdx:rax (Cqo, width 8)
+  Cdqe,      // rax <- sign-extended eax
+  // Conditional data movement
+  Cmovcc, Setcc,
+  // Control flow
+  Jmp,       // direct relative: ops[0] = Imm absolute target
+  JmpInd,    // indirect: ops[0] = r/m
+  Jcc,       // conditional relative, cond field
+  Call,      // direct relative: ops[0] = Imm absolute target
+  CallInd,   // indirect: ops[0] = r/m
+  Ret,
+  Leave,
+  Pushfq, Popfq,  // used by injected instrumentation to preserve RFLAGS
+  Nop,       // all NOP forms including multi-byte 0F 1F
+  Endbr64,
+  Ud2,
+  Int3,
+  // SSE/SSE2 scalar and packed floating point
+  Movsd, Movss,            // scalar loads/stores/moves
+  Movlpd, Movhpd,          // 64-bit lane load/store preserving the other lane
+  Movapd, Movaps, Movupd, Movups, Movdqa, Movdqu,
+  Movq,                    // xmm <-> r/m64
+  Movd,                    // xmm <-> r/m32
+  Addsd, Subsd, Mulsd, Divsd, Minsd, Maxsd, Sqrtsd,
+  Addss, Subss, Mulss, Divss, Sqrtss,
+  Addpd, Subpd, Mulpd, Divpd,
+  Ucomisd, Comisd, Ucomiss, Comiss,
+  Pxor, Xorpd, Xorps, Andpd, Andps, Orpd,
+  Unpcklpd, Unpckhpd, Shufpd,
+  Cvtsi2sd,  // xmm <- int r/m (srcWidth 4 or 8)
+  Cvttsd2si, // int r <- xmm (width 4 or 8)
+  Cvtsd2ss, Cvtss2sd,
+  Cvtsi2ss, Cvttss2si,
+  Count_,
+};
+
+// Condition codes, numbered like the hardware encoding (Jcc = 0F 80+cc).
+enum class Cond : uint8_t {
+  O = 0x0, NO = 0x1, B = 0x2, AE = 0x3, E = 0x4, NE = 0x5, BE = 0x6, A = 0x7,
+  S = 0x8, NS = 0x9, P = 0xA, NP = 0xB, L = 0xC, GE = 0xD, LE = 0xE, G = 0xF,
+};
+
+const char* mnemonicName(Mnemonic m) noexcept;
+const char* condName(Cond c) noexcept;
+constexpr Cond invert(Cond c) noexcept {
+  return static_cast<Cond>(static_cast<uint8_t>(c) ^ 1);
+}
+
+// RFLAGS bits the subset models.
+enum : uint8_t {
+  kFlagCF = 1 << 0,
+  kFlagPF = 1 << 1,
+  kFlagAF = 1 << 2,
+  kFlagZF = 1 << 3,
+  kFlagSF = 1 << 4,
+  kFlagOF = 1 << 5,
+  kAllFlags = kFlagCF | kFlagPF | kFlagAF | kFlagZF | kFlagSF | kFlagOF,
+  kArithFlags = kAllFlags,
+};
+
+// Memory operand: [base + index*scale + disp], or [rip + disp].
+struct MemOperand {
+  Reg base = Reg::none;
+  Reg index = Reg::none;
+  uint8_t scale = 1;      // 1, 2, 4 or 8
+  int32_t disp = 0;
+  bool ripRelative = false;
+  // Set by the rewriter when this operand addresses a slot in the generated
+  // function's literal pool; the relocator patches the RIP displacement.
+  int32_t poolSlot = -1;
+  // For captured RIP-relative operands that keep referencing the *original*
+  // data: the absolute target address. The encoder recomputes the
+  // displacement for the instruction's new location (and fails gracefully
+  // when the target is out of rel32 range).
+  int64_t ripTarget = 0;
+
+  bool operator==(const MemOperand&) const = default;
+};
+
+struct Operand {
+  enum class Kind : uint8_t { None, Reg, Imm, Mem };
+  Kind kind = Kind::None;
+  Reg reg = Reg::none;
+  int64_t imm = 0;
+  MemOperand mem;
+
+  static Operand none() { return {}; }
+  static Operand makeReg(Reg r) {
+    Operand op;
+    op.kind = Kind::Reg;
+    op.reg = r;
+    return op;
+  }
+  static Operand makeImm(int64_t value) {
+    Operand op;
+    op.kind = Kind::Imm;
+    op.imm = value;
+    return op;
+  }
+  static Operand makeMem(MemOperand m) {
+    Operand op;
+    op.kind = Kind::Mem;
+    op.mem = m;
+    return op;
+  }
+  static Operand ripMem(int32_t disp) {
+    MemOperand m;
+    m.ripRelative = true;
+    m.disp = disp;
+    return makeMem(m);
+  }
+
+  bool isReg() const noexcept { return kind == Kind::Reg; }
+  bool isImm() const noexcept { return kind == Kind::Imm; }
+  bool isMem() const noexcept { return kind == Kind::Mem; }
+  bool isNone() const noexcept { return kind == Kind::None; }
+
+  bool operator==(const Operand&) const = default;
+};
+
+struct Instruction {
+  Mnemonic mnemonic = Mnemonic::Invalid;
+  Cond cond = Cond::O;       // for Jcc / Setcc / Cmovcc
+  uint8_t width = 8;         // main operand width in bytes (1/2/4/8/16)
+  uint8_t srcWidth = 0;      // source width for Movsx/Movzx/Cvtsi2sd
+  uint8_t nops = 0;
+  Operand ops[3];
+
+  // Decode metadata (0 for synthesized instructions).
+  uint64_t address = 0;      // guest address this was decoded from
+  uint8_t length = 0;        // encoded length in bytes
+
+  Operand& op(unsigned i) { return ops[i]; }
+  const Operand& op(unsigned i) const { return ops[i]; }
+
+  void setOps(Operand a) {
+    nops = 1;
+    ops[0] = a;
+  }
+  void setOps(Operand a, Operand b) {
+    nops = 2;
+    ops[0] = a;
+    ops[1] = b;
+  }
+  void setOps(Operand a, Operand b, Operand c) {
+    nops = 3;
+    ops[0] = a;
+    ops[1] = b;
+    ops[2] = c;
+  }
+
+  bool isBranch() const noexcept {
+    switch (mnemonic) {
+      case Mnemonic::Jmp: case Mnemonic::JmpInd: case Mnemonic::Jcc:
+      case Mnemonic::Call: case Mnemonic::CallInd: case Mnemonic::Ret:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  bool operator==(const Instruction& other) const {
+    if (mnemonic != other.mnemonic || cond != other.cond ||
+        width != other.width || srcWidth != other.srcWidth ||
+        nops != other.nops)
+      return false;
+    for (unsigned i = 0; i < nops; ++i)
+      if (!(ops[i] == other.ops[i])) return false;
+    return true;
+  }
+};
+
+// Convenience factory for synthesized (rewriter-generated) instructions.
+Instruction makeInstr(Mnemonic m, uint8_t width);
+Instruction makeInstr(Mnemonic m, uint8_t width, Operand a);
+Instruction makeInstr(Mnemonic m, uint8_t width, Operand a, Operand b);
+Instruction makeInstr(Mnemonic m, uint8_t width, Operand a, Operand b,
+                      Operand c);
+
+// --- Static instruction properties used by tracer and passes -------------
+
+// RFLAGS bits written / read (reads of Jcc/Setcc/Cmovcc depend on cond).
+uint8_t flagsWritten(const Instruction& instr) noexcept;
+uint8_t flagsRead(const Instruction& instr) noexcept;
+uint8_t condFlagsRead(Cond c) noexcept;
+
+// True if instruction ops[0] is also read (add, sub, ...) as opposed to
+// pure writes (mov, lea, movsd load, setcc...).
+bool readsDestination(const Instruction& instr) noexcept;
+
+// True for instructions that write memory (their ops[0] is a Mem operand).
+bool writesMemory(const Instruction& instr) noexcept;
+
+// Conservative register def/use sets as bitmasks: bit i = GPR i,
+// bit 16+i = XMM i. Includes implicit operands (rax/rdx of mul/div,
+// rcx of variable shifts, rsp of stack operations).
+uint32_t regsWritten(const Instruction& instr) noexcept;
+uint32_t regsRead(const Instruction& instr) noexcept;
+
+constexpr uint32_t regBit(Reg r) noexcept {
+  return isGpr(r) ? (1u << regNum(r)) : (isXmm(r) ? (1u << (16 + regNum(r)))
+                                                  : 0u);
+}
+
+}  // namespace brew::isa

@@ -1,0 +1,38 @@
+#include "isa/registers.hpp"
+
+namespace brew::isa {
+
+namespace {
+const char* const kNames64[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                  "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                  "r12", "r13", "r14", "r15"};
+const char* const kNames32[16] = {"eax",  "ecx",  "edx",  "ebx", "esp", "ebp",
+                                  "esi",  "edi",  "r8d",  "r9d", "r10d",
+                                  "r11d", "r12d", "r13d", "r14d", "r15d"};
+const char* const kNames16[16] = {"ax",   "cx",   "dx",   "bx",  "sp",  "bp",
+                                  "si",   "di",   "r8w",  "r9w", "r10w",
+                                  "r11w", "r12w", "r13w", "r14w", "r15w"};
+// REX-style byte registers (spl/bpl/sil/dil instead of ah/ch/dh/bh); the
+// decoder only produces these when a REX prefix is present, which is the
+// form gcc emits for 64-bit code.
+const char* const kNames8[16] = {"al",   "cl",   "dl",   "bl",  "spl", "bpl",
+                                 "sil",  "dil",  "r8b",  "r9b", "r10b",
+                                 "r11b", "r12b", "r13b", "r14b", "r15b"};
+const char* const kNamesXmm[16] = {
+    "xmm0",  "xmm1",  "xmm2",  "xmm3",  "xmm4",  "xmm5",  "xmm6",  "xmm7",
+    "xmm8",  "xmm9",  "xmm10", "xmm11", "xmm12", "xmm13", "xmm14", "xmm15"};
+}  // namespace
+
+const char* regName(Reg r, unsigned widthBytes) noexcept {
+  if (r == Reg::rip) return "rip";
+  if (r == Reg::none) return "<none>";
+  if (isXmm(r)) return kNamesXmm[regNum(r)];
+  switch (widthBytes) {
+    case 1: return kNames8[regNum(r)];
+    case 2: return kNames16[regNum(r)];
+    case 4: return kNames32[regNum(r)];
+    default: return kNames64[regNum(r)];
+  }
+}
+
+}  // namespace brew::isa

@@ -1,0 +1,75 @@
+// x86-64 register model for the BREW subset: 16 integer registers, 16 SSE
+// registers, the instruction pointer, and a "none" sentinel for absent
+// base/index registers in memory operands.
+#pragma once
+
+#include <cstdint>
+
+namespace brew::isa {
+
+enum class Reg : uint8_t {
+  // Integer registers, numbered exactly like their hardware encoding so the
+  // low 3 bits go into ModRM/SIB fields and bit 3 into REX.
+  rax = 0, rcx, rdx, rbx, rsp, rbp, rsi, rdi,
+  r8, r9, r10, r11, r12, r13, r14, r15,
+  // SSE registers, hardware number = value - xmm0.
+  xmm0 = 16, xmm1, xmm2, xmm3, xmm4, xmm5, xmm6, xmm7,
+  xmm8, xmm9, xmm10, xmm11, xmm12, xmm13, xmm14, xmm15,
+  rip = 32,
+  none = 255,
+};
+
+constexpr bool isGpr(Reg r) noexcept {
+  return static_cast<uint8_t>(r) < 16;
+}
+constexpr bool isXmm(Reg r) noexcept {
+  const auto v = static_cast<uint8_t>(r);
+  return v >= 16 && v < 32;
+}
+
+// Hardware encoding number (0..15) of a GPR or XMM register.
+constexpr uint8_t regNum(Reg r) noexcept {
+  return static_cast<uint8_t>(r) & 0xF;
+}
+
+constexpr Reg gprFromNum(unsigned n) noexcept {
+  return static_cast<Reg>(n & 0xF);
+}
+constexpr Reg xmmFromNum(unsigned n) noexcept {
+  return static_cast<Reg>(16 + (n & 0xF));
+}
+
+// Name with the given operand width in bytes (8 -> "rax", 4 -> "eax", ...).
+// XMM registers ignore the width. Width 0 and 8 both print 64-bit names.
+const char* regName(Reg r, unsigned widthBytes = 8) noexcept;
+
+// System V AMD64 ABI calling convention, used to make rewriter configuration
+// architecture independent (the paper's §III-C).
+namespace abi {
+
+inline constexpr Reg kIntArgs[6] = {Reg::rdi, Reg::rsi, Reg::rdx,
+                                    Reg::rcx, Reg::r8, Reg::r9};
+inline constexpr Reg kSseArgs[8] = {Reg::xmm0, Reg::xmm1, Reg::xmm2,
+                                    Reg::xmm3, Reg::xmm4, Reg::xmm5,
+                                    Reg::xmm6, Reg::xmm7};
+inline constexpr Reg kIntReturn = Reg::rax;
+inline constexpr Reg kSseReturn = Reg::xmm0;
+
+// Callee-saved integer registers (preserved across calls).
+constexpr bool isCalleeSaved(Reg r) noexcept {
+  switch (r) {
+    case Reg::rbx: case Reg::rbp: case Reg::rsp:
+    case Reg::r12: case Reg::r13: case Reg::r14: case Reg::r15:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Caller-saved ("volatile"): everything else, including all XMM registers.
+constexpr bool isCallerSaved(Reg r) noexcept {
+  return (isGpr(r) && !isCalleeSaved(r)) || isXmm(r);
+}
+
+}  // namespace abi
+}  // namespace brew::isa

@@ -1,0 +1,84 @@
+// GlobalArray<T>: the DASH-style C++ face of the PGAS substrate — a
+// block-distributed global array with a checked, specializable element
+// accessor. operator[] routes through the same pre-compiled C accessor the
+// paper's motivation discusses; localized() returns a BREW-specialized
+// accessor for this rank's view, regenerated on demand.
+//
+// Only double is instantiated against the C substrate today (the paper's
+// workloads are double-precision); the template keeps the API shape DASH
+// users expect.
+#pragma once
+
+#include <optional>
+#include <type_traits>
+
+#include "core/rewriter.hpp"
+#include "pgas/pgas.h"
+#include "pgas/runtime.hpp"
+
+namespace brew::pgas {
+
+template <typename T>
+class GlobalArray {
+  static_assert(std::is_same_v<T, double>,
+                "the simulated substrate stores doubles");
+
+ public:
+  // Views the runtime's block distribution from `rank`'s perspective.
+  GlobalArray(Runtime& runtime, int rank)
+      : runtime_(runtime), view_(runtime.view(rank)) {}
+
+  long size() const { return view_.length; }
+  long localBegin() const { return view_.local_start; }
+  long localEnd() const { return view_.local_end; }
+  bool isLocal(long i) const {
+    return i >= view_.local_start && i < view_.local_end;
+  }
+
+  // Checked element read (local fast path, simulated RDMA otherwise).
+  T operator[](long i) const { return brew_pgas_read(&view_, i); }
+  void put(long i, T value) { brew_pgas_write(&view_, i, value); }
+
+  // Direct access to the local block (bulk initialization).
+  T* localData() { return view_.local_base; }
+
+  // A reader specialized for this view with BREW: bounds and base address
+  // baked in, remote fallback kept. Falls back to the generic accessor if
+  // rewriting fails; cached until invalidate().
+  brew_pgas_read_fn localizedReader() {
+    if (!reader_.has_value()) {
+      Config config;
+      config.setParamKnownPtr(0, sizeof view_);
+      config.setReturnKind(ReturnKind::Float);
+      config.setFunctionOptions(
+          reinterpret_cast<const void*>(&brew_pgas_remote_read),
+          FunctionOptions{.inlineCalls = false, .pure = true});
+      Rewriter rewriter{config};
+      auto rewritten = rewriter.rewriteFn(
+          reinterpret_cast<const void*>(&brew_pgas_read), &view_, 0L);
+      if (rewritten.ok())
+        reader_.emplace(std::move(*rewritten));
+      else
+        failed_ = true;
+    }
+    if (reader_.has_value()) return reader_->as<brew_pgas_read_fn>();
+    return &brew_pgas_read;
+  }
+  bool specializationFailed() const { return failed_; }
+
+  // Drops the cached specialized reader (e.g. after redistribution).
+  void invalidate() {
+    reader_.reset();
+    failed_ = false;
+  }
+
+  const brew_pgas_view& view() const { return view_; }
+
+ private:
+  Runtime& runtime_;
+  brew_pgas_view view_;
+  std::optional<RewrittenFunction> reader_;
+  bool failed_ = false;
+};
+
+}  // namespace brew::pgas

@@ -1,0 +1,66 @@
+/* In-process PGAS substrate (stand-in for DASH/DART on a cluster).
+ *
+ * The paper's §I/§V motivation: a PGAS library must translate global to
+ * local addresses and check locality on EVERY element access
+ * (DASH operator[]), which is deadly in inner loops even when the data is
+ * known to be local. These accessors are compiled C in their own TU at -O2
+ * — the exact "pre-compiled library" situation BREW targets — so the
+ * rewriter can specialize them for a fixed distribution.
+ *
+ * "Remote" ranks are other memory segments of the same process, and remote
+ * reads go through a non-inlinable transfer function with a simulated NIC
+ * latency, preserving the local/remote cost asymmetry of real PGAS.
+ */
+#ifndef BREW_PGAS_H_
+#define BREW_PGAS_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+struct brew_pgas_rt;  /* opaque runtime handle */
+
+/* Per-rank view of a block-distributed global array of doubles. */
+struct brew_pgas_view {
+  double* local_base;      /* this rank's segment */
+  long local_start;        /* first global index owned locally */
+  long local_end;          /* one past the last local index */
+  long length;             /* global length */
+  struct brew_pgas_rt* rt; /* runtime (remote access, statistics) */
+};
+
+/* Checked element read: locality test + address translation + remote
+ * fallback (the DASH operator[] shape). */
+double brew_pgas_read(const struct brew_pgas_view* v, long i);
+
+/* Checked element write. */
+void brew_pgas_write(const struct brew_pgas_view* v, long i, double value);
+
+/* Remote transfer (simulated RDMA): never inlined by the compiler; the
+ * rewriter keeps calls to it on the remote path. */
+double brew_pgas_remote_read(struct brew_pgas_rt* rt, long i);
+void brew_pgas_remote_write(struct brew_pgas_rt* rt, long i, double value);
+
+/* Sum of v[lo..hi) via the checked accessor — an inner-loop user of
+ * operator[], called through a function pointer so a rewritten accessor is
+ * a drop-in. */
+typedef double (*brew_pgas_read_fn)(const struct brew_pgas_view* v, long i);
+double brew_pgas_sum_range(const struct brew_pgas_view* v, long lo, long hi,
+                           brew_pgas_read_fn read_fn);
+
+/* Fill v[lo..hi) with `value` through the checked writer — a store loop
+ * has no serial FP dependency, so it exposes the per-element access cost
+ * that a reduction hides behind its addsd chain. */
+typedef void (*brew_pgas_write_fn)(const struct brew_pgas_view* v, long i,
+                                   double value);
+void brew_pgas_fill_range(const struct brew_pgas_view* v, long lo, long hi,
+                          double value, brew_pgas_write_fn write_fn);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* BREW_PGAS_H_ */

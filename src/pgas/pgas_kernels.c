@@ -1,0 +1,31 @@
+/* Pre-compiled PGAS accessors (own TU, -O2): the rewriter sees binary only. */
+#include "pgas/pgas.h"
+
+#define NOINLINE __attribute__((noinline))
+
+double brew_pgas_read(const struct brew_pgas_view* v, long i) {
+  if (i >= v->local_start && i < v->local_end)
+    return v->local_base[i - v->local_start];
+  return brew_pgas_remote_read(v->rt, i);
+}
+
+void brew_pgas_write(const struct brew_pgas_view* v, long i, double value) {
+  if (i >= v->local_start && i < v->local_end) {
+    v->local_base[i - v->local_start] = value;
+    return;
+  }
+  brew_pgas_remote_write(v->rt, i, value);
+}
+
+NOINLINE double brew_pgas_sum_range(const struct brew_pgas_view* v, long lo,
+                                    long hi, brew_pgas_read_fn read_fn) {
+  double sum = 0.0;
+  for (long i = lo; i < hi; i++) sum += read_fn(v, i);
+  return sum;
+}
+
+NOINLINE void brew_pgas_fill_range(const struct brew_pgas_view* v, long lo,
+                                   long hi, double value,
+                                   brew_pgas_write_fn write_fn) {
+  for (long i = lo; i < hi; i++) write_fn(v, i, value);
+}

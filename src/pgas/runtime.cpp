@@ -1,0 +1,77 @@
+#include "pgas/runtime.hpp"
+
+// The C ABI handle: brew_pgas_rt is an opaque struct whose first member
+// points back to the C++ runtime.
+struct brew_pgas_rt {
+  brew::pgas::Runtime* runtime;
+};
+
+extern "C" {
+
+double brew_pgas_remote_read(struct brew_pgas_rt* rt, long i) {
+  return rt->runtime->remoteRead(i);
+}
+
+void brew_pgas_remote_write(struct brew_pgas_rt* rt, long i, double value) {
+  rt->runtime->remoteWrite(i, value);
+}
+
+}  // extern "C"
+
+namespace brew::pgas {
+
+struct Runtime::Shim {
+  brew_pgas_rt handle;
+};
+
+Runtime::Runtime(Options options)
+    : options_(options), shim_(std::make_unique<Shim>()) {
+  segments_.resize(static_cast<size_t>(options_.ranks));
+  // Each segment can hold the whole global array so domain-map
+  // redistribution may grow any rank's block.
+  for (auto& segment : segments_)
+    segment.assign(static_cast<size_t>(globalLength()), 0.0);
+  shim_->handle.runtime = this;
+}
+
+Runtime::~Runtime() = default;
+
+brew_pgas_rt* Runtime::handle() { return &shim_->handle; }
+
+brew_pgas_view Runtime::view(int rank) {
+  brew_pgas_view v;
+  v.local_base = segments_[static_cast<size_t>(rank)].data();
+  v.local_start = options_.elementsPerRank * rank;
+  v.local_end = options_.elementsPerRank * (rank + 1);
+  v.length = globalLength();
+  v.rt = handle();
+  return v;
+}
+
+double* Runtime::segment(int rank) {
+  return segments_[static_cast<size_t>(rank)].data();
+}
+
+void Runtime::simulateLatency() const {
+  // Deterministic busy work standing in for NIC round-trip latency.
+  volatile int sink = 0;
+  for (int i = 0; i < options_.remoteLatency; ++i) sink = sink + 1;
+}
+
+double Runtime::remoteRead(long globalIndex) {
+  ++stats_.remoteReads;
+  simulateLatency();
+  const long rank = globalIndex / options_.elementsPerRank;
+  const long local = globalIndex % options_.elementsPerRank;
+  return segments_[static_cast<size_t>(rank)][static_cast<size_t>(local)];
+}
+
+void Runtime::remoteWrite(long globalIndex, double value) {
+  ++stats_.remoteWrites;
+  simulateLatency();
+  const long rank = globalIndex / options_.elementsPerRank;
+  const long local = globalIndex % options_.elementsPerRank;
+  segments_[static_cast<size_t>(rank)][static_cast<size_t>(local)] = value;
+}
+
+}  // namespace brew::pgas

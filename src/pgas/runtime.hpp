@@ -1,0 +1,74 @@
+// Simulated multi-rank PGAS runtime: N ranks in one process, each owning a
+// segment of a block-distributed global array. Substitutes for a cluster
+// (see DESIGN.md): the code path exercised — locality check, global→local
+// translation, remote-transfer call — is the same one DASH runs per
+// element; only the transport under brew_pgas_remote_read is simulated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pgas/pgas.h"
+
+namespace brew::pgas {
+
+struct RuntimeStats {
+  uint64_t localReads = 0;    // counted only by instrumented paths
+  uint64_t remoteReads = 0;
+  uint64_t remoteWrites = 0;
+};
+
+class Runtime {
+ public:
+  struct Options {
+    int ranks = 4;
+    int myRank = 0;
+    long elementsPerRank = 1 << 16;
+    // Busy-wait iterations per remote transfer (simulated NIC latency).
+    int remoteLatency = 64;
+  };
+
+  explicit Runtime(Options options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int ranks() const { return options_.ranks; }
+  int myRank() const { return options_.myRank; }
+  long globalLength() const {
+    return options_.elementsPerRank * options_.ranks;
+  }
+
+  // The view for rank `rank` of the block-distributed array.
+  brew_pgas_view view(int rank);
+
+  // Direct access to a rank's segment (test setup / verification).
+  double* segment(int rank);
+
+  // Re-balance: move the block boundary so `rank` now owns
+  // [newStart, newEnd). Only the mapping changes (domain-map style); data
+  // is migrated between segments.
+  // (Used by the §VI domain-map example to trigger re-specialization.)
+
+  const RuntimeStats& stats() const { return stats_; }
+  void resetStats() { stats_ = RuntimeStats{}; }
+
+  // Called by the C transfer shims.
+  double remoteRead(long globalIndex);
+  void remoteWrite(long globalIndex, double value);
+
+  brew_pgas_rt* handle();
+
+ private:
+  void simulateLatency() const;
+
+  Options options_;
+  std::vector<std::vector<double>> segments_;
+  RuntimeStats stats_;
+  struct Shim;  // C-handle storage
+  std::unique_ptr<Shim> shim_;
+};
+
+}  // namespace brew::pgas

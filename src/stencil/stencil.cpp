@@ -1,0 +1,139 @@
+#include "stencil/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+namespace brew::stencil {
+
+brew_stencil fivePoint() {
+  brew_stencil s{};
+  s.ps = 5;
+  s.p[0] = {-1.0, 0, 0};
+  s.p[1] = {0.25, -1, 0};
+  s.p[2] = {0.25, 1, 0};
+  s.p[3] = {0.25, 0, -1};
+  s.p[4] = {0.25, 0, 1};
+  return s;
+}
+
+brew_gstencil fivePointGrouped() { return groupByCoefficient(fivePoint()); }
+
+brew_stencil ninePoint() {
+  brew_stencil s{};
+  s.ps = 9;
+  int i = 0;
+  for (int dy = -1; dy <= 1; ++dy)
+    for (int dx = -1; dx <= 1; ++dx)
+      s.p[i++] = {(dx == 0 && dy == 0) ? -1.0 : 0.125, dx, dy};
+  return s;
+}
+
+brew_stencil randomStencil(Prng& rng, int points, int range) {
+  brew_stencil s{};
+  s.ps = std::min(points, static_cast<int>(BREW_STENCIL_MAX_POINTS));
+  // A few distinct coefficients so grouping has something to group.
+  const double coeffs[4] = {0.25, -0.5, 0.125, 1.0};
+  for (int i = 0; i < s.ps; ++i) {
+    s.p[i].f = coeffs[rng.below(4)];
+    s.p[i].dx = static_cast<int>(rng.range(-range, range));
+    s.p[i].dy = static_cast<int>(rng.range(-range, range));
+  }
+  return s;
+}
+
+brew_gstencil groupByCoefficient(const brew_stencil& s) {
+  brew_gstencil g{};
+  std::map<double, int> groupOf;
+  for (int i = 0; i < s.ps; ++i) {
+    auto it = groupOf.find(s.p[i].f);
+    int gi;
+    if (it == groupOf.end()) {
+      gi = g.ng++;
+      groupOf[s.p[i].f] = gi;
+      g.g[gi].f = s.p[i].f;
+      g.g[gi].np = 0;
+    } else {
+      gi = it->second;
+    }
+    brew_stencil_group& group = g.g[gi];
+    group.p[group.np].dx = s.p[i].dx;
+    group.p[group.np].dy = s.p[i].dy;
+    ++group.np;
+  }
+  return g;
+}
+
+Matrix::Matrix(int xs, int ys)
+    : xs_(xs), ys_(ys),
+      values_(static_cast<size_t>(xs) * static_cast<size_t>(ys), 0.0) {}
+
+void Matrix::fillDeterministic(uint64_t seed) {
+  Prng rng(seed);
+  for (double& v : values_) v = rng.uniform() * 2.0 - 1.0;
+}
+
+double Matrix::maxAbsDiff(const Matrix& a, const Matrix& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.values_.size(); ++i)
+    worst = std::max(worst, std::fabs(a.values_[i] - b.values_[i]));
+  return worst;
+}
+
+double Matrix::interiorChecksum() const {
+  double sum = 0.0;
+  for (int y = 1; y < ys_ - 1; ++y)
+    for (int x = 1; x < xs_ - 1; ++x) sum += at(x, y) * ((x + y) % 7 + 1);
+  return sum;
+}
+
+const Matrix& runIterations(Matrix& a, Matrix& b, int iterations,
+                            brew_stencil_fn fn, const brew_stencil& s) {
+  Matrix* src = &a;
+  Matrix* dst = &b;
+  for (int it = 0; it < iterations; ++it) {
+    brew_stencil_sweep(dst->data(), src->data(), src->xs(), src->ys(), fn,
+                       &s);
+    std::swap(src, dst);
+  }
+  return *src;
+}
+
+const Matrix& runIterationsGrouped(Matrix& a, Matrix& b, int iterations,
+                                   brew_gstencil_fn fn,
+                                   const brew_gstencil& s) {
+  Matrix* src = &a;
+  Matrix* dst = &b;
+  for (int it = 0; it < iterations; ++it) {
+    brew_stencil_sweep_grouped(dst->data(), src->data(), src->xs(), src->ys(),
+                               fn, &s);
+    std::swap(src, dst);
+  }
+  return *src;
+}
+
+const Matrix& runIterationsManualPtr(Matrix& a, Matrix& b, int iterations,
+                                     brew_manual_fn fn) {
+  Matrix* src = &a;
+  Matrix* dst = &b;
+  for (int it = 0; it < iterations; ++it) {
+    brew_stencil_sweep_manual_ptr(dst->data(), src->data(), src->xs(),
+                                  src->ys(), fn);
+    std::swap(src, dst);
+  }
+  return *src;
+}
+
+const Matrix& runIterationsManualFused(Matrix& a, Matrix& b, int iterations) {
+  Matrix* src = &a;
+  Matrix* dst = &b;
+  for (int it = 0; it < iterations; ++it) {
+    brew_stencil_sweep_manual_fused(dst->data(), src->data(), src->xs(),
+                                    src->ys());
+    std::swap(src, dst);
+  }
+  return *src;
+}
+
+}  // namespace brew::stencil

@@ -1,0 +1,87 @@
+/* The paper's §V workload: generic 2D stencil computation with the stencil
+ * given as a data structure (Fig. 4), its "grouped" variant (§V-B), and
+ * hand-specialized reference kernels.
+ *
+ * These are C functions in their own translation unit, compiled by the
+ * regular compiler at -O2: exactly the situation of a pre-compiled library
+ * whose source the rewriter never sees.
+ */
+#ifndef BREW_STENCIL_H_
+#define BREW_STENCIL_H_
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+enum { BREW_STENCIL_MAX_POINTS = 32, BREW_STENCIL_MAX_GROUPS = 8 };
+
+/* Fig. 4: struct P { double f; int dx, dy; }; struct S { int ps; P p[]; } */
+struct brew_stencil_point {
+  double f;
+  int dx, dy;
+};
+struct brew_stencil {
+  int ps;
+  struct brew_stencil_point p[BREW_STENCIL_MAX_POINTS];
+};
+
+/* §V-B grouped form: points sharing a coefficient form a group. */
+struct brew_stencil_gpoint {
+  int dx, dy;
+};
+struct brew_stencil_group {
+  double f;
+  int np;
+  struct brew_stencil_gpoint p[BREW_STENCIL_MAX_POINTS];
+};
+struct brew_gstencil {
+  int ng;
+  struct brew_stencil_group g[BREW_STENCIL_MAX_GROUPS];
+};
+
+/* Generic stencil application (paper Fig. 4 `apply`): value update for the
+ * cell at m, with xs the row stride of the matrix. */
+double brew_stencil_apply(const double* m, int xs,
+                          const struct brew_stencil* s);
+
+/* §V-B grouped generic version (one multiplication per group). */
+double brew_stencil_apply_grouped(const double* m, int xs,
+                                  const struct brew_gstencil* s);
+
+/* Hand-written 5-point kernel (the paper's manual comparison: average of
+ * the four neighbours minus the value itself). */
+double brew_stencil_apply_manual5(const double* m, int xs);
+
+/* Matrix sweep calling the cell update through a function pointer of the
+ * generic signature (the rewritten function is a drop-in here). Interior
+ * cells only: x,y in [1, xs-2] x [1, ys-2]. dst and src must not alias. */
+typedef double (*brew_stencil_fn)(const double* m, int xs,
+                                  const struct brew_stencil* s);
+void brew_stencil_sweep(double* dst, const double* src, int xs, int ys,
+                        brew_stencil_fn fn, const struct brew_stencil* s);
+
+typedef double (*brew_gstencil_fn)(const double* m, int xs,
+                                   const struct brew_gstencil* s);
+void brew_stencil_sweep_grouped(double* dst, const double* src, int xs,
+                                int ys, brew_gstencil_fn fn,
+                                const struct brew_gstencil* s);
+
+/* Sweep calling the manual kernel through a function pointer (the paper's
+ * 0.74 s configuration: no cross-call optimization possible). */
+typedef double (*brew_manual_fn)(const double* m, int xs);
+void brew_stencil_sweep_manual_ptr(double* dst, const double* src, int xs,
+                                   int ys, brew_manual_fn fn);
+
+/* Sweep with the manual kernel visible in the same translation unit (the
+ * paper's 0.48 s configuration: the compiler inlines and vectorizes across
+ * cell updates). */
+void brew_stencil_sweep_manual_fused(double* dst, const double* src, int xs,
+                                     int ys);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* BREW_STENCIL_H_ */

@@ -1,0 +1,44 @@
+#include "support/error.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace brew {
+
+const char* errorCodeName(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::Ok: return "Ok";
+    case ErrorCode::UndecodableInstruction: return "UndecodableInstruction";
+    case ErrorCode::UnsupportedInstruction: return "UnsupportedInstruction";
+    case ErrorCode::UnencodableInstruction: return "UnencodableInstruction";
+    case ErrorCode::IndirectUnknownJump: return "IndirectUnknownJump";
+    case ErrorCode::UnknownStackPointer: return "UnknownStackPointer";
+    case ErrorCode::WriteToKnownMemory: return "WriteToKnownMemory";
+    case ErrorCode::ShadowStackUnderflow: return "ShadowStackUnderflow";
+    case ErrorCode::SelfModifyingCode: return "SelfModifyingCode";
+    case ErrorCode::NonInlinableCall: return "NonInlinableCall";
+    case ErrorCode::CodeBufferFull: return "CodeBufferFull";
+    case ErrorCode::VariantLimit: return "VariantLimit";
+    case ErrorCode::TraceStepLimit: return "TraceStepLimit";
+    case ErrorCode::InlineDepthLimit: return "InlineDepthLimit";
+    case ErrorCode::InvalidArgument: return "InvalidArgument";
+    case ErrorCode::InvalidConfiguration: return "InvalidConfiguration";
+  }
+  return "UnknownError";
+}
+
+std::string Error::message() const {
+  char buf[64];
+  std::string out = errorCodeName(code);
+  if (address != 0) {
+    std::snprintf(buf, sizeof buf, " at 0x%" PRIx64, address);
+    out += buf;
+  }
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+}  // namespace brew

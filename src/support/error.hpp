@@ -1,0 +1,90 @@
+// Error and Result types shared by all BREW subsystems.
+//
+// Rewriting is expected to fail on arbitrary input code (undecodable bytes,
+// unsupported operations, resource limits) and the paper requires that this
+// is never catastrophic: the caller falls back to the original function.
+// Everything fallible therefore returns Result<T> instead of throwing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace brew {
+
+enum class ErrorCode : int {
+  Ok = 0,
+  // Decoding / ISA coverage
+  UndecodableInstruction,   // byte sequence not in the supported x86-64 subset
+  UnsupportedInstruction,   // decoded, but tracing semantics not implemented
+  UnencodableInstruction,   // residual instruction has no supported encoding
+  // Tracing
+  IndirectUnknownJump,      // jump/call target value is unknown at trace time
+  UnknownStackPointer,      // rsp escaped symbolic tracking
+  WriteToKnownMemory,       // store into a region declared constant
+  ShadowStackUnderflow,     // ret without a traced call (outside entry frame)
+  SelfModifyingCode,        // store into the region being traced
+  NonInlinableCall,         // call kept, but its effects cannot be modelled
+  // Resource limits (all configurable)
+  CodeBufferFull,
+  VariantLimit,             // too many block variants and no migration found
+  TraceStepLimit,           // runaway trace (e.g. unrolling an endless loop)
+  InlineDepthLimit,
+  // API misuse
+  InvalidArgument,
+  InvalidConfiguration,
+};
+
+const char* errorCodeName(ErrorCode c) noexcept;
+
+// An error with the code location (guest address) where it was detected.
+struct Error {
+  ErrorCode code = ErrorCode::Ok;
+  uint64_t address = 0;     // guest instruction address, 0 if n/a
+  std::string detail;       // optional human-readable context
+
+  std::string message() const;
+};
+
+// Minimal expected<T, Error>. (std::expected is C++23; we target C++20.)
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & { return std::get<T>(storage_); }
+  const T& value() const& { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  const Error& error() const { return std::get<Error>(storage_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}        // NOLINT(implicit)
+  static Status okStatus() { return Status(); }
+
+  bool ok() const noexcept { return error_.code == ErrorCode::Ok; }
+  explicit operator bool() const noexcept { return ok(); }
+  const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;
+};
+
+}  // namespace brew

@@ -1,0 +1,75 @@
+#include "support/exec_memory.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace brew {
+
+namespace {
+size_t roundUpToPage(size_t size) {
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return (size + page - 1) / page * page;
+}
+}  // namespace
+
+ExecMemory::~ExecMemory() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+ExecMemory::ExecMemory(ExecMemory&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      executable_(std::exchange(other.executable_, false)) {}
+
+ExecMemory& ExecMemory::operator=(ExecMemory&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    executable_ = std::exchange(other.executable_, false);
+  }
+  return *this;
+}
+
+Result<ExecMemory> ExecMemory::allocate(size_t size) {
+  if (size == 0)
+    return Error{ErrorCode::InvalidArgument, 0, "zero-size code region"};
+  const size_t bytes = roundUpToPage(size);
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED)
+    return Error{ErrorCode::CodeBufferFull, 0,
+                 std::string("mmap: ") + std::strerror(errno)};
+  ExecMemory mem;
+  mem.base_ = p;
+  mem.size_ = bytes;
+  return mem;
+}
+
+Status ExecMemory::finalize() {
+  if (base_ == nullptr)
+    return Error{ErrorCode::InvalidArgument, 0, "finalize of empty region"};
+  if (::mprotect(base_, size_, PROT_READ | PROT_EXEC) != 0)
+    return Error{ErrorCode::CodeBufferFull, 0,
+                 std::string("mprotect: ") + std::strerror(errno)};
+  executable_ = true;
+  __builtin___clear_cache(static_cast<char*>(base_),
+                          static_cast<char*>(base_) + size_);
+  return Status::okStatus();
+}
+
+Status ExecMemory::makeWritable() {
+  if (base_ == nullptr)
+    return Error{ErrorCode::InvalidArgument, 0, "makeWritable of empty region"};
+  if (::mprotect(base_, size_, PROT_READ | PROT_WRITE) != 0)
+    return Error{ErrorCode::CodeBufferFull, 0,
+                 std::string("mprotect: ") + std::strerror(errno)};
+  executable_ = false;
+  return Status::okStatus();
+}
+
+}  // namespace brew

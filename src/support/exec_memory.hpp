@@ -1,0 +1,59 @@
+// RAII executable memory for generated code.
+//
+// Follows a W^X discipline: a region is writable while code is being
+// emitted into it and is switched to read+execute by finalize(). The
+// region is never writable and executable at the same time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "support/error.hpp"
+
+namespace brew {
+
+class ExecMemory {
+ public:
+  ExecMemory() = default;
+  ~ExecMemory();
+
+  ExecMemory(const ExecMemory&) = delete;
+  ExecMemory& operator=(const ExecMemory&) = delete;
+  ExecMemory(ExecMemory&& other) noexcept;
+  ExecMemory& operator=(ExecMemory&& other) noexcept;
+
+  // Maps at least `size` bytes read+write (rounded up to page size).
+  static Result<ExecMemory> allocate(size_t size);
+
+  // Switches the mapping to read+execute. Emitting after this is invalid.
+  Status finalize();
+  // Switches back to read+write (e.g. to patch and re-finalize).
+  Status makeWritable();
+
+  uint8_t* data() noexcept { return static_cast<uint8_t*>(base_); }
+  const uint8_t* data() const noexcept {
+    return static_cast<const uint8_t*>(base_);
+  }
+  size_t size() const noexcept { return size_; }
+  bool executable() const noexcept { return executable_; }
+  bool valid() const noexcept { return base_ != nullptr; }
+
+  std::span<uint8_t> writableBytes() {
+    return executable_ ? std::span<uint8_t>{} : std::span{data(), size_};
+  }
+
+  // Entry point helper: reinterpret the start of the region as a function.
+  template <typename Fn>
+  Fn entry(size_t offset = 0) const {
+    return reinterpret_cast<Fn>(
+        reinterpret_cast<uintptr_t>(data()) + offset);
+  }
+
+ private:
+  void* base_ = nullptr;
+  size_t size_ = 0;
+  bool executable_ = false;
+};
+
+}  // namespace brew

@@ -1,0 +1,35 @@
+#include "support/hexdump.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace brew {
+
+std::string hexBytes(std::span<const uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  char buf[4];
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", bytes[i]);
+    if (i != 0) out += ' ';
+    out += buf;
+  }
+  return out;
+}
+
+std::string hexDump(std::span<const uint8_t> bytes, uint64_t base) {
+  std::string out;
+  char buf[32];
+  for (size_t line = 0; line < bytes.size(); line += 16) {
+    std::snprintf(buf, sizeof buf, "%012" PRIx64 "  ", base + line);
+    out += buf;
+    for (size_t i = line; i < line + 16 && i < bytes.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%02x ", bytes[i]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace brew

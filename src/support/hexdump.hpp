@@ -1,0 +1,16 @@
+// Formatting helpers for byte ranges (disassembly listings, test failures).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace brew {
+
+// "48 89 f8" style, no trailing space.
+std::string hexBytes(std::span<const uint8_t> bytes);
+
+// Classic 16-bytes-per-line dump with addresses starting at `base`.
+std::string hexDump(std::span<const uint8_t> bytes, uint64_t base = 0);
+
+}  // namespace brew

@@ -1,0 +1,41 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace brew {
+
+namespace {
+LogLevel initialLevel() {
+  if (const char* env = std::getenv("BREW_LOG")) {
+    const int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::None;
+}
+LogLevel g_level = initialLevel();
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "[brew:error] ";
+    case LogLevel::Info: return "[brew:info]  ";
+    case LogLevel::Trace: return "[brew:trace] ";
+    default: return "[brew] ";
+  }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level = level; }
+LogLevel logLevel() noexcept { return g_level; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fputs(prefix(level), stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace brew

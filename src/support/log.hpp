@@ -1,0 +1,22 @@
+// Tiny leveled logger. Rewriting is performance-sensitive library code, so
+// logging is off by default and controlled by BREW_LOG (0..3) or setLogLevel.
+#pragma once
+
+#include <cstdarg>
+
+namespace brew {
+
+enum class LogLevel : int { None = 0, Error = 1, Info = 2, Trace = 3 };
+
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+// printf-style; cheap no-op when the level is disabled.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define BREW_LOG_ERROR(...) ::brew::logf(::brew::LogLevel::Error, __VA_ARGS__)
+#define BREW_LOG_INFO(...) ::brew::logf(::brew::LogLevel::Info, __VA_ARGS__)
+#define BREW_LOG_TRACE(...) ::brew::logf(::brew::LogLevel::Trace, __VA_ARGS__)
+
+}  // namespace brew

@@ -1,0 +1,65 @@
+#include "support/memory_map.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace brew {
+
+namespace {
+
+struct Range {
+  uint64_t start, end;
+  bool readOnly;
+};
+
+std::mutex g_mutex;
+std::vector<Range> g_ranges;
+bool g_loaded = false;
+
+void load() {
+  g_ranges.clear();
+  std::FILE* maps = std::fopen("/proc/self/maps", "r");
+  if (maps == nullptr) return;
+  char line[512];
+  while (std::fgets(line, sizeof line, maps) != nullptr) {
+    uint64_t start = 0, end = 0;
+    char perms[8] = {};
+    if (std::sscanf(line, "%" SCNx64 "-%" SCNx64 " %7s", &start, &end,
+                    perms) != 3)
+      continue;
+    g_ranges.push_back({start, end, perms[0] == 'r' && perms[1] == '-'});
+  }
+  std::fclose(maps);
+  g_loaded = true;
+}
+
+// 1 = read-only, 0 = mapped but writable/other, -1 = not in any mapping.
+int classify(uint64_t addr, size_t size) {
+  for (const Range& r : g_ranges)
+    if (addr >= r.start && addr + size <= r.end) return r.readOnly ? 1 : 0;
+  return -1;
+}
+
+}  // namespace
+
+bool isReadOnlyMapping(uint64_t addr, size_t size) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_loaded) load();
+  int cls = classify(addr, size);
+  if (cls < 0) {
+    // The mapping may be newer than the cache (e.g. a just-finalized code
+    // buffer whose literal pool is being re-traced): reload once.
+    load();
+    cls = classify(addr, size);
+  }
+  return cls == 1;
+}
+
+void invalidateMemoryMapCache() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_loaded = false;
+}
+
+}  // namespace brew

@@ -1,0 +1,21 @@
+// Process memory-map queries (/proc/self/maps).
+//
+// The rewriter folds loads from read-only mappings (.rodata, compiler
+// float constants) into its literal pool: such memory cannot change
+// between trace time and execution, so the fold is sound. The map is
+// parsed once and cached; refresh() re-reads it (tests, dlopen).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace brew {
+
+// True if [addr, addr+size) lies entirely in a mapping that is readable
+// and not writable.
+bool isReadOnlyMapping(uint64_t addr, size_t size);
+
+// Re-parse /proc/self/maps on the next query.
+void invalidateMemoryMapCache();
+
+}  // namespace brew

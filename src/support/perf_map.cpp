@@ -1,0 +1,37 @@
+#include "support/perf_map.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace brew {
+
+namespace {
+bool initialEnabled() {
+  const char* env = std::getenv("BREW_PERF_MAP");
+  return env != nullptr && env[0] == '1';
+}
+bool g_enabled = initialEnabled();
+std::mutex g_mutex;
+}  // namespace
+
+bool perfMapEnabled() noexcept { return g_enabled; }
+void setPerfMap(bool enabled) noexcept { g_enabled = enabled; }
+
+void perfMapRegister(const void* code, size_t size, const char* name) {
+  if (!g_enabled || code == nullptr || size == 0) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  char path[64];
+  std::snprintf(path, sizeof path, "/tmp/perf-%d.map",
+                static_cast<int>(::getpid()));
+  std::FILE* map = std::fopen(path, "a");
+  if (map == nullptr) return;
+  std::fprintf(map, "%" PRIxPTR " %zx %s\n",
+               reinterpret_cast<uintptr_t>(code), size, name);
+  std::fclose(map);
+}
+
+}  // namespace brew

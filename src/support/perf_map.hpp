@@ -1,0 +1,23 @@
+// Linux `perf` JIT interface: appends "<start> <size> <name>" lines to
+// /tmp/perf-<pid>.map so profilers attribute samples inside generated code
+// to readable symbols instead of "[unknown]". The paper (§VIII) raises
+// debugging/tooling support for rewritten code as an open issue; this is
+// the profiling half of the answer.
+//
+// Off by default; enabled by setPerfMap(true) or the BREW_PERF_MAP=1
+// environment variable.
+#pragma once
+
+#include <cstddef>
+
+namespace brew {
+
+bool perfMapEnabled() noexcept;
+void setPerfMap(bool enabled) noexcept;
+
+// Registers one generated-code region. Safe to call from multiple threads;
+// silently does nothing when disabled or when the map file cannot be
+// opened.
+void perfMapRegister(const void* code, size_t size, const char* name);
+
+}  // namespace brew

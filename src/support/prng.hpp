@@ -1,0 +1,57 @@
+// Deterministic PRNG for tests and workload generators (splitmix64 /
+// xoshiro256**). Reproducibility across runs matters more than quality here,
+// and <random> distributions are not stable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace brew {
+
+inline uint64_t splitmix64(uint64_t& state) noexcept {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed = 0x5eed) noexcept {
+    for (auto& word : s_) word = splitmix64(seed);
+  }
+
+  uint64_t next() noexcept {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Bias is negligible for test-sized bounds.
+  uint64_t below(uint64_t bound) noexcept { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) noexcept {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace brew

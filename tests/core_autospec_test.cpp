@@ -1,0 +1,130 @@
+// Profile-guided automatic specialization (§III-D): sampling through the
+// proxy, hot-value selection, transparent upgrade to guarded dispatch.
+#include <gtest/gtest.h>
+
+#include "core/autospec.hpp"
+#include "jit/assembler.hpp"
+
+namespace brew {
+namespace {
+
+using isa::Mnemonic;
+using isa::Reg;
+
+// f(mode, x) = mode * 1000 + x, built deterministically.
+ExecMemory buildKernel() {
+  jit::Assembler as;
+  as.emit(isa::makeInstr(Mnemonic::Imul, 8, isa::Operand::makeReg(Reg::rax),
+                         isa::Operand::makeReg(Reg::rdi),
+                         isa::Operand::makeImm(1000)));
+  as.aluRegReg(Mnemonic::Add, Reg::rax, Reg::rsi);
+  as.ret();
+  auto mem = as.finalizeExecutable();
+  EXPECT_TRUE(mem.ok());
+  return std::move(*mem);
+}
+
+using kernel_t = int64_t (*)(int64_t, int64_t);
+
+TEST(AutoSpec, SamplesThenSpecializes) {
+  ExecMemory kernel = buildKernel();
+  AutoSpecializer::Options options;
+  options.sampleCalls = 50;
+  options.maxVariants = 2;
+  options.minShare = 0.2;
+  AutoSpecializer spec(kernel.data(), 0,
+                       {ArgValue::fromInt(0), ArgValue::fromInt(0)},
+                       Config{}, options);
+  auto fn = spec.as<kernel_t>();
+
+  // Sampling phase: behavior identical to the original.
+  for (int i = 0; i < 49; ++i) {
+    const int64_t mode = (i % 10 < 7) ? 3 : 8;  // 70% mode 3, 30% mode 8
+    ASSERT_EQ(fn(mode, i), mode * 1000 + i);
+  }
+  EXPECT_FALSE(spec.specialized());
+  EXPECT_EQ(spec.observedCalls(), 49u);
+
+  // 50th call trips the decision.
+  ASSERT_EQ(fn(3, 7), 3007);
+  EXPECT_TRUE(spec.specialized());
+  EXPECT_EQ(spec.variantCount(), 2u);
+
+  // Dispatching phase: hot values hit specialized variants, everything
+  // still computes correctly (including cold values via the original).
+  EXPECT_EQ(fn(3, 11), 3011);
+  EXPECT_EQ(fn(8, 11), 8011);
+  EXPECT_EQ(fn(5, 11), 5011);
+  EXPECT_EQ(spec.histogram().at(3), 36u);  // 35 in the loop + the tripping call
+}
+
+TEST(AutoSpec, MinShareFiltersColdValues) {
+  ExecMemory kernel = buildKernel();
+  AutoSpecializer::Options options;
+  options.sampleCalls = 100;
+  options.maxVariants = 8;
+  options.minShare = 0.5;  // only a strict majority value qualifies
+  AutoSpecializer spec(kernel.data(), 0,
+                       {ArgValue::fromInt(0), ArgValue::fromInt(0)},
+                       Config{}, options);
+  auto fn = spec.as<kernel_t>();
+  for (int i = 0; i < 100; ++i) fn(i % 4, i);  // 25% each: nothing hot
+  EXPECT_TRUE(spec.specialized());
+  EXPECT_EQ(spec.variantCount(), 0u);
+  // Entry now forwards straight to the original.
+  EXPECT_EQ(fn(2, 5), 2005);
+}
+
+TEST(AutoSpec, ManualFinalize) {
+  ExecMemory kernel = buildKernel();
+  AutoSpecializer::Options options;
+  options.sampleCalls = 1000000;  // would never trip on its own
+  options.minShare = 0.5;
+  AutoSpecializer spec(kernel.data(), 0,
+                       {ArgValue::fromInt(0), ArgValue::fromInt(0)},
+                       Config{}, options);
+  auto fn = spec.as<kernel_t>();
+  for (int i = 0; i < 10; ++i) fn(42, i);
+  spec.finalize();
+  EXPECT_TRUE(spec.specialized());
+  EXPECT_EQ(spec.variantCount(), 1u);
+  EXPECT_EQ(fn(42, 1), 42001);
+  EXPECT_EQ(fn(7, 1), 7001);
+  // Sampling stopped: histogram frozen.
+  const auto calls = spec.observedCalls();
+  fn(42, 2);
+  EXPECT_EQ(spec.observedCalls(), calls);
+}
+
+TEST(AutoSpec, FloatArgumentsSurviveSampling) {
+  // g(mode, x) = x * 2.0 + mode — double argument must survive the
+  // sampling proxy's register juggling.
+  jit::Assembler as;
+  as.emit(isa::makeInstr(Mnemonic::Addsd, 8, isa::Operand::makeReg(Reg::xmm0),
+                         isa::Operand::makeReg(Reg::xmm0)));
+  as.emit(isa::makeInstr(Mnemonic::Cvtsi2sd, 8,
+                         isa::Operand::makeReg(Reg::xmm1),
+                         isa::Operand::makeReg(Reg::rdi)));
+  as.emit(isa::makeInstr(Mnemonic::Addsd, 8, isa::Operand::makeReg(Reg::xmm0),
+                         isa::Operand::makeReg(Reg::xmm1)));
+  as.ret();
+  {
+    // srcWidth for cvtsi2sd defaults to 0 in makeInstr; patch it.
+  }
+  auto mem = as.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+
+  using g_t = double (*)(int64_t, double);
+  AutoSpecializer::Options options;
+  options.sampleCalls = 8;
+  AutoSpecializer spec(mem->data(), 0,
+                       {ArgValue::fromInt(0), ArgValue::fromDouble(0.0)},
+                       Config{}, options);
+  auto fn = spec.as<g_t>();
+  for (int i = 0; i < 20; ++i)
+    ASSERT_DOUBLE_EQ(fn(5, 1.25), 1.25 * 2 + 5) << "call " << i;
+  EXPECT_TRUE(spec.specialized());
+}
+
+}  // namespace
+}  // namespace brew

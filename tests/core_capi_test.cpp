@@ -1,0 +1,156 @@
+// C API tests — the paper's interface (Figures 2, 3, 5) end to end.
+#include <gtest/gtest.h>
+
+#include "core/brew.h"
+#include "stencil/stencil.hpp"
+
+namespace {
+
+__attribute__((noinline)) int addmul(int a, int b) { return a * 7 + b; }
+typedef int (*addmul_t)(int, int);
+
+__attribute__((noinline)) double scale(double x, double factor) {
+  return x * factor;
+}
+typedef double (*scale_t)(double, double);
+
+TEST(CApi, Figure2BasicUsage) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setret(conf, BREW_RET_INT);
+  void* newfunc =
+      brew_rewrite(conf, (void*)addmul, (uint64_t)1, (uint64_t)2);
+  ASSERT_NE(newfunc, nullptr) << brew_lastError(conf);
+  EXPECT_EQ(((addmul_t)newfunc)(1, 2), addmul(1, 2));
+  EXPECT_EQ(((addmul_t)newfunc)(-3, 10), addmul(-3, 10));
+  brew_release(newfunc);
+  brew_freeConf(conf);
+}
+
+TEST(CApi, Figure3KnownParameterIgnoredAtCallTime) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+  addmul_t newfunc =
+      (addmul_t)brew_rewrite(conf, (void*)addmul, (uint64_t)42, (uint64_t)2);
+  ASSERT_NE(newfunc, nullptr) << brew_lastError(conf);
+  // "ignores value 1"
+  EXPECT_EQ(newfunc(1, 2), 42 * 7 + 2);
+  EXPECT_EQ(newfunc(999, 5), 42 * 7 + 5);
+  brew_release((void*)newfunc);
+  brew_freeConf(conf);
+}
+
+TEST(CApi, DoubleParameters) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar_double(conf, 1, BREW_UNKNOWN);
+  brew_setpar_double(conf, 2, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_DOUBLE);
+  scale_t scaled =
+      (scale_t)brew_rewrite(conf, (void*)scale, 0.0, 2.5);
+  ASSERT_NE(scaled, nullptr) << brew_lastError(conf);
+  EXPECT_DOUBLE_EQ(scaled(4.0, 999.0), 10.0);  // factor fixed at 2.5
+  brew_release((void*)scaled);
+  brew_freeConf(conf);
+}
+
+TEST(CApi, Figure5StencilSpecialization) {
+  const brew_stencil s = brew::stencil::fivePoint();
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 3);
+  brew_setpar(conf, 2, BREW_KNOWN);        // xs
+  brew_setpar_ptr(conf, 3, sizeof s);      // BREW_PTR_TOKNOWN
+  brew_setret(conf, BREW_RET_DOUBLE);
+  brew_stencil_fn app2 = (brew_stencil_fn)brew_rewrite(
+      conf, (void*)brew_stencil_apply, (uint64_t)0, (uint64_t)64,
+      (uint64_t)&s);
+  ASSERT_NE(app2, nullptr) << brew_lastError(conf);
+
+  brew::stencil::Matrix m(64, 32);
+  m.fillDeterministic();
+  for (int y = 1; y < 31; ++y)
+    for (int x = 1; x < 63; ++x) {
+      const double* cell = m.data() + y * 64 + x;
+      ASSERT_DOUBLE_EQ(app2(cell, 64, &s),
+                       brew_stencil_apply(cell, 64, &s));
+    }
+  brew_stats stats;
+  brew_getstats(conf, &stats);
+  EXPECT_GT(stats.elided_instructions, 10u);
+  EXPECT_GT(stats.code_bytes, 0u);
+  brew_release((void*)app2);
+  brew_freeConf(conf);
+}
+
+TEST(CApi, SetmemDeclaresConstantData) {
+  static int64_t table[4] = {5, 10, 15, 20};
+  // lookup(i) through a compiled helper using the table via a pointer.
+  struct Helpers {
+    static int64_t lookup(const int64_t* t, long i) { return t[i]; }
+  };
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);  // table pointer fixed
+  brew_setpar(conf, 2, BREW_KNOWN);  // index fixed
+  brew_setmem(conf, table, table + 4, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+  using lookup_t = int64_t (*)(const int64_t*, long);
+  lookup_t fn = (lookup_t)brew_rewrite(conf, (void*)&Helpers::lookup,
+                                       (uint64_t)table, (uint64_t)2);
+  ASSERT_NE(fn, nullptr) << brew_lastError(conf);
+  EXPECT_EQ(fn(nullptr, 0), 15);
+  brew_release((void*)fn);
+  brew_freeConf(conf);
+}
+
+TEST(CApi, FailureReportsMessage) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 0);
+  static const uint8_t bogus[] = {0x0f, 0xa2, 0xc3};  // cpuid; ret
+  void* result = brew_rewrite(conf, (const void*)bogus);
+  EXPECT_EQ(result, nullptr);
+  EXPECT_NE(std::string(brew_lastError(conf)).find("Undecodable"),
+            std::string::npos);
+  brew_freeConf(conf);
+}
+
+TEST(CApi, NullSafety) {
+  EXPECT_EQ(brew_rewrite(nullptr, (void*)addmul), nullptr);
+  brew_conf* conf = brew_initConf();
+  EXPECT_EQ(brew_rewrite(conf, nullptr), nullptr);
+  brew_release(nullptr);           // no-op
+  brew_setpar(nullptr, 1, BREW_KNOWN);
+  brew_setpar(conf, 0, BREW_KNOWN);   // out of range: ignored
+  brew_setpar(conf, 99, BREW_KNOWN);  // out of range: ignored
+  brew_freeConf(conf);
+  brew_freeConf(nullptr);
+}
+
+TEST(CApi, NoUnrollFlag) {
+  // Sum loop with known bound: NOUNROLL keeps it a loop.
+  struct Helpers {
+    static __attribute__((noinline)) int64_t sum(int64_t n) {
+      int64_t s = 0;
+      for (int64_t i = 1; i <= n; i++) s += i;
+      return s;
+    }
+  };
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 1);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+  brew_setfn(conf, (void*)&Helpers::sum, BREW_FN_NOUNROLL);
+  using sum_t = int64_t (*)(int64_t);
+  sum_t fn = (sum_t)brew_rewrite(conf, (void*)&Helpers::sum, (uint64_t)50);
+  ASSERT_NE(fn, nullptr) << brew_lastError(conf);
+  EXPECT_EQ(fn(0), 50 * 51 / 2);
+  brew_stats stats;
+  brew_getstats(conf, &stats);
+  EXPECT_LT(stats.code_bytes, 512u);  // loop kept, not 50x unrolled
+  brew_release((void*)fn);
+  brew_freeConf(conf);
+}
+
+}  // namespace

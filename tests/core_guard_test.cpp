@@ -1,0 +1,122 @@
+// Guarded dispatch (§III-D): profile-style specialization with a runtime
+// value check in front of the specialized variants.
+#include <gtest/gtest.h>
+
+#include "core/guard.hpp"
+#include "jit/assembler.hpp"
+
+namespace brew {
+namespace {
+
+using isa::Mnemonic;
+using isa::Reg;
+
+int64_t g_originalCalls = 0;
+
+__attribute__((noinline)) int64_t kernel(int64_t mode, int64_t x) {
+  ++g_originalCalls;  // lets tests observe fallback dispatches
+  switch (mode) {
+    case 1: return x * 3;
+    case 2: return x + 100;
+    default: return -x;
+  }
+}
+using kernel_t = int64_t (*)(int64_t, int64_t);
+
+TEST(Guard, DispatchesToVariants) {
+  // The kernel's counter update would be specialized away only if the
+  // counter address were declared constant — it is not, so the variants
+  // still bump it. Use a pure assembler kernel instead for exactness.
+  jit::Assembler as;
+  // f(mode, x) = mode * 1000 + x
+  as.emit(isa::makeInstr(Mnemonic::Imul, 8, isa::Operand::makeReg(Reg::rax),
+                         isa::Operand::makeReg(Reg::rdi),
+                         isa::Operand::makeImm(1000)));
+  as.aluRegReg(Mnemonic::Add, Reg::rax, Reg::rsi);
+  as.ret();
+  auto mem = as.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+
+  Rewriter rewriter{Config{}};
+  const ArgValue args[] = {ArgValue::fromInt(0), ArgValue::fromInt(0)};
+  const uint64_t guards[] = {1, 2, 7};
+  auto guarded = rewriteGuarded(rewriter, mem->data(), args,
+                                /*paramIndex=*/0, guards);
+  ASSERT_TRUE(guarded.ok()) << guarded.error().message();
+  EXPECT_EQ(guarded->variants.size(), 3u);
+
+  auto fn = guarded->as<kernel_t>();
+  // Guarded values dispatch to specialized variants...
+  EXPECT_EQ(fn(1, 5), 1005);
+  EXPECT_EQ(fn(2, 5), 2005);
+  EXPECT_EQ(fn(7, 5), 7005);
+  // ...unguarded values reach the original code.
+  EXPECT_EQ(fn(3, 5), 3005);
+  EXPECT_EQ(fn(-4, 5), -3995);
+}
+
+TEST(Guard, FallbackToOriginalObserved) {
+  Rewriter rewriter{Config{}};
+  const ArgValue args[] = {ArgValue::fromInt(0), ArgValue::fromInt(0)};
+  const uint64_t guards[] = {1};
+  auto guarded = rewriteGuarded(rewriter, reinterpret_cast<void*>(&kernel),
+                                args, 0, guards);
+  ASSERT_TRUE(guarded.ok()) << guarded.error().message();
+  auto fn = guarded->as<kernel_t>();
+
+  // mode 2 is unguarded: must go through the original (counter bumps).
+  g_originalCalls = 0;
+  EXPECT_EQ(fn(2, 5), 105);
+  EXPECT_EQ(g_originalCalls, 1);
+  EXPECT_EQ(fn(9, 5), -5);
+  EXPECT_EQ(g_originalCalls, 2);
+}
+
+TEST(Guard, LargeGuardValues) {
+  jit::Assembler as;
+  as.movRegReg(Reg::rax, Reg::rdi);
+  as.ret();
+  auto mem = as.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+
+  const GuardCase cases[] = {
+      {0x123456789ABCDEFull, mem->data()},
+  };
+  auto dispatch = GuardedDispatch::build(mem->data(), 0, cases);
+  ASSERT_TRUE(dispatch.ok()) << dispatch.error().message();
+  auto fn = dispatch->as<uint64_t (*)(uint64_t)>();
+  EXPECT_EQ(fn(0x123456789ABCDEFull), 0x123456789ABCDEFull);
+  EXPECT_EQ(fn(42), 42u);  // falls through to the (identity) original
+}
+
+TEST(Guard, SecondIntegerParameter) {
+  jit::Assembler as;
+  // f(a, b) = a - b
+  as.movRegReg(Reg::rax, Reg::rdi);
+  as.aluRegReg(Mnemonic::Sub, Reg::rax, Reg::rsi);
+  as.ret();
+  auto mem = as.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+
+  Rewriter rewriter{Config{}};
+  const ArgValue args[] = {ArgValue::fromInt(0), ArgValue::fromInt(0)};
+  const uint64_t guards[] = {10};
+  auto guarded = rewriteGuarded(rewriter, mem->data(), args, 1, guards);
+  ASSERT_TRUE(guarded.ok()) << guarded.error().message();
+  auto fn = guarded->as<int64_t (*)(int64_t, int64_t)>();
+  EXPECT_EQ(fn(50, 10), 40);   // specialized (b baked as 10)
+  EXPECT_EQ(fn(50, 20), 30);   // original
+}
+
+TEST(Guard, InvalidParameterRejected) {
+  Rewriter rewriter{Config{}};
+  const ArgValue args[] = {ArgValue::fromDouble(1.0)};
+  const uint64_t guards[] = {1};
+  auto guarded = rewriteGuarded(rewriter, reinterpret_cast<void*>(&kernel),
+                                args, 0, guards);
+  ASSERT_FALSE(guarded.ok());
+  EXPECT_EQ(guarded.error().code, ErrorCode::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace brew

@@ -1,0 +1,164 @@
+// Instrumentation injection unit tests (§III-D): handler call counts,
+// argument correctness, state transparency and nesting with other rewriter
+// features.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rewriter.hpp"
+#include "jit/assembler.hpp"
+
+namespace brew {
+namespace {
+
+using isa::Cond;
+using isa::makeInstr;
+using isa::MemOperand;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+using jit::Assembler;
+
+struct Trace {
+  std::vector<uint64_t> entries;
+  std::vector<uint64_t> exits;
+  std::vector<uint64_t> loads;
+  std::vector<uint64_t> stores;
+};
+Trace g_trace;
+
+void onEntry(uint64_t a) { g_trace.entries.push_back(a); }
+void onExit(uint64_t a) { g_trace.exits.push_back(a); }
+void onLoad(uint64_t a) { g_trace.loads.push_back(a); }
+void onStore(uint64_t a) { g_trace.stores.push_back(a); }
+
+ExecMemory buildOrDie(Assembler& assembler) {
+  auto mem = assembler.finalizeExecutable();
+  EXPECT_TRUE(mem.ok()) << (mem.ok() ? "" : mem.error().message());
+  return std::move(*mem);
+}
+
+TEST(Injection, EntryExitFireOncePerCall) {
+  Assembler as;
+  as.movRegReg(Reg::rax, Reg::rdi);
+  as.ret();
+  ExecMemory fn = buildOrDie(as);
+
+  Config config;
+  config.injection().onEntry = &onEntry;
+  config.injection().onExit = &onExit;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 0);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto identity = rewritten->as<uint64_t (*)(uint64_t)>();
+
+  g_trace = {};
+  EXPECT_EQ(identity(41), 41u);
+  EXPECT_EQ(identity(42), 42u);
+  ASSERT_EQ(g_trace.entries.size(), 2u);
+  ASSERT_EQ(g_trace.exits.size(), 2u);
+  // Handlers receive the guest (original) function address.
+  EXPECT_EQ(g_trace.entries[0], reinterpret_cast<uint64_t>(fn.data()));
+}
+
+TEST(Injection, LoadAndStoreAddressesReported) {
+  Assembler as;
+  const uint32_t loadOff = as.currentOffset();
+  as.movRegMem(Reg::rax, MemOperand{.base = Reg::rdi}, 8);
+  as.aluRegImm(Mnemonic::Add, Reg::rax, 1, 8);
+  const uint32_t storeOff = as.currentOffset();
+  as.movMemReg(MemOperand{.base = Reg::rsi}, Reg::rax, 8);
+  as.ret();
+  ExecMemory fn = buildOrDie(as);
+  const uint64_t base = reinterpret_cast<uint64_t>(fn.data());
+
+  Config config;
+  config.injection().onLoad = &onLoad;
+  config.injection().onStore = &onStore;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), nullptr, nullptr);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+
+  g_trace = {};
+  int64_t in = 9, out = 0;
+  rewritten->as<void (*)(const int64_t*, int64_t*)>()(&in, &out);
+  EXPECT_EQ(out, 10);
+  ASSERT_EQ(g_trace.loads.size(), 1u);
+  ASSERT_EQ(g_trace.stores.size(), 1u);
+  // The reported addresses are the guest instruction addresses.
+  EXPECT_EQ(g_trace.loads[0], base + loadOff);
+  EXPECT_EQ(g_trace.stores[0], base + storeOff);
+}
+
+TEST(Injection, StackTrafficNotReported) {
+  // push/pop bookkeeping is not data-memory traffic.
+  Assembler as;
+  as.emit(makeInstr(Mnemonic::Push, 8, Operand::makeReg(Reg::rbx)));
+  as.movRegReg(Reg::rbx, Reg::rdi);
+  as.movRegReg(Reg::rax, Reg::rbx);
+  as.emit(makeInstr(Mnemonic::Pop, 8, Operand::makeReg(Reg::rbx)));
+  as.ret();
+  ExecMemory fn = buildOrDie(as);
+
+  Config config;
+  config.injection().onLoad = &onLoad;
+  config.injection().onStore = &onStore;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 0);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  g_trace = {};
+  EXPECT_EQ(rewritten->as<uint64_t (*)(uint64_t)>()(5), 5u);
+  EXPECT_TRUE(g_trace.loads.empty());
+  EXPECT_TRUE(g_trace.stores.empty());
+}
+
+TEST(Injection, HandlersPreserveFlagsAndRegisters) {
+  // A handler between a captured cmp and its jcc must not disturb flags.
+  Assembler as;
+  jit::Label less = as.newLabel();
+  as.aluRegReg(Mnemonic::Cmp, Reg::rdi, Reg::rsi);
+  as.movRegMem(Reg::rcx, MemOperand{.base = Reg::rdx}, 8);  // injected load
+  as.jcc(Cond::L, less);
+  as.movRegImm(Reg::rax, 2);
+  as.ret();
+  as.bind(less);
+  as.movRegImm(Reg::rax, 1);
+  as.ret();
+  ExecMemory fn = buildOrDie(as);
+
+  Config config;
+  config.injection().onLoad = &onLoad;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 0, 0, nullptr);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto cmp = rewritten->as<int64_t (*)(int64_t, int64_t, const int64_t*)>();
+  int64_t dummy = 0;
+  g_trace = {};
+  EXPECT_EQ(cmp(1, 2, &dummy), 1);
+  EXPECT_EQ(cmp(2, 1, &dummy), 2);
+  EXPECT_EQ(cmp(-5, -5, &dummy), 2);
+  EXPECT_EQ(g_trace.loads.size(), 3u);
+}
+
+TEST(Injection, FoldedLoadsAreNotReported) {
+  // A load from declared-constant memory folds away — no handler call, as
+  // the generated code performs no access.
+  static const int64_t table[1] = {77};
+  Assembler as;
+  as.movRegMem(Reg::rax, MemOperand{.base = Reg::rdi}, 8);
+  as.ret();
+  ExecMemory fn = buildOrDie(as);
+
+  Config config;
+  config.setParamKnownPtr(0, sizeof table);
+  config.injection().onLoad = &onLoad;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), table);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  g_trace = {};
+  EXPECT_EQ(rewritten->as<int64_t (*)(const int64_t*)>()(nullptr), 77);
+  EXPECT_TRUE(g_trace.loads.empty());
+}
+
+}  // namespace
+}  // namespace brew

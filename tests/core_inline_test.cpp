@@ -1,0 +1,262 @@
+// Inlining (§III-E/F): tracing through calls with the shadow call stack,
+// nested inlining, kept calls with ABI clobber assumptions, tail calls,
+// inline-depth limits, and the return-address/stack-argument guard.
+#include <gtest/gtest.h>
+
+#include "core/rewriter.hpp"
+#include "isa/printer.hpp"
+#include "jit/assembler.hpp"
+
+namespace brew {
+namespace {
+
+using isa::Cond;
+using isa::makeInstr;
+using isa::MemOperand;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+using jit::Assembler;
+
+ExecMemory buildOrDie(Assembler& assembler) {
+  auto mem = assembler.finalizeExecutable();
+  EXPECT_TRUE(mem.ok()) << (mem.ok() ? "" : mem.error().message());
+  return std::move(*mem);
+}
+
+// callee: rax = rdi * 2 + 1; caller: rax = callee(a) + callee(b)
+struct CallPair {
+  ExecMemory code;
+  uint64_t callerEntry;
+  uint64_t calleeEntry;
+};
+
+CallPair buildCallPair() {
+  Assembler as;
+  jit::Label callee = as.newLabel();
+  jit::Label caller = as.newLabel();
+  as.jmp(caller);
+  const uint32_t calleeOff = as.currentOffset();
+  as.bind(callee);
+  as.emit(makeInstr(Mnemonic::Lea, 8, Operand::makeReg(Reg::rax),
+                    Operand::makeMem(MemOperand{.base = Reg::rdi,
+                                                .index = Reg::rdi,
+                                                .scale = 1,
+                                                .disp = 1})));
+  as.ret();
+  const uint32_t callerOff = as.currentOffset();
+  as.bind(caller);
+  as.emit(makeInstr(Mnemonic::Push, 8, Operand::makeReg(Reg::rbx)));
+  as.movRegReg(Reg::rbx, Reg::rsi);
+  as.call(callee);
+  as.movRegReg(Reg::rsi, Reg::rax);  // stash first result
+  as.movRegReg(Reg::rdi, Reg::rbx);
+  as.movRegReg(Reg::rbx, Reg::rax);
+  as.call(callee);
+  as.aluRegReg(Mnemonic::Add, Reg::rax, Reg::rbx);
+  as.emit(makeInstr(Mnemonic::Pop, 8, Operand::makeReg(Reg::rbx)));
+  as.ret();
+  CallPair pair;
+  pair.code = buildOrDie(as);
+  pair.callerEntry = reinterpret_cast<uint64_t>(pair.code.data()) + callerOff;
+  pair.calleeEntry = reinterpret_cast<uint64_t>(pair.code.data()) + calleeOff;
+  return pair;
+}
+
+TEST(Inline, CallsAreInlinedByDefault) {
+  CallPair pair = buildCallPair();
+  Rewriter rewriter{Config{}};
+  auto rewritten =
+      rewriter.rewriteFn(reinterpret_cast<void*>(pair.callerEntry), 3, 4);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto fn = rewritten->as<uint64_t (*)(uint64_t, uint64_t)>();
+  EXPECT_EQ(fn(3, 4), (2 * 3 + 1) + (2 * 4 + 1));
+  EXPECT_EQ(fn(0, 0), 2u);
+  EXPECT_EQ(rewritten->traceStats().inlinedCalls, 2u);
+  EXPECT_EQ(rewritten->traceStats().keptCalls, 0u);
+  // Inlining removes the call instructions entirely.
+  EXPECT_EQ(rewritten->disassembly().find("call"), std::string::npos);
+}
+
+TEST(Inline, NoInlineKeepsCall) {
+  CallPair pair = buildCallPair();
+  Config config;
+  config.setFunctionOptions(reinterpret_cast<void*>(pair.calleeEntry),
+                            FunctionOptions{.inlineCalls = false});
+  Rewriter rewriter{config};
+  auto rewritten =
+      rewriter.rewriteFn(reinterpret_cast<void*>(pair.callerEntry), 3, 4);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto fn = rewritten->as<uint64_t (*)(uint64_t, uint64_t)>();
+  EXPECT_EQ(fn(5, 6), (2 * 5 + 1) + (2 * 6 + 1));
+  EXPECT_EQ(rewritten->traceStats().keptCalls, 2u);
+  EXPECT_NE(rewritten->disassembly().find("call"), std::string::npos);
+}
+
+TEST(Inline, SpecializationFlowsIntoCallee) {
+  CallPair pair = buildCallPair();
+  Config config;
+  config.setParamKnown(0);
+  config.setParamKnown(1);
+  Rewriter rewriter{config};
+  auto rewritten =
+      rewriter.rewriteFn(reinterpret_cast<void*>(pair.callerEntry), 10, 20);
+  ASSERT_TRUE(rewritten.ok());
+  // Everything known: result folds to a constant.
+  auto fn = rewritten->as<uint64_t (*)(uint64_t, uint64_t)>();
+  EXPECT_EQ(fn(0, 0), 21u + 41u);
+  EXPECT_LE(rewritten->emitStats().instructions, 5u);
+}
+
+TEST(Inline, DepthLimitFailsGracefully) {
+  // Direct self-recursion with no known termination: f() { return f(); }
+  Assembler as;
+  jit::Label self = as.newLabel();
+  as.bind(self);
+  as.aluRegImm(Mnemonic::Sub, Reg::rsp, 8);
+  as.call(self);
+  auto mem = buildOrDie(as);
+  Config config;
+  config.limits().maxInlineDepth = 16;
+  // Keep the variant threshold out of the way so the depth limit is the
+  // failure actually observed (each recursion level is a distinct
+  // call-stack variant of the same address).
+  config.limits().maxVariantsPerAddress = 1000;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(mem.data());
+  ASSERT_FALSE(rewritten.ok());
+  EXPECT_EQ(rewritten.error().code, ErrorCode::InlineDepthLimit);
+}
+
+TEST(Inline, CalleeReadingStackArgsFails) {
+  // callee reads [rsp+8] (its first stack argument); the inlined layout
+  // has no such slot, so the rewrite must fail NonInlinableCall.
+  Assembler as;
+  jit::Label callee = as.newLabel();
+  jit::Label caller = as.newLabel();
+  as.jmp(caller);
+  as.bind(callee);
+  as.movRegMem(Reg::rax, MemOperand{.base = Reg::rsp, .disp = 8}, 8);
+  as.ret();
+  const uint32_t callerOff = as.currentOffset();
+  as.bind(caller);
+  as.aluRegImm(Mnemonic::Sub, Reg::rsp, 8);
+  as.emit(makeInstr(Mnemonic::Push, 8, Operand::makeImm(42)));
+  as.call(callee);
+  as.aluRegImm(Mnemonic::Add, Reg::rsp, 16);
+  as.ret();
+  auto mem = buildOrDie(as);
+  const uint64_t callerEntry =
+      reinterpret_cast<uint64_t>(mem.data()) + callerOff;
+
+  Rewriter rewriter{Config{}};
+  auto rewritten =
+      rewriter.rewriteFn(reinterpret_cast<void*>(callerEntry));
+  ASSERT_FALSE(rewritten.ok());
+  EXPECT_EQ(rewritten.error().code, ErrorCode::NonInlinableCall);
+}
+
+TEST(Inline, KeptCallClobbersCallerSavedState) {
+  // After a kept call, caller-saved registers must be unknown: if the
+  // tracer wrongly kept r10 known across the call, the generated code
+  // would fold the post-call use and return a wrong constant.
+  static auto clobberer = +[]() -> int64_t { return 7; };
+  Assembler as;
+  as.movRegImm(Reg::r10, 100);
+  as.aluRegImm(Mnemonic::Sub, Reg::rsp, 8);
+  as.callAbs(reinterpret_cast<uint64_t>(+clobberer));
+  as.aluRegImm(Mnemonic::Add, Reg::rsp, 8);
+  as.movRegReg(Reg::rdx, Reg::r10);  // r10 is dead garbage here at runtime
+  as.movRegReg(Reg::rax, Reg::rax);  // rax = callee result
+  as.ret();
+  auto mem = buildOrDie(as);
+
+  Config config;
+  config.setFunctionOptions(reinterpret_cast<void*>(+clobberer),
+                            FunctionOptions{.inlineCalls = false});
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(mem.data());
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  // Whatever the post-call code does with r10, the callee result must
+  // survive in rax.
+  auto fn = rewritten->as<int64_t (*)()>();
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(Inline, CalleeSavedSurvivesKeptCall) {
+  // rbx is callee-saved: its known value must survive a kept call and
+  // still fold afterwards.
+  static auto noop = +[]() -> int64_t { return 0; };
+  Assembler as;
+  as.emit(makeInstr(Mnemonic::Push, 8, Operand::makeReg(Reg::rbx)));
+  as.movRegImm(Reg::rbx, 41);
+  as.aluRegImm(Mnemonic::Sub, Reg::rsp, 8);
+  as.callAbs(reinterpret_cast<uint64_t>(+noop));
+  as.aluRegImm(Mnemonic::Add, Reg::rsp, 8);
+  as.emit(makeInstr(Mnemonic::Lea, 8, Operand::makeReg(Reg::rax),
+                    Operand::makeMem(MemOperand{.base = Reg::rbx,
+                                                .disp = 1})));
+  as.emit(makeInstr(Mnemonic::Pop, 8, Operand::makeReg(Reg::rbx)));
+  as.ret();
+  auto mem = buildOrDie(as);
+
+  Config config;
+  config.setFunctionOptions(reinterpret_cast<void*>(+noop),
+                            FunctionOptions{.inlineCalls = false, .pure = true});
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(mem.data());
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  EXPECT_EQ(rewritten->as<int64_t (*)()>()(), 42);
+}
+
+TEST(Inline, IndirectCallWithKnownTargetInlines) {
+  // caller: rax = (*rsi)(rdi) — function pointer in rsi, declared known.
+  CallPair pair = buildCallPair();
+  Assembler as;
+  as.emit(makeInstr(Mnemonic::CallInd, 8, Operand::makeReg(Reg::rsi)));
+  as.ret();
+  // A call pushes a return address; keep rsp 16-aligned like a real caller
+  // would. (The traced function is the outer one; alignment is its
+  // caller's concern — nothing to do here.)
+  auto mem = buildOrDie(as);
+
+  Config config;
+  config.setParamKnown(1);  // the function pointer
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(
+      mem.data(), 0, reinterpret_cast<void*>(pair.calleeEntry));
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto fn = rewritten->as<uint64_t (*)(uint64_t, void*)>();
+  EXPECT_EQ(fn(21, nullptr), 43u);  // indirection removed, callee inlined
+  EXPECT_EQ(rewritten->traceStats().inlinedCalls, 1u);
+}
+
+TEST(Inline, IndirectCallWithUnknownTargetIsKept) {
+  Assembler as;
+  as.aluRegImm(Mnemonic::Sub, Reg::rsp, 8);
+  as.emit(makeInstr(Mnemonic::CallInd, 8, Operand::makeReg(Reg::rsi)));
+  as.aluRegImm(Mnemonic::Add, Reg::rsp, 8);
+  as.ret();
+  auto mem = buildOrDie(as);
+
+  Rewriter rewriter{Config{}};
+  auto rewritten = rewriter.rewriteFn(mem.data(), 0, nullptr);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  EXPECT_EQ(rewritten->traceStats().keptCalls, 1u);
+  static auto target = +[](int64_t x) -> int64_t { return x + 5; };
+  auto fn = rewritten->as<int64_t (*)(int64_t, int64_t (*)(int64_t))>();
+  EXPECT_EQ(fn(10, +target), 15);
+}
+
+TEST(Inline, UnknownIndirectJumpFails) {
+  Assembler as;
+  as.emit(makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::rsi)));
+  auto mem = buildOrDie(as);
+  Rewriter rewriter{Config{}};
+  auto rewritten = rewriter.rewriteFn(mem.data(), 0, nullptr);
+  ASSERT_FALSE(rewritten.ok());
+  EXPECT_EQ(rewritten.error().code, ErrorCode::IndirectUnknownJump);
+}
+
+}  // namespace
+}  // namespace brew

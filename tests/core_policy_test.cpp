@@ -1,0 +1,232 @@
+// Unroll policies and block-variant management (§III-F): full unrolling of
+// known loops, BREW_FN_NOUNROLL, variant thresholds, and known-world-state
+// migration with compensation code.
+#include <gtest/gtest.h>
+
+#include "core/rewriter.hpp"
+#include "jit/assembler.hpp"
+
+namespace brew {
+namespace {
+
+using isa::Cond;
+using isa::makeInstr;
+using isa::MemOperand;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+using jit::Assembler;
+
+ExecMemory buildOrDie(Assembler& assembler) {
+  auto mem = assembler.finalizeExecutable();
+  EXPECT_TRUE(mem.ok()) << (mem.ok() ? "" : mem.error().message());
+  return std::move(*mem);
+}
+
+// rax = sum of rsi[0..rdi)
+ExecMemory buildSumArray() {
+  Assembler as;
+  as.movRegImm(Reg::rax, 0);
+  as.movRegImm(Reg::rcx, 0);
+  jit::Label loop = as.newLabel();
+  jit::Label done = as.newLabel();
+  as.bind(loop);
+  as.aluRegReg(Mnemonic::Cmp, Reg::rcx, Reg::rdi);
+  as.jcc(Cond::E, done);
+  MemOperand m;
+  m.base = Reg::rsi;
+  m.index = Reg::rcx;
+  m.scale = 8;
+  as.emit(makeInstr(Mnemonic::Add, 8, Operand::makeReg(Reg::rax),
+                    Operand::makeMem(m)));
+  as.aluRegImm(Mnemonic::Add, Reg::rcx, 1);
+  as.jmp(loop);
+  as.bind(done);
+  as.ret();
+  return buildOrDie(as);
+}
+
+TEST(Policy, KnownTripCountUnrollsCompletely) {
+  ExecMemory fn = buildSumArray();
+  Config config;
+  config.setParamKnown(0);  // n = 6
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 6, nullptr);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  int64_t data[6] = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(rewritten->as<int64_t (*)(int64_t, const int64_t*)>()(0, data),
+            21);
+  EXPECT_EQ(rewritten->traceStats().capturedBranches, 0u);
+  // Six unrolled adds with folded displacements.
+  const std::string disasm = rewritten->disassembly();
+  EXPECT_NE(disasm.find("rsi+0x28"), std::string::npos) << disasm;
+}
+
+TEST(Policy, ForceUnknownKeepsLoop) {
+  ExecMemory fn = buildSumArray();
+  Config config;
+  config.setParamKnown(0);
+  config.setFunctionOptions(fn.data(),
+                            FunctionOptions{.forceUnknownResults = true});
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 6, nullptr);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  int64_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  // n folded to 6, but the loop itself survives.
+  EXPECT_EQ(rewritten->as<int64_t (*)(int64_t, const int64_t*)>()(0, data),
+            21);
+  EXPECT_GE(rewritten->traceStats().capturedBranches, 1u);
+}
+
+TEST(Policy, VariantThresholdTriggersMigration) {
+  ExecMemory fn = buildSumArray();
+  Config config;
+  config.setParamKnown(0);
+  config.limits().maxVariantsPerAddress = 4;  // force early migration
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 64, nullptr);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  EXPECT_GE(rewritten->traceStats().migrations, 1u);
+  // Migration generalizes the counter to unknown: the remaining
+  // iterations run as a real loop — still correct.
+  int64_t data[64];
+  int64_t want = 0;
+  for (int i = 0; i < 64; ++i) {
+    data[i] = i * 3 + 1;
+    want += data[i];
+  }
+  EXPECT_EQ(rewritten->as<int64_t (*)(int64_t, const int64_t*)>()(0, data),
+            want);
+  EXPECT_GE(rewritten->traceStats().capturedBranches, 1u);
+}
+
+TEST(Policy, MigrationTerminatesAtAllUnknown) {
+  // Tiny threshold: only two variants per address allowed. Must still
+  // converge (the paper's argument: the chain ends at the all-unknown
+  // state) and produce correct code.
+  ExecMemory fn = buildSumArray();
+  Config config;
+  config.setParamKnown(0);
+  config.limits().maxVariantsPerAddress = 2;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 200, nullptr);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  int64_t data[200];
+  int64_t want = 0;
+  for (int i = 0; i < 200; ++i) {
+    data[i] = i;
+    want += i;
+  }
+  EXPECT_EQ(rewritten->as<int64_t (*)(int64_t, const int64_t*)>()(0, data),
+            want);
+}
+
+TEST(Policy, TraceStepLimitFailsCleanly) {
+  ExecMemory fn = buildSumArray();
+  Config config;
+  config.setParamKnown(0);
+  config.limits().maxTraceSteps = 100;
+  config.limits().maxVariantsPerAddress = 1 << 28;  // no migration escape
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 1000000, nullptr);
+  ASSERT_FALSE(rewritten.ok());
+  EXPECT_EQ(rewritten.error().code, ErrorCode::TraceStepLimit);
+}
+
+TEST(Policy, CodeBudgetFailsCleanly) {
+  ExecMemory fn = buildSumArray();
+  Config config;
+  config.setParamKnown(0);
+  config.limits().maxCodeBytes = 256;
+  config.limits().maxVariantsPerAddress = 1 << 28;
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 100000, nullptr);
+  ASSERT_FALSE(rewritten.ok());
+  // Either the emitter's byte budget or the block limit stops it first;
+  // both are clean resource failures.
+  EXPECT_TRUE(rewritten.error().code == ErrorCode::CodeBufferFull ||
+              rewritten.error().code == ErrorCode::VariantLimit ||
+              rewritten.error().code == ErrorCode::TraceStepLimit)
+      << rewritten.error().message();
+}
+
+TEST(Policy, InfiniteLoopWithStableStateTerminates) {
+  // while(true) { rax = rax; } with no state change per iteration: the
+  // second pass over the loop head sees an identical known-world state
+  // and closes the cycle — the rewrite TERMINATES (generating an endless
+  // loop, faithfully).
+  Assembler as;
+  jit::Label loop = as.newLabel();
+  as.movRegImm(Reg::rax, 1);
+  as.bind(loop);
+  as.movRegReg(Reg::rcx, Reg::rdi);  // unknown -> state stable
+  as.jmp(loop);
+  ExecMemory fn = buildOrDie(as);
+  Rewriter rewriter{Config{}};
+  auto rewritten = rewriter.rewriteFn(fn.data(), 0);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  // Don't call it (it would hang) — structure suffices: a back-edge only.
+  EXPECT_LE(rewritten->traceStats().blocks, 3u);
+}
+
+TEST(Policy, PerFunctionPolicyRestoredAfterInlineReturn) {
+  // Outer (NOUNROLL) calls inner (default): inner's known loop unrolls,
+  // outer's doesn't.
+  Assembler as;
+  jit::Label inner = as.newLabel();
+  jit::Label outer = as.newLabel();
+  as.jmp(outer);
+  const uint32_t innerOff = as.currentOffset();
+  as.bind(inner);
+  // inner: rax = 10 iterations of known loop
+  as.movRegImm(Reg::rax, 0);
+  as.movRegImm(Reg::rcx, 10);
+  jit::Label iloop = as.newLabel();
+  as.bind(iloop);
+  as.aluRegReg(Mnemonic::Add, Reg::rax, Reg::rcx);
+  as.aluRegImm(Mnemonic::Sub, Reg::rcx, 1);
+  as.jcc(Cond::NE, iloop);
+  as.ret();
+  const uint32_t outerOff = as.currentOffset();
+  as.bind(outer);
+  // outer: loop rdi times calling inner, accumulate in rdx -> rax
+  as.emit(makeInstr(Mnemonic::Push, 8, Operand::makeReg(Reg::rbx)));
+  as.movRegReg(Reg::rbx, Reg::rdi);
+  as.movRegImm(Reg::rdx, 0);
+  jit::Label oloop = as.newLabel();
+  jit::Label odone = as.newLabel();
+  as.bind(oloop);
+  as.aluRegImm(Mnemonic::Cmp, Reg::rbx, 0);
+  as.jcc(Cond::E, odone);
+  as.emit(makeInstr(Mnemonic::Push, 8, Operand::makeReg(Reg::rdx)));
+  as.call(inner);
+  as.emit(makeInstr(Mnemonic::Pop, 8, Operand::makeReg(Reg::rdx)));
+  as.aluRegReg(Mnemonic::Add, Reg::rdx, Reg::rax);
+  as.aluRegImm(Mnemonic::Sub, Reg::rbx, 1);
+  as.jmp(oloop);
+  as.bind(odone);
+  as.movRegReg(Reg::rax, Reg::rdx);
+  as.emit(makeInstr(Mnemonic::Pop, 8, Operand::makeReg(Reg::rbx)));
+  as.ret();
+  ExecMemory code = buildOrDie(as);
+  const uint64_t outerEntry =
+      reinterpret_cast<uint64_t>(code.data()) + outerOff;
+  (void)innerOff;
+
+  Config config;
+  config.setFunctionOptions(reinterpret_cast<void*>(outerEntry),
+                            FunctionOptions{.forceUnknownResults = true});
+  Rewriter rewriter{config};
+  auto rewritten =
+      rewriter.rewriteFn(reinterpret_cast<void*>(outerEntry), 3);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto fn = rewritten->as<int64_t (*)(int64_t)>();
+  EXPECT_EQ(fn(3), 3 * 55);
+  EXPECT_EQ(fn(7), 7 * 55);
+  // Outer loop kept (captured branch) while the inner 10-iteration loop
+  // unrolled away inside it.
+  EXPECT_GE(rewritten->traceStats().capturedBranches, 1u);
+}
+
+}  // namespace
+}  // namespace brew

@@ -1,0 +1,153 @@
+// Known-world-state unit tests: stack shadow byte tracking, StackRel slot
+// spills, content identity/digests, and ABI clobber application.
+#include <gtest/gtest.h>
+
+#include "emu/known_state.hpp"
+
+namespace brew::emu {
+namespace {
+
+using isa::Reg;
+
+TEST(StackShadowTest, ByteGranularReadback) {
+  StackShadow shadow;
+  shadow.write(-16, 8, Value::known(0x1122334455667788ull));
+  EXPECT_TRUE(shadow.read(-16, 8).isKnown());
+  EXPECT_EQ(shadow.read(-16, 8).bits, 0x1122334455667788ull);
+  // Partial reads assemble from bytes.
+  EXPECT_EQ(shadow.read(-16, 4).bits, 0x55667788ull);
+  EXPECT_EQ(shadow.read(-12, 4).bits, 0x11223344ull);
+  EXPECT_EQ(shadow.read(-14, 2).bits, 0x5566ull);
+  // Reads crossing into untracked bytes are unknown.
+  EXPECT_TRUE(shadow.read(-18, 4).isUnknown());
+  EXPECT_TRUE(shadow.read(-12, 8).isUnknown());
+}
+
+TEST(StackShadowTest, OverlappingWriteUpdatesBytes) {
+  StackShadow shadow;
+  shadow.write(-8, 8, Value::known(0xAAAAAAAAAAAAAAAAull));
+  shadow.write(-6, 2, Value::known(0x1234));
+  // Offset -6 is byte 2 of the qword at -8: bits 16..31.
+  EXPECT_EQ(shadow.read(-8, 8).bits, 0xAAAAAAAA1234AAAAull);
+}
+
+TEST(StackShadowTest, UnknownWriteErasesKnowledge) {
+  StackShadow shadow;
+  shadow.write(-8, 8, Value::known(42));
+  shadow.write(-8, 4, Value::unknown());
+  EXPECT_TRUE(shadow.read(-8, 8).isUnknown());
+  EXPECT_TRUE(shadow.read(-8, 4).isUnknown());
+  EXPECT_TRUE(shadow.read(-4, 4).isKnown());  // upper half still known
+}
+
+TEST(StackShadowTest, StackRelSlotRoundTrip) {
+  StackShadow shadow;
+  shadow.write(-24, 8, Value::stackRel(-128, true));
+  const Value v = shadow.read(-24, 8);
+  ASSERT_TRUE(v.isStackRel());
+  EXPECT_EQ(v.stackOffset(), -128);
+  // Narrow reads of a pointer spill are unknown (no byte representation).
+  EXPECT_TRUE(shadow.read(-24, 4).isUnknown());
+}
+
+TEST(StackShadowTest, OverlapKillsStackRelSlot) {
+  StackShadow shadow;
+  shadow.write(-24, 8, Value::stackRel(-128, true));
+  shadow.write(-20, 1, Value::known(7));  // overlaps the slot
+  EXPECT_TRUE(shadow.read(-24, 8).isUnknown());
+}
+
+TEST(StackShadowTest, ClobberBelow) {
+  StackShadow shadow;
+  shadow.write(-32, 8, Value::known(1));
+  shadow.write(-16, 8, Value::known(2));
+  shadow.write(-40, 8, Value::stackRel(0, true));
+  shadow.clobberBelow(-16);
+  EXPECT_TRUE(shadow.read(-32, 8).isUnknown());
+  EXPECT_TRUE(shadow.read(-40, 8).isUnknown());
+  EXPECT_TRUE(shadow.read(-16, 8).isKnown());
+}
+
+TEST(KnownWorldStateTest, InitialState) {
+  KnownWorldState state;
+  EXPECT_TRUE(state.gpr(Reg::rax).isUnknown());
+  ASSERT_TRUE(state.gpr(Reg::rsp).isStackRel());
+  EXPECT_EQ(state.gpr(Reg::rsp).stackOffset(), 0);
+  EXPECT_TRUE(state.gpr(Reg::rsp).materialized);
+  EXPECT_EQ(state.flags().known, 0);
+  EXPECT_TRUE(state.flags().materialized);
+}
+
+TEST(KnownWorldStateTest, ContentIdentityIgnoresMaterialization) {
+  KnownWorldState a, b;
+  a.gpr(Reg::rbx) = Value::known(42, /*materialized=*/true);
+  b.gpr(Reg::rbx) = Value::known(42, /*materialized=*/false);
+  EXPECT_TRUE(a.sameContent(b));
+  EXPECT_EQ(a.digest(), b.digest());
+  b.gpr(Reg::rbx) = Value::known(43);
+  EXPECT_FALSE(a.sameContent(b));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KnownWorldStateTest, DigestSensitivity) {
+  KnownWorldState a, b;
+  EXPECT_EQ(a.digest(), b.digest());
+  b.xmm(Reg::xmm3).lo = Value::known(0x3FF0000000000000ull);
+  EXPECT_NE(a.digest(), b.digest());
+
+  KnownWorldState c, d;
+  c.flags().setAll(isa::kFlagZF, isa::kFlagZF, false);
+  EXPECT_NE(c.digest(), d.digest());
+
+  KnownWorldState e, f;
+  e.stack().write(-8, 8, Value::known(1));
+  EXPECT_NE(e.digest(), f.digest());
+
+  KnownWorldState g, h;
+  g.callStack().push_back(CallFrame{0x1234, 0, 0, -8});
+  EXPECT_NE(g.digest(), h.digest());
+  EXPECT_FALSE(g.sameContent(h));
+}
+
+TEST(KnownWorldStateTest, CallClobbers) {
+  KnownWorldState state;
+  state.gpr(Reg::rax) = Value::known(1);
+  state.gpr(Reg::rbx) = Value::known(2);   // callee-saved
+  state.gpr(Reg::r12) = Value::known(3);   // callee-saved
+  state.gpr(Reg::r10) = Value::known(4);   // caller-saved
+  state.xmm(Reg::xmm5).lo = Value::known(5);
+  state.flags().setAll(isa::kAllFlags, isa::kFlagZF, true);
+  state.stack().write(-8, 8, Value::known(6));
+
+  state.applyCallClobbers(/*clobberStack=*/false);
+  EXPECT_TRUE(state.gpr(Reg::rax).isUnknown());
+  EXPECT_TRUE(state.gpr(Reg::r10).isUnknown());
+  EXPECT_TRUE(state.gpr(Reg::rbx).isKnown());
+  EXPECT_TRUE(state.gpr(Reg::r12).isKnown());
+  EXPECT_TRUE(state.xmm(Reg::xmm5).lo.isUnknown());
+  EXPECT_EQ(state.flags().known, 0);
+  EXPECT_TRUE(state.stack().read(-8, 8).isKnown());
+
+  state.applyCallClobbers(/*clobberStack=*/true);
+  EXPECT_TRUE(state.stack().read(-8, 8).isUnknown());
+}
+
+TEST(KnownWorldStateTest, RspSurvivesClobbers) {
+  KnownWorldState state;
+  state.gpr(Reg::rsp) = Value::stackRel(-64, true);
+  state.applyCallClobbers(true);
+  ASSERT_TRUE(state.gpr(Reg::rsp).isStackRel());
+  EXPECT_EQ(state.gpr(Reg::rsp).stackOffset(), -64);
+}
+
+TEST(ValueTest, Helpers) {
+  EXPECT_TRUE(Value::unknown().isUnknown());
+  EXPECT_TRUE(Value::known(1).isKnown());
+  EXPECT_TRUE(Value::stackRel(-8).isStackRel());
+  EXPECT_TRUE(Value::known(5).sameContent(Value::known(5, false)));
+  EXPECT_FALSE(Value::known(5).sameContent(Value::stackRel(5)));
+  EXPECT_TRUE(Value::unknown().sameContent(Value::unknown()));
+}
+
+}  // namespace
+}  // namespace brew::emu

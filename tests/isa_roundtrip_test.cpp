@@ -1,0 +1,328 @@
+// Encoder/decoder agreement.
+//
+// Property: for every decodable byte sequence B with decode(B) = I,
+// encode(I) must decode back to an instruction equal to I, and
+// encode(decode(encode(I))) == encode(I) (encoding is a fixed point).
+// We sweep a generated sample of the supported instruction space
+// (parameterized over mnemonic/width/operand shapes) plus the byte
+// sequences gcc emits for the paper's kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "isa/printer.hpp"
+#include "support/prng.hpp"
+
+namespace brew::isa {
+namespace {
+
+// Instruction with an explicit source width (extensions and conversions).
+Instruction makeInstrExt(Mnemonic mn, uint8_t width, uint8_t srcWidth,
+                         Reg dst, Reg src) {
+  Instruction instr =
+      makeInstr(mn, width, Operand::makeReg(dst), Operand::makeReg(src));
+  instr.srcWidth = srcWidth;
+  return instr;
+}
+
+void expectRoundTrip(const Instruction& instr) {
+  std::vector<uint8_t> bytes1;
+  Status s1 = encode(instr, 0x1000, bytes1);
+  ASSERT_TRUE(s1.ok()) << toString(instr) << ": " << s1.error().message();
+
+  auto decoded = decodeOne(bytes1, 0x1000);
+  ASSERT_TRUE(decoded.ok())
+      << toString(instr) << " encoded to undecodable bytes: "
+      << decoded.error().message();
+
+  std::vector<uint8_t> bytes2;
+  Status s2 = encode(*decoded, 0x1000, bytes2);
+  ASSERT_TRUE(s2.ok()) << toString(*decoded);
+  EXPECT_EQ(bytes1, bytes2)
+      << "original: " << toString(instr) << "\nredecoded: "
+      << toString(*decoded);
+}
+
+// --- directed cases ------------------------------------------------------
+
+TEST(RoundTrip, MovVariants) {
+  for (Reg dst : {Reg::rax, Reg::rbp, Reg::rsp, Reg::r8, Reg::r13}) {
+    for (Reg src : {Reg::rcx, Reg::rsi, Reg::r12, Reg::r15}) {
+      for (uint8_t w : {1, 2, 4, 8})
+        expectRoundTrip(makeInstr(Mnemonic::Mov, w, Operand::makeReg(dst),
+                                  Operand::makeReg(src)));
+    }
+  }
+  expectRoundTrip(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::rax),
+                            Operand::makeImm(0x123456789abcLL)));
+  expectRoundTrip(makeInstr(Mnemonic::Mov, 4, Operand::makeReg(Reg::r9),
+                            Operand::makeImm(42)));
+  expectRoundTrip(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::rdi),
+                            Operand::makeImm(-1)));
+}
+
+TEST(RoundTrip, MemoryAddressingShapes) {
+  const MemOperand shapes[] = {
+      {.base = Reg::rax},
+      {.base = Reg::rsp, .disp = 8},
+      {.base = Reg::rbp},
+      {.base = Reg::r12},
+      {.base = Reg::r13},
+      {.base = Reg::rbx, .disp = -0x20},
+      {.base = Reg::rcx, .disp = 0x12345},
+      {.base = Reg::rax, .index = Reg::rcx, .scale = 8},
+      {.base = Reg::r8, .index = Reg::r15, .scale = 4, .disp = 0x40},
+      {.base = Reg::none, .index = Reg::rdx, .scale = 2, .disp = 0x100},
+      {.base = Reg::rsp, .index = Reg::rax, .scale = 1},
+      {.disp = 0x4000, .ripRelative = true},
+  };
+  for (const MemOperand& m : shapes) {
+    expectRoundTrip(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::rdx),
+                              Operand::makeMem(m)));
+    expectRoundTrip(makeInstr(Mnemonic::Mov, 4, Operand::makeMem(m),
+                              Operand::makeReg(Reg::rsi)));
+    expectRoundTrip(makeInstr(Mnemonic::Movsd, 8,
+                              Operand::makeReg(Reg::xmm3),
+                              Operand::makeMem(m)));
+    expectRoundTrip(makeInstr(Mnemonic::Lea, 8, Operand::makeReg(Reg::rbx),
+                              Operand::makeMem(m)));
+  }
+}
+
+TEST(RoundTrip, AluImmediateWidths) {
+  const Mnemonic alu[] = {Mnemonic::Add, Mnemonic::Sub, Mnemonic::Cmp,
+                          Mnemonic::And, Mnemonic::Or, Mnemonic::Xor,
+                          Mnemonic::Adc, Mnemonic::Sbb};
+  for (Mnemonic mn : alu) {
+    for (int64_t imm : {1LL, -1LL, 127LL, 128LL, -129LL, 0x12345LL}) {
+      expectRoundTrip(
+          makeInstr(mn, 8, Operand::makeReg(Reg::rbx), Operand::makeImm(imm)));
+      expectRoundTrip(
+          makeInstr(mn, 4, Operand::makeReg(Reg::r10), Operand::makeImm(imm)));
+    }
+    expectRoundTrip(makeInstr(mn, 8, Operand::makeReg(Reg::rax),
+                              Operand::makeReg(Reg::r9)));
+    expectRoundTrip(
+        makeInstr(mn, 8, Operand::makeReg(Reg::rax),
+                  Operand::makeMem(MemOperand{.base = Reg::rsi, .disp = 8})));
+    expectRoundTrip(
+        makeInstr(mn, 4,
+                  Operand::makeMem(MemOperand{.base = Reg::rdi, .disp = -4}),
+                  Operand::makeReg(Reg::rcx)));
+  }
+}
+
+TEST(RoundTrip, ShiftForms) {
+  for (Mnemonic mn : {Mnemonic::Shl, Mnemonic::Shr, Mnemonic::Sar,
+                      Mnemonic::Rol, Mnemonic::Ror}) {
+    expectRoundTrip(
+        makeInstr(mn, 8, Operand::makeReg(Reg::rdx), Operand::makeImm(3)));
+    expectRoundTrip(
+        makeInstr(mn, 4, Operand::makeReg(Reg::r11), Operand::makeImm(31)));
+    expectRoundTrip(
+        makeInstr(mn, 8, Operand::makeReg(Reg::rbx),
+                  Operand::makeReg(Reg::rcx)));  // by CL
+  }
+}
+
+TEST(RoundTrip, UnaryAndWide) {
+  for (Mnemonic mn : {Mnemonic::Not, Mnemonic::Neg, Mnemonic::Inc,
+                      Mnemonic::Dec, Mnemonic::MulWide, Mnemonic::ImulWide,
+                      Mnemonic::Div, Mnemonic::Idiv}) {
+    expectRoundTrip(makeInstr(mn, 8, Operand::makeReg(Reg::rcx)));
+    expectRoundTrip(makeInstr(mn, 4, Operand::makeReg(Reg::r14)));
+    expectRoundTrip(makeInstr(
+        mn, 8, Operand::makeMem(MemOperand{.base = Reg::rsp, .disp = 16})));
+  }
+}
+
+TEST(RoundTrip, ImulForms) {
+  expectRoundTrip(makeInstr(Mnemonic::Imul, 8, Operand::makeReg(Reg::rax),
+                            Operand::makeReg(Reg::rsi)));
+  expectRoundTrip(makeInstr(Mnemonic::Imul, 8, Operand::makeReg(Reg::r9),
+                            Operand::makeReg(Reg::rdx),
+                            Operand::makeImm(100)));
+  expectRoundTrip(makeInstr(Mnemonic::Imul, 4, Operand::makeReg(Reg::rcx),
+                            Operand::makeReg(Reg::rdx), Operand::makeImm(3)));
+}
+
+TEST(RoundTrip, Extensions) {
+  expectRoundTrip(makeInstrExt(Mnemonic::Movsxd, 8, 4, Reg::rax, Reg::rdi));
+  expectRoundTrip(makeInstrExt(Mnemonic::Movsx, 8, 1, Reg::rbx, Reg::rsi));
+  expectRoundTrip(makeInstrExt(Mnemonic::Movsx, 4, 2, Reg::r8, Reg::rcx));
+  expectRoundTrip(makeInstrExt(Mnemonic::Movzx, 4, 1, Reg::rdx, Reg::rax));
+  expectRoundTrip(makeInstrExt(Mnemonic::Movzx, 8, 2, Reg::r12, Reg::r13));
+}
+
+TEST(RoundTrip, SseArith) {
+  const Mnemonic sse[] = {Mnemonic::Addsd, Mnemonic::Subsd, Mnemonic::Mulsd,
+                          Mnemonic::Divsd, Mnemonic::Minsd, Mnemonic::Maxsd,
+                          Mnemonic::Sqrtsd, Mnemonic::Addss, Mnemonic::Mulss,
+                          Mnemonic::Addpd, Mnemonic::Mulpd, Mnemonic::Subpd,
+                          Mnemonic::Pxor, Mnemonic::Xorpd, Mnemonic::Andpd,
+                          Mnemonic::Unpcklpd, Mnemonic::Unpckhpd,
+                          Mnemonic::Ucomisd, Mnemonic::Comisd};
+  for (Mnemonic mn : sse) {
+    const uint8_t w = 8;
+    expectRoundTrip(makeInstr(mn, w, Operand::makeReg(Reg::xmm0),
+                              Operand::makeReg(Reg::xmm12)));
+    expectRoundTrip(
+        makeInstr(mn, w, Operand::makeReg(Reg::xmm9),
+                  Operand::makeMem(MemOperand{.base = Reg::rdi, .disp = 24})));
+  }
+}
+
+TEST(RoundTrip, SseMoves) {
+  for (Mnemonic mn : {Mnemonic::Movsd, Mnemonic::Movss, Mnemonic::Movapd,
+                      Mnemonic::Movaps, Mnemonic::Movupd, Mnemonic::Movups,
+                      Mnemonic::Movdqa, Mnemonic::Movdqu}) {
+    expectRoundTrip(makeInstr(mn, 16, Operand::makeReg(Reg::xmm1),
+                              Operand::makeReg(Reg::xmm2)));
+    const MemOperand m{.base = Reg::rbp, .disp = -0x10};
+    expectRoundTrip(
+        makeInstr(mn, 16, Operand::makeReg(Reg::xmm5), Operand::makeMem(m)));
+    expectRoundTrip(
+        makeInstr(mn, 16, Operand::makeMem(m), Operand::makeReg(Reg::xmm7)));
+  }
+}
+
+TEST(RoundTrip, MovqMovdForms) {
+  expectRoundTrip(makeInstr(Mnemonic::Movq, 8, Operand::makeReg(Reg::xmm0),
+                            Operand::makeReg(Reg::rax)));
+  expectRoundTrip(makeInstr(Mnemonic::Movq, 8, Operand::makeReg(Reg::rax),
+                            Operand::makeReg(Reg::xmm0)));
+  expectRoundTrip(makeInstr(Mnemonic::Movq, 8, Operand::makeReg(Reg::xmm3),
+                            Operand::makeReg(Reg::xmm4)));
+  expectRoundTrip(makeInstr(
+      Mnemonic::Movq, 8, Operand::makeReg(Reg::xmm3),
+      Operand::makeMem(MemOperand{.base = Reg::rsp, .disp = 8})));
+  expectRoundTrip(makeInstr(
+      Mnemonic::Movq, 8, Operand::makeMem(MemOperand{.base = Reg::rsp}),
+      Operand::makeReg(Reg::xmm2)));
+  expectRoundTrip(makeInstr(Mnemonic::Movd, 4, Operand::makeReg(Reg::xmm1),
+                            Operand::makeReg(Reg::rcx)));
+}
+
+TEST(RoundTrip, Conversions) {
+  expectRoundTrip(makeInstrExt(Mnemonic::Cvtsi2sd, 8, 8, Reg::xmm0, Reg::rdi));
+  expectRoundTrip(makeInstrExt(Mnemonic::Cvtsi2sd, 8, 4, Reg::xmm2, Reg::rax));
+  {
+    Instruction instr = makeInstr(Mnemonic::Cvttsd2si, 8,
+                                  Operand::makeReg(Reg::rax),
+                                  Operand::makeReg(Reg::xmm0));
+    instr.srcWidth = 8;
+    expectRoundTrip(instr);
+  }
+  expectRoundTrip(makeInstr(Mnemonic::Cvtss2sd, 8, Operand::makeReg(Reg::xmm0),
+                            Operand::makeReg(Reg::xmm1)));
+  expectRoundTrip(makeInstr(Mnemonic::Cvtsd2ss, 4, Operand::makeReg(Reg::xmm0),
+                            Operand::makeReg(Reg::xmm1)));
+}
+
+TEST(RoundTrip, CondOps) {
+  for (int cc = 0; cc < 16; ++cc) {
+    Instruction cmov = makeInstr(Mnemonic::Cmovcc, 8,
+                                 Operand::makeReg(Reg::rax),
+                                 Operand::makeReg(Reg::rbx));
+    cmov.cond = static_cast<Cond>(cc);
+    expectRoundTrip(cmov);
+    Instruction setcc = makeInstr(Mnemonic::Setcc, 1,
+                                  Operand::makeReg(Reg::rcx));
+    setcc.cond = static_cast<Cond>(cc);
+    expectRoundTrip(setcc);
+  }
+}
+
+TEST(RoundTrip, StackOps) {
+  for (Reg r : {Reg::rax, Reg::rbp, Reg::r12, Reg::r15}) {
+    expectRoundTrip(makeInstr(Mnemonic::Push, 8, Operand::makeReg(r)));
+    expectRoundTrip(makeInstr(Mnemonic::Pop, 8, Operand::makeReg(r)));
+  }
+  expectRoundTrip(makeInstr(Mnemonic::Push, 8, Operand::makeImm(42)));
+  expectRoundTrip(makeInstr(Mnemonic::Push, 8, Operand::makeImm(0x1234567)));
+}
+
+TEST(RoundTrip, Misc) {
+  expectRoundTrip(makeInstr(Mnemonic::Ret, 8));
+  expectRoundTrip(makeInstr(Mnemonic::Leave, 8));
+  expectRoundTrip(makeInstr(Mnemonic::Nop, 8));
+  expectRoundTrip(makeInstr(Mnemonic::Int3, 8));
+  expectRoundTrip(makeInstr(Mnemonic::Ud2, 8));
+  expectRoundTrip(makeInstr(Mnemonic::Endbr64, 8));
+  expectRoundTrip(makeInstr(Mnemonic::Cdqe, 8));
+  expectRoundTrip(makeInstr(Mnemonic::Cdq, 8));
+  expectRoundTrip(makeInstr(Mnemonic::Cdq, 4));
+  expectRoundTrip(makeInstr(Mnemonic::Test, 8, Operand::makeReg(Reg::rsi),
+                            Operand::makeReg(Reg::rsi)));
+  expectRoundTrip(makeInstr(Mnemonic::Test, 4, Operand::makeReg(Reg::rax),
+                            Operand::makeImm(0xFF)));
+  expectRoundTrip(makeInstr(Mnemonic::CallInd, 8, Operand::makeReg(Reg::rax)));
+  expectRoundTrip(makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::r11)));
+  {
+    Instruction shuf = makeInstr(Mnemonic::Shufpd, 16,
+                                 Operand::makeReg(Reg::xmm0),
+                                 Operand::makeReg(Reg::xmm1),
+                                 Operand::makeImm(1));
+    expectRoundTrip(shuf);
+  }
+}
+
+// --- randomized property sweep ------------------------------------------
+
+struct RandomSweepParams {
+  uint64_t seed;
+};
+
+class RoundTripRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripRandom, RandomGprInstructions) {
+  Prng rng(GetParam());
+  const Mnemonic pool[] = {Mnemonic::Mov, Mnemonic::Add, Mnemonic::Sub,
+                           Mnemonic::Cmp, Mnemonic::And, Mnemonic::Or,
+                           Mnemonic::Xor, Mnemonic::Test, Mnemonic::Lea,
+                           Mnemonic::Imul};
+  const Reg regs[] = {Reg::rax, Reg::rcx, Reg::rdx, Reg::rbx, Reg::rsi,
+                      Reg::rdi, Reg::r8, Reg::r9, Reg::r10, Reg::r11,
+                      Reg::r12, Reg::r13, Reg::r14, Reg::r15, Reg::rbp,
+                      Reg::rsp};
+  for (int i = 0; i < 400; ++i) {
+    const Mnemonic mn = pool[rng.below(std::size(pool))];
+    const uint8_t width = (rng.chance(0.5)) ? 8 : 4;
+    const Reg dst = regs[rng.below(std::size(regs))];
+    Operand src;
+    switch (rng.below(3)) {
+      case 0:
+        src = Operand::makeReg(regs[rng.below(std::size(regs))]);
+        break;
+      case 1:
+        src = Operand::makeImm(rng.range(-(1 << 20), 1 << 20));
+        break;
+      default: {
+        MemOperand m;
+        m.base = regs[rng.below(std::size(regs))];
+        if (rng.chance(0.5)) {
+          Reg idx = regs[rng.below(std::size(regs))];
+          if (idx != Reg::rsp) {
+            m.index = idx;
+            m.scale = static_cast<uint8_t>(1u << rng.below(4));
+          }
+        }
+        m.disp = static_cast<int32_t>(rng.range(-4096, 4096));
+        src = Operand::makeMem(m);
+        break;
+      }
+    }
+    if (mn == Mnemonic::Lea && !src.isMem()) continue;
+    if (mn == Mnemonic::Imul && !src.isReg() && !src.isMem()) continue;
+    if (mn == Mnemonic::Test && src.isMem()) continue;
+    expectRoundTrip(makeInstr(mn, width, Operand::makeReg(dst), src));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace brew::isa

@@ -1,0 +1,162 @@
+// Assembler tests: generated code must actually execute natively.
+#include <gtest/gtest.h>
+
+#include "isa/printer.hpp"
+#include "jit/assembler.hpp"
+
+namespace brew::jit {
+namespace {
+
+using isa::Cond;
+using isa::makeInstr;
+using isa::MemOperand;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+
+TEST(Assembler, ReturnsConstant) {
+  Assembler assembler;
+  assembler.movRegImm(Reg::rax, 42);
+  assembler.ret();
+  auto mem = assembler.finalizeExecutable();
+  ASSERT_TRUE(mem.ok()) << mem.error().message();
+  auto fn = mem->entry<int64_t (*)()>();
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(Assembler, AddsArguments) {
+  Assembler assembler;
+  assembler.movRegReg(Reg::rax, Reg::rdi);
+  assembler.aluRegReg(Mnemonic::Add, Reg::rax, Reg::rsi);
+  assembler.ret();
+  auto mem = assembler.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+  auto fn = mem->entry<int64_t (*)(int64_t, int64_t)>();
+  EXPECT_EQ(fn(2, 3), 5);
+  EXPECT_EQ(fn(-7, 7), 0);
+  EXPECT_EQ(fn(INT64_MAX, 1), INT64_MIN);  // wraparound
+}
+
+TEST(Assembler, ForwardBranch) {
+  // return (a < b) ? 1 : 2 using a forward jcc
+  Assembler assembler;
+  Label less = assembler.newLabel();
+  Label done = assembler.newLabel();
+  assembler.aluRegReg(Mnemonic::Cmp, Reg::rdi, Reg::rsi);
+  assembler.jcc(Cond::L, less);
+  assembler.movRegImm(Reg::rax, 2);
+  assembler.jmp(done);
+  assembler.bind(less);
+  assembler.movRegImm(Reg::rax, 1);
+  assembler.bind(done);
+  assembler.ret();
+  auto mem = assembler.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+  auto fn = mem->entry<int64_t (*)(int64_t, int64_t)>();
+  EXPECT_EQ(fn(1, 2), 1);
+  EXPECT_EQ(fn(2, 1), 2);
+  EXPECT_EQ(fn(3, 3), 2);
+}
+
+TEST(Assembler, BackwardLoop) {
+  // sum 1..n: rax = 0; rcx = n; loop: rax += rcx; rcx -= 1; jnz loop
+  Assembler assembler;
+  assembler.movRegImm(Reg::rax, 0);
+  assembler.movRegReg(Reg::rcx, Reg::rdi);
+  Label loop = assembler.newLabel();
+  assembler.bind(loop);
+  assembler.aluRegReg(Mnemonic::Add, Reg::rax, Reg::rcx);
+  assembler.aluRegImm(Mnemonic::Sub, Reg::rcx, 1);
+  assembler.jcc(Cond::NE, loop);
+  assembler.ret();
+  auto mem = assembler.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+  auto fn = mem->entry<int64_t (*)(int64_t)>();
+  EXPECT_EQ(fn(1), 1);
+  EXPECT_EQ(fn(10), 55);
+  EXPECT_EQ(fn(100), 5050);
+}
+
+TEST(Assembler, MemoryLoadStore) {
+  // *out = *in + 1
+  Assembler assembler;
+  assembler.movRegMem(Reg::rax, MemOperand{.base = Reg::rdi}, 8);
+  assembler.aluRegImm(Mnemonic::Add, Reg::rax, 1, 8);
+  assembler.movMemReg(MemOperand{.base = Reg::rsi}, Reg::rax, 8);
+  assembler.ret();
+  auto mem = assembler.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+  auto fn = mem->entry<void (*)(const int64_t*, int64_t*)>();
+  int64_t in = 41, out = 0;
+  fn(&in, &out);
+  EXPECT_EQ(out, 42);
+}
+
+TEST(Assembler, CallAbsToExistingFunction) {
+  // Calls a helper in this test binary from mmap'ed code. callAbs uses the
+  // movabs r11 + call r11 pattern, so arbitrary distances work under ASLR.
+  static auto helper = +[](int64_t x) -> int64_t { return x * 3; };
+  Assembler assembler;
+  // arg already in rdi; the entry stack is ret-address-aligned, so one
+  // 8-byte adjustment restores 16-byte alignment for the nested call.
+  assembler.aluRegImm(Mnemonic::Sub, Reg::rsp, 8);
+  assembler.callAbs(reinterpret_cast<uint64_t>(+helper));
+  assembler.aluRegImm(Mnemonic::Add, Reg::rsp, 8);
+  assembler.ret();
+  auto mem = assembler.finalizeExecutable();
+  ASSERT_TRUE(mem.ok()) << mem.error().message();
+  auto fn = mem->entry<int64_t (*)(int64_t)>();
+  EXPECT_EQ(fn(14), 42);
+}
+
+TEST(Assembler, SseScalarArithmetic) {
+  // return a * b + c
+  Assembler assembler;
+  assembler.emit(makeInstr(Mnemonic::Mulsd, 8, Operand::makeReg(Reg::xmm0),
+                           Operand::makeReg(Reg::xmm1)));
+  assembler.emit(makeInstr(Mnemonic::Addsd, 8, Operand::makeReg(Reg::xmm0),
+                           Operand::makeReg(Reg::xmm2)));
+  assembler.ret();
+  auto mem = assembler.finalizeExecutable();
+  ASSERT_TRUE(mem.ok());
+  auto fn = mem->entry<double (*)(double, double, double)>();
+  EXPECT_DOUBLE_EQ(fn(2.0, 3.0, 0.5), 6.5);
+}
+
+TEST(Assembler, StickyErrorReporting) {
+  Assembler assembler;
+  // rsp as index register is unencodable.
+  MemOperand bad;
+  bad.base = Reg::rax;
+  bad.index = Reg::rsp;
+  bad.scale = 2;
+  assembler.movRegMem(Reg::rbx, bad, 8);
+  assembler.ret();  // ignored after failure
+  auto bytes = assembler.finalizeBytes();
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.error().code, ErrorCode::UnencodableInstruction);
+}
+
+TEST(Assembler, UnboundLabelFails) {
+  Assembler assembler;
+  Label never = assembler.newLabel();
+  assembler.jmp(never);
+  assembler.ret();
+  auto bytes = assembler.finalizeBytes();
+  ASSERT_FALSE(bytes.ok());
+}
+
+TEST(ExecMemory, WxDiscipline) {
+  auto mem = ExecMemory::allocate(64);
+  ASSERT_TRUE(mem.ok());
+  EXPECT_FALSE(mem->executable());
+  mem->data()[0] = 0xC3;  // ret
+  ASSERT_TRUE(mem->finalize().ok());
+  EXPECT_TRUE(mem->executable());
+  mem->entry<void (*)()>()();
+  ASSERT_TRUE(mem->makeWritable().ok());
+  EXPECT_FALSE(mem->executable());
+}
+
+}  // namespace
+}  // namespace brew::jit

@@ -1,0 +1,163 @@
+// Integration: rewrite the REAL gcc-compiled generic stencil kernels (the
+// paper's §V-A experiment) and verify numerical equivalence.
+#include <gtest/gtest.h>
+
+#include "core/rewriter.hpp"
+#include "stencil/stencil.hpp"
+
+namespace brew {
+namespace {
+
+using stencil::Matrix;
+
+constexpr int kXs = 64, kYs = 48;
+
+Config specializingConfig(const void* stencilPtr, size_t stencilSize) {
+  (void)stencilPtr;
+  Config config;
+  config.setParamKnown(1);                    // xs (paper Fig. 5, param 2)
+  config.setParamKnownPtr(2, stencilSize);    // stencil (param 3, PTR_TOKNOWN)
+  return config;
+}
+
+TEST(StencilRewrite, SpecializedMatchesGenericFivePoint) {
+  const brew_stencil s = stencil::fivePoint();
+  Config config = specializingConfig(&s, sizeof s);
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(
+      reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kXs, &s);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto app2 = rewritten->as<brew_stencil_fn>();
+
+  Matrix m(kXs, kYs);
+  m.fillDeterministic();
+  for (int y = 1; y < kYs - 1; ++y) {
+    for (int x = 1; x < kXs - 1; ++x) {
+      const double* cell = m.data() + y * kXs + x;
+      EXPECT_DOUBLE_EQ(app2(cell, kXs, &s),
+                       brew_stencil_apply(cell, kXs, &s))
+          << "at (" << x << ", " << y << ")";
+    }
+  }
+  // Specialization must fold the stencil loop away: no captured branches,
+  // and substantially fewer instructions than the generic path executes.
+  EXPECT_EQ(rewritten->traceStats().capturedBranches, 0u);
+  EXPECT_GE(rewritten->traceStats().elidedInstructions, 10u);
+}
+
+TEST(StencilRewrite, SpecializedSweepIsDropIn) {
+  const brew_stencil s = stencil::fivePoint();
+  Config config = specializingConfig(&s, sizeof s);
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(
+      reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kXs, &s);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+
+  Matrix a1(kXs, kYs), b1(kXs, kYs), a2(kXs, kYs), b2(kXs, kYs);
+  a1.fillDeterministic();
+  a2.fillDeterministic();
+  const Matrix& ref =
+      stencil::runIterations(a1, b1, 10, &brew_stencil_apply, s);
+  const Matrix& got =
+      stencil::runIterations(a2, b2, 10, rewritten->as<brew_stencil_fn>(), s);
+  EXPECT_EQ(Matrix::maxAbsDiff(ref, got), 0.0);
+}
+
+TEST(StencilRewrite, ManualFivePointAgrees) {
+  // The hand-written kernel computes the same stencil.
+  const brew_stencil s = stencil::fivePoint();
+  Matrix m(kXs, kYs);
+  m.fillDeterministic(7);
+  for (int y = 1; y < kYs - 1; ++y) {
+    for (int x = 1; x < kXs - 1; ++x) {
+      const double* cell = m.data() + y * kXs + x;
+      EXPECT_NEAR(brew_stencil_apply_manual5(cell, kXs),
+                  brew_stencil_apply(cell, kXs, &s), 1e-12);
+    }
+  }
+}
+
+TEST(StencilRewrite, GroupedGenericAgreesAndSpecializes) {
+  const brew_stencil s = stencil::fivePoint();
+  const brew_gstencil g = stencil::groupByCoefficient(s);
+  ASSERT_EQ(g.ng, 2);  // -1.0 and 0.25
+
+  Matrix m(kXs, kYs);
+  m.fillDeterministic(9);
+  for (int y = 1; y < kYs - 1; ++y)
+    for (int x = 1; x < kXs - 1; ++x) {
+      const double* cell = m.data() + y * kXs + x;
+      EXPECT_NEAR(brew_stencil_apply_grouped(cell, kXs, &g),
+                  brew_stencil_apply(cell, kXs, &s), 1e-12);
+    }
+
+  Config config;
+  config.setParamKnown(1);
+  config.setParamKnownPtr(2, sizeof g);
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(
+      reinterpret_cast<const void*>(&brew_stencil_apply_grouped), nullptr,
+      kXs, &g);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto app2 = rewritten->as<brew_gstencil_fn>();
+  for (int y = 1; y < kYs - 1; ++y)
+    for (int x = 1; x < kXs - 1; ++x) {
+      const double* cell = m.data() + y * kXs + x;
+      EXPECT_DOUBLE_EQ(app2(cell, kXs, &g),
+                       brew_stencil_apply_grouped(cell, kXs, &g));
+    }
+}
+
+class RandomStencilRewrite : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomStencilRewrite, SpecializedMatchesGeneric) {
+  Prng rng(GetParam());
+  const int points = 1 + static_cast<int>(rng.below(12));
+  const brew_stencil s = stencil::randomStencil(rng, points, 2);
+
+  Config config;
+  config.setParamKnown(1);
+  config.setParamKnownPtr(2, sizeof s);
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(
+      reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kXs, &s);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto app2 = rewritten->as<brew_stencil_fn>();
+
+  Matrix m(kXs, kYs);
+  m.fillDeterministic(GetParam());
+  for (int y = 2; y < kYs - 2; ++y)
+    for (int x = 2; x < kXs - 2; ++x) {
+      const double* cell = m.data() + y * kXs + x;
+      ASSERT_DOUBLE_EQ(app2(cell, kXs, &s),
+                       brew_stencil_apply(cell, kXs, &s))
+          << "seed " << GetParam() << " at (" << x << ", " << y << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStencilRewrite,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(StencilRewrite, UnknownStencilStillWorks) {
+  // Only xs known: the stencil loop cannot unroll (branch on unknown
+  // count), code must keep the loop and still compute correctly.
+  const brew_stencil s = stencil::ninePoint();
+  Config config;
+  config.setParamKnown(1);
+  Rewriter rewriter{config};
+  auto rewritten = rewriter.rewriteFn(
+      reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kXs, &s);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+  auto app2 = rewritten->as<brew_stencil_fn>();
+  Matrix m(kXs, kYs);
+  m.fillDeterministic(3);
+  for (int y = 2; y < kYs - 2; ++y)
+    for (int x = 2; x < kXs - 2; ++x) {
+      const double* cell = m.data() + y * kXs + x;
+      ASSERT_DOUBLE_EQ(app2(cell, kXs, &s), brew_stencil_apply(cell, kXs, &s));
+    }
+  EXPECT_GE(rewritten->traceStats().capturedBranches, 1u);
+}
+
+}  // namespace
+}  // namespace brew
