@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_pgas_access"
+  "../bench/bench_a2_pgas_access.pdb"
+  "CMakeFiles/bench_a2_pgas_access.dir/bench_a2_pgas_access.cpp.o"
+  "CMakeFiles/bench_a2_pgas_access.dir/bench_a2_pgas_access.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_pgas_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

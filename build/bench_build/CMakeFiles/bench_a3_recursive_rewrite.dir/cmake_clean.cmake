@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_recursive_rewrite"
+  "../bench/bench_a3_recursive_rewrite.pdb"
+  "CMakeFiles/bench_a3_recursive_rewrite.dir/bench_a3_recursive_rewrite.cpp.o"
+  "CMakeFiles/bench_a3_recursive_rewrite.dir/bench_a3_recursive_rewrite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_recursive_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a5_inject"
+  "../bench/bench_a5_inject.pdb"
+  "CMakeFiles/bench_a5_inject.dir/bench_a5_inject.cpp.o"
+  "CMakeFiles/bench_a5_inject.dir/bench_a5_inject.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

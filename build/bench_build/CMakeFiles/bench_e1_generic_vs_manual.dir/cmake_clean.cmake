@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_generic_vs_manual"
+  "../bench/bench_e1_generic_vs_manual.pdb"
+  "CMakeFiles/bench_e1_generic_vs_manual.dir/bench_e1_generic_vs_manual.cpp.o"
+  "CMakeFiles/bench_e1_generic_vs_manual.dir/bench_e1_generic_vs_manual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_generic_vs_manual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

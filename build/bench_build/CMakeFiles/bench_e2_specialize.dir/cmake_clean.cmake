@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_specialize"
+  "../bench/bench_e2_specialize.pdb"
+  "CMakeFiles/bench_e2_specialize.dir/bench_e2_specialize.cpp.o"
+  "CMakeFiles/bench_e2_specialize.dir/bench_e2_specialize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_grouped"
+  "../bench/bench_e3_grouped.pdb"
+  "CMakeFiles/bench_e3_grouped.dir/bench_e3_grouped.cpp.o"
+  "CMakeFiles/bench_e3_grouped.dir/bench_e3_grouped.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_grouped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

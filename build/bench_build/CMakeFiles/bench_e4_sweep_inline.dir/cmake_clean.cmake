@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_sweep_inline"
+  "../bench/bench_e4_sweep_inline.pdb"
+  "CMakeFiles/bench_e4_sweep_inline.dir/bench_e4_sweep_inline.cpp.o"
+  "CMakeFiles/bench_e4_sweep_inline.dir/bench_e4_sweep_inline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_sweep_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

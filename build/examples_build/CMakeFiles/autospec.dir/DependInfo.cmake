@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/autospec.cpp" "examples_build/CMakeFiles/autospec.dir/autospec.cpp.o" "gcc" "examples_build/CMakeFiles/autospec.dir/autospec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/brew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/brew_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/brew_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/brew_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/brew_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/brew_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/brew_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/brew_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

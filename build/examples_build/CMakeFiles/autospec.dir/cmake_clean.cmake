@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/autospec"
+  "../examples/autospec.pdb"
+  "CMakeFiles/autospec.dir/autospec.cpp.o"
+  "CMakeFiles/autospec.dir/autospec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autospec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/compose_rewrites"
+  "../examples/compose_rewrites.pdb"
+  "CMakeFiles/compose_rewrites.dir/compose_rewrites.cpp.o"
+  "CMakeFiles/compose_rewrites.dir/compose_rewrites.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

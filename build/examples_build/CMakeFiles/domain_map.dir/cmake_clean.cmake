@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/domain_map"
+  "../examples/domain_map.pdb"
+  "CMakeFiles/domain_map.dir/domain_map.cpp.o"
+  "CMakeFiles/domain_map.dir/domain_map.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/inject_profiling"
+  "../examples/inject_profiling.pdb"
+  "CMakeFiles/inject_profiling.dir/inject_profiling.cpp.o"
+  "CMakeFiles/inject_profiling.dir/inject_profiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inject_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

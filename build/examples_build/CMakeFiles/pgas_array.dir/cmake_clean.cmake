@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pgas_array"
+  "../examples/pgas_array.pdb"
+  "CMakeFiles/pgas_array.dir/pgas_array.cpp.o"
+  "CMakeFiles/pgas_array.dir/pgas_array.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgas_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

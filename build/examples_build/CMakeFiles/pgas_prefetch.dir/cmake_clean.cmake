@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pgas_prefetch"
+  "../examples/pgas_prefetch.pdb"
+  "CMakeFiles/pgas_prefetch.dir/pgas_prefetch.cpp.o"
+  "CMakeFiles/pgas_prefetch.dir/pgas_prefetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgas_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/stencil_specialize"
+  "../examples/stencil_specialize.pdb"
+  "CMakeFiles/stencil_specialize.dir/stencil_specialize.cpp.o"
+  "CMakeFiles/stencil_specialize.dir/stencil_specialize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autospec.cpp" "src/core/CMakeFiles/brew_core.dir/autospec.cpp.o" "gcc" "src/core/CMakeFiles/brew_core.dir/autospec.cpp.o.d"
+  "/root/repo/src/core/brew_c.cpp" "src/core/CMakeFiles/brew_core.dir/brew_c.cpp.o" "gcc" "src/core/CMakeFiles/brew_core.dir/brew_c.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/brew_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/brew_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/guard.cpp" "src/core/CMakeFiles/brew_core.dir/guard.cpp.o" "gcc" "src/core/CMakeFiles/brew_core.dir/guard.cpp.o.d"
+  "/root/repo/src/core/passes/passes.cpp" "src/core/CMakeFiles/brew_core.dir/passes/passes.cpp.o" "gcc" "src/core/CMakeFiles/brew_core.dir/passes/passes.cpp.o.d"
+  "/root/repo/src/core/rewriter.cpp" "src/core/CMakeFiles/brew_core.dir/rewriter.cpp.o" "gcc" "src/core/CMakeFiles/brew_core.dir/rewriter.cpp.o.d"
+  "/root/repo/src/core/tracer.cpp" "src/core/CMakeFiles/brew_core.dir/tracer.cpp.o" "gcc" "src/core/CMakeFiles/brew_core.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/brew_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/brew_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/brew_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/brew_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/brew_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

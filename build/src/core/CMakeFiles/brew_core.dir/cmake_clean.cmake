@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brew_core.dir/autospec.cpp.o"
+  "CMakeFiles/brew_core.dir/autospec.cpp.o.d"
+  "CMakeFiles/brew_core.dir/brew_c.cpp.o"
+  "CMakeFiles/brew_core.dir/brew_c.cpp.o.d"
+  "CMakeFiles/brew_core.dir/config.cpp.o"
+  "CMakeFiles/brew_core.dir/config.cpp.o.d"
+  "CMakeFiles/brew_core.dir/guard.cpp.o"
+  "CMakeFiles/brew_core.dir/guard.cpp.o.d"
+  "CMakeFiles/brew_core.dir/passes/passes.cpp.o"
+  "CMakeFiles/brew_core.dir/passes/passes.cpp.o.d"
+  "CMakeFiles/brew_core.dir/rewriter.cpp.o"
+  "CMakeFiles/brew_core.dir/rewriter.cpp.o.d"
+  "CMakeFiles/brew_core.dir/tracer.cpp.o"
+  "CMakeFiles/brew_core.dir/tracer.cpp.o.d"
+  "libbrew_core.a"
+  "libbrew_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brew_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

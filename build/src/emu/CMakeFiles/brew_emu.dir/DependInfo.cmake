@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/interpreter.cpp" "src/emu/CMakeFiles/brew_emu.dir/interpreter.cpp.o" "gcc" "src/emu/CMakeFiles/brew_emu.dir/interpreter.cpp.o.d"
+  "/root/repo/src/emu/known_state.cpp" "src/emu/CMakeFiles/brew_emu.dir/known_state.cpp.o" "gcc" "src/emu/CMakeFiles/brew_emu.dir/known_state.cpp.o.d"
+  "/root/repo/src/emu/semantics.cpp" "src/emu/CMakeFiles/brew_emu.dir/semantics.cpp.o" "gcc" "src/emu/CMakeFiles/brew_emu.dir/semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/brew_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/brew_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brew_emu.dir/interpreter.cpp.o"
+  "CMakeFiles/brew_emu.dir/interpreter.cpp.o.d"
+  "CMakeFiles/brew_emu.dir/known_state.cpp.o"
+  "CMakeFiles/brew_emu.dir/known_state.cpp.o.d"
+  "CMakeFiles/brew_emu.dir/semantics.cpp.o"
+  "CMakeFiles/brew_emu.dir/semantics.cpp.o.d"
+  "libbrew_emu.a"
+  "libbrew_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brew_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

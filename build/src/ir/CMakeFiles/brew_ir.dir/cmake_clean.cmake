@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brew_ir.dir/captured.cpp.o"
+  "CMakeFiles/brew_ir.dir/captured.cpp.o.d"
+  "libbrew_ir.a"
+  "libbrew_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brew_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

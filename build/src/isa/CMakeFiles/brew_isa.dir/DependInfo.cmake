@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/decoder.cpp" "src/isa/CMakeFiles/brew_isa.dir/decoder.cpp.o" "gcc" "src/isa/CMakeFiles/brew_isa.dir/decoder.cpp.o.d"
+  "/root/repo/src/isa/encoder.cpp" "src/isa/CMakeFiles/brew_isa.dir/encoder.cpp.o" "gcc" "src/isa/CMakeFiles/brew_isa.dir/encoder.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/brew_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/brew_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/printer.cpp" "src/isa/CMakeFiles/brew_isa.dir/printer.cpp.o" "gcc" "src/isa/CMakeFiles/brew_isa.dir/printer.cpp.o.d"
+  "/root/repo/src/isa/registers.cpp" "src/isa/CMakeFiles/brew_isa.dir/registers.cpp.o" "gcc" "src/isa/CMakeFiles/brew_isa.dir/registers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/brew_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brew_isa.dir/decoder.cpp.o"
+  "CMakeFiles/brew_isa.dir/decoder.cpp.o.d"
+  "CMakeFiles/brew_isa.dir/encoder.cpp.o"
+  "CMakeFiles/brew_isa.dir/encoder.cpp.o.d"
+  "CMakeFiles/brew_isa.dir/instruction.cpp.o"
+  "CMakeFiles/brew_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/brew_isa.dir/printer.cpp.o"
+  "CMakeFiles/brew_isa.dir/printer.cpp.o.d"
+  "CMakeFiles/brew_isa.dir/registers.cpp.o"
+  "CMakeFiles/brew_isa.dir/registers.cpp.o.d"
+  "libbrew_isa.a"
+  "libbrew_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brew_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbrew_isa.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brew_jit.dir/assembler.cpp.o"
+  "CMakeFiles/brew_jit.dir/assembler.cpp.o.d"
+  "libbrew_jit.a"
+  "libbrew_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brew_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brew_pgas.dir/domain_map.cpp.o"
+  "CMakeFiles/brew_pgas.dir/domain_map.cpp.o.d"
+  "CMakeFiles/brew_pgas.dir/pgas_kernels.c.o"
+  "CMakeFiles/brew_pgas.dir/pgas_kernels.c.o.d"
+  "CMakeFiles/brew_pgas.dir/runtime.cpp.o"
+  "CMakeFiles/brew_pgas.dir/runtime.cpp.o.d"
+  "libbrew_pgas.a"
+  "libbrew_pgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/brew_pgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brew_stencil.dir/stencil.cpp.o"
+  "CMakeFiles/brew_stencil.dir/stencil.cpp.o.d"
+  "CMakeFiles/brew_stencil.dir/stencil_kernels.c.o"
+  "CMakeFiles/brew_stencil.dir/stencil_kernels.c.o.d"
+  "libbrew_stencil.a"
+  "libbrew_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/brew_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,4 @@
+src/stencil/CMakeFiles/brew_stencil.dir/stencil_kernels.c.o: \
+ /root/repo/src/stencil/stencil_kernels.c /usr/include/stdc-predef.h \
+ /root/repo/src/stencil/stencil.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h

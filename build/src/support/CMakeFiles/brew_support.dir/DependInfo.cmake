@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/error.cpp" "src/support/CMakeFiles/brew_support.dir/error.cpp.o" "gcc" "src/support/CMakeFiles/brew_support.dir/error.cpp.o.d"
+  "/root/repo/src/support/exec_memory.cpp" "src/support/CMakeFiles/brew_support.dir/exec_memory.cpp.o" "gcc" "src/support/CMakeFiles/brew_support.dir/exec_memory.cpp.o.d"
+  "/root/repo/src/support/hexdump.cpp" "src/support/CMakeFiles/brew_support.dir/hexdump.cpp.o" "gcc" "src/support/CMakeFiles/brew_support.dir/hexdump.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/brew_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/brew_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/memory_map.cpp" "src/support/CMakeFiles/brew_support.dir/memory_map.cpp.o" "gcc" "src/support/CMakeFiles/brew_support.dir/memory_map.cpp.o.d"
+  "/root/repo/src/support/perf_map.cpp" "src/support/CMakeFiles/brew_support.dir/perf_map.cpp.o" "gcc" "src/support/CMakeFiles/brew_support.dir/perf_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

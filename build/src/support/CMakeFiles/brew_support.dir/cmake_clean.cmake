@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brew_support.dir/error.cpp.o"
+  "CMakeFiles/brew_support.dir/error.cpp.o.d"
+  "CMakeFiles/brew_support.dir/exec_memory.cpp.o"
+  "CMakeFiles/brew_support.dir/exec_memory.cpp.o.d"
+  "CMakeFiles/brew_support.dir/hexdump.cpp.o"
+  "CMakeFiles/brew_support.dir/hexdump.cpp.o.d"
+  "CMakeFiles/brew_support.dir/log.cpp.o"
+  "CMakeFiles/brew_support.dir/log.cpp.o.d"
+  "CMakeFiles/brew_support.dir/memory_map.cpp.o"
+  "CMakeFiles/brew_support.dir/memory_map.cpp.o.d"
+  "CMakeFiles/brew_support.dir/perf_map.cpp.o"
+  "CMakeFiles/brew_support.dir/perf_map.cpp.o.d"
+  "libbrew_support.a"
+  "libbrew_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brew_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

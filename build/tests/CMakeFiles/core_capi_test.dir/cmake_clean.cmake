@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_capi_test.dir/core_capi_test.cpp.o"
+  "CMakeFiles/core_capi_test.dir/core_capi_test.cpp.o.d"
+  "core_capi_test"
+  "core_capi_test.pdb"
+  "core_capi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_capi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_guard_test.dir/core_guard_test.cpp.o"
+  "CMakeFiles/core_guard_test.dir/core_guard_test.cpp.o.d"
+  "core_guard_test"
+  "core_guard_test.pdb"
+  "core_guard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rewrite_basic_test.dir/core_rewrite_basic_test.cpp.o"
+  "CMakeFiles/core_rewrite_basic_test.dir/core_rewrite_basic_test.cpp.o.d"
+  "core_rewrite_basic_test"
+  "core_rewrite_basic_test.pdb"
+  "core_rewrite_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rewrite_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sse_paths_test.dir/core_sse_paths_test.cpp.o"
+  "CMakeFiles/core_sse_paths_test.dir/core_sse_paths_test.cpp.o.d"
+  "core_sse_paths_test"
+  "core_sse_paths_test.pdb"
+  "core_sse_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sse_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

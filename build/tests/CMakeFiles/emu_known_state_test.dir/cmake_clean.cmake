@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emu_known_state_test.dir/emu_known_state_test.cpp.o"
+  "CMakeFiles/emu_known_state_test.dir/emu_known_state_test.cpp.o.d"
+  "emu_known_state_test"
+  "emu_known_state_test.pdb"
+  "emu_known_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emu_known_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

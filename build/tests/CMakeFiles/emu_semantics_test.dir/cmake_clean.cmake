@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emu_semantics_test.dir/emu_semantics_test.cpp.o"
+  "CMakeFiles/emu_semantics_test.dir/emu_semantics_test.cpp.o.d"
+  "emu_semantics_test"
+  "emu_semantics_test.pdb"
+  "emu_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emu_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_emit_test.dir/ir_emit_test.cpp.o"
+  "CMakeFiles/ir_emit_test.dir/ir_emit_test.cpp.o.d"
+  "ir_emit_test"
+  "ir_emit_test.pdb"
+  "ir_emit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_emit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_decoder_test.dir/isa_decoder_test.cpp.o"
+  "CMakeFiles/isa_decoder_test.dir/isa_decoder_test.cpp.o.d"
+  "isa_decoder_test"
+  "isa_decoder_test.pdb"
+  "isa_decoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_metadata_test.dir/isa_metadata_test.cpp.o"
+  "CMakeFiles/isa_metadata_test.dir/isa_metadata_test.cpp.o.d"
+  "isa_metadata_test"
+  "isa_metadata_test.pdb"
+  "isa_metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_roundtrip_test.dir/isa_roundtrip_test.cpp.o"
+  "CMakeFiles/isa_roundtrip_test.dir/isa_roundtrip_test.cpp.o.d"
+  "isa_roundtrip_test"
+  "isa_roundtrip_test.pdb"
+  "isa_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_assembler_test.dir/jit_assembler_test.cpp.o"
+  "CMakeFiles/jit_assembler_test.dir/jit_assembler_test.cpp.o.d"
+  "jit_assembler_test"
+  "jit_assembler_test.pdb"
+  "jit_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

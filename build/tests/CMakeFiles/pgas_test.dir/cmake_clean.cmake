@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgas_test.dir/pgas_test.cpp.o"
+  "CMakeFiles/pgas_test.dir/pgas_test.cpp.o.d"
+  "pgas_test"
+  "pgas_test.pdb"
+  "pgas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

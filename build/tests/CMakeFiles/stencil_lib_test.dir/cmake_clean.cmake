@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_lib_test.dir/stencil_lib_test.cpp.o"
+  "CMakeFiles/stencil_lib_test.dir/stencil_lib_test.cpp.o.d"
+  "stencil_lib_test"
+  "stencil_lib_test.pdb"
+  "stencil_lib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_lib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_rewrite_test.dir/stencil_rewrite_test.cpp.o"
+  "CMakeFiles/stencil_rewrite_test.dir/stencil_rewrite_test.cpp.o.d"
+  "stencil_rewrite_test"
+  "stencil_rewrite_test.pdb"
+  "stencil_rewrite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

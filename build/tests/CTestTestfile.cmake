@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/isa_decoder_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/jit_assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/core_rewrite_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/pgas_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/core_inline_test[1]_include.cmake")
+include("/root/repo/build/tests/core_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/core_capi_test[1]_include.cmake")
+include("/root/repo/build/tests/passes_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_emit_test[1]_include.cmake")
+include("/root/repo/build/tests/core_guard_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_known_state_test[1]_include.cmake")
+include("/root/repo/build/tests/core_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/core_autospec_test[1]_include.cmake")
+include("/root/repo/build/tests/stencil_lib_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/core_differential_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sse_paths_test[1]_include.cmake")
+include("/root/repo/build/tests/core_injection_test[1]_include.cmake")
