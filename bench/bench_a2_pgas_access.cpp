@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
       reinterpret_cast<const void*>(&brew_pgas_remote_read),
       FunctionOptions{.inlineCalls = false, .pure = true});
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_pgas_read), &g_view, 0L);
   if (!rewritten.ok()) {
     std::fprintf(stderr, "FATAL: accessor rewrite failed: %s\n",
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
       reinterpret_cast<const void*>(&brew_pgas_remote_read),
       FunctionOptions{.inlineCalls = false, .pure = true});
   Rewriter loopRewriter{loopConfig};
-  auto loopRewritten = loopRewriter.rewriteFn(
+  auto loopRewritten = loopRewriter.rewrite(
       reinterpret_cast<const void*>(&brew_pgas_sum_range), &g_view, 0L, 0L,
       reinterpret_cast<const void*>(&brew_pgas_read));
   if (!loopRewritten.ok()) {
@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
       reinterpret_cast<const void*>(&brew_pgas_remote_write),
       FunctionOptions{.inlineCalls = false});
   Rewriter fillRewriter{fillConfig};
-  auto fillRewritten = fillRewriter.rewriteFn(
+  auto fillRewritten = fillRewriter.rewrite(
       reinterpret_cast<const void*>(&brew_pgas_fill_range), &g_view, 0L, 0L,
       0.0, reinterpret_cast<const void*>(&brew_pgas_write));
   if (!fillRewritten.ok()) {

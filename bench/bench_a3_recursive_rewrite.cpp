@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   c1.setReturnKind(ReturnKind::Float);
   Rewriter r1{c1};
   Timer timer;
-  auto stage1 = r1.rewriteFn(reinterpret_cast<const void*>(&polyEval),
+  auto stage1 = r1.rewrite(reinterpret_cast<const void*>(&polyEval),
                              g_coeffs, 8L, 0.0);
   const double stage1Ms = timer.millis();
   if (!stage1.ok()) {
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   c2.setReturnKind(ReturnKind::Float);
   Rewriter r2{c2};
   timer.reset();
-  auto stage2 = r2.rewriteFn(reinterpret_cast<const void*>(g_stage1),
+  auto stage2 = r2.rewrite(reinterpret_cast<const void*>(g_stage1),
                              nullptr, 0L, 2.0);
   const double stage2Ms = timer.millis();
   if (!stage2.ok()) {

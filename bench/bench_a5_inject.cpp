@@ -36,7 +36,7 @@ RewrittenFunction rewriteInstrumented(bool loads, bool entry) {
   if (loads) config.injection().onLoad = &onLoad;
   if (entry) config.injection().onEntry = &onEntry;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kSide,
       &g_s);
   if (!rewritten.ok()) {

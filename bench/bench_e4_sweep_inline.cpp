@@ -31,7 +31,7 @@ Result<RewrittenFunction> rewriteSweep() {
       reinterpret_cast<const void*>(&brew_stencil_sweep),
       FunctionOptions{.inlineCalls = true, .forceUnknownResults = true});
   Rewriter rewriter{config};
-  return rewriter.rewriteFn(
+  return rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_sweep), nullptr, nullptr,
       kSide, kSide, reinterpret_cast<const void*>(&brew_stencil_apply),
       &g_s);

@@ -41,7 +41,7 @@ Outcome tryRewriteSweep(bool noUnroll, size_t maxCodeBytes,
                       .forceUnknownResults = noUnroll});
   Rewriter rewriter{config};
   Timer timer;
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_sweep), nullptr, nullptr,
       kSide, kSide, reinterpret_cast<const void*>(&brew_stencil_apply),
       &g_s);
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
     Rewriter rewriter{config};
     Timer timer;
     auto rewritten =
-        rewriter.rewriteFn(reinterpret_cast<const void*>(&dot), nullptr,
+        rewriter.rewrite(reinterpret_cast<const void*>(&dot), nullptr,
                            nullptr, 8L);
     const double ms = timer.millis();
     if (rewritten.ok()) {

@@ -40,7 +40,7 @@ inline RewrittenFunction rewriteApply(const brew_stencil& s,
     rewriter.passes().redundantLoads = false;
     rewriter.passes().foldZeroAdd = false;
   }
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kSide, &s);
   if (!rewritten.ok()) {
     std::fprintf(stderr, "FATAL: stencil rewrite failed: %s\n",
@@ -52,7 +52,7 @@ inline RewrittenFunction rewriteApply(const brew_stencil& s,
 
 inline RewrittenFunction rewriteApplyGrouped(const brew_gstencil& g) {
   Rewriter rewriter{stencilConfig(sizeof g)};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply_grouped), nullptr,
       kSide, &g);
   if (!rewritten.ok()) {

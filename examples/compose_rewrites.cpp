@@ -40,7 +40,7 @@ int main() {
   stage1Config.setParamFloat(2);
   stage1Config.setReturnKind(ReturnKind::Float);
   Rewriter stage1{stage1Config};
-  auto fixed = stage1.rewriteFn(reinterpret_cast<const void*>(&polyEval),
+  auto fixed = stage1.rewrite(reinterpret_cast<const void*>(&polyEval),
                                 coeffs, 4L, 0.0);
   if (!fixed.ok()) {
     std::printf("stage 1 failed: %s\n", fixed.error().message().c_str());
@@ -57,7 +57,7 @@ int main() {
   stage2Config.setParamKnown(2, /*isFloat=*/true);
   stage2Config.setReturnKind(ReturnKind::Float);
   Rewriter stage2{stage2Config};
-  auto constant = stage2.rewriteFn(reinterpret_cast<const void*>(poly4),
+  auto constant = stage2.rewrite(reinterpret_cast<const void*>(poly4),
                                    nullptr, 0L, 2.0);
   if (!constant.ok()) {
     std::printf("stage 2 failed: %s\n", constant.error().message().c_str());

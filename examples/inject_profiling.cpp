@@ -51,11 +51,12 @@ int main() {
   brew_set_store_handler(conf, &onStore);
 
   typedef double (*dot_t)(const double*, const double*, long);
-  dot_t dot2 = (dot_t)brew_rewrite(conf, (void*)dot, a, b, (uint64_t)8);
-  if (dot2 == nullptr) {
+  brew_func* handle = brew_rewrite2(conf, (void*)dot, a, b, (uint64_t)8);
+  if (handle == nullptr) {
     std::printf("rewrite failed: %s\n", brew_lastError(conf));
     return 1;
   }
+  dot_t dot2 = (dot_t)brew_func_entry(handle);
 
   std::printf("calling the instrumented variant:\n");
   const double sum = dot2(a, b, 8);
@@ -69,7 +70,7 @@ int main() {
   dot(a, b, 8);
   std::printf("loads counted during original call: %" PRIu64 "\n", g_loads);
 
-  brew_release((void*)dot2);
+  brew_release_h(handle);
   brew_freeConf(conf);
   return 0;
 }

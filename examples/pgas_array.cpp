@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       reinterpret_cast<const void*>(&brew_pgas_remote_read),
       FunctionOptions{.inlineCalls = false, .pure = true});
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_pgas_read), &view, 0L);
   if (!rewritten.ok()) {
     std::printf("rewrite failed: %s — generic accessor stays in use\n",

@@ -32,7 +32,7 @@ Result<RewrittenFunction> specializeFor(const brew_pgas_view* view) {
       reinterpret_cast<const void*>(&brew_pgas_remote_read),
       FunctionOptions{.inlineCalls = false, .pure = true});
   Rewriter rewriter{config};
-  return rewriter.rewriteFn(reinterpret_cast<const void*>(&brew_pgas_read),
+  return rewriter.rewrite(reinterpret_cast<const void*>(&brew_pgas_read),
                             view, 0L);
 }
 

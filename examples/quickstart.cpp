@@ -27,10 +27,16 @@ int main() {
   brew_setpar(conf, 1, BREW_KNOWN);
   brew_setret(conf, BREW_RET_INT);
 
-  // Rewrite func, emulating the call func(42, 2).
-  func_t newfunc = (func_t)brew_rewrite(conf, (void*)func, (uint64_t)42,
-                                        (uint64_t)2);
-  if (newfunc == nullptr) {
+  // Rewrite func, emulating the call func(42, 2). The returned handle
+  // keeps the generated code alive (refcounted; release when done) and is
+  // served from the process-wide specialization cache, so a second
+  // identical rewrite is nearly free.
+  brew_func* handle = brew_rewrite2(conf, (void*)func, (uint64_t)42,
+                                    (uint64_t)2);
+  func_t newfunc;
+  if (handle != nullptr) {
+    newfunc = (func_t)brew_func_entry(handle);
+  } else {
     // Rewriting failure is never fatal: keep using the original (§VIII).
     std::printf("rewrite failed (%s); falling back to func\n",
                 brew_lastError(conf));
@@ -42,15 +48,22 @@ int main() {
   std::printf("newfunc(1, 2)       = %d   (first arg fixed at 42)\n", x2);
   std::printf("newfunc(1000, 5)    = %d   (42*7 + 5)\n", newfunc(1000, 5));
 
-  brew_stats stats;
-  brew_getstats(conf, &stats);
-  std::printf(
-      "rewriter: %zu instructions traced, %zu captured, %zu folded away, "
-      "%zu bytes of code\n",
-      stats.traced_instructions, stats.captured_instructions,
-      stats.elided_instructions, stats.code_bytes);
+  if (handle != nullptr) {
+    brew_stats stats;
+    brew_func_getstats(handle, &stats);
+    std::printf(
+        "rewriter: %zu instructions traced, %zu captured, %zu folded away, "
+        "%zu bytes of code\n",
+        stats.traced_instructions, stats.captured_instructions,
+        stats.elided_instructions, stats.code_bytes);
+  }
 
-  brew_release((void*)newfunc);
+  brew_cache_stats cache;
+  brew_getcachestats(&cache);
+  std::printf("cache: %zu misses, %zu hits, %zu entries, %zu code bytes\n",
+              cache.misses, cache.hits, cache.entries, cache.code_bytes);
+
+  brew_release_h(handle);
   brew_freeConf(conf);
   return 0;
 }

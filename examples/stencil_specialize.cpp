@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   config.setParamKnownPtr(2, sizeof s);
   config.setReturnKind(ReturnKind::Float);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, side, &s);
   if (!rewritten.ok()) {
     std::printf("rewrite failed: %s — using the generic version\n",

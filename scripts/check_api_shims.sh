@@ -1,0 +1,22 @@
+#!/bin/sh
+# Fails if in-repo code still calls the deprecated v1 void* C API
+# (brew_rewrite / brew_release). Allowed: the shim's declaration and
+# implementation, and the C API test that pins the shim's behavior.
+# brew_rewrite2 / brew_release_h do not match the pattern.
+set -eu
+cd "$(dirname "$0")/.."
+
+offenders=$(grep -rnE '(^|[^_[:alnum:]])brew_(rewrite|release)[[:space:]]*\(' \
+    src examples bench tests stencil 2>/dev/null \
+  | grep -v '^src/core/brew\.h:' \
+  | grep -v '^src/core/brew_c\.cpp:' \
+  | grep -v '^tests/core_capi_test\.cpp:' \
+  || true)
+
+if [ -n "$offenders" ]; then
+  echo "deprecated v1 brew_rewrite/brew_release calls found:" >&2
+  echo "$offenders" >&2
+  echo "use brew_rewrite2 + brew_func_entry / brew_release_h instead" >&2
+  exit 1
+fi
+echo "no deprecated v1 API callers outside the shim"

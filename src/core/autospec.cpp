@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/spec_manager.hpp"
 #include "jit/assembler.hpp"
 #include "support/log.hpp"
 
@@ -63,18 +64,6 @@ Result<ExecMemory> buildSampler(const void* target, Reg profiledArg,
   return as.finalizeExecutable();
 }
 
-// The stable entry: an indirect jump through a writable pointer cell, so
-// upgrading from sampler to dispatcher is a single pointer store.
-Result<ExecMemory> buildEntryStub(void** cell) {
-  jit::Assembler as;
-  as.movRegImm(Reg::r11,
-               static_cast<int64_t>(reinterpret_cast<uintptr_t>(cell)));
-  as.emit(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
-                    Operand::makeMem(MemOperand{.base = Reg::r11})));
-  as.emit(makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::r11)));
-  return as.finalizeExecutable();
-}
-
 }  // namespace
 
 AutoSpecializer::AutoSpecializer(const void* fn, size_t paramIndex,
@@ -95,7 +84,10 @@ AutoSpecializer::AutoSpecializer(const void* fn, size_t paramIndex,
   } else {
     entrySlot_ = const_cast<void*>(fn_);  // degrade to a plain forwarder
   }
-  auto stub = buildEntryStub(&entrySlot_);
+  // The stable entry: an indirect jump through a writable pointer cell, so
+  // upgrading from sampler to dispatcher is a single pointer store (shared
+  // with SpecManager's async publication, spec_manager.cpp).
+  auto stub = buildEntrySlotStub(&entrySlot_);
   if (stub.ok())
     entryStub_ = std::make_unique<ExecMemory>(std::move(*stub));
 }
@@ -140,7 +132,9 @@ void AutoSpecializer::finalize() {
     return;
   }
 
-  Rewriter rewriter{config_};
+  // Variants allocate through the process specialization cache: repeated
+  // profiles converging on the same hot values share one traced rewrite.
+  Rewriter rewriter{config_, SpecManager::process()};
   auto guarded = rewriteGuarded(rewriter, fn_, prototypeArgs_, paramIndex_,
                                 hot);
   if (!guarded.ok()) {

@@ -1,19 +1,26 @@
 /* BREW — Binary REWriting at runtime (C API).
  *
- * Mirrors the paper's proposed interface (Figures 2, 3 and 5):
+ * Mirrors the paper's proposed interface (Figures 2, 3 and 5), extended
+ * with the v2 handle surface:
  *
  *   brew_conf* conf = brew_initConf();
  *   brew_setnpar(conf, 3);
  *   brew_setpar(conf, 2, BREW_KNOWN);
  *   brew_setpar_ptr(conf, 3, sizeof(struct S));      // BREW_PTR_TOKNOWN
- *   apply_t app2 = (apply_t)brew_rewrite(conf, (void*)apply, 0, xs, &s5);
+ *   brew_func* h = brew_rewrite2(conf, (void*)apply, 0, xs, &s5);
+ *   apply_t app2 = (apply_t)brew_func_entry(h);
  *   ...
- *   brew_release(app2);
+ *   brew_release_h(h);
  *   brew_freeConf(conf);
  *
+ * Rewrites are served from a process-wide concurrent specialization cache:
+ * two identical brew_rewrite2 calls trace once and share refcounted code
+ * (see brew_getcachestats). The v1 void* surface (brew_rewrite /
+ * brew_release) remains as a thin shim over the handles and is deprecated.
+ *
  * Parameter indices are 1-based like in the paper. Rewriting failure is not
- * catastrophic: brew_rewrite returns NULL and the caller keeps using the
- * original function (brew_lastError explains why).
+ * catastrophic: brew_rewrite2 returns NULL and the caller keeps using the
+ * original function (brew_lastError, now thread-local, explains why).
  */
 #ifndef BREW_H_
 #define BREW_H_
@@ -26,6 +33,10 @@ extern "C" {
 #endif
 
 typedef struct brew_conf brew_conf;
+
+/* A refcounted handle to one rewritten function (v2 API). The generated
+ * code stays mapped while any handle (or any cache entry) references it. */
+typedef struct brew_func brew_func;
 
 enum {
   BREW_UNKNOWN = 0,
@@ -84,19 +95,29 @@ void brew_set_exit_handler(brew_conf* conf, brew_handler handler);
 void brew_set_load_handler(brew_conf* conf, brew_handler handler);
 void brew_set_store_handler(brew_conf* conf, brew_handler handler);
 
+/* ---- v2: handle-based rewriting -------------------------------------- */
+
 /* Rewrites `fn`, emulating a call with the given arguments (one variadic
  * argument per declared parameter; doubles for parameters declared with
- * brew_setpar_double, pointer/integer values otherwise).
- * Returns the new function pointer (same signature as `fn`) or NULL. */
-void* brew_rewrite(brew_conf* conf, const void* fn, ...);
+ * brew_setpar_double, pointer/integer values otherwise). Identical
+ * requests (same function, same conf shape, same known values) are served
+ * from the specialization cache without re-tracing. Returns a new handle
+ * (release with brew_release_h) or NULL on failure. */
+brew_func* brew_rewrite2(brew_conf* conf, const void* fn, ...);
 
-/* Releases the code of a function returned by brew_rewrite. */
-void brew_release(void* rewritten);
+/* Entry point of the rewritten code; same signature as the original
+ * function. Valid while the handle is alive. */
+void* brew_func_entry(brew_func* fn);
 
-/* Message for the most recent brew_rewrite failure on this conf. */
-const char* brew_lastError(const brew_conf* conf);
+/* Adds a reference; returns `fn`. Each brew_retain needs one matching
+ * brew_release_h. */
+brew_func* brew_retain(brew_func* fn);
 
-/* Statistics of the most recent successful rewrite on this conf. */
+/* Drops one reference; the code is unmapped when the last handle AND any
+ * cache entry are gone. NULL is a no-op. */
+void brew_release_h(brew_func* fn);
+
+/* Statistics of the rewrite that produced this handle. */
 typedef struct brew_stats {
   size_t traced_instructions;
   size_t captured_instructions;
@@ -104,6 +125,53 @@ typedef struct brew_stats {
   size_t blocks;
   size_t code_bytes;
 } brew_stats;
+void brew_func_getstats(const brew_func* fn, brew_stats* out);
+
+/* ---- process-wide specialization cache ------------------------------- */
+
+typedef struct brew_cache_stats {
+  size_t hits;                /* served without tracing */
+  size_t misses;              /* one per actual trace+emit */
+  size_t evictions;           /* dropped for the byte budget */
+  size_t insertions;
+  size_t in_flight_waits;     /* hits that blocked on a concurrent build */
+  size_t invalidations;       /* dropped because the target was freed */
+  size_t entries;             /* current */
+  size_t code_bytes;          /* current mapped bytes held by the cache */
+  size_t capacity_bytes;      /* configured budget */
+  size_t async_installs;      /* asynchronous publications */
+  uint64_t async_latency_ns_total;
+  uint64_t async_latency_ns_max;
+} brew_cache_stats;
+void brew_getcachestats(brew_cache_stats* out);
+
+/* Drops all cache entries (outstanding handles stay executable) and zeroes
+ * the counters. Mostly for tests and phase boundaries. */
+void brew_cache_reset(void);
+
+/* LRU byte budget of the cache (default 64 MiB). */
+void brew_cache_set_budget(size_t bytes);
+
+/* ---- v1 compatibility shim (DEPRECATED) ------------------------------ */
+
+/* DEPRECATED: v1 spelling of brew_rewrite2. Returns the raw entry pointer
+ * and tracks the handle internally so brew_release can find it. Prefer
+ * brew_rewrite2 + brew_func_entry; this shim stays for source
+ * compatibility with the paper's figures. */
+void* brew_rewrite(brew_conf* conf, const void* fn, ...);
+
+/* DEPRECATED: releases the handle behind a pointer returned by
+ * brew_rewrite. Prefer brew_release_h. */
+void brew_release(void* rewritten);
+
+/* Message for the most recent brew_rewrite/brew_rewrite2 failure on this
+ * conf *on the calling thread* (thread-local, so concurrent rewriters do
+ * not clobber each other); "" after a successful rewrite or when this
+ * thread never failed. */
+const char* brew_lastError(const brew_conf* conf);
+
+/* Statistics of the most recent successful rewrite on this conf (any
+ * thread; last writer wins). Prefer brew_func_getstats. */
 void brew_getstats(const brew_conf* conf, brew_stats* out);
 
 #ifdef __cplusplus

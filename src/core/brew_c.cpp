@@ -1,33 +1,104 @@
-// C API implementation: thin wrapper over brew::Rewriter. Generated
-// functions are tracked in a registry so brew_release can free them by
-// entry pointer.
+// C API implementation. v2 (brew_rewrite2) returns refcounted brew_func
+// handles backed by the process-wide specialization cache; the v1 void*
+// surface (brew_rewrite / brew_release) is a thin shim that tracks handles
+// by entry pointer. brew_lastError is thread-local so concurrent rewriters
+// sharing a conf never see each other's failures.
 #include "core/brew.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <map>
 #include <mutex>
 #include <string>
 
 #include "core/rewriter.hpp"
+#include "core/spec_manager.hpp"
+
+struct brew_func {
+  brew::CodeHandle handle;
+  std::atomic<uint64_t> refs{1};
+  brew_stats stats{};
+};
+
+namespace {
+uint64_t nextConfId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
 
 struct brew_conf {
   brew::Config config;
   int paramCount = 0;
-  std::string lastError;
+  // Identity for the thread-local error slots: keyed by id (not pointer) so
+  // a conf allocated at a recycled address never inherits stale messages.
+  uint64_t id = nextConfId();
+  mutable std::mutex statsMutex;
   brew_stats stats{};
 };
 
 namespace {
 
+// Per-thread error messages, keyed by conf id. The map is tiny (one entry
+// per conf this thread rewrote with) and dies with the thread.
+thread_local std::map<uint64_t, std::string> t_lastError;
+
+void setLastError(const brew_conf* conf, std::string message) {
+  t_lastError[conf->id] = std::move(message);
+}
+
+void clearLastError(const brew_conf* conf) { t_lastError.erase(conf->id); }
+
+// v1 shim registry: entry pointer -> handle (+ how many times the same
+// entry was handed out, since cache hits return identical pointers).
+struct LegacyEntry {
+  brew_func* fn = nullptr;
+  size_t count = 0;
+};
+
 std::mutex g_registryMutex;
-std::map<void*, brew::RewrittenFunction>& registry() {
-  static auto* map = new std::map<void*, brew::RewrittenFunction>();
+std::map<void*, LegacyEntry>& registry() {
+  static auto* map = new std::map<void*, LegacyEntry>();
   return *map;
 }
 
 bool validIndex(int index) {
   return index >= 1 &&
          index <= static_cast<int>(brew::Config::kMaxParams);
+}
+
+// Shared worker behind brew_rewrite and brew_rewrite2.
+brew_func* rewriteV(brew_conf* conf, const void* fn, va_list ap) {
+  if (conf == nullptr || fn == nullptr) return nullptr;
+  std::vector<brew::ArgValue> args;
+  for (int i = 0; i < conf->paramCount; ++i) {
+    const brew::ParamSpec& spec =
+        conf->config.param(static_cast<size_t>(i));
+    if (spec.isFloat)
+      args.push_back(brew::ArgValue::fromDouble(va_arg(ap, double)));
+    else
+      args.push_back(brew::ArgValue::fromInt(va_arg(ap, uint64_t)));
+  }
+
+  auto result = brew::SpecManager::process().rewrite(
+      conf->config, brew::PassOptions{}, fn, args);
+  if (!result.ok()) {
+    setLastError(conf, result.error().message());
+    return nullptr;
+  }
+  clearLastError(conf);
+
+  auto* handle = new brew_func();
+  handle->handle = std::move(*result);
+  const brew::TraceStats& ts = handle->handle->traceStats;
+  handle->stats =
+      brew_stats{ts.tracedInstructions, ts.capturedInstructions,
+                 ts.elidedInstructions, ts.blocks, handle->handle.codeSize()};
+  {
+    std::lock_guard<std::mutex> lock(conf->statsMutex);
+    conf->stats = handle->stats;
+  }
+  return handle;
 }
 
 }  // namespace
@@ -111,50 +182,111 @@ void brew_set_store_handler(brew_conf* conf, brew_handler handler) {
   if (conf != nullptr) conf->config.injection().onStore = handler;
 }
 
-void* brew_rewrite(brew_conf* conf, const void* fn, ...) {
-  if (conf == nullptr || fn == nullptr) return nullptr;
-  std::vector<brew::ArgValue> args;
+/* ---- v2: handles ----------------------------------------------------- */
+
+brew_func* brew_rewrite2(brew_conf* conf, const void* fn, ...) {
   va_list ap;
   va_start(ap, fn);
-  for (int i = 0; i < conf->paramCount; ++i) {
-    const brew::ParamSpec& spec =
-        conf->config.param(static_cast<size_t>(i));
-    if (spec.isFloat)
-      args.push_back(brew::ArgValue::fromDouble(va_arg(ap, double)));
-    else
-      args.push_back(brew::ArgValue::fromInt(va_arg(ap, uint64_t)));
-  }
+  brew_func* handle = rewriteV(conf, fn, ap);
   va_end(ap);
+  return handle;
+}
 
-  brew::Rewriter rewriter(conf->config);
-  auto result = rewriter.rewrite(fn, args);
-  if (!result) {
-    conf->lastError = result.error().message();
-    return nullptr;
-  }
-  conf->lastError.clear();
-  const brew::TraceStats& ts = result->traceStats();
-  conf->stats = brew_stats{ts.tracedInstructions, ts.capturedInstructions,
-                           ts.elidedInstructions, ts.blocks,
-                           result->codeSize()};
-  void* entry = result->entry();
+void* brew_func_entry(brew_func* fn) {
+  return fn != nullptr ? fn->handle.entry() : nullptr;
+}
+
+brew_func* brew_retain(brew_func* fn) {
+  if (fn != nullptr) fn->refs.fetch_add(1, std::memory_order_relaxed);
+  return fn;
+}
+
+void brew_release_h(brew_func* fn) {
+  if (fn != nullptr &&
+      fn->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    delete fn;
+}
+
+void brew_func_getstats(const brew_func* fn, brew_stats* out) {
+  if (fn != nullptr && out != nullptr) *out = fn->stats;
+}
+
+void brew_getcachestats(brew_cache_stats* out) {
+  if (out == nullptr) return;
+  const brew::CacheStats s = brew::SpecManager::process().cache().stats();
+  *out = brew_cache_stats{
+      static_cast<size_t>(s.hits),
+      static_cast<size_t>(s.misses),
+      static_cast<size_t>(s.evictions),
+      static_cast<size_t>(s.insertions),
+      static_cast<size_t>(s.inFlightWaits),
+      static_cast<size_t>(s.invalidations),
+      static_cast<size_t>(s.entries),
+      static_cast<size_t>(s.codeBytes),
+      static_cast<size_t>(s.capacityBytes),
+      static_cast<size_t>(s.asyncInstalls),
+      s.asyncLatencyNsTotal,
+      s.asyncLatencyNsMax,
+  };
+}
+
+void brew_cache_reset(void) {
+  brew::CodeCache& cache = brew::SpecManager::process().cache();
+  cache.clear();
+  cache.resetStats();
+}
+
+void brew_cache_set_budget(size_t bytes) {
+  brew::SpecManager::process().cache().setByteBudget(bytes);
+}
+
+/* ---- v1 shim --------------------------------------------------------- */
+
+void* brew_rewrite(brew_conf* conf, const void* fn, ...) {
+  va_list ap;
+  va_start(ap, fn);
+  brew_func* handle = rewriteV(conf, fn, ap);
+  va_end(ap);
+  if (handle == nullptr) return nullptr;
+  void* entry = brew_func_entry(handle);
   std::lock_guard<std::mutex> lock(g_registryMutex);
-  registry()[entry] = std::move(*result);
+  LegacyEntry& slot = registry()[entry];
+  if (slot.fn == nullptr) {
+    slot.fn = handle;
+  } else {
+    // Cache hit: the same entry pointer was already handed out. One stored
+    // handle suffices; drop the duplicate and count the extra claim.
+    brew_release_h(handle);
+  }
+  ++slot.count;
   return entry;
 }
 
 void brew_release(void* rewritten) {
   if (rewritten == nullptr) return;
-  std::lock_guard<std::mutex> lock(g_registryMutex);
-  registry().erase(rewritten);
+  brew_func* toRelease = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_registryMutex);
+    auto it = registry().find(rewritten);
+    if (it == registry().end()) return;
+    if (--it->second.count == 0) {
+      toRelease = it->second.fn;
+      registry().erase(it);
+    }
+  }
+  brew_release_h(toRelease);
 }
 
 const char* brew_lastError(const brew_conf* conf) {
-  return conf != nullptr ? conf->lastError.c_str() : "null conf";
+  if (conf == nullptr) return "null conf";
+  auto it = t_lastError.find(conf->id);
+  return it != t_lastError.end() ? it->second.c_str() : "";
 }
 
 void brew_getstats(const brew_conf* conf, brew_stats* out) {
-  if (conf != nullptr && out != nullptr) *out = conf->stats;
+  if (conf == nullptr || out == nullptr) return;
+  std::lock_guard<std::mutex> lock(conf->statsMutex);
+  *out = conf->stats;
 }
 
 }  // extern "C"

@@ -1,0 +1,234 @@
+#include "core/code_cache.hpp"
+
+#include <algorithm>
+
+namespace brew {
+
+namespace {
+
+// Registry of live caches, consulted by the ExecMemory free hook. Leaked
+// on purpose: the hook can fire during static destruction (benches keep
+// RewrittenFunction globals), after any static registry would be gone.
+struct CacheRegistry {
+  std::mutex mu;
+  std::vector<CodeCache*> caches;
+};
+
+CacheRegistry& cacheRegistry() {
+  static auto* registry = new CacheRegistry();
+  return *registry;
+}
+
+void onExecMemoryFreed(const void* base, size_t size) noexcept {
+  // Collect dropped handles under the registry lock, release them after:
+  // destroying a CodeBlock frees its ExecMemory, which re-enters this hook.
+  std::vector<CodeHandle> dropped;
+  try {
+    CacheRegistry& registry = cacheRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (CodeCache* cache : registry.caches)
+      cache->collectInvalidated(base, size, dropped);
+  } catch (...) {
+    // Allocation failure while collecting: leak the entries rather than
+    // crash inside a destructor path.
+  }
+}
+
+}  // namespace
+
+CodeCache::CodeCache(size_t byteBudget) : budget_(byteBudget) {
+  stats_.capacityBytes = budget_;
+  CacheRegistry& registry = cacheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.caches.push_back(this);
+  setExecFreeHook(&onExecMemoryFreed);
+}
+
+CodeCache::~CodeCache() {
+  {
+    CacheRegistry& registry = cacheRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    std::erase(registry.caches, this);
+  }
+  clear();
+}
+
+void CodeCache::touchLocked(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lruPos);
+}
+
+void CodeCache::evictOverBudgetLocked(std::vector<CodeHandle>& dropped) {
+  // The most recent insertion always stays: a single oversized entry must
+  // remain usable through the handle the caller just received.
+  while (bytes_ > budget_ && lru_.size() > 1) {
+    const CacheKey victim = lru_.back();
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      bytes_ -= it->second.handle ? it->second.handle->codeBytes() : 0;
+      dropped.push_back(std::move(it->second.handle));
+      entries_.erase(it);
+      ++stats_.evictions;
+    }
+    lru_.pop_back();
+  }
+}
+
+void CodeCache::insertLocked(const CacheKey& key, const CodeHandle& handle,
+                             std::vector<CodeHandle>& dropped) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.handle ? it->second.handle->codeBytes() : 0;
+    dropped.push_back(std::move(it->second.handle));
+    lru_.erase(it->second.lruPos);
+    entries_.erase(it);
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{handle, lru_.begin()});
+  bytes_ += handle ? handle->codeBytes() : 0;
+  ++stats_.insertions;
+  evictOverBudgetLocked(dropped);
+}
+
+Result<CodeHandle> CodeCache::getOrBuild(
+    const CacheKey& key, const std::function<Result<CodeHandle>()>& build) {
+  std::shared_ptr<InFlight> flight;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      touchLocked(it->second);
+      return it->second.handle;
+    }
+    auto fit = inFlight_.find(key);
+    if (fit != inFlight_.end()) {
+      flight = fit->second;
+      ++stats_.hits;
+      ++stats_.inFlightWaits;
+    } else {
+      flight = std::make_shared<InFlight>();
+      inFlight_.emplace(key, flight);
+      builder = true;
+      ++stats_.misses;
+    }
+  }
+
+  if (!builder) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->ok) return flight->handle;
+    return flight->error;
+  }
+
+  Result<CodeHandle> built = build();
+  std::vector<CodeHandle> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inFlight_.erase(key);
+    if (built.ok()) insertLocked(key, *built, dropped);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->ok = built.ok();
+    if (built.ok())
+      flight->handle = *built;
+    else
+      flight->error = built.error();
+  }
+  flight->cv.notify_all();
+  return built;
+}
+
+CodeHandle CodeCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return CodeHandle{};
+  }
+  ++stats_.hits;
+  touchLocked(it->second);
+  return it->second.handle;
+}
+
+void CodeCache::insert(const CacheKey& key, const CodeHandle& handle) {
+  // `dropped` is declared before the guard so replaced/evicted handles are
+  // released only after the lock is gone (their death can reenter the
+  // ExecMemory free hook).
+  std::vector<CodeHandle> dropped;
+  std::lock_guard<std::mutex> lock(mu_);
+  insertLocked(key, handle, dropped);
+}
+
+void CodeCache::collectInvalidated(const void* base, size_t size,
+                                   std::vector<CodeHandle>& out) {
+  const uint64_t start = reinterpret_cast<uint64_t>(base);
+  const uint64_t end = start + size;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.fn >= start && it->first.fn < end) {
+      bytes_ -= it->second.handle ? it->second.handle->codeBytes() : 0;
+      out.push_back(std::move(it->second.handle));
+      lru_.erase(it->second.lruPos);
+      it = entries_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CodeCache::invalidateTarget(const void* base, size_t size) {
+  std::vector<CodeHandle> dropped;
+  collectInvalidated(base, size, dropped);
+  // dropped handles released here, outside the cache lock.
+}
+
+void CodeCache::setByteBudget(size_t bytes) {
+  std::vector<CodeHandle> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = bytes;
+    stats_.capacityBytes = bytes;
+    evictOverBudgetLocked(dropped);
+  }
+}
+
+CacheStats CodeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats out = stats_;
+  out.entries = entries_.size();
+  out.codeBytes = bytes_;
+  out.capacityBytes = budget_;
+  return out;
+}
+
+void CodeCache::clear() {
+  std::vector<CodeHandle> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped.reserve(entries_.size());
+    for (auto& [key, entry] : entries_) dropped.push_back(std::move(entry.handle));
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+  }
+}
+
+void CodeCache::resetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t capacity = stats_.capacityBytes;
+  stats_ = CacheStats{};
+  stats_.capacityBytes = capacity;
+}
+
+void CodeCache::recordAsyncInstall(uint64_t latencyNs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.asyncInstalls;
+  stats_.asyncLatencyNsTotal += latencyNs;
+  stats_.asyncLatencyNsMax = std::max(stats_.asyncLatencyNsMax, latencyNs);
+}
+
+}  // namespace brew

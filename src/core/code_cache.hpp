@@ -1,0 +1,225 @@
+// Concurrent specialization cache (toward the ROADMAP's "serve many
+// rewrite clients" north star, and the multi-version code caches of
+// profile-guided rewriters like Meng et al. / BAAR in PAPERS.md).
+//
+// Three layers:
+//
+//  - CodeBlock: one unit of generated code (ExecMemory + captured IR +
+//    stats) with an intrusive atomic refcount. Immutable after creation.
+//  - CodeHandle: the smart pointer over CodeBlock. Copy = retain, so a
+//    handle held by an executing caller keeps the code mapped even after
+//    the cache evicts the entry.
+//  - CodeCache: a thread-safe map from (function address, config
+//    fingerprint, known-argument hash) to CodeHandle with LRU eviction
+//    under a byte budget and single-flight deduplication: when N threads
+//    request the same key concurrently, exactly one traces and emits; the
+//    rest block and share the result (counted as hits + inFlightWaits).
+//
+// Safety against address reuse: a cache key embeds the *address* of the
+// subject function. When an ExecMemory region is freed (test kernels,
+// recursive-rewrite stages), mmap may hand the same address to unrelated
+// code later. The cache registers an ExecMemory free hook and drops every
+// entry whose target lies in a freed range.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tracer.hpp"
+#include "ir/captured.hpp"
+#include "support/error.hpp"
+#include "support/exec_memory.hpp"
+
+namespace brew {
+
+// One immutable unit of generated code. Created with one reference, owned
+// collectively by every CodeHandle pointing at it.
+struct CodeBlock {
+  ExecMemory memory;
+  ir::CapturedFunction captured;
+  TraceStats traceStats;
+  ir::EmitStats emitStats;
+  mutable std::atomic<uint64_t> refs{1};
+
+  size_t codeBytes() const noexcept { return memory.size(); }
+};
+
+// Intrusive refcounted pointer to a CodeBlock. Copyable (retain) and
+// movable (steal); destroying the last handle unmaps the code.
+class CodeHandle {
+ public:
+  CodeHandle() = default;
+  // Takes over the reference the block was created with.
+  static CodeHandle adopt(CodeBlock* block) { return CodeHandle(block); }
+
+  CodeHandle(const CodeHandle& other) : block_(other.block_) { retain(); }
+  CodeHandle(CodeHandle&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  CodeHandle& operator=(const CodeHandle& other) {
+    if (this != &other) {
+      release();
+      block_ = other.block_;
+      retain();
+    }
+    return *this;
+  }
+  CodeHandle& operator=(CodeHandle&& other) noexcept {
+    if (this != &other) {
+      release();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~CodeHandle() { release(); }
+
+  void* entry() const {
+    return block_ != nullptr
+               ? const_cast<uint8_t*>(block_->memory.data())
+               : nullptr;
+  }
+  size_t codeSize() const {
+    return block_ != nullptr ? block_->emitStats.codeBytes : 0;
+  }
+  const CodeBlock* get() const noexcept { return block_; }
+  const CodeBlock* operator->() const noexcept { return block_; }
+  explicit operator bool() const noexcept { return block_ != nullptr; }
+
+  // Snapshot of the reference count (tests / diagnostics only).
+  uint64_t useCount() const noexcept {
+    return block_ != nullptr ? block_->refs.load(std::memory_order_relaxed)
+                             : 0;
+  }
+  void reset() {
+    release();
+    block_ = nullptr;
+  }
+
+ private:
+  explicit CodeHandle(CodeBlock* block) : block_(block) {}
+  void retain() const noexcept {
+    if (block_ != nullptr)
+      block_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void release() noexcept {
+    if (block_ != nullptr &&
+        block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      delete block_;
+  }
+
+  CodeBlock* block_ = nullptr;
+};
+
+// Cache key: subject function address, Config/PassOptions fingerprint, and
+// a hash of everything the generated code was specialized against (known
+// argument values, known-pointer pointee bytes, known-region contents).
+struct CacheKey {
+  uint64_t fn = 0;
+  uint64_t configFp = 0;
+  uint64_t argsHash = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const noexcept {
+    uint64_t h = key.fn;
+    h ^= key.configFp + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= key.argsHash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          // one per actual trace+emit attempt
+  uint64_t evictions = 0;       // entries dropped for the byte budget
+  uint64_t insertions = 0;
+  uint64_t inFlightWaits = 0;   // hits that blocked on a concurrent build
+  uint64_t invalidations = 0;   // entries dropped by target-address reuse
+  uint64_t entries = 0;         // current
+  uint64_t codeBytes = 0;       // current mapped bytes held by the cache
+  uint64_t capacityBytes = 0;   // configured budget
+  uint64_t asyncInstalls = 0;   // SpecManager::rewriteAsync publications
+  uint64_t asyncLatencyNsTotal = 0;
+  uint64_t asyncLatencyNsMax = 0;
+};
+
+class CodeCache {
+ public:
+  static constexpr size_t kDefaultByteBudget = size_t{64} << 20;
+
+  explicit CodeCache(size_t byteBudget = kDefaultByteBudget);
+  ~CodeCache();
+
+  CodeCache(const CodeCache&) = delete;
+  CodeCache& operator=(const CodeCache&) = delete;
+
+  // Single-flight lookup-or-build. `build` runs outside the cache lock on
+  // exactly one thread per key; concurrent same-key callers block until it
+  // finishes and share the result. Failures are returned to every waiter
+  // and are NOT cached (the next request retries).
+  Result<CodeHandle> getOrBuild(const CacheKey& key,
+                                const std::function<Result<CodeHandle>()>& build);
+
+  // Non-building probe; counts a hit or a miss. Null handle on miss.
+  CodeHandle lookup(const CacheKey& key);
+
+  // Direct insert (replaces an existing entry for the key).
+  void insert(const CacheKey& key, const CodeHandle& handle);
+
+  // Drops every entry whose key.fn lies in [base, base+size). Called by
+  // the ExecMemory free hook; safe to call directly.
+  void invalidateTarget(const void* base, size_t size);
+  // Internal form used by the free hook: collects dropped handles into
+  // `out` so the caller can release them outside all locks.
+  void collectInvalidated(const void* base, size_t size,
+                          std::vector<CodeHandle>& out);
+
+  void setByteBudget(size_t bytes);
+  CacheStats stats() const;
+  // Drops all entries (outstanding handles stay valid).
+  void clear();
+  // Zeroes the counters; current entries/bytes are preserved.
+  void resetStats();
+
+  // Async-install accounting (reported by SpecManager).
+  void recordAsyncInstall(uint64_t latencyNs);
+
+ private:
+  struct Entry {
+    CodeHandle handle;
+    std::list<CacheKey>::iterator lruPos;
+  };
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    CodeHandle handle;
+    Error error;
+  };
+
+  void touchLocked(Entry& entry);
+  void insertLocked(const CacheKey& key, const CodeHandle& handle,
+                    std::vector<CodeHandle>& dropped);
+  void evictOverBudgetLocked(std::vector<CodeHandle>& dropped);
+
+  mutable std::mutex mu_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
+  std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash>
+      inFlight_;
+  std::list<CacheKey> lru_;  // front = most recently used
+  size_t budget_;
+  size_t bytes_ = 0;
+  CacheStats stats_{};
+};
+
+}  // namespace brew

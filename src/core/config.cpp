@@ -60,4 +60,52 @@ FunctionOptions Config::functionOptions(uint64_t fn) const {
   return it != perFunction_.end() ? it->second : defaults_;
 }
 
+namespace {
+
+uint64_t mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t functionOptionBits(const FunctionOptions& options) {
+  return static_cast<uint64_t>(options.inlineCalls) |
+         static_cast<uint64_t>(options.forceUnknownResults) << 1 |
+         static_cast<uint64_t>(options.pure) << 2;
+}
+
+}  // namespace
+
+uint64_t Config::fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, declaredParams_);
+  for (const ParamSpec& spec : params_) {
+    h = mix(h, static_cast<uint64_t>(spec.kind) << 1 |
+                   static_cast<uint64_t>(spec.isFloat));
+    h = mix(h, spec.pointeeSize);
+  }
+  for (const MemRegion& region : knownRegions_) {
+    h = mix(h, region.start);
+    h = mix(h, region.end);
+  }
+  // perFunction_ is an ordered map, so iteration (and the digest) is
+  // deterministic for a given option set.
+  for (const auto& [address, options] : perFunction_) {
+    h = mix(h, address);
+    h = mix(h, functionOptionBits(options));
+  }
+  h = mix(h, functionOptionBits(defaults_));
+  h = mix(h, static_cast<uint64_t>(returnKind_) << 1 |
+                 static_cast<uint64_t>(foldZeroAccumulator_));
+  h = mix(h, limits_.maxTraceSteps);
+  h = mix(h, limits_.maxCodeBytes);
+  h = mix(h, limits_.maxBlocks);
+  h = mix(h, static_cast<uint64_t>(limits_.maxVariantsPerAddress));
+  h = mix(h, static_cast<uint64_t>(limits_.maxInlineDepth));
+  h = mix(h, reinterpret_cast<uint64_t>(injection_.onEntry));
+  h = mix(h, reinterpret_cast<uint64_t>(injection_.onExit));
+  h = mix(h, reinterpret_cast<uint64_t>(injection_.onLoad));
+  h = mix(h, reinterpret_cast<uint64_t>(injection_.onStore));
+  return h;
+}
+
 }  // namespace brew

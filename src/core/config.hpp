@@ -88,6 +88,7 @@ class Config {
   // --- known-constant memory (brew_setmem) ---
   Config& addKnownRegion(const void* start, size_t bytes);
   bool isKnownRegion(uint64_t addr, size_t bytes) const;
+  const std::vector<MemRegion>& knownRegions() const { return knownRegions_; }
 
   // --- per-function options ---
   Config& setFunctionOptions(const void* fn, FunctionOptions options);
@@ -120,6 +121,14 @@ class Config {
   Injection& injection() { return injection_; }
   const Injection& injection() const { return injection_; }
 
+  // Stable digest of everything in this Config that shapes generated code:
+  // parameter specs, known-region bounds, per-function options, return
+  // kind, limits and injection handlers. Used (combined with the known
+  // argument values and known-memory *contents*) as the specialization
+  // cache key. Two Configs with equal fingerprints request byte-identical
+  // rewrites of a given function.
+  uint64_t fingerprint() const;
+
  private:
   ParamSpec params_[kMaxParams];
   size_t declaredParams_ = 0;
@@ -133,7 +142,7 @@ class Config {
 };
 
 // A runtime argument value for the trace, in signature order. Mirrors the
-// variadic arguments of the C-level brew_rewrite().
+// variadic arguments of the C-level brew_rewrite2().
 struct ArgValue {
   uint64_t bits = 0;
   bool isFloat = false;

@@ -2,25 +2,59 @@
 
 #include <cstdio>
 
+#include "core/spec_manager.hpp"
 #include "isa/printer.hpp"
 #include "support/log.hpp"
 #include "support/perf_map.hpp"
 
 namespace brew {
 
+namespace {
+const TraceStats kEmptyTraceStats{};
+const ir::EmitStats kEmptyEmitStats{};
+}  // namespace
+
+uint64_t PassOptions::fingerprint() const {
+  uint64_t bits = 0;
+  bits |= static_cast<uint64_t>(peephole) << 0;
+  bits |= static_cast<uint64_t>(deadFlagWriters) << 1;
+  bits |= static_cast<uint64_t>(redundantLoads) << 2;
+  bits |= static_cast<uint64_t>(foldZeroAdd) << 3;
+  bits |= static_cast<uint64_t>(mergeBlocks) << 4;
+  // Spread the low bits so the composite key mixes well.
+  return (bits + 1) * 0x9e3779b97f4a7c15ULL;
+}
+
+const TraceStats& RewrittenFunction::traceStats() const {
+  return handle_ ? handle_->traceStats : kEmptyTraceStats;
+}
+
+const ir::EmitStats& RewrittenFunction::emitStats() const {
+  return handle_ ? handle_->emitStats : kEmptyEmitStats;
+}
+
+std::string RewrittenFunction::dumpCaptured() const {
+  return handle_ ? handle_->captured.dump() : std::string{};
+}
+
 std::string RewrittenFunction::disassembly() const {
+  if (!handle_) return {};
+  const ExecMemory& memory = handle_->memory;
   return isa::disassemble(
-      std::span<const uint8_t>(memory_.data(), memory_.size()),
-      reinterpret_cast<uint64_t>(memory_.data()),
+      std::span<const uint8_t>(memory.data(), memory.size()),
+      reinterpret_cast<uint64_t>(memory.data()),
       /*maxInstructions=*/100000);
 }
 
-Result<RewrittenFunction> Rewriter::rewrite(const void* fn,
-                                            std::span<const ArgValue> args) {
+Result<CodeHandle> compileSpecialization(const Config& config,
+                                         const PassOptions& passes,
+                                         const void* fn,
+                                         std::span<const ArgValue> args,
+                                         uint64_t variantTag) {
   if (fn == nullptr)
     return Error{ErrorCode::InvalidArgument, 0, "null function pointer"};
 
-  Tracer tracer(config_);
+  Tracer tracer(config);
   auto captured = tracer.trace(reinterpret_cast<uint64_t>(fn), args);
   if (!captured) {
     BREW_LOG_INFO("rewrite of %p failed: %s", fn,
@@ -28,11 +62,10 @@ Result<RewrittenFunction> Rewriter::rewrite(const void* fn,
     return captured.error();
   }
 
-  runPasses(*captured, passOptions_);
+  runPasses(*captured, passes);
 
   ir::EmitStats emitStats;
-  auto memory =
-      ir::emit(*captured, config_.limits().maxCodeBytes, &emitStats);
+  auto memory = ir::emit(*captured, config.limits().maxCodeBytes, &emitStats);
   if (!memory) {
     BREW_LOG_INFO("emit of %p failed: %s", fn,
                   memory.error().message().c_str());
@@ -40,24 +73,38 @@ Result<RewrittenFunction> Rewriter::rewrite(const void* fn,
   }
 
   if (perfMapEnabled()) {
-    char name[48];
-    std::snprintf(name, sizeof name, "brew_rewrite_%p", fn);
+    char name[64];
+    if (variantTag != 0)
+      std::snprintf(name, sizeof name, "brew_spec_%p_%016llx", fn,
+                    static_cast<unsigned long long>(variantTag));
+    else
+      std::snprintf(name, sizeof name, "brew_rewrite_%p", fn);
     perfMapRegister(memory->data(), emitStats.codeBytes, name);
   }
 
-  RewrittenFunction result;
-  result.memory_ = std::move(*memory);
-  result.captured_ = std::move(*captured);
-  result.traceStats_ = tracer.stats();
-  result.emitStats_ = emitStats;
+  auto* block = new CodeBlock();
+  block->memory = std::move(*memory);
+  block->captured = std::move(*captured);
+  block->traceStats = tracer.stats();
+  block->emitStats = emitStats;
   BREW_LOG_INFO(
       "rewrote %p: %zu traced, %zu captured, %zu elided, %zu blocks, "
       "%zu bytes",
-      fn, result.traceStats_.tracedInstructions,
-      result.traceStats_.capturedInstructions,
-      result.traceStats_.elidedInstructions, result.traceStats_.blocks,
-      result.emitStats_.codeBytes);
-  return result;
+      fn, block->traceStats.tracedInstructions,
+      block->traceStats.capturedInstructions,
+      block->traceStats.elidedInstructions, block->traceStats.blocks,
+      block->emitStats.codeBytes);
+  return CodeHandle::adopt(block);
+}
+
+Result<RewrittenFunction> Rewriter::rewrite(const void* fn,
+                                            std::span<const ArgValue> args) {
+  Result<CodeHandle> handle =
+      manager_ != nullptr
+          ? manager_->rewrite(config_, passOptions_, fn, args)
+          : compileSpecialization(config_, passOptions_, fn, args);
+  if (!handle.ok()) return handle.error();
+  return RewrittenFunction(std::move(*handle));
 }
 
 }  // namespace brew

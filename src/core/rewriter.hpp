@@ -2,14 +2,21 @@
 // RewrittenFunction whose entry pointer is a drop-in replacement for `fn`
 // (same signature, §III-E), specialized for the configured known values.
 //
+// v2 surface: RewrittenFunction is move-only and backed by a refcounted
+// CodeHandle (core/code_cache.hpp); share the underlying code explicitly
+// with shareHandle(). A Rewriter can be attached to a SpecManager so
+// identical rewrites are served from the concurrent specialization cache.
+//
 // The C API in brew.h (matching the paper's Figures 2/3/5) wraps this.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "core/code_cache.hpp"
 #include "core/config.hpp"
 #include "core/tracer.hpp"
 #include "ir/captured.hpp"
@@ -17,6 +24,8 @@
 #include "support/exec_memory.hpp"
 
 namespace brew {
+
+class SpecManager;
 
 // Optimization passes over the captured code, run between trace and emit
 // (§IV: the prototype keeps them simple and case-specific).
@@ -33,57 +42,102 @@ struct PassOptions {
   // Merge a block into its unique Jmp predecessor (removes the stub blocks
   // that migration compensation and resolved control flow leave behind).
   bool mergeBlocks = true;
+
+  // Stable digest of the option set; folded into the specialization cache
+  // key (an ablation build must not alias the default-pass variant).
+  uint64_t fingerprint() const;
 };
 
+// A native value convertible to an ArgValue for rewrite(fn, args...).
+// ArgValue pointers are excluded so an `ArgValue args[]` array decays into
+// the span overload instead of being mistaken for one pointer argument.
+template <typename T>
+concept RewriteArg =
+    (std::is_arithmetic_v<std::remove_cvref_t<T>> ||
+     std::is_enum_v<std::remove_cvref_t<T>> ||
+     std::is_pointer_v<std::remove_cvref_t<T>> ||
+     std::is_null_pointer_v<std::remove_cvref_t<T>>) &&
+    !std::is_same_v<
+        std::remove_cv_t<std::remove_pointer_t<std::remove_cvref_t<T>>>,
+        ArgValue>;
+
+// Move-only view of one rewrite result. The generated code itself lives in
+// a refcounted CodeBlock; destroying the RewrittenFunction drops one
+// reference, so code shared with a cache (or via shareHandle()) stays
+// executable for every outstanding holder.
 class RewrittenFunction {
  public:
   RewrittenFunction() = default;
+  explicit RewrittenFunction(CodeHandle handle) : handle_(std::move(handle)) {}
+
+  RewrittenFunction(RewrittenFunction&&) noexcept = default;
+  RewrittenFunction& operator=(RewrittenFunction&&) noexcept = default;
+  RewrittenFunction(const RewrittenFunction&) = delete;
+  RewrittenFunction& operator=(const RewrittenFunction&) = delete;
 
   template <typename Fn>
   Fn as() const {
-    return reinterpret_cast<Fn>(const_cast<uint8_t*>(memory_.data()));
+    return reinterpret_cast<Fn>(handle_.entry());
   }
-  void* entry() const {
-    return const_cast<uint8_t*>(memory_.data());
-  }
-  size_t codeSize() const { return emitStats_.codeBytes; }
+  void* entry() const { return handle_.entry(); }
+  size_t codeSize() const { return handle_.codeSize(); }
+  explicit operator bool() const { return static_cast<bool>(handle_); }
 
-  const TraceStats& traceStats() const { return traceStats_; }
-  const ir::EmitStats& emitStats() const { return emitStats_; }
+  const TraceStats& traceStats() const;
+  const ir::EmitStats& emitStats() const;
+
+  // The refcounted code. shareHandle() retains; the returned handle keeps
+  // the code alive independently of this object and of any cache.
+  const CodeHandle& handle() const { return handle_; }
+  CodeHandle shareHandle() const { return handle_; }
 
   // Captured-form dump (blocks + pool) and final disassembly.
-  std::string dumpCaptured() const { return captured_.dump(); }
+  std::string dumpCaptured() const;
   std::string disassembly() const;
 
  private:
-  friend class Rewriter;
-  ExecMemory memory_;
-  ir::CapturedFunction captured_;
-  TraceStats traceStats_;
-  ir::EmitStats emitStats_;
+  CodeHandle handle_;
 };
+
+// Trace + optimize + emit, uncached, producing a fresh refcounted block.
+// `variantTag`, when nonzero, names the perf-map symbol of a cache variant.
+Result<CodeHandle> compileSpecialization(const Config& config,
+                                         const PassOptions& passes,
+                                         const void* fn,
+                                         std::span<const ArgValue> args,
+                                         uint64_t variantTag = 0);
 
 class Rewriter {
  public:
   explicit Rewriter(Config config) : config_(std::move(config)) {}
+  // Attached form: rewrites are keyed, deduplicated and served through the
+  // manager's concurrent specialization cache.
+  Rewriter(Config config, SpecManager& manager)
+      : config_(std::move(config)), manager_(&manager) {}
 
   Config& config() { return config_; }
   const Config& config() const { return config_; }
 
   PassOptions& passes() { return passOptions_; }
 
-  // Core entry point: trace + optimize + emit.
+  // Route subsequent rewrites through `manager`'s cache.
+  Rewriter& useCache(SpecManager& manager) {
+    manager_ = &manager;
+    return *this;
+  }
+
+  // Core entry point: trace + optimize + emit (or a cache hit).
   Result<RewrittenFunction> rewrite(const void* fn,
                                     std::span<const ArgValue> args);
 
   // Convenience: arguments converted from native values.
-  template <typename... Args>
-  Result<RewrittenFunction> rewriteFn(const void* fn, Args... args) {
+  template <RewriteArg... Args>
+  Result<RewrittenFunction> rewrite(const void* fn, Args... args) {
     const ArgValue converted[] = {toArgValue(args)...};
     return rewrite(fn, std::span<const ArgValue>(converted, sizeof...(args)));
   }
-  Result<RewrittenFunction> rewriteFn(const void* fn) {
-    return rewrite(fn, {});
+  Result<RewrittenFunction> rewrite(const void* fn) {
+    return rewrite(fn, std::span<const ArgValue>{});
   }
 
  private:
@@ -103,6 +157,7 @@ class Rewriter {
 
   Config config_;
   PassOptions passOptions_;
+  SpecManager* manager_ = nullptr;
 };
 
 // Pass driver (implemented in passes/).

@@ -1,0 +1,197 @@
+#include "core/spec_manager.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "jit/assembler.hpp"
+#include "support/log.hpp"
+
+namespace brew {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t fnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t fnvBytes(uint64_t h, const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t hashSpecArgs(const Config& config, std::span<const ArgValue> args) {
+  uint64_t h = kFnvOffset;
+  h = fnvMix(h, args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    const ParamSpec& spec = i < Config::kMaxParams
+                                ? config.param(i)
+                                : ParamSpec{};
+    if (spec.kind == ParamKind::Unknown) {
+      // Call-time value never reaches the generated code.
+      h = fnvMix(h, 0x55);
+      continue;
+    }
+    h = fnvMix(h, args[i].bits);
+    h = fnvMix(h, args[i].isFloat ? 2 : 1);
+    if (spec.kind == ParamKind::KnownPtr && spec.pointeeSize > 0 &&
+        args[i].bits != 0) {
+      // The generated code folds loads through this pointer, so its
+      // current pointee bytes are part of the specialization identity
+      // (domain-map redistribution must re-specialize, not hit).
+      h = fnvBytes(h, reinterpret_cast<const void*>(args[i].bits),
+                   spec.pointeeSize);
+    }
+  }
+  for (const MemRegion& region : config.knownRegions()) {
+    h = fnvMix(h, region.start);
+    h = fnvBytes(h, reinterpret_cast<const void*>(region.start),
+                 static_cast<size_t>(region.end - region.start));
+  }
+  return h;
+}
+
+CacheKey makeCacheKey(const Config& config, const PassOptions& passes,
+                      const void* fn, std::span<const ArgValue> args) {
+  CacheKey key;
+  key.fn = reinterpret_cast<uint64_t>(fn);
+  key.configFp = fnvMix(config.fingerprint(), passes.fingerprint());
+  key.argsHash = hashSpecArgs(config, args);
+  return key;
+}
+
+Result<ExecMemory> buildEntrySlotStub(void* const* cell) {
+  using isa::makeInstr;
+  using isa::MemOperand;
+  using isa::Mnemonic;
+  using isa::Operand;
+  using isa::Reg;
+  jit::Assembler as;
+  as.movRegImm(Reg::r11,
+               static_cast<int64_t>(reinterpret_cast<uintptr_t>(cell)));
+  as.emit(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
+                    Operand::makeMem(MemOperand{.base = Reg::r11})));
+  as.emit(makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::r11)));
+  return as.finalizeExecutable();
+}
+
+SpecManager::SpecManager(Options options)
+    : options_(options), cache_(options.cacheBytes) {
+  if (options_.workers < 1) options_.workers = 1;
+}
+
+SpecManager::~SpecManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+SpecManager& SpecManager::process() {
+  static SpecManager manager;
+  return manager;
+}
+
+Result<CodeHandle> SpecManager::rewrite(const Config& config,
+                                        const PassOptions& passes,
+                                        const void* fn,
+                                        std::span<const ArgValue> args) {
+  if (fn == nullptr)
+    return Error{ErrorCode::InvalidArgument, 0, "null function pointer"};
+  const CacheKey key = makeCacheKey(config, passes, fn, args);
+  return cache_.getOrBuild(key, [&]() -> Result<CodeHandle> {
+    return compileSpecialization(config, passes, fn, args,
+                                 CacheKeyHash{}(key));
+  });
+}
+
+void SpecManager::enqueue(std::function<void()> task) {
+  bool inline_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      inline_ = true;  // shutting down: run synchronously, never drop work
+    } else {
+      if (workers_.empty())
+        for (int i = 0; i < options_.workers; ++i)
+          workers_.emplace_back([this] { workerLoop(); });
+      queue_.push_back(std::move(task));
+    }
+  }
+  if (inline_)
+    task();
+  else
+    cv_.notify_one();
+}
+
+void SpecManager::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::shared_ptr<SpecRequest> SpecManager::rewriteAsync(
+    Config config, PassOptions passes, const void* fn,
+    std::vector<ArgValue> args) {
+  auto request = std::shared_ptr<SpecRequest>(new SpecRequest());
+  request->original_ = fn;
+  request->slot_.store(const_cast<void*>(fn), std::memory_order_release);
+  auto stub = buildEntrySlotStub(
+      reinterpret_cast<void* const*>(&request->slot_));
+  if (stub.ok())
+    request->stub_ = std::move(*stub);
+  else
+    BREW_LOG_INFO("async entry stub failed: %s (entry() tracks the slot)",
+                  stub.error().message().c_str());
+
+  const auto enqueued = std::chrono::steady_clock::now();
+  enqueue([this, request, config = std::move(config), passes, fn,
+           args = std::move(args), enqueued] {
+    auto result = rewrite(config, passes, fn, args);
+    {
+      std::lock_guard<std::mutex> lock(request->mu_);
+      request->done_ = true;
+      if (result.ok()) {
+        request->ok_ = true;
+        request->handle_ = std::move(*result);
+        // Publish: callers spinning through the stub switch to the
+        // specialized code on their next dispatch.
+        request->slot_.store(request->handle_.entry(),
+                             std::memory_order_release);
+        const auto installed = std::chrono::steady_clock::now();
+        cache_.recordAsyncInstall(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(installed -
+                                                                 enqueued)
+                .count()));
+      } else {
+        request->error_ = result.error();
+      }
+    }
+    request->cv_.notify_all();
+  });
+  return request;
+}
+
+}  // namespace brew

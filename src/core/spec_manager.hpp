@@ -1,0 +1,141 @@
+// SpecManager: the concurrent front door to specialization. Owns the
+// process-wide (or per-instance) CodeCache and a small worker pool for
+// asynchronous rewriting, so hot loops keep executing the original code
+// until the specialized version is published (BAAR-style on-the-fly
+// acceleration; see PAPERS.md).
+//
+//   SpecManager& mgr = SpecManager::process();
+//   Rewriter r{config, mgr};                  // cached, deduplicated
+//   auto req = mgr.rewriteAsync(config, {}, fn, args);
+//   auto f = req->as<kernel_t>();             // callable immediately:
+//                                             // original now, specialized
+//                                             // once the worker installs
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/code_cache.hpp"
+#include "core/rewriter.hpp"
+
+namespace brew {
+
+// Hash of everything the generated code depends on besides the target
+// address and the config *shape*: known argument values, the bytes behind
+// KnownPtr parameters, and the contents of declared-known regions. Unknown
+// parameters do not contribute — their call-time value never reaches the
+// generated code, so rewrites differing only there share one entry.
+uint64_t hashSpecArgs(const Config& config, std::span<const ArgValue> args);
+
+CacheKey makeCacheKey(const Config& config, const PassOptions& passes,
+                      const void* fn, std::span<const ArgValue> args);
+
+// "movabs r11, cell; mov r11, [r11]; jmp r11": a stable entry point whose
+// target is republished with a single pointer store to *cell. Shared by
+// SpecRequest and AutoSpecializer (the paper's §III-D upgrade-in-place).
+Result<ExecMemory> buildEntrySlotStub(void* const* cell);
+
+// One asynchronous rewrite. entry() is callable the moment rewriteAsync
+// returns: it forwards to the original function until the worker finishes,
+// then atomically switches to the specialized code (a relaxed pointer load
+// per call through the stub; no locks on the execution path).
+class SpecRequest {
+ public:
+  void* entry() const {
+    return stub_.valid() ? const_cast<uint8_t*>(stub_.data())
+                         : slot_.load(std::memory_order_acquire);
+  }
+  template <typename Fn>
+  Fn as() const {
+    return reinterpret_cast<Fn>(entry());
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+  // Valid after ready()/wait(): did the rewrite succeed?
+  bool ok() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ok_;
+  }
+  CodeHandle handle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return handle_;
+  }
+  Error error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return error_;
+  }
+  void wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+  }
+
+ private:
+  friend class SpecManager;
+  SpecRequest() = default;
+
+  const void* original_ = nullptr;
+  std::atomic<void*> slot_{nullptr};  // jump target read by the stub
+  ExecMemory stub_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  bool ok_ = false;
+  CodeHandle handle_;
+  Error error_{};
+};
+
+class SpecManager {
+ public:
+  struct Options {
+    int workers = 2;                                  // async pool size
+    size_t cacheBytes = CodeCache::kDefaultByteBudget;
+  };
+
+  SpecManager() : SpecManager(Options{}) {}
+  explicit SpecManager(Options options);
+  ~SpecManager();
+
+  SpecManager(const SpecManager&) = delete;
+  SpecManager& operator=(const SpecManager&) = delete;
+
+  // The process-wide instance used by the C API, AutoSpecializer and the
+  // PGAS runtime.
+  static SpecManager& process();
+
+  CodeCache& cache() { return cache_; }
+
+  // Synchronous cached rewrite: key, deduplicate, trace+emit on miss.
+  Result<CodeHandle> rewrite(const Config& config, const PassOptions& passes,
+                             const void* fn, std::span<const ArgValue> args);
+
+  // Asynchronous rewrite on the worker pool. The returned request's
+  // entry() is immediately callable (forwards to `fn`); the specialized
+  // version is installed atomically when ready. Install latency is
+  // recorded in the cache stats (asyncInstalls / asyncLatencyNs*).
+  std::shared_ptr<SpecRequest> rewriteAsync(Config config, PassOptions passes,
+                                            const void* fn,
+                                            std::vector<ArgValue> args);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void workerLoop();
+
+  Options options_;
+  CodeCache cache_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;  // spawned lazily on first async use
+};
+
+}  // namespace brew

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/spec_manager.hpp"
+
 namespace brew::pgas {
 
 DomainMap::DomainMap(Runtime& runtime)
@@ -75,8 +77,11 @@ brew_pgas_read_fn DomainMap::accessor(int rank) {
       reinterpret_cast<const void*>(&brew_pgas_remote_read),
       FunctionOptions{.inlineCalls = false, .forceUnknownResults = false,
                       .pure = true});
-  Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  // The cache key hashes the pointed-to view *contents*, so after a
+  // redistribution the changed bounds form a new key and this misses
+  // (correctly), while an unchanged rank's accessor is a hit.
+  Rewriter rewriter{config, SpecManager::process()};
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_pgas_read), &cached.view, 0L);
   ++respecializations_;
   cached.valid = true;

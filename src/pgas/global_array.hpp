@@ -13,6 +13,7 @@
 #include <type_traits>
 
 #include "core/rewriter.hpp"
+#include "core/spec_manager.hpp"
 #include "pgas/pgas.h"
 #include "pgas/runtime.hpp"
 
@@ -53,8 +54,10 @@ class GlobalArray {
       config.setFunctionOptions(
           reinterpret_cast<const void*>(&brew_pgas_remote_read),
           FunctionOptions{.inlineCalls = false, .pure = true});
-      Rewriter rewriter{config};
-      auto rewritten = rewriter.rewriteFn(
+      // Through the process cache: sibling arrays over the same view (and
+      // re-localizations after invalidate()) share one traced rewrite.
+      Rewriter rewriter{config, SpecManager::process()};
+      auto rewritten = rewriter.rewrite(
           reinterpret_cast<const void*>(&brew_pgas_read), &view_, 0L);
       if (rewritten.ok())
         reader_.emplace(std::move(*rewritten));

@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -14,10 +15,24 @@ size_t roundUpToPage(size_t size) {
   const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
   return (size + page - 1) / page * page;
 }
+
+std::atomic<ExecFreeHook> g_freeHook{nullptr};
+
+void notifyFree(const void* base, size_t size) noexcept {
+  const ExecFreeHook hook = g_freeHook.load(std::memory_order_acquire);
+  if (hook != nullptr && base != nullptr) hook(base, size);
+}
 }  // namespace
 
+void setExecFreeHook(ExecFreeHook hook) noexcept {
+  g_freeHook.store(hook, std::memory_order_release);
+}
+
 ExecMemory::~ExecMemory() {
-  if (base_ != nullptr) ::munmap(base_, size_);
+  if (base_ != nullptr) {
+    notifyFree(base_, size_);
+    ::munmap(base_, size_);
+  }
 }
 
 ExecMemory::ExecMemory(ExecMemory&& other) noexcept
@@ -27,7 +42,10 @@ ExecMemory::ExecMemory(ExecMemory&& other) noexcept
 
 ExecMemory& ExecMemory::operator=(ExecMemory&& other) noexcept {
   if (this != &other) {
-    if (base_ != nullptr) ::munmap(base_, size_);
+    if (base_ != nullptr) {
+      notifyFree(base_, size_);
+      ::munmap(base_, size_);
+    }
     base_ = std::exchange(other.base_, nullptr);
     size_ = std::exchange(other.size_, 0);
     executable_ = std::exchange(other.executable_, false);

@@ -13,6 +13,16 @@
 
 namespace brew {
 
+// Free-notification hook: invoked with (base, size) immediately before a
+// mapping is unmapped. The specialization cache registers one so it can
+// drop entries whose *target* function lived in the freed range — mmap
+// readily reuses addresses, and a stale cache entry keyed by a recycled
+// address would otherwise alias unrelated new code. The hook may itself
+// free ExecMemory (the cache drops handles outside its locks), so it must
+// be reentrant.
+using ExecFreeHook = void (*)(const void* base, size_t size) noexcept;
+void setExecFreeHook(ExecFreeHook hook) noexcept;
+
 class ExecMemory {
  public:
   ExecMemory() = default;

@@ -1,0 +1,248 @@
+// Specialization cache tests: single-flight deduplication across threads,
+// LRU eviction under a byte budget (with outstanding handles surviving),
+// content-sensitive keying, and asynchronous install through SpecManager.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/code_cache.hpp"
+#include "core/rewriter.hpp"
+#include "core/spec_manager.hpp"
+#include "jit/assembler.hpp"
+
+namespace brew {
+namespace {
+
+__attribute__((noinline)) int addmul(int a, int b) { return a * 7 + b; }
+typedef int (*addmul_t)(int, int);
+
+__attribute__((noinline)) int64_t triple(int64_t x) { return x * 3; }
+typedef int64_t (*triple_t)(int64_t);
+
+typedef int64_t (*load_t)(const int64_t*);
+
+// "mov rax, [rdi]; ret" built directly — a compiled-C load would pick up
+// sanitizer instrumentation the tracer cannot follow.
+ExecMemory buildLoadThrough() {
+  jit::Assembler as;
+  as.movRegMem(isa::Reg::rax, isa::MemOperand{.base = isa::Reg::rdi}, 8);
+  as.ret();
+  auto mem = as.finalizeExecutable();
+  EXPECT_TRUE(mem.ok());
+  return std::move(*mem);
+}
+
+static_assert(!std::is_copy_constructible_v<RewrittenFunction>,
+              "RewrittenFunction is move-only; share code via shareHandle()");
+static_assert(std::is_move_constructible_v<RewrittenFunction>);
+static_assert(std::is_copy_constructible_v<CodeHandle>,
+              "CodeHandle copies retain");
+
+Config knownFirstParam() {
+  Config config;
+  config.setParamKnown(0);
+  config.setReturnKind(ReturnKind::Int);
+  return config;
+}
+
+TEST(ConfigFingerprint, DeterministicAndShapeSensitive) {
+  Config a = knownFirstParam();
+  Config b = knownFirstParam();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  Config c = knownFirstParam();
+  c.setParamKnown(1);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+  Config d = knownFirstParam();
+  d.setReturnKind(ReturnKind::Float);
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+
+  PassOptions defaults;
+  PassOptions ablation;
+  ablation.peephole = false;
+  EXPECT_NE(defaults.fingerprint(), ablation.fingerprint());
+}
+
+TEST(CacheKeying, UnknownArgumentsShareOneEntry) {
+  // Only known values reach the generated code, so rewrites differing in
+  // unknown arguments must alias.
+  Config config;
+  const ArgValue a[] = {ArgValue::fromInt(1), ArgValue::fromInt(2)};
+  const ArgValue b[] = {ArgValue::fromInt(30), ArgValue::fromInt(40)};
+  EXPECT_EQ(hashSpecArgs(config, a), hashSpecArgs(config, b));
+
+  Config known = knownFirstParam();
+  EXPECT_NE(hashSpecArgs(known, a), hashSpecArgs(known, b));
+}
+
+TEST(CodeCacheTest, EightThreadsSameKeyTraceOnce) {
+  SpecManager manager;
+  const Config config = knownFirstParam();
+  const std::vector<ArgValue> args = {ArgValue::fromInt(42),
+                                      ArgValue::fromInt(0)};
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<void*> entries(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      auto handle = manager.rewrite(config, PassOptions{},
+                                    reinterpret_cast<const void*>(&addmul),
+                                    args);
+      ASSERT_TRUE(handle.ok()) << handle.error().message();
+      entries[static_cast<size_t>(t)] = handle->entry();
+      EXPECT_EQ(reinterpret_cast<addmul_t>(handle->entry())(1, 2),
+                42 * 7 + 2);
+    });
+  }
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(entries[0], entries[t]);
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(CodeCacheTest, RewriterAttachedToManagerHitsCache) {
+  SpecManager manager;
+  Rewriter rewriter{knownFirstParam(), manager};
+  auto first = rewriter.rewrite(reinterpret_cast<const void*>(&addmul), 5, 0);
+  ASSERT_TRUE(first.ok()) << first.error().message();
+  auto second = rewriter.rewrite(reinterpret_cast<const void*>(&addmul), 5, 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->entry(), second->entry());
+  EXPECT_EQ(manager.cache().stats().misses, 1u);
+  EXPECT_EQ(manager.cache().stats().hits, 1u);
+  // Both RewrittenFunctions and the cache entry share one block.
+  EXPECT_EQ(first->handle().useCount(), 3u);
+}
+
+TEST(CodeCacheTest, EvictionKeepsOutstandingHandlesExecutable) {
+  SpecManager manager{SpecManager::Options{.workers = 1, .cacheBytes = 1}};
+  Rewriter rewriter{knownFirstParam(), manager};
+
+  auto first = rewriter.rewrite(reinterpret_cast<const void*>(&addmul), 9, 0);
+  ASSERT_TRUE(first.ok()) << first.error().message();
+  // Second key evicts the first (the 1-byte budget holds at most the
+  // newest entry), but the held handle must stay executable.
+  auto second = rewriter.rewrite(reinterpret_cast<const void*>(&triple), 4);
+  ASSERT_TRUE(second.ok()) << second.error().message();
+
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.entries, 1u);
+  EXPECT_EQ(first->as<addmul_t>()(1, 2), 9 * 7 + 2);
+  EXPECT_EQ(second->as<triple_t>()(4), 12);
+
+  // The evicted key now misses again.
+  auto third = rewriter.rewrite(reinterpret_cast<const void*>(&addmul), 9, 0);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(manager.cache().stats().misses, 3u);
+}
+
+TEST(CodeCacheTest, KnownPointeeContentChangesTheKey) {
+  // The key hashes the bytes BEHIND a KnownPtr parameter: same pointer with
+  // mutated contents is a different specialization (the PGAS domain-map
+  // redistribution case).
+  static int64_t cell = 100;
+  ExecMemory loadThrough = buildLoadThrough();
+  SpecManager manager;
+  Config config;
+  config.setParamKnownPtr(0, sizeof cell);
+  config.setReturnKind(ReturnKind::Int);
+  Rewriter rewriter{config, manager};
+
+  auto first = rewriter.rewrite(loadThrough.data(), &cell);
+  ASSERT_TRUE(first.ok()) << first.error().message();
+  EXPECT_EQ(first->as<load_t>()(nullptr), 100);
+
+  cell = 200;
+  auto second = rewriter.rewrite(loadThrough.data(), &cell);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->as<load_t>()(nullptr), 200);
+  EXPECT_EQ(manager.cache().stats().misses, 2u);
+  EXPECT_EQ(manager.cache().stats().hits, 0u);
+}
+
+TEST(CodeCacheTest, FailuresAreNotCached) {
+  static const uint8_t bogus[] = {0x0f, 0x31, 0xc3};  // rdtsc; ret
+  SpecManager manager;
+  const std::vector<ArgValue> none;
+  for (int i = 0; i < 2; ++i) {
+    auto result = manager.rewrite(Config{}, PassOptions{}, bogus, none);
+    EXPECT_FALSE(result.ok());
+  }
+  EXPECT_EQ(manager.cache().stats().misses, 2u);  // retried, not served
+  EXPECT_EQ(manager.cache().stats().entries, 0u);
+}
+
+TEST(CodeCacheTest, HandleSurvivesCacheClear) {
+  SpecManager manager;
+  auto result =
+      manager.rewrite(knownFirstParam(), PassOptions{},
+                      reinterpret_cast<const void*>(&addmul),
+                      std::vector<ArgValue>{ArgValue::fromInt(3),
+                                            ArgValue::fromInt(0)});
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  CodeHandle handle = *result;
+  manager.cache().clear();
+  EXPECT_EQ(manager.cache().stats().entries, 0u);
+  EXPECT_EQ(handle.useCount(), 2u);  // `result` + `handle`, no cache ref
+  EXPECT_EQ(reinterpret_cast<addmul_t>(handle.entry())(0, 5), 3 * 7 + 5);
+}
+
+TEST(SpecManagerAsync, InstallObservedBySpinningCaller) {
+  SpecManager manager{SpecManager::Options{.workers = 2}};
+  Config config = knownFirstParam();
+  auto request = manager.rewriteAsync(
+      config, PassOptions{}, reinterpret_cast<const void*>(&addmul),
+      {ArgValue::fromInt(42), ArgValue::fromInt(0)});
+  ASSERT_NE(request, nullptr);
+
+  // Callable from the first instant: original behavior until the worker
+  // publishes, specialized behavior after. Spin until the switch.
+  addmul_t fn = request->as<addmul_t>();
+  int observed = fn(1, 2);
+  EXPECT_TRUE(observed == 1 * 7 + 2 || observed == 42 * 7 + 2);
+  for (int spin = 0; spin < 100000000 && observed != 42 * 7 + 2; ++spin)
+    observed = fn(1, 2);
+  EXPECT_EQ(observed, 42 * 7 + 2);
+
+  request->wait();
+  ASSERT_TRUE(request->ok()) << request->error().message();
+  // The stable stub entry does not move when the worker publishes.
+  EXPECT_EQ(reinterpret_cast<void*>(fn), request->entry());
+  EXPECT_GT(request->handle().codeSize(), 0u);
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.asyncInstalls, 1u);
+  EXPECT_GT(stats.asyncLatencyNsMax, 0u);
+  EXPECT_GE(stats.asyncLatencyNsTotal, stats.asyncLatencyNsMax);
+}
+
+TEST(SpecManagerAsync, FailedAsyncKeepsOriginalEntry) {
+  static const uint8_t bogus[] = {0x0f, 0x31, 0xc3};  // rdtsc; ret
+  SpecManager manager;
+  auto request =
+      manager.rewriteAsync(Config{}, PassOptions{}, bogus, {});
+  request->wait();
+  EXPECT_FALSE(request->ok());
+  EXPECT_FALSE(request->handle());
+  // entry() still routes somewhere callable: the original code.
+  EXPECT_NE(request->entry(), nullptr);
+}
+
+}  // namespace
+}  // namespace brew

@@ -128,6 +128,118 @@ TEST(CApi, NullSafety) {
   brew_freeConf(nullptr);
 }
 
+TEST(CApiV2, HandleLifecycle) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+  brew_func* h = brew_rewrite2(conf, (void*)addmul, (uint64_t)6, (uint64_t)0);
+  ASSERT_NE(h, nullptr) << brew_lastError(conf);
+
+  addmul_t fn = (addmul_t)brew_func_entry(h);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn(1, 2), 6 * 7 + 2);
+
+  brew_stats stats;
+  brew_func_getstats(h, &stats);
+  EXPECT_GT(stats.code_bytes, 0u);
+  EXPECT_GT(stats.traced_instructions, 0u);
+
+  // A retained handle needs two releases; the code stays callable until
+  // the last one.
+  brew_func* same = brew_retain(h);
+  EXPECT_EQ(same, h);
+  brew_release_h(h);
+  EXPECT_EQ(((addmul_t)brew_func_entry(same))(0, 5), 6 * 7 + 5);
+  brew_release_h(same);
+  brew_release_h(nullptr);  // no-op
+  EXPECT_EQ(brew_func_entry(nullptr), nullptr);
+  brew_freeConf(conf);
+}
+
+TEST(CApiV2, CacheDeduplicatesIdenticalRewrites) {
+  brew_cache_reset();
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+
+  brew_func* a = brew_rewrite2(conf, (void*)addmul, (uint64_t)8, (uint64_t)0);
+  brew_func* b = brew_rewrite2(conf, (void*)addmul, (uint64_t)8, (uint64_t)0);
+  ASSERT_NE(a, nullptr) << brew_lastError(conf);
+  ASSERT_NE(b, nullptr) << brew_lastError(conf);
+  EXPECT_NE(a, b);  // distinct handles...
+  EXPECT_EQ(brew_func_entry(a), brew_func_entry(b));  // ...same code
+
+  brew_cache_stats cache;
+  brew_getcachestats(&cache);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.entries, 1u);
+  EXPECT_GT(cache.code_bytes, 0u);
+  EXPECT_GT(cache.capacity_bytes, 0u);
+
+  brew_release_h(a);
+  brew_release_h(b);
+  brew_freeConf(conf);
+}
+
+TEST(CApiV2, LegacyShimSharesCacheAndHandles) {
+  brew_cache_reset();
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+
+  // v1 and v2 spellings of the same request share one cache entry, and the
+  // doubly handed-out v1 pointer survives its first release.
+  void* v1 = brew_rewrite(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
+  brew_func* v2 = brew_rewrite2(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
+  void* v1again = brew_rewrite(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
+  ASSERT_NE(v1, nullptr) << brew_lastError(conf);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v1, brew_func_entry(v2));
+  EXPECT_EQ(v1, v1again);
+
+  brew_cache_stats cache;
+  brew_getcachestats(&cache);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 2u);
+
+  brew_release(v1);
+  EXPECT_EQ(((addmul_t)v1again)(1, 2), 11 * 7 + 2);  // one claim left
+  brew_release(v1again);
+  EXPECT_EQ(((addmul_t)brew_func_entry(v2))(1, 2), 11 * 7 + 2);
+  brew_release_h(v2);
+  brew_freeConf(conf);
+}
+
+TEST(CApiV2, CacheBudgetDrivesEviction) {
+  brew_cache_reset();
+  brew_cache_set_budget(1);
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+
+  brew_func* a = brew_rewrite2(conf, (void*)addmul, (uint64_t)1, (uint64_t)0);
+  brew_func* b = brew_rewrite2(conf, (void*)addmul, (uint64_t)2, (uint64_t)0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  brew_cache_stats cache;
+  brew_getcachestats(&cache);
+  EXPECT_GE(cache.evictions, 1u);
+  // The evicted rewrite stays executable through its handle.
+  EXPECT_EQ(((addmul_t)brew_func_entry(a))(9, 3), 1 * 7 + 3);
+
+  brew_release_h(a);
+  brew_release_h(b);
+  brew_freeConf(conf);
+  brew_cache_reset();
+  brew_cache_set_budget(64 << 20);
+}
+
 TEST(CApi, NoUnrollFlag) {
   // Sum loop with known bound: NOUNROLL keeps it a loop.
   struct Helpers {

@@ -129,7 +129,7 @@ TEST_P(DifferentialFuzz, RewrittenAgreesWithOriginal) {
     config.setReturnKind(ReturnKind::Int);
 
     Rewriter rewriter{config};
-    auto rewritten = rewriter.rewriteFn(code.data(), baked0, baked1);
+    auto rewritten = rewriter.rewrite(code.data(), baked0, baked1);
     ASSERT_TRUE(rewritten.ok())
         << "seed " << GetParam() << " trial " << trial << ": "
         << rewritten.error().message() << "\n"
@@ -298,7 +298,7 @@ TEST_P(MemDifferentialFuzz, RewrittenAgreesWithOriginal) {
     config.setParamKnownPtr(1, sizeof table);  // the table is constant
     config.setReturnKind(ReturnKind::Int);
     Rewriter rewriter{config};
-    auto rewritten = rewriter.rewriteFn(mem->data(), nullptr, table);
+    auto rewritten = rewriter.rewrite(mem->data(), nullptr, table);
     ASSERT_TRUE(rewritten.ok())
         << "seed " << GetParam() << " trial " << trial << ": "
         << rewritten.error().message();

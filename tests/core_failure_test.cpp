@@ -4,6 +4,10 @@
 // a typed error — never a crash, never corrupted output.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+
+#include "core/brew.h"
 #include "core/rewriter.hpp"
 #include "jit/assembler.hpp"
 
@@ -26,7 +30,7 @@ ExecMemory buildOrDie(Assembler& assembler) {
 
 ErrorCode rewriteError(const void* fn, Config config = Config{}) {
   Rewriter rewriter{std::move(config)};
-  auto rewritten = rewriter.rewriteFn(fn, 0, 0);
+  auto rewritten = rewriter.rewrite(fn, 0, 0);
   EXPECT_FALSE(rewritten.ok());
   return rewritten.ok() ? ErrorCode::Ok : rewritten.error().code;
 }
@@ -79,7 +83,7 @@ TEST(Failure, WriteToDeclaredConstantMemory) {
   Config config;
   config.setParamKnownPtr(0, sizeof data);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), data, 1);
+  auto rewritten = rewriter.rewrite(fn.data(), data, 1);
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::WriteToKnownMemory);
   // The constant data is untouched by the failed attempt.
@@ -95,7 +99,7 @@ TEST(Failure, RetWithImmediateUnsupported) {
 
 TEST(Failure, NullFunction) {
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(nullptr);
+  auto rewritten = rewriter.rewrite(nullptr);
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::InvalidArgument);
 }
@@ -103,7 +107,7 @@ TEST(Failure, NullFunction) {
 TEST(Failure, ErrorCarriesFaultAddress) {
   static const uint8_t code[] = {0x90, 0x90, 0x0f, 0x31, 0xc3};  // nops;rdtsc
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(code);
+  auto rewritten = rewriter.rewrite(code);
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().address,
             reinterpret_cast<uint64_t>(code) + 2);
@@ -127,10 +131,50 @@ TEST(Failure, OriginalStillWorksAfterFailedRewrite) {
   as.ret();
   ExecMemory fn = buildOrDie(as);
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 1);
+  auto rewritten = rewriter.rewrite(fn.data(), 1);
   ASSERT_FALSE(rewritten.ok());
   // Original executes fine (rdtsc clobbers rax; just check no crash).
   fn.entry<uint64_t (*)(uint64_t)>()(5);
+}
+
+TEST(Failure, LastErrorClearsAfterSuccess) {
+  // A success on the same conf must not leave the previous failure's
+  // message dangling (the stale-error gap this suite used to miss).
+  static const uint8_t bogus[] = {0x0f, 0xa2, 0xc3};  // cpuid; ret
+  Assembler as;
+  as.movRegReg(Reg::rax, Reg::rdi);
+  as.ret();
+  ExecMemory good = buildOrDie(as);
+
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 0);
+  EXPECT_EQ(brew_rewrite2(conf, bogus), nullptr);
+  EXPECT_NE(std::string(brew_lastError(conf)), "");
+
+  brew_func* h = brew_rewrite2(conf, good.data());
+  ASSERT_NE(h, nullptr);
+  EXPECT_STREQ(brew_lastError(conf), "");
+  brew_release_h(h);
+  brew_freeConf(conf);
+}
+
+TEST(Failure, LastErrorIsThreadLocal) {
+  static const uint8_t bogus[] = {0x0f, 0xa2, 0xc3};  // cpuid; ret
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 0);
+
+  std::string workerSaw;
+  std::thread worker([&] {
+    EXPECT_EQ(brew_rewrite2(conf, bogus), nullptr);
+    workerSaw = brew_lastError(conf);
+  });
+  worker.join();
+
+  EXPECT_NE(workerSaw.find("Undecodable"), std::string::npos);
+  // The failure happened on the worker; this thread's slot is untouched.
+  EXPECT_STREQ(brew_lastError(conf), "");
+  EXPECT_STREQ(brew_lastError(nullptr), "null conf");
+  brew_freeConf(conf);
 }
 
 TEST(Failure, FlagsOfElidedCompareNotConsumable) {
@@ -153,7 +197,7 @@ TEST(Failure, FlagsOfElidedCompareNotConsumable) {
   as.ret();
   ExecMemory fn = buildOrDie(as);
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 77);
+  auto rewritten = rewriter.rewrite(fn.data(), 77);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_EQ(rewritten->as<int64_t (*)(int64_t)>()(77), 77);  // 1<2: taken
 }

@@ -48,7 +48,7 @@ TEST(Injection, EntryExitFireOncePerCall) {
   config.injection().onEntry = &onEntry;
   config.injection().onExit = &onExit;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0);
+  auto rewritten = rewriter.rewrite(fn.data(), 0);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto identity = rewritten->as<uint64_t (*)(uint64_t)>();
 
@@ -76,7 +76,7 @@ TEST(Injection, LoadAndStoreAddressesReported) {
   config.injection().onLoad = &onLoad;
   config.injection().onStore = &onStore;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), nullptr, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), nullptr, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
 
   g_trace = {};
@@ -104,7 +104,7 @@ TEST(Injection, StackTrafficNotReported) {
   config.injection().onLoad = &onLoad;
   config.injection().onStore = &onStore;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0);
+  auto rewritten = rewriter.rewrite(fn.data(), 0);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   g_trace = {};
   EXPECT_EQ(rewritten->as<uint64_t (*)(uint64_t)>()(5), 5u);
@@ -129,7 +129,7 @@ TEST(Injection, HandlersPreserveFlagsAndRegisters) {
   Config config;
   config.injection().onLoad = &onLoad;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0, 0, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), 0, 0, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto cmp = rewritten->as<int64_t (*)(int64_t, int64_t, const int64_t*)>();
   int64_t dummy = 0;
@@ -153,7 +153,7 @@ TEST(Injection, FoldedLoadsAreNotReported) {
   config.setParamKnownPtr(0, sizeof table);
   config.injection().onLoad = &onLoad;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), table);
+  auto rewritten = rewriter.rewrite(fn.data(), table);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   g_trace = {};
   EXPECT_EQ(rewritten->as<int64_t (*)(const int64_t*)>()(nullptr), 77);

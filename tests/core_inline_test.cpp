@@ -67,7 +67,7 @@ TEST(Inline, CallsAreInlinedByDefault) {
   CallPair pair = buildCallPair();
   Rewriter rewriter{Config{}};
   auto rewritten =
-      rewriter.rewriteFn(reinterpret_cast<void*>(pair.callerEntry), 3, 4);
+      rewriter.rewrite(reinterpret_cast<void*>(pair.callerEntry), 3, 4);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto fn = rewritten->as<uint64_t (*)(uint64_t, uint64_t)>();
   EXPECT_EQ(fn(3, 4), (2 * 3 + 1) + (2 * 4 + 1));
@@ -85,7 +85,7 @@ TEST(Inline, NoInlineKeepsCall) {
                             FunctionOptions{.inlineCalls = false});
   Rewriter rewriter{config};
   auto rewritten =
-      rewriter.rewriteFn(reinterpret_cast<void*>(pair.callerEntry), 3, 4);
+      rewriter.rewrite(reinterpret_cast<void*>(pair.callerEntry), 3, 4);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto fn = rewritten->as<uint64_t (*)(uint64_t, uint64_t)>();
   EXPECT_EQ(fn(5, 6), (2 * 5 + 1) + (2 * 6 + 1));
@@ -100,7 +100,7 @@ TEST(Inline, SpecializationFlowsIntoCallee) {
   config.setParamKnown(1);
   Rewriter rewriter{config};
   auto rewritten =
-      rewriter.rewriteFn(reinterpret_cast<void*>(pair.callerEntry), 10, 20);
+      rewriter.rewrite(reinterpret_cast<void*>(pair.callerEntry), 10, 20);
   ASSERT_TRUE(rewritten.ok());
   // Everything known: result folds to a constant.
   auto fn = rewritten->as<uint64_t (*)(uint64_t, uint64_t)>();
@@ -123,7 +123,7 @@ TEST(Inline, DepthLimitFailsGracefully) {
   // call-stack variant of the same address).
   config.limits().maxVariantsPerAddress = 1000;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(mem.data());
+  auto rewritten = rewriter.rewrite(mem.data());
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::InlineDepthLimit);
 }
@@ -151,7 +151,7 @@ TEST(Inline, CalleeReadingStackArgsFails) {
 
   Rewriter rewriter{Config{}};
   auto rewritten =
-      rewriter.rewriteFn(reinterpret_cast<void*>(callerEntry));
+      rewriter.rewrite(reinterpret_cast<void*>(callerEntry));
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::NonInlinableCall);
 }
@@ -175,7 +175,7 @@ TEST(Inline, KeptCallClobbersCallerSavedState) {
   config.setFunctionOptions(reinterpret_cast<void*>(+clobberer),
                             FunctionOptions{.inlineCalls = false});
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(mem.data());
+  auto rewritten = rewriter.rewrite(mem.data());
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   // Whatever the post-call code does with r10, the callee result must
   // survive in rax.
@@ -204,7 +204,7 @@ TEST(Inline, CalleeSavedSurvivesKeptCall) {
   config.setFunctionOptions(reinterpret_cast<void*>(+noop),
                             FunctionOptions{.inlineCalls = false, .pure = true});
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(mem.data());
+  auto rewritten = rewriter.rewrite(mem.data());
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_EQ(rewritten->as<int64_t (*)()>()(), 42);
 }
@@ -223,7 +223,7 @@ TEST(Inline, IndirectCallWithKnownTargetInlines) {
   Config config;
   config.setParamKnown(1);  // the function pointer
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       mem.data(), 0, reinterpret_cast<void*>(pair.calleeEntry));
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto fn = rewritten->as<uint64_t (*)(uint64_t, void*)>();
@@ -240,7 +240,7 @@ TEST(Inline, IndirectCallWithUnknownTargetIsKept) {
   auto mem = buildOrDie(as);
 
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(mem.data(), 0, nullptr);
+  auto rewritten = rewriter.rewrite(mem.data(), 0, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_EQ(rewritten->traceStats().keptCalls, 1u);
   static auto target = +[](int64_t x) -> int64_t { return x + 5; };
@@ -253,7 +253,7 @@ TEST(Inline, UnknownIndirectJumpFails) {
   as.emit(makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::rsi)));
   auto mem = buildOrDie(as);
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(mem.data(), 0, nullptr);
+  auto rewritten = rewriter.rewrite(mem.data(), 0, nullptr);
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::IndirectUnknownJump);
 }

@@ -51,7 +51,7 @@ TEST(Policy, KnownTripCountUnrollsCompletely) {
   Config config;
   config.setParamKnown(0);  // n = 6
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 6, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), 6, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   int64_t data[6] = {1, 2, 3, 4, 5, 6};
   EXPECT_EQ(rewritten->as<int64_t (*)(int64_t, const int64_t*)>()(0, data),
@@ -69,7 +69,7 @@ TEST(Policy, ForceUnknownKeepsLoop) {
   config.setFunctionOptions(fn.data(),
                             FunctionOptions{.forceUnknownResults = true});
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 6, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), 6, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   int64_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
   // n folded to 6, but the loop itself survives.
@@ -84,7 +84,7 @@ TEST(Policy, VariantThresholdTriggersMigration) {
   config.setParamKnown(0);
   config.limits().maxVariantsPerAddress = 4;  // force early migration
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 64, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), 64, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_GE(rewritten->traceStats().migrations, 1u);
   // Migration generalizes the counter to unknown: the remaining
@@ -109,7 +109,7 @@ TEST(Policy, MigrationTerminatesAtAllUnknown) {
   config.setParamKnown(0);
   config.limits().maxVariantsPerAddress = 2;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 200, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), 200, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   int64_t data[200];
   int64_t want = 0;
@@ -128,7 +128,7 @@ TEST(Policy, TraceStepLimitFailsCleanly) {
   config.limits().maxTraceSteps = 100;
   config.limits().maxVariantsPerAddress = 1 << 28;  // no migration escape
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 1000000, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), 1000000, nullptr);
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::TraceStepLimit);
 }
@@ -140,7 +140,7 @@ TEST(Policy, CodeBudgetFailsCleanly) {
   config.limits().maxCodeBytes = 256;
   config.limits().maxVariantsPerAddress = 1 << 28;
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 100000, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), 100000, nullptr);
   ASSERT_FALSE(rewritten.ok());
   // Either the emitter's byte budget or the block limit stops it first;
   // both are clean resource failures.
@@ -163,7 +163,7 @@ TEST(Policy, InfiniteLoopWithStableStateTerminates) {
   as.jmp(loop);
   ExecMemory fn = buildOrDie(as);
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0);
+  auto rewritten = rewriter.rewrite(fn.data(), 0);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   // Don't call it (it would hang) — structure suffices: a back-edge only.
   EXPECT_LE(rewritten->traceStats().blocks, 3u);
@@ -218,7 +218,7 @@ TEST(Policy, PerFunctionPolicyRestoredAfterInlineReturn) {
                             FunctionOptions{.forceUnknownResults = true});
   Rewriter rewriter{config};
   auto rewritten =
-      rewriter.rewriteFn(reinterpret_cast<void*>(outerEntry), 3);
+      rewriter.rewrite(reinterpret_cast<void*>(outerEntry), 3);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto fn = rewritten->as<int64_t (*)(int64_t)>();
   EXPECT_EQ(fn(3), 3 * 55);

@@ -35,7 +35,7 @@ ExecMemory buildAdd() {
 TEST(Rewrite, IdentityNoKnownParams) {
   ExecMemory fn = buildAdd();
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 1, 2);
+  auto rewritten = rewriter.rewrite(fn.data(), 1, 2);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto add = rewritten->as<int64_t (*)(int64_t, int64_t)>();
   EXPECT_EQ(add(2, 3), 5);
@@ -48,7 +48,7 @@ TEST(Rewrite, SpecializeSecondParam) {
   Config config;
   config.setParamKnown(1);  // rsi fixed
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0, 42);
+  auto rewritten = rewriter.rewrite(fn.data(), 0, 42);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto addK = rewritten->as<int64_t (*)(int64_t, int64_t)>();
   // Drop-in signature; the second argument is ignored (baked in as 42).
@@ -66,7 +66,7 @@ TEST(Rewrite, FullyConstantFunction) {
   config.setParamKnown(0);
   config.setParamKnown(1);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 30, 12);
+  auto rewritten = rewriter.rewrite(fn.data(), 30, 12);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto constFn = rewritten->as<int64_t (*)(int64_t, int64_t)>();
   EXPECT_EQ(constFn(0, 0), 42);
@@ -85,14 +85,14 @@ TEST(Rewrite, ShiftAndAdd) {
   ExecMemory fn = buildOrDie(a);
 
   Rewriter plain{Config{}};
-  auto rewritten = plain.rewriteFn(fn.data(), 5);
+  auto rewritten = plain.rewrite(fn.data(), 5);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_EQ(rewritten->as<int64_t (*)(int64_t)>()(5), 43);
 
   Config config;
   config.setParamKnown(0);
   Rewriter spec{config};
-  auto specialized = spec.rewriteFn(fn.data(), 5);
+  auto specialized = spec.rewrite(fn.data(), 5);
   ASSERT_TRUE(specialized.ok());
   EXPECT_EQ(specialized->as<int64_t (*)(int64_t)>()(123), 43);
 }
@@ -114,7 +114,7 @@ ExecMemory buildCompare() {
 TEST(Rewrite, UnknownBranchCapturesBothPaths) {
   ExecMemory fn = buildCompare();
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0, 0);
+  auto rewritten = rewriter.rewrite(fn.data(), 0, 0);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto cmp = rewritten->as<int64_t (*)(int64_t, int64_t)>();
   EXPECT_EQ(cmp(1, 2), 1);
@@ -129,7 +129,7 @@ TEST(Rewrite, KnownBranchResolved) {
   config.setParamKnown(0);
   config.setParamKnown(1);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 1, 5);
+  auto rewritten = rewriter.rewrite(fn.data(), 1, 5);
   ASSERT_TRUE(rewritten.ok());
   EXPECT_EQ(rewritten->as<int64_t (*)(int64_t, int64_t)>()(100, 0), 1);
   EXPECT_EQ(rewritten->traceStats().capturedBranches, 0u);
@@ -159,7 +159,7 @@ TEST(Rewrite, KnownLoopFullyUnrolls) {
   Config config;
   config.setParamKnown(0);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 10);
+  auto rewritten = rewriter.rewrite(fn.data(), 10);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_EQ(rewritten->as<int64_t (*)(int64_t)>()(0), 55);
   // No captured branches: the loop was evaluated away entirely.
@@ -169,7 +169,7 @@ TEST(Rewrite, KnownLoopFullyUnrolls) {
 TEST(Rewrite, UnknownLoopKeepsControlFlow) {
   ExecMemory fn = buildSumLoop();
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 1);
+  auto rewritten = rewriter.rewrite(fn.data(), 1);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto sum = rewritten->as<int64_t (*)(int64_t)>();
   EXPECT_EQ(sum(0), 0);
@@ -194,7 +194,7 @@ TEST(Rewrite, KnownMemoryLoadFolds) {
   config.setParamKnownPtr(0, sizeof table);
   config.setParamKnown(1);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), table, 2);
+  auto rewritten = rewriter.rewrite(fn.data(), table, 2);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_EQ(rewritten->as<int64_t (*)(const int64_t*, int64_t)>()(nullptr, 0),
             30);
@@ -214,7 +214,7 @@ TEST(Rewrite, IndexFoldsIntoDisplacement) {
   Config config;
   config.setParamKnown(1);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), nullptr, 2);
+  auto rewritten = rewriter.rewrite(fn.data(), nullptr, 2);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   int64_t data[4] = {10, 20, 30, 40};
   EXPECT_EQ(rewritten->as<int64_t (*)(const int64_t*, int64_t)>()(data, 0),
@@ -236,7 +236,7 @@ TEST(Rewrite, StoreToUnknownPointerSurvives) {
   Config config;
   config.setParamKnown(1);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), nullptr, 41);
+  auto rewritten = rewriter.rewrite(fn.data(), nullptr, 41);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   int64_t out = 0;
   rewritten->as<void (*)(int64_t*, int64_t)>()(&out, 0);
@@ -253,7 +253,7 @@ TEST(Rewrite, WriteToKnownMemoryFails) {
   Config config;
   config.setParamKnownPtr(0, sizeof data);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), data, 0);
+  auto rewritten = rewriter.rewrite(fn.data(), data, 0);
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::WriteToKnownMemory);
 }
@@ -263,7 +263,7 @@ TEST(Rewrite, UndecodableFailsGracefully) {
   a.emitBytes(std::vector<uint8_t>{0x0f, 0xa2, 0xc3});  // cpuid; ret
   ExecMemory fn = buildOrDie(a);
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data());
+  auto rewritten = rewriter.rewrite(fn.data());
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::UndecodableInstruction);
 }
@@ -313,7 +313,7 @@ TEST(Rewrite, DropInSignatureKeepsUnknownArgsWorking) {
   Config config;
   config.setParamKnown(1);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0, 100);
+  auto rewritten = rewriter.rewrite(fn.data(), 0, 100);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto f = rewritten->as<int64_t (*)(int64_t, int64_t)>();
   for (int64_t x : {-5, 0, 3, 1000}) EXPECT_EQ(f(x, 0), x * 2 + 100);

@@ -47,7 +47,7 @@ TEST(SsePaths, PackedArithmeticCaptured) {
   auto original = fn.entry<f_t>();
 
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), nullptr, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), nullptr, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   const double a[2] = {1.5, -2.0};
   const double b[2] = {0.25, 4.0};
@@ -74,7 +74,7 @@ TEST(SsePaths, PackedFoldsWithKnownTable) {
   config.setParamKnownPtr(0, sizeof table);
   config.setReturnKind(ReturnKind::Float);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), table);
+  auto rewritten = rewriter.rewrite(fn.data(), table);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_DOUBLE_EQ(rewritten->as<double (*)(const double*)>()(nullptr),
                    34.0);
@@ -97,7 +97,7 @@ TEST(SsePaths, LaneMovesTraced) {
   using f_t = void (*)(const double*, const double*, double*);
 
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), nullptr, nullptr, nullptr);
+  auto rewritten = rewriter.rewrite(fn.data(), nullptr, nullptr, nullptr);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   const double a = 1.25, b = -8.5;
   double out[2] = {0, 0};
@@ -117,7 +117,7 @@ TEST(SsePaths, LaneLoadFoldsFromKnownData) {
   config.setParamKnownPtr(0, sizeof known);
   config.setReturnKind(ReturnKind::Float);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), known);
+  auto rewritten = rewriter.rewrite(fn.data(), known);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   EXPECT_DOUBLE_EQ(rewritten->as<double (*)(const double*)>()(nullptr), 7.5);
 }
@@ -137,14 +137,14 @@ TEST(SsePaths, DivisionElisionAndCapture) {
     config.setParamKnown(0);
     config.setParamKnown(1);
     Rewriter rewriter{config};
-    auto rewritten = rewriter.rewriteFn(fn.data(), -100, 7);
+    auto rewritten = rewriter.rewrite(fn.data(), -100, 7);
     ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
     EXPECT_EQ(rewritten->as<d_t>()(0, 0), -14);
     EXPECT_LE(rewritten->emitStats().instructions, 3u);  // folded
   }
   {
     Rewriter rewriter{Config{}};
-    auto rewritten = rewriter.rewriteFn(fn.data(), 0, 1);
+    auto rewritten = rewriter.rewrite(fn.data(), 0, 1);
     ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
     auto divide = rewritten->as<d_t>();
     EXPECT_EQ(divide(100, 7), 14);
@@ -164,7 +164,7 @@ TEST(SsePaths, DivideFaultDuringTraceFailsCleanly) {
   config.setParamKnown(0);
   config.setParamKnown(1);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 5, 0);  // divide by zero
+  auto rewritten = rewriter.rewrite(fn.data(), 5, 0);  // divide by zero
   ASSERT_FALSE(rewritten.ok());
   EXPECT_EQ(rewritten.error().code, ErrorCode::UnsupportedInstruction);
 }
@@ -179,7 +179,7 @@ TEST(SsePaths, WideMultiplyTraced) {
   ExecMemory fn = buildOrDie(as);
   using m_t = uint64_t (*)(uint64_t, uint64_t);
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0, 0);
+  auto rewritten = rewriter.rewrite(fn.data(), 0, 0);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto mulhi = rewritten->as<m_t>();
   EXPECT_EQ(mulhi(~0ull, ~0ull), 0xFFFFFFFFFFFFFFFEull);
@@ -189,7 +189,7 @@ TEST(SsePaths, WideMultiplyTraced) {
   known.setParamKnown(0);
   known.setParamKnown(1);
   Rewriter rewriter2{known};
-  auto folded = rewriter2.rewriteFn(fn.data(), ~0ull, ~0ull);
+  auto folded = rewriter2.rewrite(fn.data(), ~0ull, ~0ull);
   ASSERT_TRUE(folded.ok());
   EXPECT_EQ(folded->as<m_t>()(0, 0), 0xFFFFFFFFFFFFFFFEull);
 }
@@ -212,7 +212,7 @@ TEST(SsePaths, ConversionRoundTrip) {
   using t_t = double (*)(double);
 
   Rewriter rewriter{Config{}};
-  auto rewritten = rewriter.rewriteFn(fn.data(), 0.0);
+  auto rewritten = rewriter.rewrite(fn.data(), 0.0);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto truncate = rewritten->as<t_t>();
   EXPECT_DOUBLE_EQ(truncate(2.9), 2.0);

@@ -74,7 +74,7 @@ TEST(PgasRewrite, SpecializedAccessorMatchesGeneric) {
   brew_pgas_view v = rt.view(1);  // interior rank: both neighbours remote
 
   Rewriter rewriter{accessorConfig()};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_pgas_read), &v, 0L);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto read2 = rewritten->as<brew_pgas_read_fn>();
@@ -95,7 +95,7 @@ TEST(PgasRewrite, SpecializedAccessorIgnoresViewArgument) {
   fillGlobal(rt);
   brew_pgas_view v0 = rt.view(0);
   Rewriter rewriter{accessorConfig()};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_pgas_read), &v0, 0L);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto read2 = rewritten->as<brew_pgas_read_fn>();

@@ -24,7 +24,7 @@ TEST(StencilRewrite, SpecializedMatchesGenericFivePoint) {
   const brew_stencil s = stencil::fivePoint();
   Config config = specializingConfig(&s, sizeof s);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kXs, &s);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto app2 = rewritten->as<brew_stencil_fn>();
@@ -49,7 +49,7 @@ TEST(StencilRewrite, SpecializedSweepIsDropIn) {
   const brew_stencil s = stencil::fivePoint();
   Config config = specializingConfig(&s, sizeof s);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kXs, &s);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
 
@@ -95,7 +95,7 @@ TEST(StencilRewrite, GroupedGenericAgreesAndSpecializes) {
   config.setParamKnown(1);
   config.setParamKnownPtr(2, sizeof g);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply_grouped), nullptr,
       kXs, &g);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
@@ -119,7 +119,7 @@ TEST_P(RandomStencilRewrite, SpecializedMatchesGeneric) {
   config.setParamKnown(1);
   config.setParamKnownPtr(2, sizeof s);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kXs, &s);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto app2 = rewritten->as<brew_stencil_fn>();
@@ -145,7 +145,7 @@ TEST(StencilRewrite, UnknownStencilStillWorks) {
   Config config;
   config.setParamKnown(1);
   Rewriter rewriter{config};
-  auto rewritten = rewriter.rewriteFn(
+  auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kXs, &s);
   ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
   auto app2 = rewritten->as<brew_stencil_fn>();
