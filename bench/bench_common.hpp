@@ -11,11 +11,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace brew::bench {
@@ -100,14 +102,113 @@ inline double bestOf(int n, const std::function<void()>& fn) {
   return best;
 }
 
+namespace detail {
+
+// Console reporter that additionally captures every run for --json output.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Run {
+    std::string name;
+    int64_t iterations;
+    double nsPerOp;
+  };
+
+  void ReportRuns(const std::vector<benchmark::BenchmarkReporter::Run>& runs)
+      override {
+    for (const auto& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      captured.push_back(
+          Run{run.benchmark_name(), run.iterations,
+              run.real_accumulated_time /
+                  static_cast<double>(run.iterations) * 1e9});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Run> captured;
+};
+
+inline void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+// Machine-readable result file: one object per microbenchmark plus the
+// rewrite-pipeline phase breakdown from the telemetry registry
+// (scripts/run_benches.sh merges these into BENCH_results.json).
+inline bool writeJsonResults(const char* path,
+                             const std::vector<CapturingReporter::Run>& runs,
+                             int shapeFailures) {
+  std::string out = "{\n  \"benchmarks\": [";
+  bool first = true;
+  char buf[128];
+  for (const auto& run : runs) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    appendEscaped(out, run.name);
+    std::snprintf(buf, sizeof buf,
+                  "\", \"iterations\": %lld, \"ns_per_op\": %.3f}",
+                  static_cast<long long>(run.iterations), run.nsPerOp);
+    out += buf;
+  }
+  out += "\n  ],\n  \"phases\": [";
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (std::strncmp(h.name, "phase.", 6) != 0 || h.count == 0) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"count\": %llu, "
+                  "\"avg_ns\": %.1f, \"max_ns\": %llu}",
+                  h.name, static_cast<unsigned long long>(h.count),
+                  static_cast<double>(h.sum) / static_cast<double>(h.count),
+                  static_cast<unsigned long long>(h.max));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "\n  ],\n  \"shape_check_failures\": %d\n}\n",
+                shapeFailures);
+  out += buf;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace detail
+
 // Runs the registered google-benchmark microbenchmarks (unless the
 // environment asks to skip them) and returns the shape-check verdict.
+// `--json=<path>` additionally writes machine-readable results (bench
+// names, iterations, ns/op, and the telemetry phase-time breakdown); it is
+// stripped from argv before google-benchmark sees the flags.
 inline int finish(const ShapeChecks& checks, int argc, char** argv) {
+  const char* jsonPath = nullptr;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      jsonPath = argv[i] + 7;
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+
   std::printf("\n--- per-call microbenchmarks (google-benchmark) ---\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  detail::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return checks.failures() == 0 ? 0 : 1;
+
+  bool jsonOk = true;
+  if (jsonPath != nullptr) {
+    jsonOk = detail::writeJsonResults(jsonPath, reporter.captured,
+                                      checks.failures());
+    if (!jsonOk) std::fprintf(stderr, "cannot write %s\n", jsonPath);
+  }
+  return checks.failures() == 0 && jsonOk ? 0 : 1;
 }
 
 }  // namespace brew::bench

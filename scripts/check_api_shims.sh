@@ -19,4 +19,21 @@ if [ -n "$offenders" ]; then
   echo "use brew_rewrite2 + brew_func_entry / brew_release_h instead" >&2
   exit 1
 fi
+
+# Same rule for the conf-scoped stats getter: new code should read stats
+# from the handle (brew_func_getstats) or the process-wide telemetry
+# registry (brew_telemetry_snapshot), not the last-writer-wins conf slot.
+stats_offenders=$(grep -rnE '(^|[^_[:alnum:]])brew_getstats[[:space:]]*\(' \
+    src examples bench tests stencil 2>/dev/null \
+  | grep -v '^src/core/brew\.h:' \
+  | grep -v '^src/core/brew_c\.cpp:' \
+  | grep -v '^tests/core_capi_test\.cpp:' \
+  || true)
+
+if [ -n "$stats_offenders" ]; then
+  echo "deprecated brew_getstats calls found:" >&2
+  echo "$stats_offenders" >&2
+  echo "use brew_func_getstats or brew_telemetry_snapshot instead" >&2
+  exit 1
+fi
 echo "no deprecated v1 API callers outside the shim"

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs the concurrency-labeled tests (cache single-flight, telemetry
+# registry races) under ThreadSanitizer. Maintains its own build tree
+# (build-tsan/) so the main build stays uninstrumented:
+#
+#   scripts/check_telemetry.sh
+#
+# Exits 125 (ctest SKIP_RETURN_CODE) when the toolchain cannot produce
+# TSan binaries, so plain ctest runs stay green on minimal images.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Probe: does the compiler link -fsanitize=thread here?
+probe_dir=$(mktemp -d)
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cc" <<'EOF'
+int main() { return 0; }
+EOF
+if ! c++ -fsanitize=thread "$probe_dir/probe.cc" -o "$probe_dir/probe" \
+    2>/dev/null; then
+  echo "SKIP: toolchain cannot link ThreadSanitizer binaries" >&2
+  exit 125
+fi
+
+cmake -B build-tsan -S . -DBREW_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build build-tsan -j"$(nproc)" \
+  --target core_cache_test support_telemetry_test > /dev/null
+
+cd build-tsan
+ctest -L concurrency --output-on-failure -j"$(nproc)"
+echo "telemetry/concurrency tests are TSan-clean"

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Runs every bench binary with --json output and merges the per-binary
+# results into one BENCH_results.json at the repo root:
+#
+#   scripts/run_benches.sh [build-dir]     (default: build)
+#
+# Each entry carries the binary's microbenchmark runs (name, iterations,
+# ns/op), the rewrite-pipeline phase-time breakdown from the telemetry
+# registry, and its shape-check verdict. Console output still goes to the
+# terminal, so this is a superset of running the binaries by hand.
+set -eu
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+if [ ! -d "$build_dir/bench" ]; then
+  echo "no $build_dir/bench — configure and build first" >&2
+  exit 1
+fi
+
+out=BENCH_results.json
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+status=0
+printf '{\n' > "$out"
+first=1
+for bin in "$build_dir"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  echo "=== $name ==="
+  if ! "$bin" "--json=$tmp_dir/$name.json"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+  [ -f "$tmp_dir/$name.json" ] || continue
+  [ $first -eq 1 ] || printf ',\n' >> "$out"
+  first=0
+  printf '  "%s": ' "$name" >> "$out"
+  sed 's/^/  /' "$tmp_dir/$name.json" | sed '1s/^  //' >> "$out"
+done
+printf '\n}\n' >> "$out"
+
+echo "wrote $out"
+exit $status

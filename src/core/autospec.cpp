@@ -5,6 +5,7 @@
 #include "core/spec_manager.hpp"
 #include "jit/assembler.hpp"
 #include "support/log.hpp"
+#include "support/perf_map.hpp"
 
 namespace brew {
 
@@ -81,6 +82,12 @@ AutoSpecializer::AutoSpecializer(const void* fn, size_t paramIndex,
   if (sampler.ok()) {
     samplerCode_ = std::move(*sampler);
     entrySlot_ = const_cast<uint8_t*>(samplerCode_.data());
+    if (codeRegistrationEnabled()) {
+      char name[128];
+      perfSymbolName(name, sizeof name, fn_,
+                     reinterpret_cast<uint64_t>(fn_), "sampler");
+      perfMapRegister(samplerCode_.data(), samplerCode_.size(), name);
+    }
   } else {
     entrySlot_ = const_cast<void*>(fn_);  // degrade to a plain forwarder
   }
@@ -88,8 +95,15 @@ AutoSpecializer::AutoSpecializer(const void* fn, size_t paramIndex,
   // upgrading from sampler to dispatcher is a single pointer store (shared
   // with SpecManager's async publication, spec_manager.cpp).
   auto stub = buildEntrySlotStub(&entrySlot_);
-  if (stub.ok())
+  if (stub.ok()) {
     entryStub_ = std::make_unique<ExecMemory>(std::move(*stub));
+    if (codeRegistrationEnabled()) {
+      char name[128];
+      perfSymbolName(name, sizeof name, fn_,
+                     reinterpret_cast<uint64_t>(fn_), "entry");
+      perfMapRegister(entryStub_->data(), entryStub_->size(), name);
+    }
+  }
 }
 
 AutoSpecializer::~AutoSpecializer() = default;

@@ -152,6 +152,68 @@ void brew_cache_reset(void);
 /* LRU byte budget of the cache (default 64 MiB). */
 void brew_cache_set_budget(size_t bytes);
 
+/* ---- process-wide telemetry ------------------------------------------ */
+
+/* The runtime keeps a registry of counters, gauges and log2-bucketed
+ * histograms covering the whole rewrite pipeline (trace, passes, emit,
+ * install, cache, guards, executable memory). Names are stable dotted
+ * identifiers ("cache.hits", "phase.emit_ns", ...). The cache counters
+ * here and brew_getcachestats() are two views over the same events.
+ *
+ * Related environment switches (see docs/OBSERVABILITY.md):
+ *   BREW_STATS=1            human-readable summary on stderr at exit
+ *   BREW_TRACE_FILE=<path>  Chrome trace-event JSON timeline at exit
+ *   BREW_PERF_MAP=1         /tmp/perf-<pid>.map symbols for perf
+ *   BREW_JITDUMP=1|<dir>    jitdump file for `perf inject --jit`
+ */
+
+enum { BREW_TELEMETRY_MAX_INSTRUMENTS = 64 };
+
+typedef struct brew_telemetry_counter {
+  const char* name; /* static storage; valid for the process lifetime */
+  uint64_t value;
+} brew_telemetry_counter;
+
+typedef struct brew_telemetry_gauge {
+  const char* name;
+  int64_t value;
+} brew_telemetry_gauge;
+
+typedef struct brew_telemetry_histogram {
+  const char* name;
+  uint64_t count;
+  uint64_t sum; /* average = sum / count */
+  uint64_t max;
+} brew_telemetry_histogram;
+
+typedef struct brew_telemetry {
+  size_t counter_count;
+  size_t gauge_count;
+  size_t histogram_count;
+  brew_telemetry_counter counters[BREW_TELEMETRY_MAX_INSTRUMENTS];
+  brew_telemetry_gauge gauges[BREW_TELEMETRY_MAX_INSTRUMENTS];
+  brew_telemetry_histogram histograms[BREW_TELEMETRY_MAX_INSTRUMENTS];
+} brew_telemetry;
+
+/* Point-in-time copy of every instrument (lock-free reads). */
+void brew_telemetry_snapshot(brew_telemetry* out);
+
+/* Writes the full registry (including histogram buckets) as JSON.
+ * Returns 0 on success, -1 on I/O failure. */
+int brew_telemetry_write_json(const char* path);
+
+/* Enables/disables phase timeline span recording (also switched on by
+ * BREW_TRACE_FILE). Spans land in per-thread ring buffers. */
+void brew_telemetry_set_tracing(int enabled);
+
+/* Writes recorded spans as Chrome trace-event JSON (load in Perfetto or
+ * chrome://tracing). Returns 0 on success, -1 on I/O failure. */
+int brew_telemetry_write_trace(const char* path);
+
+/* Zeroes every counter/gauge/histogram (tests, phase boundaries). Does not
+ * touch brew_getcachestats(): per-cache stats are reset by brew_cache_reset. */
+void brew_telemetry_reset(void);
+
 /* ---- v1 compatibility shim (DEPRECATED) ------------------------------ */
 
 /* DEPRECATED: v1 spelling of brew_rewrite2. Returns the raw entry pointer

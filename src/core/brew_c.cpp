@@ -13,6 +13,7 @@
 
 #include "core/rewriter.hpp"
 #include "core/spec_manager.hpp"
+#include "support/telemetry.hpp"
 
 struct brew_func {
   brew::CodeHandle handle;
@@ -239,6 +240,41 @@ void brew_cache_reset(void) {
 void brew_cache_set_budget(size_t bytes) {
   brew::SpecManager::process().cache().setByteBudget(bytes);
 }
+
+/* ---- telemetry ------------------------------------------------------- */
+
+void brew_telemetry_snapshot(brew_telemetry* out) {
+  if (out == nullptr) return;
+  *out = brew_telemetry{};
+  const brew::telemetry::Snapshot snap = brew::telemetry::snapshot();
+  for (const auto& c : snap.counters) {
+    if (out->counter_count >= BREW_TELEMETRY_MAX_INSTRUMENTS) break;
+    out->counters[out->counter_count++] = brew_telemetry_counter{c.name, c.value};
+  }
+  for (const auto& g : snap.gauges) {
+    if (out->gauge_count >= BREW_TELEMETRY_MAX_INSTRUMENTS) break;
+    out->gauges[out->gauge_count++] = brew_telemetry_gauge{g.name, g.value};
+  }
+  for (const auto& h : snap.histograms) {
+    if (out->histogram_count >= BREW_TELEMETRY_MAX_INSTRUMENTS) break;
+    out->histograms[out->histogram_count++] =
+        brew_telemetry_histogram{h.name, h.count, h.sum, h.max};
+  }
+}
+
+int brew_telemetry_write_json(const char* path) {
+  return path != nullptr && brew::telemetry::writeJson(path) ? 0 : -1;
+}
+
+void brew_telemetry_set_tracing(int enabled) {
+  brew::telemetry::setTracing(enabled != 0);
+}
+
+int brew_telemetry_write_trace(const char* path) {
+  return path != nullptr && brew::telemetry::writeTrace(path) ? 0 : -1;
+}
+
+void brew_telemetry_reset(void) { brew::telemetry::resetAll(); }
 
 /* ---- v1 shim --------------------------------------------------------- */
 

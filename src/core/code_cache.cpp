@@ -2,9 +2,22 @@
 
 #include <algorithm>
 
+#include "support/telemetry.hpp"
+
 namespace brew {
 
 namespace {
+
+// Per-instance stats_ fields stay authoritative for this cache (tests use
+// private caches); every movement is mirrored into the process-wide
+// registry so brew_telemetry_snapshot() agrees with brew_getcachestats().
+telemetry::Counter& mirror(telemetry::CounterId id) {
+  return telemetry::counter(id);
+}
+
+void trackBytes(int64_t delta) {
+  telemetry::gauge(telemetry::GaugeId::CacheBytesLive).add(delta);
+}
 
 // Registry of live caches, consulted by the ExecMemory free hook. Leaked
 // on purpose: the hook can fire during static destruction (benches keep
@@ -64,10 +77,14 @@ void CodeCache::evictOverBudgetLocked(std::vector<CodeHandle>& dropped) {
     const CacheKey victim = lru_.back();
     auto it = entries_.find(victim);
     if (it != entries_.end()) {
-      bytes_ -= it->second.handle ? it->second.handle->codeBytes() : 0;
+      const size_t entryBytes =
+          it->second.handle ? it->second.handle->codeBytes() : 0;
+      bytes_ -= entryBytes;
+      trackBytes(-static_cast<int64_t>(entryBytes));
       dropped.push_back(std::move(it->second.handle));
       entries_.erase(it);
       ++stats_.evictions;
+      mirror(telemetry::CounterId::CacheEvictions).add();
     }
     lru_.pop_back();
   }
@@ -77,15 +94,21 @@ void CodeCache::insertLocked(const CacheKey& key, const CodeHandle& handle,
                              std::vector<CodeHandle>& dropped) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    bytes_ -= it->second.handle ? it->second.handle->codeBytes() : 0;
+    const size_t entryBytes =
+        it->second.handle ? it->second.handle->codeBytes() : 0;
+    bytes_ -= entryBytes;
+    trackBytes(-static_cast<int64_t>(entryBytes));
     dropped.push_back(std::move(it->second.handle));
     lru_.erase(it->second.lruPos);
     entries_.erase(it);
   }
   lru_.push_front(key);
   entries_.emplace(key, Entry{handle, lru_.begin()});
-  bytes_ += handle ? handle->codeBytes() : 0;
+  const size_t newBytes = handle ? handle->codeBytes() : 0;
+  bytes_ += newBytes;
+  trackBytes(static_cast<int64_t>(newBytes));
   ++stats_.insertions;
+  mirror(telemetry::CounterId::CacheInsertions).add();
   evictOverBudgetLocked(dropped);
 }
 
@@ -98,6 +121,7 @@ Result<CodeHandle> CodeCache::getOrBuild(
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      mirror(telemetry::CounterId::CacheHits).add();
       touchLocked(it->second);
       return it->second.handle;
     }
@@ -106,11 +130,14 @@ Result<CodeHandle> CodeCache::getOrBuild(
       flight = fit->second;
       ++stats_.hits;
       ++stats_.inFlightWaits;
+      mirror(telemetry::CounterId::CacheHits).add();
+      mirror(telemetry::CounterId::CacheInFlightWaits).add();
     } else {
       flight = std::make_shared<InFlight>();
       inFlight_.emplace(key, flight);
       builder = true;
       ++stats_.misses;
+      mirror(telemetry::CounterId::CacheMisses).add();
     }
   }
 
@@ -146,9 +173,11 @@ CodeHandle CodeCache::lookup(const CacheKey& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    mirror(telemetry::CounterId::CacheMisses).add();
     return CodeHandle{};
   }
   ++stats_.hits;
+  mirror(telemetry::CounterId::CacheHits).add();
   touchLocked(it->second);
   return it->second.handle;
 }
@@ -169,11 +198,15 @@ void CodeCache::collectInvalidated(const void* base, size_t size,
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.fn >= start && it->first.fn < end) {
-      bytes_ -= it->second.handle ? it->second.handle->codeBytes() : 0;
+      const size_t entryBytes =
+          it->second.handle ? it->second.handle->codeBytes() : 0;
+      bytes_ -= entryBytes;
+      trackBytes(-static_cast<int64_t>(entryBytes));
       out.push_back(std::move(it->second.handle));
       lru_.erase(it->second.lruPos);
       it = entries_.erase(it);
       ++stats_.invalidations;
+      mirror(telemetry::CounterId::CacheInvalidations).add();
     } else {
       ++it;
     }
@@ -213,6 +246,7 @@ void CodeCache::clear() {
     for (auto& [key, entry] : entries_) dropped.push_back(std::move(entry.handle));
     entries_.clear();
     lru_.clear();
+    trackBytes(-static_cast<int64_t>(bytes_));
     bytes_ = 0;
   }
 }
@@ -225,6 +259,9 @@ void CodeCache::resetStats() {
 }
 
 void CodeCache::recordAsyncInstall(uint64_t latencyNs) {
+  mirror(telemetry::CounterId::CacheAsyncInstalls).add();
+  telemetry::histogram(telemetry::HistogramId::AsyncInstallLatencyNs)
+      .record(latencyNs);
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.asyncInstalls;
   stats_.asyncLatencyNsTotal += latencyNs;

@@ -1,6 +1,8 @@
 #include "core/guard.hpp"
 
 #include "jit/assembler.hpp"
+#include "support/perf_map.hpp"
+#include "support/telemetry.hpp"
 
 namespace brew {
 
@@ -45,6 +47,13 @@ Result<GuardedDispatch> GuardedDispatch::build(
   if (!mem) return mem.error();
   GuardedDispatch dispatch;
   dispatch.code_ = std::move(*mem);
+  telemetry::counter(telemetry::CounterId::GuardDispatchesBuilt).add();
+  if (codeRegistrationEnabled()) {
+    char name[128];
+    perfSymbolName(name, sizeof name, original,
+                   reinterpret_cast<uint64_t>(original), "guard");
+    perfMapRegister(dispatch.code_.data(), dispatch.code_.size(), name);
+  }
   return dispatch;
 }
 
@@ -70,7 +79,12 @@ Result<GuardedFunction> rewriteGuarded(Rewriter& rewriter, const void* fn,
     std::vector<ArgValue> caseArgs(args.begin(), args.end());
     caseArgs[paramIndex] = ArgValue::fromInt(value);
     auto variant = rewriter.rewrite(fn, caseArgs);
-    if (!variant) continue;  // graceful: this value dispatches to original
+    if (!variant) {
+      // Graceful: this value dispatches to the original function.
+      telemetry::counter(telemetry::CounterId::GuardVariantFailures).add();
+      continue;
+    }
+    telemetry::counter(telemetry::CounterId::GuardVariantsBuilt).add();
     cases.push_back(GuardCase{value, variant->entry()});
     result.variants.push_back(std::move(*variant));
   }

@@ -10,6 +10,7 @@
 #include "core/rewriter.hpp"
 #include "ir/captured.hpp"
 #include "isa/instruction.hpp"
+#include "support/telemetry.hpp"
 
 namespace brew {
 
@@ -422,14 +423,21 @@ size_t runMergeBlocks(ir::CapturedFunction& fn) {
 }  // namespace
 
 void runPasses(ir::CapturedFunction& fn, const PassOptions& options) {
+  using telemetry::counter;
+  using telemetry::CounterId;
+  size_t merged = 0, peephole = 0;
   if (options.mergeBlocks)
-    while (runMergeBlocks(fn) != 0) {
-    }
-  if (options.peephole) runPeephole(fn);
-  if (options.deadFlagWriters) runDeadFlagWriters(fn);
-  if (options.foldZeroAdd) runFoldZeroAdd(fn);
-  if (options.redundantLoads) runRedundantLoads(fn);
-  if (options.peephole) runPeephole(fn);  // cleanups may expose more
+    for (size_t n = 0; (n = runMergeBlocks(fn)) != 0;) merged += n;
+  if (options.peephole) peephole += runPeephole(fn);
+  if (options.deadFlagWriters)
+    counter(CounterId::PassDeadFlagsRemoved).add(runDeadFlagWriters(fn));
+  if (options.foldZeroAdd)
+    counter(CounterId::PassZeroAddFolds).add(runFoldZeroAdd(fn));
+  if (options.redundantLoads)
+    counter(CounterId::PassLoadsForwarded).add(runRedundantLoads(fn));
+  if (options.peephole) peephole += runPeephole(fn);  // cleanups may expose more
+  counter(CounterId::PassBlocksMerged).add(merged);
+  counter(CounterId::PassPeepholeRemoved).add(peephole);
 }
 
 }  // namespace brew

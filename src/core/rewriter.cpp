@@ -6,12 +6,31 @@
 #include "isa/printer.hpp"
 #include "support/log.hpp"
 #include "support/perf_map.hpp"
+#include "support/telemetry.hpp"
 
 namespace brew {
 
 namespace {
 const TraceStats kEmptyTraceStats{};
 const ir::EmitStats kEmptyEmitStats{};
+
+// Folds one rewrite's per-instance stats into the process-wide registry.
+void publishStats(const TraceStats& ts, const ir::EmitStats& es) {
+  using telemetry::counter;
+  using telemetry::CounterId;
+  counter(CounterId::TraceInstructions).add(ts.tracedInstructions);
+  counter(CounterId::TraceCaptured).add(ts.capturedInstructions);
+  counter(CounterId::TraceElided).add(ts.elidedInstructions);
+  counter(CounterId::TraceBlocks).add(ts.blocks);
+  counter(CounterId::TraceInlinedCalls).add(ts.inlinedCalls);
+  counter(CounterId::TraceKeptCalls).add(ts.keptCalls);
+  counter(CounterId::TraceResolvedBranches).add(ts.resolvedBranches);
+  counter(CounterId::TraceCapturedBranches).add(ts.capturedBranches);
+  counter(CounterId::TraceMigrations).add(ts.migrations);
+  counter(CounterId::EmitInstructions).add(es.instructions);
+  counter(CounterId::EmitCodeBytes).add(es.codeBytes);
+  counter(CounterId::EmitPoolBytes).add(es.poolBytes);
+}
 }  // namespace
 
 uint64_t PassOptions::fingerprint() const {
@@ -54,31 +73,44 @@ Result<CodeHandle> compileSpecialization(const Config& config,
   if (fn == nullptr)
     return Error{ErrorCode::InvalidArgument, 0, "null function pointer"};
 
+  using telemetry::counter;
+  using telemetry::CounterId;
+  using telemetry::histogram;
+  using telemetry::HistogramId;
+
+  counter(CounterId::RewriteAttempts).add();
+  const bool tracing = telemetry::tracingEnabled();
+  const uint64_t configFp = config.fingerprint() ^ passes.fingerprint();
+  const uint64_t t0 = telemetry::nowNs();
+
   Tracer tracer(config);
   auto captured = tracer.trace(reinterpret_cast<uint64_t>(fn), args);
+  const uint64_t tTrace = telemetry::nowNs();
   if (!captured) {
+    counter(CounterId::RewriteFailures).add();
     BREW_LOG_INFO("rewrite of %p failed: %s", fn,
                   captured.error().message().c_str());
     return captured.error();
   }
 
   runPasses(*captured, passes);
+  const uint64_t tPasses = telemetry::nowNs();
 
   ir::EmitStats emitStats;
   auto memory = ir::emit(*captured, config.limits().maxCodeBytes, &emitStats);
+  const uint64_t tEmit = telemetry::nowNs();
   if (!memory) {
+    counter(CounterId::RewriteFailures).add();
     BREW_LOG_INFO("emit of %p failed: %s", fn,
                   memory.error().message().c_str());
     return memory.error();
   }
 
-  if (perfMapEnabled()) {
-    char name[64];
-    if (variantTag != 0)
-      std::snprintf(name, sizeof name, "brew_spec_%p_%016llx", fn,
-                    static_cast<unsigned long long>(variantTag));
-    else
-      std::snprintf(name, sizeof name, "brew_rewrite_%p", fn);
+  // Install: provenance registration (perf map / jitdump) + block adoption.
+  if (codeRegistrationEnabled()) {
+    char name[128];
+    perfSymbolName(name, sizeof name, fn,
+                   variantTag != 0 ? variantTag : configFp);
     perfMapRegister(memory->data(), emitStats.codeBytes, name);
   }
 
@@ -87,13 +119,44 @@ Result<CodeHandle> compileSpecialization(const Config& config,
   block->captured = std::move(*captured);
   block->traceStats = tracer.stats();
   block->emitStats = emitStats;
+  const uint64_t tInstall = telemetry::nowNs();
+
+  const TraceStats& ts = block->traceStats;
+  publishStats(ts, emitStats);
+  // The decoder runs interleaved with emulation, so the decode share is
+  // accounted separately by the tracer and the emulate phase is the rest
+  // of the trace window.
+  const uint64_t decodeNs =
+      ts.decodeNs < tTrace - t0 ? ts.decodeNs : tTrace - t0;
+  histogram(HistogramId::PhaseDecodeNs).record(decodeNs);
+  histogram(HistogramId::PhaseEmulateNs).record(tTrace - t0 - decodeNs);
+  histogram(HistogramId::PhasePassesNs).record(tPasses - tTrace);
+  histogram(HistogramId::PhaseEmitNs).record(tEmit - tPasses);
+  histogram(HistogramId::PhaseInstallNs).record(tInstall - tEmit);
+  histogram(HistogramId::RewriteNs).record(tInstall - t0);
+
+  if (tracing) {
+    telemetry::recordSpan("decode", t0, t0 + decodeNs);
+    telemetry::recordSpan("emulate", t0 + decodeNs, tTrace);
+    telemetry::recordSpan("passes", tTrace, tPasses);
+    telemetry::recordSpan("emit", tPasses, tEmit);
+    telemetry::recordSpan("install", tEmit, tInstall);
+    char rewriteArgs[160];
+    char fnName[96];
+    perfSymbolName(fnName, sizeof fnName, fn, variantTag != 0 ? variantTag
+                                                              : configFp);
+    std::snprintf(rewriteArgs, sizeof rewriteArgs,
+                  "\"fn\":\"%s\",\"config\":\"%016llx\",\"key\":\"%016llx\"",
+                  fnName, static_cast<unsigned long long>(configFp),
+                  static_cast<unsigned long long>(variantTag));
+    telemetry::recordSpan("rewrite", t0, tInstall, rewriteArgs);
+  }
+
   BREW_LOG_INFO(
       "rewrote %p: %zu traced, %zu captured, %zu elided, %zu blocks, "
       "%zu bytes",
-      fn, block->traceStats.tracedInstructions,
-      block->traceStats.capturedInstructions,
-      block->traceStats.elidedInstructions, block->traceStats.blocks,
-      block->emitStats.codeBytes);
+      fn, ts.tracedInstructions, ts.capturedInstructions,
+      ts.elidedInstructions, ts.blocks, block->emitStats.codeBytes);
   return CodeHandle::adopt(block);
 }
 

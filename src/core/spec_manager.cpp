@@ -5,6 +5,8 @@
 
 #include "jit/assembler.hpp"
 #include "support/log.hpp"
+#include "support/perf_map.hpp"
+#include "support/telemetry.hpp"
 
 namespace brew {
 
@@ -160,15 +162,26 @@ std::shared_ptr<SpecRequest> SpecManager::rewriteAsync(
   request->slot_.store(const_cast<void*>(fn), std::memory_order_release);
   auto stub = buildEntrySlotStub(
       reinterpret_cast<void* const*>(&request->slot_));
-  if (stub.ok())
+  if (stub.ok()) {
     request->stub_ = std::move(*stub);
-  else
+    if (codeRegistrationEnabled()) {
+      char name[128];
+      perfSymbolName(name, sizeof name, fn,
+                     fnvMix(config.fingerprint(), passes.fingerprint()),
+                     "stub");
+      perfMapRegister(request->stub_.data(), request->stub_.size(), name);
+    }
+  } else {
     BREW_LOG_INFO("async entry stub failed: %s (entry() tracks the slot)",
                   stub.error().message().c_str());
+  }
 
   const auto enqueued = std::chrono::steady_clock::now();
+  const uint64_t enqueuedNs = telemetry::nowNs();
   enqueue([this, request, config = std::move(config), passes, fn,
-           args = std::move(args), enqueued] {
+           args = std::move(args), enqueued, enqueuedNs] {
+    telemetry::histogram(telemetry::HistogramId::AsyncQueueLatencyNs)
+        .record(telemetry::nowNs() - enqueuedNs);
     auto result = rewrite(config, passes, fn, args);
     {
       std::lock_guard<std::mutex> lock(request->mu_);

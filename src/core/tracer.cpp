@@ -7,6 +7,7 @@
 #include "isa/printer.hpp"
 #include "support/log.hpp"
 #include "support/memory_map.hpp"
+#include "support/telemetry.hpp"
 
 namespace brew {
 
@@ -89,7 +90,11 @@ Result<ir::CapturedFunction> Tracer::trace(uint64_t fn,
     emitInjectedCall(config_.injection().onEntry, fn);
   }
 
+  timeDecode_ = telemetry::tracingEnabled();
+  auto& queueDepth =
+      telemetry::histogram(telemetry::HistogramId::TraceQueueDepth);
   while (!queue_.empty()) {
+    queueDepth.record(queue_.size());
     Pending pending = std::move(queue_.front());
     queue_.pop_front();
     if (Status s = traceBlock(std::move(pending)); !s) return s.error();
@@ -281,7 +286,9 @@ Status Tracer::traceBlock(Pending pending) {
     if (stats_.capturedInstructions * 2 > config_.limits().maxCodeBytes)
       return Error{ErrorCode::CodeBufferFull, address,
                    "captured code exceeds the configured maximum"};
+    const uint64_t decodeStart = timeDecode_ ? telemetry::nowNs() : 0;
     auto decoded = isa::decodeAt(address);
+    if (timeDecode_) stats_.decodeNs += telemetry::nowNs() - decodeStart;
     if (!decoded) return decoded.error();
     const Instruction& in = *decoded;
     const uint64_t next = address + in.length;

@@ -30,6 +30,10 @@ struct TraceStats {
   size_t resolvedBranches = 0;
   size_t capturedBranches = 0;
   size_t migrations = 0;
+  // Time inside the instruction decoder. Only accounted while phase
+  // tracing (telemetry::tracingEnabled()) is on — the per-instruction
+  // clock reads are not free; 0 otherwise.
+  uint64_t decodeNs = 0;
 };
 
 class Tracer {
@@ -153,6 +157,7 @@ class Tracer {
   uint64_t entryFunction_ = 0;
   bool blockDone_ = false;
   bool injecting_ = false;  // reentrancy guard for emitInjectedCall
+  bool timeDecode_ = false;  // cache of telemetry::tracingEnabled()
 };
 
 }  // namespace brew

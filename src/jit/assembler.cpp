@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "support/telemetry.hpp"
+
 namespace brew::jit {
 
 using isa::Cond;
@@ -161,6 +163,8 @@ Result<ExecMemory> Assembler::finalizeExecutable(uint64_t hint) {
     std::memcpy(mem->data() + fixup.fieldOffset, &rel32, 4);
   }
   if (Status s = mem->finalize(); !s) return s.error();
+  telemetry::counter(telemetry::CounterId::JitStubsFinalized).add();
+  telemetry::counter(telemetry::CounterId::JitStubBytes).add(bytes->size());
   return std::move(*mem);
 }
 

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "support/telemetry.hpp"
+
 namespace brew {
 
 namespace {
@@ -19,6 +21,9 @@ size_t roundUpToPage(size_t size) {
 std::atomic<ExecFreeHook> g_freeHook{nullptr};
 
 void notifyFree(const void* base, size_t size) noexcept {
+  telemetry::counter(telemetry::CounterId::ExecFrees).add();
+  telemetry::gauge(telemetry::GaugeId::ExecBytesLive)
+      .sub(static_cast<int64_t>(size));
   const ExecFreeHook hook = g_freeHook.load(std::memory_order_acquire);
   if (hook != nullptr && base != nullptr) hook(base, size);
 }
@@ -65,6 +70,9 @@ Result<ExecMemory> ExecMemory::allocate(size_t size) {
   ExecMemory mem;
   mem.base_ = p;
   mem.size_ = bytes;
+  telemetry::counter(telemetry::CounterId::ExecAllocations).add();
+  telemetry::gauge(telemetry::GaugeId::ExecBytesLive)
+      .add(static_cast<int64_t>(bytes));
   return mem;
 }
 

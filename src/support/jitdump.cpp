@@ -1,0 +1,162 @@
+#include "support/jitdump.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace brew {
+
+namespace {
+
+// On-disk format of tools/perf/util/jitdump.h (version 1, x86-64 only —
+// this whole rewriter is x86-64 specific).
+constexpr uint32_t kMagic = 0x4A695444;  // "JiTD" read as LE uint32
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kElfMachX86_64 = 62;
+constexpr uint32_t kRecordCodeLoad = 0;
+
+struct FileHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t totalSize;
+  uint32_t elfMach;
+  uint32_t pad1;
+  uint32_t pid;
+  uint64_t timestamp;
+  uint64_t flags;
+};
+static_assert(sizeof(FileHeader) == 40);
+
+struct RecordHeader {
+  uint32_t id;
+  uint32_t totalSize;
+  uint64_t timestamp;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+struct CodeLoadRecord {
+  RecordHeader header;
+  uint32_t pid;
+  uint32_t tid;
+  uint64_t vma;
+  uint64_t codeAddr;
+  uint64_t codeSize;
+  uint64_t codeIndex;
+  // followed by: name bytes + NUL, then the code bytes
+};
+static_assert(sizeof(CodeLoadRecord) == 56);
+
+uint64_t monotonicNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+struct DumpState {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  uint64_t codeIndex = 0;
+  bool openFailed = false;
+};
+
+DumpState& dumpState() {
+  static auto* s = new DumpState();  // leaked: registration can occur late
+  return *s;
+}
+
+bool initialEnabled() {
+  const char* env = std::getenv("BREW_JITDUMP");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+bool g_enabled = initialEnabled();
+
+// Opens <dir>/jit-<pid>.dump, writes the file header and maps one
+// executable page of it — the resulting mmap event in perf.data is the
+// marker `perf inject --jit` scans for. Called under the state mutex.
+std::FILE* openDump(DumpState& state) {
+  if (state.file != nullptr || state.openFailed) return state.file;
+  state.openFailed = true;  // until proven otherwise
+
+  const char* env = std::getenv("BREW_JITDUMP");
+  const char* dir =
+      (env != nullptr && env[0] != '\0' && std::strcmp(env, "1") != 0)
+          ? env
+          : ".";
+  char path[512];
+  std::snprintf(path, sizeof path, "%s/jit-%d.dump", dir,
+                static_cast<int>(::getpid()));
+
+  const int fd = ::open(path, O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) return nullptr;
+  // The executable mapping of the dump file itself; leaked for the process
+  // lifetime (perf needs it to stay mapped).
+  const long page = ::sysconf(_SC_PAGESIZE);
+  void* marker = ::mmap(nullptr, static_cast<size_t>(page),
+                        PROT_READ | PROT_EXEC, MAP_PRIVATE, fd, 0);
+  if (marker == MAP_FAILED) {
+    ::close(fd);
+    return nullptr;
+  }
+  (void)marker;  // intentionally never unmapped
+  std::FILE* f = ::fdopen(fd, "wb");
+  if (f == nullptr) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  FileHeader header{};
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.totalSize = sizeof(FileHeader);
+  header.elfMach = kElfMachX86_64;
+  header.pid = static_cast<uint32_t>(::getpid());
+  header.timestamp = monotonicNs();
+  header.flags = 0;
+  std::fwrite(&header, sizeof header, 1, f);
+  std::fflush(f);
+
+  state.file = f;
+  state.openFailed = false;
+  return f;
+}
+
+}  // namespace
+
+bool jitDumpEnabled() noexcept { return g_enabled; }
+void setJitDump(bool enabled) noexcept { g_enabled = enabled; }
+
+void jitDumpRegister(const void* code, size_t size, const char* name) {
+  if (!g_enabled || code == nullptr || size == 0 || name == nullptr) return;
+  DumpState& state = dumpState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::FILE* f = openDump(state);
+  if (f == nullptr) return;
+
+  const size_t nameLen = std::strlen(name) + 1;
+  CodeLoadRecord record{};
+  record.header.id = kRecordCodeLoad;
+  record.header.totalSize =
+      static_cast<uint32_t>(sizeof record + nameLen + size);
+  record.header.timestamp = monotonicNs();
+  record.pid = static_cast<uint32_t>(::getpid());
+  record.tid = static_cast<uint32_t>(::syscall(SYS_gettid));
+  record.vma = reinterpret_cast<uint64_t>(code);
+  record.codeAddr = reinterpret_cast<uint64_t>(code);
+  record.codeSize = size;
+  record.codeIndex = state.codeIndex++;
+  std::fwrite(&record, sizeof record, 1, f);
+  std::fwrite(name, 1, nameLen, f);
+  std::fwrite(code, 1, size, f);
+  std::fflush(f);
+}
+
+}  // namespace brew

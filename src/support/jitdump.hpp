@@ -1,0 +1,29 @@
+// Linux `perf` jitdump writer: the richer sibling of the /tmp/perf-*.map
+// symbol file. Where the perf map only lets `perf` symbolize samples, a
+// jitdump file carries the generated machine code itself, so
+//
+//   perf record -k mono ./app
+//   perf inject --jit -i perf.data -o perf.jit.data
+//   perf report -i perf.jit.data     # or perf annotate
+//
+// can annotate rewritten code instruction by instruction (paper §VIII's
+// missing tooling for runtime-generated code).
+//
+// Off by default. BREW_JITDUMP=1 writes jit-<pid>.dump into the current
+// directory; any other value is treated as the target directory. The file
+// must be named jit-<pid>.dump and one page of it mmap'd executable —
+// that mmap record is how `perf inject` finds the file.
+#pragma once
+
+#include <cstddef>
+
+namespace brew {
+
+bool jitDumpEnabled() noexcept;
+void setJitDump(bool enabled) noexcept;
+
+// Appends one JIT_CODE_LOAD record (name + the code bytes themselves).
+// Thread-safe; silently does nothing when disabled or on I/O failure.
+void jitDumpRegister(const void* code, size_t size, const char* name);
+
+}  // namespace brew

@@ -1,7 +1,11 @@
 #include "support/log.hpp"
 
+#include <time.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace brew {
 
@@ -13,7 +17,7 @@ LogLevel initialLevel() {
   }
   return LogLevel::None;
 }
-LogLevel g_level = initialLevel();
+std::atomic<LogLevel> g_level{initialLevel()};
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -23,19 +27,63 @@ const char* prefix(LogLevel level) {
     default: return "[brew] ";
   }
 }
+
+struct Sink {
+  std::FILE* file = nullptr;  // stderr unless BREW_LOG_FILE redirects
+  bool timestamps = false;
+};
+
+const Sink& sink() {
+  static const Sink s = [] {
+    Sink out;
+    out.file = stderr;
+    if (const char* path = std::getenv("BREW_LOG_FILE");
+        path != nullptr && path[0] != '\0') {
+      if (std::FILE* f = std::fopen(path, "a")) {
+        out.file = f;        // leaked: must outlive every logging thread
+        out.timestamps = true;
+      }
+    }
+    return out;
+  }();
+  return s;
+}
 }  // namespace
 
-void setLogLevel(LogLevel level) noexcept { g_level = level; }
-LogLevel logLevel() noexcept { return g_level; }
+void setLogLevel(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel logLevel() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void logf(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
-  std::fputs(prefix(level), stderr);
+  if (static_cast<int>(level) >
+      static_cast<int>(g_level.load(std::memory_order_relaxed)))
+    return;
+  // One buffer, one fwrite: concurrent rewriter threads emit whole lines.
+  char buf[1024];
+  size_t n = 0;
+  const Sink& out = sink();
+  if (out.timestamps) {
+    struct timespec ts;
+    clock_gettime(CLOCK_REALTIME, &ts);
+    n += static_cast<size_t>(std::snprintf(
+        buf + n, sizeof buf - n, "%lld.%06ld ",
+        static_cast<long long>(ts.tv_sec), ts.tv_nsec / 1000));
+  }
+  n += static_cast<size_t>(
+      std::snprintf(buf + n, sizeof buf - n, "%s", prefix(level)));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int body = std::vsnprintf(buf + n, sizeof buf - n - 1, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body > 0)
+    n = n + static_cast<size_t>(body) < sizeof buf - 1
+            ? n + static_cast<size_t>(body)
+            : sizeof buf - 2;
+  buf[n++] = '\n';
+  std::fwrite(buf, 1, n, out.file);
 }
 
 }  // namespace brew

@@ -1,5 +1,9 @@
 // Tiny leveled logger. Rewriting is performance-sensitive library code, so
-// logging is off by default and controlled by BREW_LOG (0..3) or setLogLevel.
+// logging is off by default and controlled by BREW_LOG (0..3) or
+// setLogLevel. Output goes to stderr, or to BREW_LOG_FILE=<path>
+// (timestamped, append) when set. The level is atomic and each message is
+// formatted into one buffer and emitted with a single stdio call, so
+// concurrent rewriter threads never interleave partial lines.
 #pragma once
 
 #include <cstdarg>

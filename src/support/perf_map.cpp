@@ -1,11 +1,15 @@
 #include "support/perf_map.hpp"
 
+#include <dlfcn.h>
 #include <unistd.h>
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include "support/jitdump.hpp"
 
 namespace brew {
 
@@ -21,8 +25,14 @@ std::mutex g_mutex;
 bool perfMapEnabled() noexcept { return g_enabled; }
 void setPerfMap(bool enabled) noexcept { g_enabled = enabled; }
 
+bool codeRegistrationEnabled() noexcept {
+  return g_enabled || jitDumpEnabled();
+}
+
 void perfMapRegister(const void* code, size_t size, const char* name) {
-  if (!g_enabled || code == nullptr || size == 0) return;
+  if (code == nullptr || size == 0) return;
+  jitDumpRegister(code, size, name);
+  if (!g_enabled) return;
   std::lock_guard<std::mutex> lock(g_mutex);
   char path[64];
   std::snprintf(path, sizeof path, "/tmp/perf-%d.map",
@@ -32,6 +42,26 @@ void perfMapRegister(const void* code, size_t size, const char* name) {
   std::fprintf(map, "%" PRIxPTR " %zx %s\n",
                reinterpret_cast<uintptr_t>(code), size, name);
   std::fclose(map);
+}
+
+const char* perfSymbolName(char* buf, size_t bufSize, const void* fn,
+                           uint64_t fingerprint, const char* suffix) {
+  // dladdr resolves exported symbols; static functions fall back to the
+  // raw address, which is still stable within one run.
+  Dl_info info{};
+  const char* symbol = nullptr;
+  if (::dladdr(const_cast<void*>(fn), &info) != 0 &&
+      info.dli_sname != nullptr && info.dli_saddr == fn)
+    symbol = info.dli_sname;
+  if (symbol != nullptr)
+    std::snprintf(buf, bufSize, "brew::%s@%08" PRIx64 "%s%s", symbol,
+                  fingerprint >> 32, suffix != nullptr ? "." : "",
+                  suffix != nullptr ? suffix : "");
+  else
+    std::snprintf(buf, bufSize, "brew::%p@%08" PRIx64 "%s%s", fn,
+                  fingerprint >> 32, suffix != nullptr ? "." : "",
+                  suffix != nullptr ? suffix : "");
+  return buf;
 }
 
 }  // namespace brew

@@ -1,0 +1,260 @@
+// Process-wide rewrite-pipeline telemetry (paper §VIII names debugging and
+// tooling for runtime-generated code an open problem; this is the
+// measurement half of the answer).
+//
+// Three parts:
+//
+//  - A metrics REGISTRY of fixed, named instruments: monotonic counters,
+//    up/down gauges and log2-bucketed histograms. All slots are relaxed
+//    atomics — incrementing from the rewrite hot path is one uncontended
+//    atomic add, never a lock. Instruments are enumerated at compile time
+//    so lookup is an array index.
+//
+//  - A phase timeline TRACER: scoped spans recorded into per-thread ring
+//    buffers and exported as Chrome trace-event JSON ("Perfetto" /
+//    chrome://tracing loadable). Off by default; enabled by
+//    BREW_TRACE_FILE=<path> (written at exit) or setTracing(true) +
+//    writeTrace(). When disabled a SpanScope costs one relaxed load.
+//
+//  - EXPORTERS: snapshot() for programmatic access (the brew_telemetry_*
+//    C API wraps it), writeJson() for machine-readable metrics,
+//    writeSummary() for the BREW_STATS=1 atexit human-readable report.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace brew::telemetry {
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+enum class CounterId : int {
+  RewriteAttempts,        // compileSpecialization entered
+  RewriteFailures,        // trace or emit returned an error
+  TraceInstructions,      // instructions emulated
+  TraceCaptured,          // instructions placed in output blocks
+  TraceElided,            // folded away by partial evaluation
+  TraceBlocks,            // blocks captured
+  TraceInlinedCalls,
+  TraceKeptCalls,
+  TraceResolvedBranches,
+  TraceCapturedBranches,
+  TraceMigrations,        // variant-threshold state migrations
+  PassBlocksMerged,
+  PassPeepholeRemoved,
+  PassDeadFlagsRemoved,
+  PassLoadsForwarded,
+  PassZeroAddFolds,
+  EmitInstructions,
+  EmitCodeBytes,
+  EmitPoolBytes,
+  CacheHits,
+  CacheMisses,
+  CacheEvictions,
+  CacheInsertions,
+  CacheInFlightWaits,
+  CacheInvalidations,
+  CacheAsyncInstalls,
+  GuardVariantsBuilt,
+  GuardVariantFailures,   // per-value rewrite failed; value takes original
+  GuardDispatchesBuilt,
+  JitStubsFinalized,      // Assembler::finalizeExecutable successes
+  JitStubBytes,
+  ExecAllocations,
+  ExecFrees,
+  kCount
+};
+
+enum class GaugeId : int {
+  ExecBytesLive,          // mapped generated-code bytes currently live
+  CacheBytesLive,         // bytes currently held by code caches
+  kCount
+};
+
+enum class HistogramId : int {
+  PhaseDecodeNs,          // per rewrite: time inside the instruction decoder
+  PhaseEmulateNs,         // per rewrite: trace/emulate time minus decode
+  PhasePassesNs,
+  PhaseEmitNs,
+  PhaseInstallNs,         // registration + block adoption / publication
+  RewriteNs,              // whole compileSpecialization
+  TraceQueueDepth,        // branch-fork pending queue depth, sampled per block
+  AsyncQueueLatencyNs,    // enqueue -> worker pickup
+  AsyncInstallLatencyNs,  // enqueue -> specialized code published
+  kCount
+};
+
+class Counter {
+ public:
+  void add(uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void add(int64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(int64_t n) noexcept { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log2-bucketed histogram: bucket i counts samples in [2^(i-1), 2^i), with
+// bucket 0 holding the zeros. 64 buckets cover the full uint64_t range.
+// record() is 3 relaxed atomic adds plus a CAS loop only when a new max is
+// observed.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  static int bucketFor(uint64_t v) noexcept {
+    if (v == 0) return 0;
+    const int b = 64 - __builtin_clzll(v);  // bit_width
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  void record(uint64_t v) noexcept {
+    buckets_[bucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Registry accessors. The instrument tables are allocated once and leaked
+// so the atexit reporters can run during static destruction.
+Counter& counter(CounterId id) noexcept;
+Gauge& gauge(GaugeId id) noexcept;
+Histogram& histogram(HistogramId id) noexcept;
+
+const char* counterName(CounterId id) noexcept;
+const char* gaugeName(GaugeId id) noexcept;
+const char* histogramName(HistogramId id) noexcept;
+
+// Point-in-time copy of every instrument.
+struct Snapshot {
+  struct CounterValue {
+    const char* name;
+    uint64_t value;
+  };
+  struct GaugeValue {
+    const char* name;
+    int64_t value;
+  };
+  struct HistogramValue {
+    const char* name;
+    uint64_t count;
+    uint64_t sum;
+    uint64_t max;
+    uint64_t buckets[Histogram::kBuckets];
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+Snapshot snapshot();
+
+// Zeroes every counter/gauge/histogram (tests, phase boundaries).
+void resetAll() noexcept;
+
+// ---------------------------------------------------------------------------
+// Phase timeline tracing
+// ---------------------------------------------------------------------------
+
+bool tracingEnabled() noexcept;
+void setTracing(bool enabled) noexcept;
+
+// Monotonic nanoseconds (CLOCK_MONOTONIC; matches the jitdump clock so a
+// perf timeline and a BREW trace line up).
+uint64_t nowNs() noexcept;
+
+// Records a completed span with explicit timestamps into the calling
+// thread's ring buffer. `argsJson`, when given, is a pre-rendered JSON
+// object-body fragment (e.g. "\"fn\":\"0x1234\"") attached as the span's
+// args. No-op while tracing is disabled.
+void recordSpan(const char* name, uint64_t startNs, uint64_t endNs,
+                const char* argsJson = nullptr);
+
+// RAII span: captures start at construction, records at destruction.
+// `name` must outlive the trace (string literals).
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) noexcept;
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool active() const noexcept { return active_; }
+  // Appends one "key":"<formatted>" pair to the span's args.
+  void arg(const char* key, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ = 0;
+  bool active_ = false;
+  int argsLen_ = 0;
+  char args_[160];
+};
+
+// Writes every recorded span as Chrome trace-event JSON ({"traceEvents":
+// [...]}). Returns false if the file cannot be written. Spans survive
+// thread exit; the buffer keeps the most recent ~8k spans per thread.
+bool writeTrace(const char* path);
+
+// Drops all recorded spans (tests).
+void clearTrace() noexcept;
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+// Machine-readable metrics snapshot (counters, gauges, histograms with
+// buckets) as a JSON object. Returns false on I/O failure.
+bool writeJson(const char* path);
+
+// Human-readable metrics dump (the BREW_STATS=1 atexit report).
+void writeSummary(std::FILE* out);
+
+}  // namespace brew::telemetry

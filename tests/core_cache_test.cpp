@@ -4,14 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "core/brew.h"
 #include "core/code_cache.hpp"
 #include "core/rewriter.hpp"
 #include "core/spec_manager.hpp"
 #include "jit/assembler.hpp"
+#include "support/telemetry.hpp"
 
 namespace brew {
 namespace {
@@ -230,6 +233,87 @@ TEST(SpecManagerAsync, InstallObservedBySpinningCaller) {
   EXPECT_EQ(stats.asyncInstalls, 1u);
   EXPECT_GT(stats.asyncLatencyNsMax, 0u);
   EXPECT_GE(stats.asyncLatencyNsTotal, stats.asyncLatencyNsMax);
+}
+
+TEST(TelemetryMirror, RegistryCountersTrackCacheBehavior) {
+  // Every per-instance CacheStats movement is mirrored into the global
+  // telemetry registry (brew_telemetry_snapshot must agree with
+  // brew_getcachestats), so deltas around a private cache's activity must
+  // match its own stats exactly — gtest runs tests sequentially and no
+  // async work is in flight here.
+  using telemetry::counter;
+  using telemetry::CounterId;
+  const uint64_t hits0 = counter(CounterId::CacheHits).value();
+  const uint64_t misses0 = counter(CounterId::CacheMisses).value();
+  const uint64_t evictions0 = counter(CounterId::CacheEvictions).value();
+  const uint64_t insertions0 = counter(CounterId::CacheInsertions).value();
+  const int64_t bytes0 =
+      telemetry::gauge(telemetry::GaugeId::CacheBytesLive).value();
+
+  {
+    SpecManager manager{SpecManager::Options{.workers = 1, .cacheBytes = 1}};
+    Rewriter rewriter{knownFirstParam(), manager};
+    auto a = rewriter.rewrite(reinterpret_cast<const void*>(&addmul), 9, 0);
+    ASSERT_TRUE(a.ok()) << a.error().message();
+    auto hit = rewriter.rewrite(reinterpret_cast<const void*>(&addmul), 9, 0);
+    ASSERT_TRUE(hit.ok());
+    // Second key evicts the first under the 1-byte budget.
+    auto b = rewriter.rewrite(reinterpret_cast<const void*>(&triple), 4);
+    ASSERT_TRUE(b.ok()) << b.error().message();
+
+    const CacheStats stats = manager.cache().stats();
+    EXPECT_EQ(counter(CounterId::CacheHits).value() - hits0, stats.hits);
+    EXPECT_EQ(counter(CounterId::CacheMisses).value() - misses0,
+              stats.misses);
+    EXPECT_EQ(counter(CounterId::CacheEvictions).value() - evictions0,
+              stats.evictions);
+    EXPECT_EQ(counter(CounterId::CacheInsertions).value() - insertions0,
+              stats.insertions);
+    EXPECT_EQ(
+        telemetry::gauge(telemetry::GaugeId::CacheBytesLive).value() - bytes0,
+        static_cast<int64_t>(stats.codeBytes));
+  }
+  // Cache destruction returns the byte gauge to its starting level.
+  EXPECT_EQ(telemetry::gauge(telemetry::GaugeId::CacheBytesLive).value(),
+            bytes0);
+}
+
+TEST(TelemetryMirror, CapiSnapshotAgreesWithCacheStats) {
+  // The acceptance contract: the "cache.*" counters seen through
+  // brew_telemetry_snapshot track the same events as brew_getcachestats on
+  // the process-wide cache. Compare deltas across a forced miss + hit.
+  auto capiCounter = [](const char* name) -> uint64_t {
+    brew_telemetry snap{};
+    brew_telemetry_snapshot(&snap);
+    for (size_t i = 0; i < snap.counter_count; ++i)
+      if (std::strcmp(snap.counters[i].name, name) == 0)
+        return snap.counters[i].value;
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+
+  brew_cache_stats before{};
+  brew_getcachestats(&before);
+  const uint64_t hits0 = capiCounter("cache.hits");
+  const uint64_t misses0 = capiCounter("cache.misses");
+
+  SpecManager& process = SpecManager::process();
+  const std::vector<ArgValue> args = {ArgValue::fromInt(77),
+                                      ArgValue::fromInt(0)};
+  for (int i = 0; i < 2; ++i) {
+    auto result = process.rewrite(knownFirstParam(), PassOptions{},
+                                  reinterpret_cast<const void*>(&addmul),
+                                  args);
+    ASSERT_TRUE(result.ok()) << result.error().message();
+  }
+
+  brew_cache_stats after{};
+  brew_getcachestats(&after);
+  EXPECT_EQ(capiCounter("cache.hits") - hits0, after.hits - before.hits);
+  EXPECT_EQ(capiCounter("cache.misses") - misses0,
+            after.misses - before.misses);
+  EXPECT_EQ(after.misses - before.misses, 1u);
+  EXPECT_EQ(after.hits - before.hits, 1u);
 }
 
 TEST(SpecManagerAsync, FailedAsyncKeepsOriginalEntry) {

@@ -1,0 +1,235 @@
+// Telemetry registry and phase-tracing tests: instrument correctness,
+// multi-threaded increments, trace-event JSON export (well-formed, spans
+// nest), the metrics JSON exporter, and the brew_telemetry_* C API view.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/brew.h"
+#include "support/telemetry.hpp"
+
+namespace brew::telemetry {
+namespace {
+
+std::string slurp(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// Locates the span named `name` in a trace dump and returns [ts, ts+dur)
+// in microseconds (the writer emits name before ts/dur).
+bool findSpan(const std::string& json, const char* name, double* begin,
+              double* end) {
+  const std::string needle = std::string("\"name\":\"") + name + "\"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  double ts = 0, dur = 0;
+  if (std::sscanf(json.c_str() + at + needle.size(),
+                  ",\"ph\":\"X\",\"ts\":%lf,\"dur\":%lf", &ts, &dur) != 2)
+    return false;
+  *begin = ts;
+  *end = ts + dur;
+  return true;
+}
+
+TEST(TelemetryCounter, AddAndReset) {
+  Counter& c = counter(CounterId::RewriteAttempts);
+  const uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before + 42);
+  EXPECT_STREQ(counterName(CounterId::RewriteAttempts), "rewrite.attempts");
+}
+
+TEST(TelemetryGauge, UpAndDown) {
+  Gauge& g = gauge(GaugeId::CacheBytesLive);
+  const int64_t before = g.value();
+  g.add(4096);
+  g.sub(96);
+  EXPECT_EQ(g.value(), before + 4000);
+  g.sub(4000);
+  EXPECT_EQ(g.value(), before);
+}
+
+TEST(TelemetryHistogram, BucketBoundaries) {
+  // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucketFor(0), 0);
+  EXPECT_EQ(Histogram::bucketFor(1), 1);
+  EXPECT_EQ(Histogram::bucketFor(2), 2);
+  EXPECT_EQ(Histogram::bucketFor(3), 2);
+  EXPECT_EQ(Histogram::bucketFor(4), 3);
+  EXPECT_EQ(Histogram::bucketFor(1023), 10);
+  EXPECT_EQ(Histogram::bucketFor(1024), 11);
+  EXPECT_EQ(Histogram::bucketFor(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST(TelemetryHistogram, RecordAggregates) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(100);
+  h.record(7);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 108u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucketFor(100)), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(TelemetryRace, EightThreadIncrements) {
+  Counter& c = counter(CounterId::TraceInstructions);
+  Histogram& h = histogram(HistogramId::TraceQueueDepth);
+  const uint64_t cBefore = c.value();
+  const uint64_t hBefore = h.count();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(static_cast<uint64_t>(i));
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(c.value() - cBefore, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h.count() - hBefore, uint64_t{kThreads} * kPerThread);
+  EXPECT_GE(h.max(), uint64_t{kPerThread - 1});
+}
+
+TEST(TelemetrySnapshot, NamesEveryInstrument) {
+  const Snapshot snap = snapshot();
+  EXPECT_EQ(snap.counters.size(),
+            static_cast<size_t>(CounterId::kCount));
+  EXPECT_EQ(snap.gauges.size(), static_cast<size_t>(GaugeId::kCount));
+  EXPECT_EQ(snap.histograms.size(),
+            static_cast<size_t>(HistogramId::kCount));
+  for (const auto& c : snap.counters) EXPECT_NE(c.name, nullptr);
+  for (const auto& h : snap.histograms) EXPECT_NE(h.name, nullptr);
+}
+
+TEST(TelemetryTrace, SpansNestInExportedJson) {
+  clearTrace();
+  setTracing(true);
+  // A synthetic rewrite-shaped tree with fully controlled timestamps.
+  const uint64_t t0 = nowNs();
+  recordSpan("tt_decode", t0 + 1000, t0 + 2000);
+  recordSpan("tt_emit", t0 + 2000, t0 + 5000);
+  recordSpan("tt_rewrite", t0 + 1000, t0 + 6000,
+             "\"fn\":\"brew::probe@deadbeef\"");
+  setTracing(false);
+
+  char path[] = "/tmp/brew_trace_test_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  ASSERT_TRUE(writeTrace(path));
+  const std::string json = slurp(path);
+  std::remove(path);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("brew::probe@deadbeef"), std::string::npos);
+
+  double decodeB = 0, decodeE = 0, emitB = 0, emitE = 0, rwB = 0, rwE = 0;
+  ASSERT_TRUE(findSpan(json, "tt_decode", &decodeB, &decodeE));
+  ASSERT_TRUE(findSpan(json, "tt_emit", &emitB, &emitE));
+  ASSERT_TRUE(findSpan(json, "tt_rewrite", &rwB, &rwE));
+  // Children fall inside the parent and do not overlap each other.
+  EXPECT_GE(decodeB, rwB);
+  EXPECT_LE(decodeE, rwE);
+  EXPECT_GE(emitB, decodeE);
+  EXPECT_LE(emitE, rwE);
+  clearTrace();
+}
+
+TEST(TelemetryTrace, DisabledRecordsNothing) {
+  clearTrace();
+  setTracing(false);
+  recordSpan("tt_invisible", 100, 200);
+  { SpanScope scope("tt_scoped_invisible"); }
+
+  char path[] = "/tmp/brew_trace_test_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  ASSERT_TRUE(writeTrace(path));
+  const std::string json = slurp(path);
+  std::remove(path);
+  EXPECT_EQ(json.find("tt_invisible"), std::string::npos);
+}
+
+TEST(TelemetryTrace, SpanScopeRecordsWithArgs) {
+  clearTrace();
+  setTracing(true);
+  {
+    SpanScope scope("tt_scope");
+    EXPECT_TRUE(scope.active());
+    scope.arg("fn", "0x%x", 0xabcd);
+    scope.arg("key", "%s", "k1");
+  }
+  setTracing(false);
+
+  char path[] = "/tmp/brew_trace_test_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  ASSERT_TRUE(writeTrace(path));
+  const std::string json = slurp(path);
+  std::remove(path);
+  EXPECT_NE(json.find("\"tt_scope\""), std::string::npos);
+  EXPECT_NE(json.find("\"fn\":\"0xabcd\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\":\"k1\""), std::string::npos);
+  clearTrace();
+}
+
+TEST(TelemetryJson, ExportsRegistry) {
+  counter(CounterId::RewriteAttempts).add();
+  char path[] = "/tmp/brew_metrics_test_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  ASSERT_TRUE(writeJson(path));
+  const std::string json = slurp(path);
+  std::remove(path);
+  EXPECT_NE(json.find("\"rewrite.attempts\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache.hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.emit_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(TelemetryCapi, SnapshotMirrorsRegistry) {
+  counter(CounterId::CacheHits).add(3);
+  brew_telemetry snap{};
+  brew_telemetry_snapshot(&snap);
+  EXPECT_EQ(snap.counter_count, static_cast<size_t>(CounterId::kCount));
+  bool found = false;
+  for (size_t i = 0; i < snap.counter_count; ++i) {
+    if (std::strcmp(snap.counters[i].name, "cache.hits") != 0) continue;
+    found = true;
+    EXPECT_EQ(snap.counters[i].value,
+              counter(CounterId::CacheHits).value());
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(snap.histogram_count, static_cast<size_t>(HistogramId::kCount));
+}
+
+}  // namespace
+}  // namespace brew::telemetry
