@@ -25,7 +25,8 @@ fi
 cmake -B build-tsan -S . -DBREW_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build-tsan -j"$(nproc)" \
-  --target core_cache_test support_telemetry_test > /dev/null
+  --target core_cache_test support_telemetry_test isa_decode_cache_test \
+  > /dev/null
 
 cd build-tsan
 ctest -L concurrency --output-on-failure -j"$(nproc)"

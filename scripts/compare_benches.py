@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_results.json files and fail on regressions.
+
+Usage:
+    scripts/compare_benches.py BASELINE CURRENT [options]
+
+Both inputs are the merged format written by scripts/run_benches.sh:
+one object keyed by bench binary, each entry holding "benchmarks"
+(name/iterations/ns_per_op) and "phases" (name/count/avg_ns/max_ns).
+A bare single-binary --json file (one {"benchmarks": ..., "phases": ...}
+object) is also accepted on either side.
+
+A benchmark regresses when current ns_per_op exceeds baseline ns_per_op
+by more than its threshold ratio (default --threshold, overridable
+per benchmark with --per-bench). Benchmarks present on only one side are
+reported but are not failures — the suite grows over time. Exit status is
+1 when any regression is found, 2 on malformed input, else 0.
+
+Examples:
+    scripts/compare_benches.py BENCH_baseline.json BENCH_results.json
+    scripts/compare_benches.py BENCH_baseline.json /tmp/a1.json \
+        --only bench_a1_rewrite_cost --threshold 2.0 \
+        --per-bench BM_RewriteApplyCached=1.02
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: top level must be an object")
+    # Bare single-binary file: wrap it so both formats walk the same way.
+    if "benchmarks" in data or "phases" in data:
+        data = {"": data}
+    return data
+
+
+def flatten(tree, kind, value_key):
+    """{"<binary>/<name>": value} for every benchmark or phase entry."""
+    flat = {}
+    for binary, entry in tree.items():
+        for row in entry.get(kind, []):
+            name = row.get("name")
+            value = row.get(value_key)
+            if name is None or not isinstance(value, (int, float)):
+                continue
+            flat[f"{binary}/{name}" if binary else name] = float(value)
+    return flat
+
+
+def match(flat, name):
+    """Entries whose trailing path component or full key equals `name`."""
+    return {k: v for k, v in flat.items()
+            if k == name or k.rsplit("/", 1)[-1] == name}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_results.json files")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.10,
+                        help="allowed current/baseline ns_per_op ratio "
+                             "(default 1.10 = +10%%)")
+    parser.add_argument("--per-bench", action="append", default=[],
+                        metavar="NAME=RATIO",
+                        help="per-benchmark threshold override; NAME matches "
+                             "the benchmark name or binary/name path")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="NAME",
+                        help="restrict the comparison to these binaries or "
+                             "benchmark names")
+    parser.add_argument("--phases", action="store_true",
+                        help="also compare phase avg_ns values against the "
+                             "same thresholds")
+    args = parser.parse_args()
+
+    overrides = {}
+    for spec in args.per_bench:
+        name, sep, ratio = spec.partition("=")
+        if not sep:
+            print(f"bad --per-bench {spec!r}: expected NAME=RATIO",
+                  file=sys.stderr)
+            return 2
+        try:
+            overrides[name] = float(ratio)
+        except ValueError:
+            print(f"bad --per-bench ratio in {spec!r}", file=sys.stderr)
+            return 2
+
+    try:
+        base = load(args.baseline)
+        cur = load(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    def threshold_for(key):
+        short = key.rsplit("/", 1)[-1]
+        if key in overrides:
+            return overrides[key]
+        if short in overrides:
+            return overrides[short]
+        return args.threshold
+
+    def selected(key):
+        if not args.only:
+            return True
+        binary, _, short = key.rpartition("/")
+        return any(sel in (key, binary, short) for sel in args.only)
+
+    sections = [("bench", flatten(base, "benchmarks", "ns_per_op"),
+                 flatten(cur, "benchmarks", "ns_per_op"))]
+    if args.phases:
+        sections.append(("phase", flatten(base, "phases", "avg_ns"),
+                         flatten(cur, "phases", "avg_ns")))
+
+    regressions = 0
+    compared = 0
+    for label, base_flat, cur_flat in sections:
+        for key in sorted(set(base_flat) | set(cur_flat)):
+            if not selected(key):
+                continue
+            b = base_flat.get(key)
+            c = cur_flat.get(key)
+            if b is None or c is None:
+                side = "baseline" if b is None else "current"
+                print(f"  note  {label} {key}: only in "
+                      f"{'current' if b is None else 'baseline'} "
+                      f"({side} missing counterpart)")
+                continue
+            compared += 1
+            limit = threshold_for(key)
+            ratio = c / b if b > 0 else float("inf") if c > 0 else 1.0
+            status = "OK"
+            if ratio > limit:
+                status = "REGRESSION"
+                regressions += 1
+            elif ratio < 1.0:
+                status = "improved"
+            print(f"  {status:>10}  {label} {key}: {b:.1f} -> {c:.1f} ns "
+                  f"({ratio:.2f}x, limit {limit:.2f}x)")
+
+    if compared == 0:
+        print("error: no overlapping benchmarks to compare", file=sys.stderr)
+        return 2
+    print(f"{compared} compared, {regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Perf smoke test (ctest -L perf): run bench_a1 for a few iterations and
+# diff it against the committed BENCH_baseline.json at a generous 2x
+# threshold. This is not a measurement -- it exists to catch
+# order-of-magnitude regressions (a lost fast path, a syscall back in the
+# hot loop) in CI without demanding a quiet machine.
+set -eu
+
+bin="${1:?usage: perf_smoke.sh path/to/bench_a1_rewrite_cost}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+BREW_BENCH_ITERATIONS=20 "$bin" "--json=$tmp/a1.json" \
+  --benchmark_min_time=0.05s >"$tmp/a1.log" 2>&1 || {
+  cat "$tmp/a1.log"
+  exit 1
+}
+
+# Wrap the single-binary output in the merged run_benches.sh shape so the
+# keys line up with the committed baseline.
+python3 - "$tmp/a1.json" "$tmp/merged.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+with open(sys.argv[2], "w") as f:
+    json.dump({"bench_a1_rewrite_cost": data}, f)
+EOF
+
+exec python3 "$repo/scripts/compare_benches.py" \
+  "$repo/BENCH_baseline.json" "$tmp/merged.json" \
+  --only bench_a1_rewrite_cost --threshold 2.0

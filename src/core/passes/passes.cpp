@@ -4,7 +4,8 @@
 // clean up artifacts of tracing itself: materializations that turned out
 // redundant, compares whose branches were resolved, and loads duplicated by
 // unrolling. They run on the block CFG before emission.
-#include <map>
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "core/rewriter.hpp"
@@ -62,27 +63,30 @@ bool isNoopMove(const Instruction& in) {
   }
 }
 
+// lea r, [r+0] is a no-op.
+bool isNoopLea(const Instruction& in) {
+  return in.mnemonic == Mnemonic::Lea && in.ops[0].isReg() &&
+         in.ops[1].mem.base == in.ops[0].reg &&
+         in.ops[1].mem.index == isa::Reg::none && in.ops[1].mem.disp == 0 &&
+         !in.ops[1].mem.ripRelative && in.width == 8;
+}
+
 size_t runPeephole(ir::CapturedFunction& fn) {
   size_t removed = 0;
   for (ir::Block& block : fn.blocks()) {
-    std::vector<Instruction> kept;
-    kept.reserve(block.instrs.size());
-    for (const Instruction& in : block.instrs) {
-      if (isNoopMove(in)) {
+    // In-place compaction: the common block has nothing to remove and is
+    // left untouched (no reallocation, no copy).
+    ir::InstrVec& v = block.instrs;
+    size_t w = 0;
+    for (size_t r = 0; r < v.size(); ++r) {
+      if (isNoopMove(v[r]) || isNoopLea(v[r])) {
         ++removed;
         continue;
       }
-      // lea r, [r+0] is a no-op.
-      if (in.mnemonic == Mnemonic::Lea && in.ops[0].isReg() &&
-          in.ops[1].mem.base == in.ops[0].reg &&
-          in.ops[1].mem.index == isa::Reg::none && in.ops[1].mem.disp == 0 &&
-          !in.ops[1].mem.ripRelative && in.width == 8) {
-        ++removed;
-        continue;
-      }
-      kept.push_back(in);
+      if (w != r) v[w] = v[r];
+      ++w;
     }
-    block.instrs = std::move(kept);
+    v.resize(w);
   }
   return removed;
 }
@@ -139,11 +143,12 @@ size_t runDeadFlagWriters(ir::CapturedFunction& fn) {
   }
 
   size_t removed = 0;
+  std::vector<size_t> dead;  // indices to drop, shared scratch across blocks
   for (int i = 0; i < n; ++i) {
     ir::Block& block = fn.block(i);
     bool live = liveOut[static_cast<size_t>(i)] != 0;
     if (block.term.kind == ir::Terminator::Kind::CondJmp) live = true;
-    std::vector<bool> keep(block.instrs.size(), true);
+    dead.clear();
     for (size_t k = block.instrs.size(); k-- > 0;) {
       const Instruction& in = block.instrs[k];
       if (isa::flagsRead(in) != 0 || in.mnemonic == Mnemonic::Pushfq ||
@@ -156,7 +161,7 @@ size_t runDeadFlagWriters(ir::CapturedFunction& fn) {
           // the original performed it on the same address, so removing is
           // safe; we keep them only to avoid dropping injected onLoad
           // pairing. Register-only compares always go.
-          keep[k] = false;
+          dead.push_back(k);
           ++removed;
           continue;
         }
@@ -165,12 +170,20 @@ size_t runDeadFlagWriters(ir::CapturedFunction& fn) {
         live = false;
       }
     }
-    if (removed != 0) {
-      std::vector<Instruction> kept;
-      kept.reserve(block.instrs.size());
-      for (size_t k = 0; k < block.instrs.size(); ++k)
-        if (keep[k]) kept.push_back(block.instrs[k]);
-      block.instrs = std::move(kept);
+    if (!dead.empty()) {
+      // `dead` is in descending index order; compact in place.
+      ir::InstrVec& v = block.instrs;
+      size_t w = 0;
+      auto next = dead.rbegin();
+      for (size_t k = 0; k < v.size(); ++k) {
+        if (next != dead.rend() && *next == k) {
+          ++next;
+          continue;
+        }
+        if (w != k) v[w] = v[k];
+        ++w;
+      }
+      v.resize(w);
     }
   }
   return removed;
@@ -188,18 +201,13 @@ struct LoadKey {
   uint8_t width;
   isa::MemOperand mem;
 
-  bool operator<(const LoadKey& other) const {
-    if (mn != other.mn) return mn < other.mn;
-    if (width != other.width) return width < other.width;
-    if (mem.base != other.mem.base) return mem.base < other.mem.base;
-    if (mem.index != other.mem.index) return mem.index < other.mem.index;
-    if (mem.scale != other.mem.scale) return mem.scale < other.mem.scale;
-    if (mem.disp != other.mem.disp) return mem.disp < other.mem.disp;
-    if (mem.poolSlot != other.mem.poolSlot)
-      return mem.poolSlot < other.mem.poolSlot;
-    if (mem.ripTarget != other.mem.ripTarget)
-      return mem.ripTarget < other.mem.ripTarget;
-    return mem.ripRelative < other.mem.ripRelative;
+  bool operator==(const LoadKey& other) const {
+    return mn == other.mn && width == other.width &&
+           mem.base == other.mem.base && mem.index == other.mem.index &&
+           mem.scale == other.mem.scale && mem.disp == other.mem.disp &&
+           mem.poolSlot == other.mem.poolSlot &&
+           mem.ripTarget == other.mem.ripTarget &&
+           mem.ripRelative == other.mem.ripRelative;
   }
 };
 
@@ -237,8 +245,12 @@ Mnemonic regMoveFor(Mnemonic loadMn) {
 
 size_t runRedundantLoads(ir::CapturedFunction& fn) {
   size_t forwarded = 0;
+  // Flat fact table, reused across blocks: a block carries a handful of
+  // loads at most, so a linear scan beats a node-allocating tree map.
+  std::vector<std::pair<LoadKey, isa::Reg>> available;
   for (ir::Block& block : fn.blocks()) {
-    std::map<LoadKey, isa::Reg> available;  // mem -> register holding it
+    available.clear();
+    size_t neutralized = 0;
     for (Instruction& in : block.instrs) {
       bool insertFact = false;
       LoadKey key{};
@@ -247,12 +259,15 @@ size_t runRedundantLoads(ir::CapturedFunction& fn) {
         // from a register with live upper bits would differ — but the
         // previous load zeroed them too, so same-key forwarding is exact.
         key = LoadKey{in.mnemonic, in.width, in.ops[1].mem};
-        auto it = available.find(key);
+        auto it = std::find_if(
+            available.begin(), available.end(),
+            [&](const auto& fact) { return fact.first == key; });
         if (it != available.end()) {
           if (it->second == in.ops[0].reg) {
             in.mnemonic = Mnemonic::Nop;
             in.nops = 0;
             ++forwarded;
+            ++neutralized;
             continue;
           }
           const Instruction replacement = isa::makeInstr(
@@ -273,33 +288,46 @@ size_t runRedundantLoads(ir::CapturedFunction& fn) {
                              in.mnemonic == Mnemonic::CallInd ||
                              in.mnemonic == Mnemonic::Push ||
                              in.mnemonic == Mnemonic::Pushfq;
-      for (auto it = available.begin(); it != available.end();) {
+      for (size_t i = 0; i < available.size();) {
+        const LoadKey& k = available[i].first;
         const uint32_t addrRegs =
-            (it->first.mem.base != isa::Reg::none
-                 ? isa::regBit(it->first.mem.base)
-                 : 0u) |
-            (it->first.mem.index != isa::Reg::none
-                 ? isa::regBit(it->first.mem.index)
-                 : 0u);
-        const bool poolRef = it->first.mem.poolSlot >= 0;
+            (k.mem.base != isa::Reg::none ? isa::regBit(k.mem.base) : 0u) |
+            (k.mem.index != isa::Reg::none ? isa::regBit(k.mem.index) : 0u);
+        const bool poolRef = k.mem.poolSlot >= 0;
         const bool killed =
-            (written & (addrRegs | isa::regBit(it->second))) != 0 ||
+            (written & (addrRegs | isa::regBit(available[i].second))) != 0 ||
             (storesMem && !poolRef);  // pool constants are immutable
-        if (killed)
-          it = available.erase(it);
-        else
-          ++it;
+        if (killed) {
+          available[i] = available.back();
+          available.pop_back();
+        } else {
+          ++i;
+        }
       }
-      if (insertFact) available[key] = in.ops[0].reg;
+      if (insertFact) {
+        auto it = std::find_if(
+            available.begin(), available.end(),
+            [&](const auto& fact) { return fact.first == key; });
+        if (it != available.end())
+          it->second = in.ops[0].reg;
+        else
+          available.emplace_back(key, in.ops[0].reg);
+      }
     }
-    // Drop instructions neutralized above.
-    std::vector<Instruction> kept;
-    kept.reserve(block.instrs.size());
-    for (const Instruction& in : block.instrs)
-      if (!(in.mnemonic == Mnemonic::Nop && in.nops == 0 && in.length == 0 &&
-            in.address == 0))
-        kept.push_back(in);
-    block.instrs = std::move(kept);
+    // Drop instructions neutralized above (in place; untouched blocks are
+    // left alone).
+    if (neutralized != 0) {
+      ir::InstrVec& v = block.instrs;
+      size_t w = 0;
+      for (size_t k = 0; k < v.size(); ++k) {
+        if (v[k].mnemonic == Mnemonic::Nop && v[k].nops == 0 &&
+            v[k].length == 0 && v[k].address == 0)
+          continue;
+        if (w != k) v[w] = v[k];
+        ++w;
+      }
+      v.resize(w);
+    }
   }
   return forwarded;
 }
@@ -323,11 +351,12 @@ bool isZeroPoolLoad(const Instruction& in, const ir::CapturedFunction& fn) {
 
 size_t runFoldZeroAdd(ir::CapturedFunction& fn) {
   size_t folded = 0;
+  std::vector<size_t> drop;  // seed-load indices, shared scratch
   for (ir::Block& block : fn.blocks()) {
     // For each register: index of a pending +0.0 seed load, or -1.
     int pending[32];
     for (int& v : pending) v = -1;
-    std::vector<bool> drop(block.instrs.size(), false);
+    drop.clear();
     for (size_t k = 0; k < block.instrs.size(); ++k) {
       Instruction& in = block.instrs[k];
       if (isZeroPoolLoad(in, fn)) {
@@ -339,7 +368,7 @@ size_t runFoldZeroAdd(ir::CapturedFunction& fn) {
           in.ops[0].isReg()) {
         int& seed = pending[16 + isa::regNum(in.ops[0].reg)];
         if (seed >= 0) {
-          drop[static_cast<size_t>(seed)] = true;
+          drop.push_back(static_cast<size_t>(seed));
           if (in.ops[1].isMem()) {
             in.mnemonic = Mnemonic::Movsd;  // load replaces the lane, hi=0
           } else {
@@ -359,11 +388,22 @@ size_t runFoldZeroAdd(ir::CapturedFunction& fn) {
       if (in.isBranch())
         for (int& v : pending) v = -1;
     }
-    std::vector<Instruction> kept;
-    kept.reserve(block.instrs.size());
-    for (size_t k = 0; k < block.instrs.size(); ++k)
-      if (!drop[k]) kept.push_back(block.instrs[k]);
-    block.instrs = std::move(kept);
+    if (!drop.empty()) {
+      // Seed indices arrive in ascending order; compact in place.
+      std::sort(drop.begin(), drop.end());
+      ir::InstrVec& v = block.instrs;
+      size_t w = 0;
+      auto next = drop.begin();
+      for (size_t k = 0; k < v.size(); ++k) {
+        if (next != drop.end() && *next == k) {
+          ++next;
+          continue;
+        }
+        if (w != k) v[w] = v[k];
+        ++w;
+      }
+      v.resize(w);
+    }
   }
   return folded;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "isa/decode_cache.hpp"
 #include "isa/decoder.hpp"
 #include "isa/printer.hpp"
 #include "support/log.hpp"
@@ -90,7 +91,9 @@ Result<ir::CapturedFunction> Tracer::trace(uint64_t fn,
     emitInjectedCall(config_.injection().onEntry, fn);
   }
 
-  timeDecode_ = telemetry::tracingEnabled();
+  // Decode time and cache activity are accounted as deltas of the
+  // thread-local decode-cache stats across the whole trace loop.
+  const isa::DecodeCacheStats decodeBefore = isa::decodeCacheThreadStats();
   auto& queueDepth =
       telemetry::histogram(telemetry::HistogramId::TraceQueueDepth);
   while (!queue_.empty()) {
@@ -99,6 +102,14 @@ Result<ir::CapturedFunction> Tracer::trace(uint64_t fn,
     queue_.pop_front();
     if (Status s = traceBlock(std::move(pending)); !s) return s.error();
   }
+  const isa::DecodeCacheStats& decodeAfter = isa::decodeCacheThreadStats();
+  stats_.decodeNs = decodeAfter.missNs - decodeBefore.missNs;
+  stats_.decodeCacheHits = decodeAfter.hits - decodeBefore.hits;
+  stats_.decodeCacheMisses = decodeAfter.misses - decodeBefore.misses;
+  telemetry::counter(telemetry::CounterId::DecodeCacheHits)
+      .add(stats_.decodeCacheHits);
+  telemetry::counter(telemetry::CounterId::DecodeCacheMisses)
+      .add(stats_.decodeCacheMisses);
   stats_.blocks = static_cast<size_t>(out_.blockCount());
   return std::move(out_);
 }
@@ -110,12 +121,12 @@ Result<ir::CapturedFunction> Tracer::trace(uint64_t fn,
 Result<Tracer::VariantRef> Tracer::getOrCreateVariant(
     uint64_t address, const emu::KnownWorldState& state,
     uint64_t currentFunction) {
-  auto& list = variants_[address];
+  auto& list = variantsFor(address);
   const uint64_t digest = state.digest();
   for (const Variant& v : list) {
     // Digest prefilter: unrolling can create thousands of variants per
     // address; full content comparison only runs on hash hits.
-    if (v.digest != digest || !v.state.sameContent(state)) continue;
+    if (v.digest != digest || !v.state->sameContent(state)) continue;
     // Content matches, but the target block may have been traced assuming
     // some locations are live in the runtime registers (materialized)
     // while the current path kept them folded. Emit compensation
@@ -124,13 +135,13 @@ Result<Tracer::VariantRef> Tracer::getOrCreateVariant(
     // already knows. Flags cannot be materialized: a mismatch there
     // rejects the variant (`state` aliases st_ for every caller that can
     // reach an existing variant, so the helpers below act on st_).
-    if (v.state.flags().known != 0 && v.state.flags().materialized &&
+    if (v.state->flags().known != 0 && v.state->flags().materialized &&
         !st_.flags().materialized)
       continue;
     bool ok = true;
     for (unsigned i = 0; i < 16 && ok; ++i) {
       const Reg r = isa::gprFromNum(i);
-      const Value& want = v.state.gpr(r);
+      const Value& want = v.state->gpr(r);
       Value& have = st_.gpr(r);
       if (!want.isUnknown() && want.materialized && !have.materialized) {
         Status status =
@@ -138,7 +149,7 @@ Result<Tracer::VariantRef> Tracer::getOrCreateVariant(
         if (!status) ok = false;
       }
       const Reg x = isa::xmmFromNum(i);
-      const emu::XmmValue& wantX = v.state.xmm(x);
+      const emu::XmmValue& wantX = v.state->xmm(x);
       emu::XmmValue& haveX = st_.xmm(x);
       if (((wantX.lo.isKnown() && wantX.lo.materialized &&
             !haveX.lo.materialized) ||
@@ -158,19 +169,20 @@ Result<Tracer::VariantRef> Tracer::getOrCreateVariant(
   if (out_.blockCount() >= static_cast<int>(config_.limits().maxBlocks))
     return Error{ErrorCode::VariantLimit, address, "block limit exceeded"};
 
-  const int id = out_.newBlock(address, state.digest());
-  list.push_back(Variant{state.digest(), id, state});
-  queue_.push_back(Pending{address, id, currentFunction, state});
+  const int id = out_.newBlock(address, digest);
+  auto snapshot = std::make_unique<const emu::KnownWorldState>(state);
+  queue_.push_back(Pending{address, id, currentFunction, snapshot.get()});
+  list.push_back(Variant{digest, id, std::move(snapshot)});
   return VariantRef{id, true};
 }
 
 Result<Tracer::VariantRef> Tracer::migrateToVariant(
     uint64_t address, emu::KnownWorldState state, uint64_t currentFunction) {
-  auto& list = variants_[address];
+  auto& list = variantsFor(address);
 
   // Candidates must agree on the shadow call stack (same continuation).
   auto callStackMatches = [&](const Variant& v) {
-    const auto& a = v.state.callStack();
+    const auto& a = v.state->callStack();
     const auto& b = state.callStack();
     if (a.size() != b.size()) return false;
     for (size_t i = 0; i < a.size(); ++i)
@@ -185,8 +197,8 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
     int score = 0;
     for (unsigned i = 0; i < 16; ++i) {
       const Reg r = isa::gprFromNum(i);
-      if (v.state.gpr(r).sameContent(state.gpr(r))) ++score;
-      if (v.state.xmm(isa::xmmFromNum(i)).sameContent(
+      if (v.state->gpr(r).sameContent(state.gpr(r))) ++score;
+      if (v.state->xmm(isa::xmmFromNum(i)).sameContent(
               state.xmm(isa::xmmFromNum(i))))
         ++score;
     }
@@ -207,7 +219,7 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
   emu::KnownWorldState general = state;
   for (unsigned i = 0; i < 16; ++i) {
     const Reg r = isa::gprFromNum(i);
-    if (!best->state.gpr(r).sameContent(state.gpr(r))) {
+    if (!best->state->gpr(r).sameContent(state.gpr(r))) {
       const Value& v = state.gpr(r);
       if (!v.isUnknown() && !v.materialized) {
         Status s = v.isStackRel() ? materializeStackRel(r) : materializeGpr(r);
@@ -216,7 +228,7 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
       general.gpr(r) = Value::unknown();
     }
     const Reg x = isa::xmmFromNum(i);
-    if (!best->state.xmm(x).sameContent(state.xmm(x))) {
+    if (!best->state->xmm(x).sameContent(state.xmm(x))) {
       const emu::XmmValue& v = state.xmm(x);
       if ((v.lo.isKnown() && !v.lo.materialized) ||
           (v.hi.isKnown() && !v.hi.materialized)) {
@@ -227,26 +239,26 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
       general.xmm(x) = emu::XmmValue::unknown();
     }
   }
-  if (best->state.flags().known != state.flags().known ||
-      ((best->state.flags().values ^ state.flags().values) &
-       best->state.flags().known) != 0) {
+  if (best->state->flags().known != state.flags().known ||
+      ((best->state->flags().values ^ state.flags().values) &
+       best->state->flags().known) != 0) {
     if (state.flags().known != 0 && !state.flags().materialized)
       return Error{ErrorCode::VariantLimit, address,
                    "cannot migrate stale flags"};
     general.flags().clobber();
   }
-  if (!best->state.stack().sameContent(state.stack())) {
+  if (!best->state->stack().sameContent(state.stack())) {
     // Shadow bytes are always materialized (stores are captured), so the
     // runtime stack already holds everything; dropping knowledge is free.
     general.stack().clobber();
     // Re-add the bytes both states agree on.
-    for (const auto& [off, byte] : best->state.stack().bytes()) {
-      const Value mine = state.stack().read(off, 1);
-      if (mine.isKnown() && byte.known &&
-          static_cast<uint8_t>(mine.bits) == byte.value)
-        general.stack().write(off, 1, Value::known(byte.value, true));
-    }
-    for (const auto& [off, slot] : best->state.stack().stackRelSlots()) {
+    best->state->stack().forEachKnownByte(
+        [&](int64_t off, uint8_t byteValue, bool) {
+          const Value mine = state.stack().read(off, 1);
+          if (mine.isKnown() && static_cast<uint8_t>(mine.bits) == byteValue)
+            general.stack().write(off, 1, Value::known(byteValue, true));
+        });
+    for (const auto& [off, slot] : best->state->stack().stackRelSlots()) {
       const Value mine = state.stack().read(off, 8);
       if (mine.sameContent(slot)) general.stack().write(off, 8, mine);
     }
@@ -257,12 +269,15 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
   // one is created (allowed past the threshold — each migration strictly
   // reduces knowledge, so the chain terminates at the all-unknown state).
   for (const Variant& v : list)
-    if (v.state.sameContent(general)) return VariantRef{v.blockId, false};
+    if (v.state->sameContent(general)) return VariantRef{v.blockId, false};
   if (out_.blockCount() >= static_cast<int>(config_.limits().maxBlocks))
     return Error{ErrorCode::VariantLimit, address, "block limit exceeded"};
-  const int id = out_.newBlock(address, general.digest());
-  list.push_back(Variant{general.digest(), id, general});
-  queue_.push_back(Pending{address, id, currentFunction, general});
+  const uint64_t generalDigest = general.digest();
+  const int id = out_.newBlock(address, generalDigest);
+  auto snapshot =
+      std::make_unique<const emu::KnownWorldState>(std::move(general));
+  queue_.push_back(Pending{address, id, currentFunction, snapshot.get()});
+  list.push_back(Variant{generalDigest, id, std::move(snapshot)});
   return VariantRef{id, true};
 }
 
@@ -271,7 +286,7 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
 // ---------------------------------------------------------------------------
 
 Status Tracer::traceBlock(Pending pending) {
-  st_ = std::move(pending.state);
+  st_ = *pending.entryState;
   currentFunction_ = pending.currentFunction;
   curId_ = pending.blockId;
   blockDone_ = false;
@@ -286,11 +301,11 @@ Status Tracer::traceBlock(Pending pending) {
     if (stats_.capturedInstructions * 2 > config_.limits().maxCodeBytes)
       return Error{ErrorCode::CodeBufferFull, address,
                    "captured code exceeds the configured maximum"};
-    const uint64_t decodeStart = timeDecode_ ? telemetry::nowNs() : 0;
-    auto decoded = isa::decodeAt(address);
-    if (timeDecode_) stats_.decodeNs += telemetry::nowNs() - decodeStart;
+    auto decoded = isa::decodeCachedAt(address);
     if (!decoded) return decoded.error();
-    const Instruction& in = *decoded;
+    // The pointer stays valid until the next decode; traceOne consumes the
+    // instruction fully before this loop comes back around.
+    const Instruction& in = **decoded;
     const uint64_t next = address + in.length;
     BREW_LOG_TRACE("0x%llx: %s", static_cast<unsigned long long>(address),
                    isa::toString(in).c_str());

@@ -8,14 +8,16 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
 #include "emu/known_state.hpp"
 #include "emu/semantics.hpp"
 #include "ir/captured.hpp"
+#include "support/arena.hpp"
 #include "support/error.hpp"
 
 namespace brew {
@@ -30,15 +32,20 @@ struct TraceStats {
   size_t resolvedBranches = 0;
   size_t capturedBranches = 0;
   size_t migrations = 0;
-  // Time inside the instruction decoder. Only accounted while phase
-  // tracing (telemetry::tracingEnabled()) is on — the per-instruction
-  // clock reads are not free; 0 otherwise.
+  // Decoded-instruction cache activity for this trace. Misses are clocked
+  // unconditionally inside the cache (the clock only runs on the cold
+  // path), so decodeNs is real decoder time whether or not phase tracing
+  // is on.
   uint64_t decodeNs = 0;
+  uint64_t decodeCacheHits = 0;
+  uint64_t decodeCacheMisses = 0;
 };
 
 class Tracer {
  public:
-  explicit Tracer(const Config& config) : config_(config) {}
+  explicit Tracer(const Config& config)
+      : config_(config),
+        queue_(support::ArenaAllocator<Pending>(&arena_)) {}
 
   // Traces `fn` called with `args` (signature order; see Config parameter
   // specs) and returns the captured function, or the first failure.
@@ -48,16 +55,23 @@ class Tracer {
   const TraceStats& stats() const { return stats_; }
 
  private:
+  // The variant owns the immutable entry snapshot behind a stable pointer;
+  // the queued Pending references it instead of carrying its own deep
+  // copy, and traceBlock copy-assigns it into st_ (reusing st_'s buffers).
+  // One deep copy per variant creation instead of two, and queue entries
+  // stay pointer-sized.
   struct Pending {
     uint64_t address = 0;
     int blockId = -1;
     uint64_t currentFunction = 0;
-    emu::KnownWorldState state;
+    const emu::KnownWorldState* entryState = nullptr;
   };
   struct Variant {
     uint64_t digest = 0;
     int blockId = -1;
-    emu::KnownWorldState state;  // entry state the block was traced with
+    // Entry state the block was traced with. unique_ptr keeps the address
+    // stable across variant-list reallocation (Pending points into it).
+    std::unique_ptr<const emu::KnownWorldState> state;
   };
 
   // --- queue / variants ---
@@ -134,8 +148,15 @@ class Tracer {
                         bool resultKnown = false,
                         const emu::Value& knownResult = emu::Value::unknown());
 
+  // Per-function options are consulted on nearly every traced instruction
+  // but only change when the trace crosses a function boundary, so the
+  // lookup is memoized on currentFunction_.
   FunctionOptions policy() const {
-    return config_.functionOptions(currentFunction_);
+    if (policyFor_ != currentFunction_) {
+      policyCache_ = config_.functionOptions(currentFunction_);
+      policyFor_ = currentFunction_;
+    }
+    return policyCache_;
   }
   int64_t rspOffset() const;
   bool inKnownRegion(uint64_t addr, unsigned width) const;
@@ -143,8 +164,20 @@ class Tracer {
 
   const Config& config_;
   ir::CapturedFunction out_;
-  std::deque<Pending> queue_;
-  std::map<uint64_t, std::vector<Variant>> variants_;
+  // Trace-lifetime bump arena: pending fork entries live here (their node
+  // storage dies with the tracer, not one heap free per fork).
+  support::Arena arena_;
+  std::deque<Pending, support::ArenaAllocator<Pending>> queue_;
+  // Variant lists keyed by guest address. A trace touches a handful of
+  // distinct addresses, so a flat vector with linear lookup beats a hash
+  // map on both lookup and teardown cost. Note: the returned reference is
+  // invalidated by the next variantsFor() call that inserts a new address.
+  std::vector<std::pair<uint64_t, std::vector<Variant>>> variants_;
+  std::vector<Variant>& variantsFor(uint64_t address) {
+    for (auto& entry : variants_)
+      if (entry.first == address) return entry.second;
+    return variants_.emplace_back(address, std::vector<Variant>{}).second;
+  }
   // KnownPtr parameter regions discovered at trace start.
   std::vector<MemRegion> extraRegions_;
   TraceStats stats_;
@@ -155,9 +188,10 @@ class Tracer {
   int curId_ = -1;
   uint64_t currentFunction_ = 0;
   uint64_t entryFunction_ = 0;
+  mutable uint64_t policyFor_ = ~uint64_t{0};
+  mutable FunctionOptions policyCache_{};
   bool blockDone_ = false;
   bool injecting_ = false;  // reentrancy guard for emitInjectedCall
-  bool timeDecode_ = false;  // cache of telemetry::tracingEnabled()
 };
 
 }  // namespace brew

@@ -1,48 +1,250 @@
 #include "emu/known_state.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace brew::emu {
 
 using isa::Reg;
 
-// --- StackShadow ----------------------------------------------------------
+// --- StackShadow page management -------------------------------------------
+
+namespace {
+// Pages cycle through a per-thread freelist: fork-heavy traces allocate and
+// drop thousands of pages, and round-tripping each through the global
+// allocator would put malloc back on the hot path the flat layout removed.
+constexpr size_t kFreeListCap = 1024;
+}  // namespace
+
+std::vector<StackShadow::Page*>& StackShadow::freeList() noexcept {
+  struct List {
+    std::vector<Page*> pages;
+    ~List() {
+      for (Page* p : pages) ::operator delete(p);
+    }
+  };
+  thread_local List list;
+  return list.pages;
+}
+
+StackShadow::Page* StackShadow::allocRaw() {
+  std::vector<Page*>& list = freeList();
+  if (!list.empty()) {
+    Page* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  return static_cast<Page*>(::operator new(sizeof(Page)));
+}
+
+StackShadow::Page* StackShadow::allocZeroed() {
+  Page* p = allocRaw();
+  p->refs = 1;
+  p->knownCount = 0;
+  std::memset(p->flags, 0, kPageBytes);
+  return p;
+}
+
+StackShadow::Page* StackShadow::unshare(Page* shared) {
+  Page* p = allocRaw();
+  p->refs = 1;
+  p->knownCount = shared->knownCount;
+  std::memcpy(p->value, shared->value, kPageBytes);
+  std::memcpy(p->flags, shared->flags, kPageBytes);
+  --shared->refs;
+  return p;
+}
+
+void StackShadow::release(Page* p) {
+  if (--p->refs != 0) return;
+  std::vector<Page*>& list = freeList();
+  if (list.size() < kFreeListCap) {
+    list.push_back(p);
+    return;
+  }
+  ::operator delete(p);
+}
+
+// --- StackShadow value semantics -------------------------------------------
+
+StackShadow::StackShadow(const StackShadow& other)
+    : pages_(other.pages_),
+      firstPage_(other.firstPage_),
+      slots_(other.slots_) {
+  for (Page* p : pages_)
+    if (p != nullptr) ++p->refs;
+}
+
+StackShadow& StackShadow::operator=(const StackShadow& other) {
+  if (this != &other) {
+    for (Page* p : other.pages_)
+      if (p != nullptr) ++p->refs;
+    releaseAll();
+    pages_ = other.pages_;
+    firstPage_ = other.firstPage_;
+    slots_ = other.slots_;
+  }
+  return *this;
+}
+
+StackShadow::StackShadow(StackShadow&& other) noexcept
+    : pages_(std::move(other.pages_)),
+      firstPage_(other.firstPage_),
+      slots_(std::move(other.slots_)) {
+  other.pages_.clear();
+  other.firstPage_ = 0;
+  other.slots_.clear();
+}
+
+StackShadow& StackShadow::operator=(StackShadow&& other) noexcept {
+  if (this != &other) {
+    releaseAll();
+    pages_ = std::move(other.pages_);
+    firstPage_ = other.firstPage_;
+    slots_ = std::move(other.slots_);
+    other.pages_.clear();
+    other.firstPage_ = 0;
+    other.slots_.clear();
+  }
+  return *this;
+}
+
+StackShadow::~StackShadow() { releaseAll(); }
+
+void StackShadow::releaseAll() noexcept {
+  for (Page* p : pages_)
+    if (p != nullptr) release(p);
+  pages_.clear();
+}
+
+StackShadow::Page* StackShadow::pageAt(int64_t pageIdx) const {
+  const int64_t rel = pageIdx - firstPage_;
+  if (rel < 0 || rel >= static_cast<int64_t>(pages_.size())) return nullptr;
+  return pages_[static_cast<size_t>(rel)];
+}
+
+StackShadow::Page** StackShadow::slotFor(int64_t pageIdx) {
+  if (pages_.empty()) {
+    firstPage_ = pageIdx;
+    pages_.push_back(nullptr);
+    return &pages_[0];
+  }
+  const int64_t rel = pageIdx - firstPage_;
+  if (rel >= 0 && rel < static_cast<int64_t>(pages_.size()))
+    return &pages_[static_cast<size_t>(rel)];
+  const int64_t newFirst = std::min(firstPage_, pageIdx);
+  const int64_t newLast =
+      std::max(firstPage_ + static_cast<int64_t>(pages_.size()) - 1, pageIdx);
+  if (newLast - newFirst + 1 > kMaxPages) return nullptr;
+  if (rel < 0) {
+    pages_.insert(pages_.begin(), static_cast<size_t>(-rel), nullptr);
+    firstPage_ = pageIdx;
+    return &pages_[0];
+  }
+  pages_.resize(static_cast<size_t>(rel) + 1, nullptr);
+  return &pages_[static_cast<size_t>(rel)];
+}
 
 Value StackShadow::read(int64_t offset, unsigned width) const {
   if (width == 8) {
-    auto slot = slots_.find(offset);
-    if (slot != slots_.end()) return slot->second;
+    auto it = std::lower_bound(
+        slots_.begin(), slots_.end(), offset,
+        [](const auto& s, int64_t off) { return s.first < off; });
+    if (it != slots_.end() && it->first == offset) return it->second;
   }
   uint64_t bits = 0;
   bool materialized = true;
-  for (unsigned i = 0; i < width; ++i) {
-    auto it = bytes_.find(offset + static_cast<int64_t>(i));
-    if (it == bytes_.end() || !it->second.known) return Value::unknown();
-    bits |= static_cast<uint64_t>(it->second.value) << (8 * i);
-    materialized = materialized && it->second.materialized;
+  unsigned i = 0;
+  while (i < width) {
+    const int64_t at = offset + static_cast<int64_t>(i);
+    const unsigned inPage = static_cast<unsigned>(at & (kPageBytes - 1));
+    const unsigned run =
+        std::min(width - i, static_cast<unsigned>(kPageBytes) - inPage);
+    const Page* p = pageAt(at >> kPageShift);
+    if (p == nullptr) return Value::unknown();
+    for (unsigned j = 0; j < run; ++j) {
+      const uint8_t f = p->flags[inPage + j];
+      if (!(f & kKnownBit)) return Value::unknown();
+      const unsigned shift = 8 * (i + j);
+      if (shift < 64) bits |= static_cast<uint64_t>(p->value[inPage + j]) << shift;
+      materialized = materialized && (f & kMaterializedBit) != 0;
+    }
+    i += run;
   }
   return Value::known(bits, materialized);
 }
 
 bool StackShadow::isMaterialized(int64_t offset, unsigned width) const {
-  for (unsigned i = 0; i < width; ++i) {
-    auto it = bytes_.find(offset + static_cast<int64_t>(i));
-    if (it != bytes_.end() && it->second.known && !it->second.materialized)
-      return false;
+  if (width == 8) {
     // StackRel slots are never materialized implicitly.
-    if (width == 8) {
-      auto slot = slots_.find(offset);
-      if (slot != slots_.end() && !slot->second.materialized) return false;
+    auto it = std::lower_bound(
+        slots_.begin(), slots_.end(), offset,
+        [](const auto& s, int64_t off) { return s.first < off; });
+    if (it != slots_.end() && it->first == offset && !it->second.materialized)
+      return false;
+  }
+  unsigned i = 0;
+  while (i < width) {
+    const int64_t at = offset + static_cast<int64_t>(i);
+    const unsigned inPage = static_cast<unsigned>(at & (kPageBytes - 1));
+    const unsigned run =
+        std::min(width - i, static_cast<unsigned>(kPageBytes) - inPage);
+    const Page* p = pageAt(at >> kPageShift);
+    if (p != nullptr) {
+      for (unsigned j = 0; j < run; ++j) {
+        const uint8_t f = p->flags[inPage + j];
+        if ((f & kKnownBit) && !(f & kMaterializedBit)) return false;
+      }
     }
+    i += run;
   }
   return true;
 }
 
 void StackShadow::invalidateSlotsOverlapping(int64_t offset, unsigned width) {
   // StackRel slots are 8 bytes wide starting at their key.
-  auto it = slots_.lower_bound(offset - 7);
-  while (it != slots_.end() && it->first < offset + static_cast<int64_t>(width))
-    it = slots_.erase(it);
+  auto first = std::lower_bound(
+      slots_.begin(), slots_.end(), offset - 7,
+      [](const auto& s, int64_t off) { return s.first < off; });
+  auto last = first;
+  while (last != slots_.end() &&
+         last->first < offset + static_cast<int64_t>(width))
+    ++last;
+  slots_.erase(first, last);
+}
+
+void StackShadow::eraseRange(int64_t offset, unsigned width) {
+  unsigned i = 0;
+  while (i < width) {
+    const int64_t at = offset + static_cast<int64_t>(i);
+    const unsigned inPage = static_cast<unsigned>(at & (kPageBytes - 1));
+    const unsigned run =
+        std::min(width - i, static_cast<unsigned>(kPageBytes) - inPage);
+    const int64_t pageIdx = at >> kPageShift;
+    Page* p = pageAt(pageIdx);
+    if (p != nullptr) {
+      bool any = false;
+      for (unsigned j = 0; j < run && !any; ++j)
+        any = (p->flags[inPage + j] & kKnownBit) != 0;
+      if (any) {
+        Page** slot = slotFor(pageIdx);
+        if ((*slot)->refs > 1) *slot = unshare(*slot);
+        p = *slot;
+        for (unsigned j = 0; j < run; ++j) {
+          if (p->flags[inPage + j] & kKnownBit) {
+            p->flags[inPage + j] = 0;
+            --p->knownCount;
+          }
+        }
+        if (p->knownCount == 0) {
+          release(p);
+          *slot = nullptr;
+        }
+      }
+    }
+    i += run;
+  }
 }
 
 void StackShadow::write(int64_t offset, unsigned width, const Value& value) {
@@ -50,65 +252,168 @@ void StackShadow::write(int64_t offset, unsigned width, const Value& value) {
   if (value.isStackRel()) {
     // Byte-wise representation is impossible; track 8-byte spills in the
     // side table, degrade anything else to unknown bytes.
-    for (unsigned i = 0; i < width; ++i)
-      bytes_.erase(offset + static_cast<int64_t>(i));
+    eraseRange(offset, width);
     if (width == 8) {
-      slots_[offset] = value;
+      auto it = std::lower_bound(
+          slots_.begin(), slots_.end(), offset,
+          [](const auto& s, int64_t off) { return s.first < off; });
+      if (it != slots_.end() && it->first == offset)
+        it->second = value;
+      else
+        slots_.insert(it, {offset, value});
     }
     return;
   }
-  for (unsigned i = 0; i < width; ++i) {
+  if (!value.isKnown()) {
+    eraseRange(offset, width);  // unknown: runtime owns the bytes
+    return;
+  }
+  const uint8_t flagBits = static_cast<uint8_t>(
+      kKnownBit | (value.materialized ? kMaterializedBit : 0));
+  unsigned i = 0;
+  while (i < width) {
     const int64_t at = offset + static_cast<int64_t>(i);
-    if (value.isKnown()) {
-      bytes_[at] = ShadowByte{true, value.materialized,
-                              static_cast<uint8_t>(value.bits >> (8 * i))};
-    } else {
-      bytes_.erase(at);  // unknown: runtime owns the bytes
+    const unsigned inPage = static_cast<unsigned>(at & (kPageBytes - 1));
+    const unsigned run =
+        std::min(width - i, static_cast<unsigned>(kPageBytes) - inPage);
+    Page** slot = slotFor(at >> kPageShift);
+    if (slot != nullptr) {
+      Page* p = *slot;
+      if (p == nullptr) {
+        p = allocZeroed();
+        *slot = p;
+      } else if (p->refs > 1) {
+        p = unshare(p);
+        *slot = p;
+      }
+      for (unsigned j = 0; j < run; ++j) {
+        const unsigned shift = 8 * (i + j);
+        if (!(p->flags[inPage + j] & kKnownBit)) ++p->knownCount;
+        p->flags[inPage + j] = flagBits;
+        p->value[inPage + j] =
+            shift < 64 ? static_cast<uint8_t>(value.bits >> shift) : 0;
+      }
     }
+    // Outside the span cap the bytes simply stay unknown — always a safe
+    // degradation for the known-world model.
+    i += run;
   }
 }
 
 void StackShadow::markMaterialized(int64_t offset, unsigned width) {
-  for (unsigned i = 0; i < width; ++i) {
-    auto it = bytes_.find(offset + static_cast<int64_t>(i));
-    if (it != bytes_.end()) it->second.materialized = true;
+  unsigned i = 0;
+  while (i < width) {
+    const int64_t at = offset + static_cast<int64_t>(i);
+    const unsigned inPage = static_cast<unsigned>(at & (kPageBytes - 1));
+    const unsigned run =
+        std::min(width - i, static_cast<unsigned>(kPageBytes) - inPage);
+    const int64_t pageIdx = at >> kPageShift;
+    Page* p = pageAt(pageIdx);
+    if (p != nullptr) {
+      bool change = false;
+      for (unsigned j = 0; j < run && !change; ++j) {
+        const uint8_t f = p->flags[inPage + j];
+        change = (f & kKnownBit) && !(f & kMaterializedBit);
+      }
+      if (change) {
+        Page** slot = slotFor(pageIdx);
+        if ((*slot)->refs > 1) *slot = unshare(*slot);
+        p = *slot;
+        for (unsigned j = 0; j < run; ++j) {
+          if (p->flags[inPage + j] & kKnownBit)
+            p->flags[inPage + j] |= kMaterializedBit;
+        }
+      }
+    }
+    i += run;
   }
   if (width == 8) {
-    auto slot = slots_.find(offset);
-    if (slot != slots_.end()) slot->second.materialized = true;
+    auto it = std::lower_bound(
+        slots_.begin(), slots_.end(), offset,
+        [](const auto& s, int64_t off) { return s.first < off; });
+    if (it != slots_.end() && it->first == offset)
+      it->second.materialized = true;
   }
 }
 
 void StackShadow::clobber() {
-  bytes_.clear();
+  releaseAll();
+  firstPage_ = 0;
   slots_.clear();
 }
 
 void StackShadow::clobberBelow(int64_t offset) {
-  bytes_.erase(bytes_.begin(), bytes_.lower_bound(offset));
   // An 8-byte slot starting below the boundary overlaps the dead zone.
-  auto it = slots_.begin();
-  while (it != slots_.end() && it->first < offset) it = slots_.erase(it);
+  auto slotEnd = slots_.begin();
+  while (slotEnd != slots_.end() && slotEnd->first < offset) ++slotEnd;
+  slots_.erase(slots_.begin(), slotEnd);
+
+  if (pages_.empty()) return;
+  const int64_t boundaryPage = offset >> kPageShift;
+  size_t drop = 0;
+  while (drop < pages_.size() &&
+         firstPage_ + static_cast<int64_t>(drop) < boundaryPage) {
+    if (pages_[drop] != nullptr) release(pages_[drop]);
+    ++drop;
+  }
+  if (drop > 0) {
+    pages_.erase(pages_.begin(), pages_.begin() + static_cast<long>(drop));
+    firstPage_ += static_cast<int64_t>(drop);
+  }
+  // The straddling page keeps bytes at/above the boundary only.
+  const unsigned inPage = static_cast<unsigned>(offset & (kPageBytes - 1));
+  if (inPage == 0) return;
+  Page* p = pageAt(boundaryPage);
+  if (p == nullptr) return;
+  bool any = false;
+  for (unsigned j = 0; j < inPage && !any; ++j)
+    any = (p->flags[j] & kKnownBit) != 0;
+  if (!any) return;
+  Page** slot = slotFor(boundaryPage);
+  if ((*slot)->refs > 1) *slot = unshare(*slot);
+  p = *slot;
+  for (unsigned j = 0; j < inPage; ++j) {
+    if (p->flags[j] & kKnownBit) {
+      p->flags[j] = 0;
+      --p->knownCount;
+    }
+  }
+  if (p->knownCount == 0) {
+    release(p);
+    *slot = nullptr;
+  }
 }
 
 bool StackShadow::sameContent(const StackShadow& other) const {
   if (slots_.size() != other.slots_.size()) return false;
-  for (const auto& [off, value] : slots_) {
-    auto it = other.slots_.find(off);
-    if (it == other.slots_.end() || !value.sameContent(it->second))
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].first != other.slots_[i].first ||
+        !slots_[i].second.sameContent(other.slots_[i].second))
       return false;
   }
-  // Compare known bytes only (unknown bytes are absent from the map).
-  auto a = bytes_.begin();
-  auto b = other.bytes_.begin();
-  while (a != bytes_.end() && b != other.bytes_.end()) {
-    if (a->first != b->first || a->second.known != b->second.known ||
-        a->second.value != b->second.value)
-      return false;
-    ++a;
-    ++b;
+  // Compare known bytes only (unknown bytes have no page entry). Pages
+  // shared between the two states (the common case right after a fork)
+  // compare equal by pointer identity without touching their bytes.
+  if (pages_.empty() && other.pages_.empty()) return true;
+  const int64_t lo = std::min(pages_.empty() ? other.firstPage_ : firstPage_,
+                              other.pages_.empty() ? firstPage_
+                                                   : other.firstPage_);
+  const int64_t hiA = firstPage_ + static_cast<int64_t>(pages_.size());
+  const int64_t hiB = other.firstPage_ + static_cast<int64_t>(other.pages_.size());
+  const int64_t hi = std::max(pages_.empty() ? hiB : hiA,
+                              other.pages_.empty() ? hiA : hiB);
+  for (int64_t pageIdx = lo; pageIdx < hi; ++pageIdx) {
+    const Page* a = pageAt(pageIdx);
+    const Page* b = other.pageAt(pageIdx);
+    if (a == b) continue;
+    for (int j = 0; j < kPageBytes; ++j) {
+      const bool ka = a != nullptr && (a->flags[j] & kKnownBit);
+      const bool kb = b != nullptr && (b->flags[j] & kKnownBit);
+      if (ka != kb) return false;
+      if (ka && a->value[j] != b->value[j]) return false;
+    }
   }
-  return a == bytes_.end() && b == other.bytes_.end();
+  return true;
 }
 
 namespace {
@@ -122,10 +427,10 @@ void hashValue(uint64_t& hash, const Value& value) {
 }  // namespace
 
 void StackShadow::addToDigest(uint64_t& hash) const {
-  for (const auto& [off, byte] : bytes_) {
+  forEachKnownByte([&hash](int64_t off, uint8_t value, bool) {
     hashMix(hash, static_cast<uint64_t>(off));
-    hashMix(hash, byte.value | (byte.known ? 0x100u : 0u));
-  }
+    hashMix(hash, value | 0x100u);
+  });
   for (const auto& [off, value] : slots_) {
     hashMix(hash, static_cast<uint64_t>(off) * 31);
     hashValue(hash, value);

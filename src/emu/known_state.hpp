@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "emu/value.hpp"
@@ -52,13 +52,25 @@ struct XmmValue {
 // to the frame base: rsp at entry = 0, the function's own frame grows
 // negative. Nonnegative offsets belong to the caller (return address, stack
 // arguments) and read as unknown.
+//
+// Storage is a memcheck-style page table of flat 256-byte shadow chunks
+// rather than a per-byte tree: a directory of page pointers (indexed by
+// offset>>8 relative to a floating base) where each page carries a value
+// byte and a flags byte per stack byte. Pages are refcounted and shared
+// copy-on-write across the deep state copies the tracer takes at every
+// unknown-branch fork and variant snapshot — copying a StackShadow copies
+// the directory and bumps refcounts; the first write to a shared page
+// clones just that page. Refcounts are plain (non-atomic) because a
+// KnownWorldState never crosses threads: every rewrite's tracer, pending
+// queue and variants live on one thread.
 class StackShadow {
  public:
-  struct ShadowByte {
-    bool known = false;
-    bool materialized = false;
-    uint8_t value = 0;
-  };
+  StackShadow() = default;
+  StackShadow(const StackShadow& other);
+  StackShadow& operator=(const StackShadow& other);
+  StackShadow(StackShadow&& other) noexcept;
+  StackShadow& operator=(StackShadow&& other) noexcept;
+  ~StackShadow();
 
   // Reads `width` bytes; Known only if all bytes are known. An 8-byte read
   // that exactly matches a spilled StackRel slot returns that value.
@@ -79,17 +91,67 @@ class StackShadow {
   bool sameContent(const StackShadow& other) const;
   void addToDigest(uint64_t& hash) const;
 
-  // Enumeration helper for state migration: offsets of known bytes.
-  const std::map<int64_t, ShadowByte>& bytes() const { return bytes_; }
-  const std::map<int64_t, Value>& stackRelSlots() const { return slots_; }
+  // Enumeration for state migration and tests: invokes
+  // f(offset, value, materialized) for every known byte, ascending offset.
+  template <typename F>
+  void forEachKnownByte(F&& f) const {
+    for (size_t pi = 0; pi < pages_.size(); ++pi) {
+      const Page* p = pages_[pi];
+      if (p == nullptr || p->knownCount == 0) continue;
+      const int64_t base =
+          (firstPage_ + static_cast<int64_t>(pi)) * kPageBytes;
+      for (int i = 0; i < kPageBytes; ++i) {
+        if (p->flags[i] & kKnownBit)
+          f(base + i, p->value[i], (p->flags[i] & kMaterializedBit) != 0);
+      }
+    }
+  }
+
+  // 8-byte-aligned spills of StackRel values (e.g. a saved frame pointer);
+  // these cannot be represented byte-wise. Any overlapping write kills
+  // them. Sorted ascending by offset.
+  const std::vector<std::pair<int64_t, Value>>& stackRelSlots() const {
+    return slots_;
+  }
 
  private:
-  void invalidateSlotsOverlapping(int64_t offset, unsigned width);
+  static constexpr int kPageShift = 8;
+  static constexpr int kPageBytes = 1 << kPageShift;
+  static constexpr uint8_t kKnownBit = 1;
+  static constexpr uint8_t kMaterializedBit = 2;
+  // Directory span cap (pages): a write landing so far from the existing
+  // span that covering both would exceed this degrades to "unknown" —
+  // always a safe direction for the known-world model — instead of
+  // allocating an absurd directory. 2^16 pages = a 16MiB frame span,
+  // far beyond any real frame the tracer sees.
+  static constexpr int64_t kMaxPages = int64_t{1} << 16;
 
-  std::map<int64_t, ShadowByte> bytes_;
-  // 8-byte-aligned spills of StackRel values (e.g. a saved frame pointer);
-  // these cannot be represented byte-wise. Any overlapping write kills them.
-  std::map<int64_t, Value> slots_;
+  struct Page {
+    uint32_t refs = 1;        // plain: states never cross threads
+    uint32_t knownCount = 0;  // known bytes in this page; 0 frees the page
+    uint8_t value[kPageBytes];
+    uint8_t flags[kPageBytes];  // kKnownBit | kMaterializedBit per byte
+  };
+
+  static std::vector<Page*>& freeList() noexcept;
+  static Page* allocRaw();
+  static Page* allocZeroed();
+  static Page* unshare(Page* shared);  // clone; caller installs the clone
+  static void release(Page* p);
+
+  Page* pageAt(int64_t pageIdx) const;
+  // Directory slot for pageIdx, growing the directory as needed; nullptr
+  // when the span cap would be exceeded.
+  Page** slotFor(int64_t pageIdx);
+  void eraseRange(int64_t offset, unsigned width);
+  void invalidateSlotsOverlapping(int64_t offset, unsigned width);
+  void releaseAll() noexcept;
+
+  // pages_[i] shadows offsets [(firstPage_+i)*256, (firstPage_+i+1)*256).
+  // A null entry (or an offset outside the span) is all-unknown.
+  std::vector<Page*> pages_;
+  int64_t firstPage_ = 0;
+  std::vector<std::pair<int64_t, Value>> slots_;
 };
 
 // One inlined-call frame on the shadow call stack (§III-E): where `ret`

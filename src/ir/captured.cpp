@@ -9,8 +9,14 @@
 
 namespace brew::ir {
 
+support::ArenaAllocator<isa::Instruction> CapturedFunction::instrAllocator() {
+  if (arena_ == nullptr) arena_ = std::make_shared<support::Arena>();
+  return support::ArenaAllocator<isa::Instruction>(arena_.get());
+}
+
 int CapturedFunction::newBlock(uint64_t guestAddress, uint64_t stateDigest) {
   Block block;
+  block.instrs = InstrVec(instrAllocator());
   block.guestAddress = guestAddress;
   block.stateDigest = stateDigest;
   blocks_.push_back(std::move(block));
@@ -152,9 +158,20 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
                       // instruction end, which may include trailing imm bytes
     int slot;
   };
-  std::vector<uint8_t> code;
-  std::vector<BlockFixup> blockFixups;
-  std::vector<PoolFixup> poolFixups;
+  // Emission scratch, reused across calls on each thread: a rewrite emits
+  // a few hundred bytes, and re-growing these from empty every time puts
+  // allocator traffic on the hot path.
+  thread_local std::vector<uint8_t> code;
+  thread_local std::vector<BlockFixup> blockFixups;
+  thread_local std::vector<PoolFixup> poolFixups;
+  code.clear();
+  blockFixups.clear();
+  poolFixups.clear();
+  // Rough upper bound (x86-64 instructions average well under 8 bytes plus
+  // one potential jump per block) so the byte buffer grows at most once.
+  size_t estimate = fn.pool().size() * 16 + 64;
+  for (const int id : order) estimate += fn.block(id).instrs.size() * 8 + 16;
+  code.reserve(estimate);
   std::vector<int64_t> blockOffset(static_cast<size_t>(fn.blockCount()), -1);
   size_t instructions = 0;
 
@@ -260,7 +277,7 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
 
   auto mem = ExecMemory::allocate(code.size());
   if (!mem) return mem.error();
-  std::memcpy(mem->data(), code.data(), code.size());
+  std::memcpy(mem->writeView(), code.data(), code.size());
   if (Status s = mem->finalize(); !s) return s.error();
 
   if (stats != nullptr) {

@@ -9,13 +9,21 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "isa/instruction.hpp"
+#include "support/arena.hpp"
 #include "support/error.hpp"
 #include "support/exec_memory.hpp"
 
 namespace brew::ir {
+
+// Captured instructions are bump-allocated from the owning function's
+// arena (a default-constructed vector falls back to the heap, so blocks
+// synthesized outside a CapturedFunction keep working).
+using InstrVec =
+    std::vector<isa::Instruction, support::ArenaAllocator<isa::Instruction>>;
 
 struct Terminator {
   enum class Kind : uint8_t {
@@ -33,7 +41,7 @@ struct Terminator {
 };
 
 struct Block {
-  std::vector<isa::Instruction> instrs;
+  InstrVec instrs;
   Terminator term;
   // Provenance for diagnostics and tests.
   uint64_t guestAddress = 0;
@@ -65,10 +73,16 @@ class CapturedFunction {
 
   size_t totalInstructions() const;
 
+  // The per-function instruction arena; newBlock() wires every block's
+  // instruction vector to it. Lives (shared) as long as any copy of this
+  // function, so cached captured IR stays valid after the rewrite ends.
+  support::ArenaAllocator<isa::Instruction> instrAllocator();
+
   // Human-readable dump (tests, BREW_LOG).
   std::string dump() const;
 
  private:
+  std::shared_ptr<support::Arena> arena_;
   std::vector<Block> blocks_;
   std::vector<PoolEntry> pool_;
   int entry_ = 0;

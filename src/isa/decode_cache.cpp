@@ -1,0 +1,128 @@
+#include "isa/decode_cache.hpp"
+
+#include <unordered_map>
+
+#include "isa/decoder.hpp"
+#include "support/exec_memory.hpp"
+#include "support/telemetry.hpp"
+
+namespace brew::isa {
+
+namespace {
+
+// Direct-mapped front array. Indexed by low address bits so the
+// consecutive instructions of a block land in consecutive slots; 2048
+// entries cover a 2KiB window of straight-line code before wraparound,
+// and wraparound conflicts fall through to the backing map.
+constexpr size_t kWays = 2048;
+
+// Backing-map growth bound. A single rewrite decodes at most a few
+// thousand distinct addresses; past this something is runaway and the map
+// is dropped wholesale (the front array keeps serving the hot window).
+constexpr size_t kMaxBackingEntries = 1 << 16;
+
+// Mirrors the decoder's instruction-length bound (decoder.cpp); a decode
+// examines at most this many bytes past its start address.
+constexpr uint64_t kMaxInstructionLength = 15;
+
+struct ThreadCache {
+  // tag[i] == 0 means empty; address 0 is never a decodable address.
+  uint64_t tag[kWays] = {};
+  Instruction entry[kWays];
+  std::unordered_map<uint64_t, Instruction> backing;
+  uint64_t epoch = 0;
+  std::vector<brew::CodeMutation> scratch;
+  DecodeCacheStats stats;
+
+  void flushAll() {
+    for (auto& t : tag) t = 0;
+    backing.clear();
+  }
+
+  // Drops only entries whose bytes a recorded mutation could have changed.
+  // A decode at `a` examines at most [a, a+15), so it is stale when that
+  // window overlaps the mutated range. Static subject functions survive
+  // generated-code churn this way, which is what lets the cache pay off
+  // across repeat rewrites.
+  void invalidateRanges(const std::vector<brew::CodeMutation>& ranges) {
+    auto stale = [&ranges](uint64_t a) {
+      for (const brew::CodeMutation& m : ranges)
+        if (a < m.base + m.size && a + kMaxInstructionLength > m.base)
+          return true;
+      return false;
+    };
+    for (auto& t : tag)
+      if (t != 0 && stale(t)) t = 0;
+    for (auto it = backing.begin(); it != backing.end();) {
+      if (stale(it->first))
+        it = backing.erase(it);
+      else
+        ++it;
+    }
+  }
+};
+
+ThreadCache& threadCache() noexcept {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+}  // namespace
+
+Result<const Instruction*> decodeCachedAt(uint64_t address) {
+  ThreadCache& c = threadCache();
+
+  const uint64_t epoch = brew::codeMutationEpoch();
+  if (epoch != c.epoch) {
+    c.scratch.clear();
+    if (brew::codeMutationsSince(c.epoch, c.scratch)) {
+      c.invalidateRanges(c.scratch);
+    } else {
+      // History evicted: cannot tell what moved, drop everything.
+      c.flushAll();
+      telemetry::counter(telemetry::CounterId::DecodeCacheFlushes).add();
+    }
+    c.epoch = epoch;
+  }
+
+  // Hot path touches only the thread-local stats; the tracer publishes
+  // hit/miss deltas to the telemetry registry once per trace, so the
+  // registry counters stay exact without an atomic add per instruction.
+  // Every path hands back &entry[slot]: stable storage the caller may read
+  // until its next decode, and a 144-byte Instruction copy avoided per hit
+  // relative to returning by value.
+  const size_t slot = address & (kWays - 1);
+  if (c.tag[slot] == address) {
+    ++c.stats.hits;
+    return &c.entry[slot];
+  }
+
+  if (auto it = c.backing.find(address); it != c.backing.end()) {
+    c.tag[slot] = address;
+    c.entry[slot] = it->second;
+    ++c.stats.hits;
+    return &c.entry[slot];
+  }
+
+  const uint64_t t0 = telemetry::nowNs();
+  auto decoded = decodeAt(address);
+  c.stats.missNs += telemetry::nowNs() - t0;
+  ++c.stats.misses;
+  if (!decoded) return decoded.error();
+
+  if (c.backing.size() >= kMaxBackingEntries) c.backing.clear();
+  c.backing.emplace(address, decoded.value());
+  c.tag[slot] = address;
+  c.entry[slot] = decoded.value();
+  return &c.entry[slot];
+}
+
+const DecodeCacheStats& decodeCacheThreadStats() noexcept {
+  return threadCache().stats;
+}
+
+void flushDecodeCache() noexcept {
+  threadCache().flushAll();
+}
+
+}  // namespace brew::isa

@@ -1,0 +1,57 @@
+// Decoded-instruction cache fronting the x86-64 decoder.
+//
+// The tracer decodes at guest addresses it revisits constantly: a loop
+// unrolled N times over known bounds decodes the same bytes N times, every
+// block variant re-decodes the shared prefix, and repeat rewrites of one
+// function under different configs decode it from scratch each time. The
+// cache is spike-style: a thread-local direct-mapped array (one probe, no
+// hashing) fronting a per-thread map that keeps every decode until
+// invalidation, so capacity conflicts in the array are refills, not
+// re-decodes.
+//
+// Invalidation is epoch-based. brew::codeMutationEpoch() advances whenever
+// executable bytes may have changed under a cached address — an ExecMemory
+// mapping is freed (mmap recycles addresses; recursive A3 rewrites consume
+// stage-1 generated code that may sit on a recycled range) or flipped back
+// to writable for patching. Each call compares the thread's epoch against
+// the global one; on mismatch it fetches the mutated ranges recorded since
+// its epoch and drops only overlapping entries, so cached decodes of
+// static subject code survive generated-code churn. Only when that history
+// has been evicted from the bounded mutation ring does the whole cache
+// flush.
+//
+// Per-thread hit/miss stats are always-on, and misses are clocked
+// unconditionally so phase.decode_ns reflects real decode cost even when
+// span tracing is off. The tracer publishes per-trace deltas to the
+// telemetry registry, keeping the hot path free of atomics.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "support/error.hpp"
+
+namespace brew::isa {
+
+// Cumulative per-thread cache statistics. Monotonic: callers snapshot
+// before/after a region of work and subtract.
+struct DecodeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t missNs = 0;  // wall time inside the decoder on misses
+};
+
+// Decodes the instruction at a live address in this process, serving
+// repeats from the cache. Decode failures are not cached (the trace aborts
+// on them anyway). The returned pointer aims into the calling thread's
+// cache and stays valid only until that thread's next decodeCachedAt or
+// flushDecodeCache call — consume it before decoding again.
+Result<const Instruction*> decodeCachedAt(uint64_t address);
+
+// The calling thread's cumulative stats.
+const DecodeCacheStats& decodeCacheThreadStats() noexcept;
+
+// Drops every cached decode on the calling thread (tests).
+void flushDecodeCache() noexcept;
+
+}  // namespace brew::isa

@@ -151,7 +151,9 @@ Result<ExecMemory> Assembler::finalizeExecutable(uint64_t hint) {
   auto mem = ExecMemory::allocate(bytes->size());
   (void)hint;  // mmap hint reserved for future near-allocation support
   if (!mem) return mem.error();
-  std::memcpy(mem->data(), bytes->data(), bytes->size());
+  std::memcpy(mem->writeView(), bytes->data(), bytes->size());
+  // Relocate against the execution view: rel32 displacements must be
+  // relative to where the code runs, not to the writable alias.
   const auto base = reinterpret_cast<int64_t>(mem->data());
   for (const Fixup& fixup : absFixups) {
     const int64_t rel = static_cast<int64_t>(fixup.absTarget) -
@@ -160,7 +162,7 @@ Result<ExecMemory> Assembler::finalizeExecutable(uint64_t hint) {
       return Error{ErrorCode::UnencodableInstruction, fixup.absTarget,
                    "call/jmp target out of rel32 range"};
     const auto rel32 = static_cast<int32_t>(rel);
-    std::memcpy(mem->data() + fixup.fieldOffset, &rel32, 4);
+    std::memcpy(mem->writeView() + fixup.fieldOffset, &rel32, 4);
   }
   if (Status s = mem->finalize(); !s) return s.error();
   telemetry::counter(telemetry::CounterId::JitStubsFinalized).add();

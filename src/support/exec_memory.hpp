@@ -1,13 +1,23 @@
 // RAII executable memory for generated code.
 //
-// Follows a W^X discipline: a region is writable while code is being
-// emitted into it and is switched to read+execute by finalize(). The
-// region is never writable and executable at the same time.
+// Follows a W^X discipline: no single mapping is ever writable and
+// executable at the same time. By default a region is dual-mapped (two
+// views of one memfd: a permanently writable view and a permanently
+// executable view), so finalize()/makeWritable() are syscall-free state
+// flips — an mprotect round trip costs ~2.5µs on current kernels, which
+// dominated the install cost of a small rewrite. The tradeoff is that a
+// writable alias of executable bytes exists for the region's lifetime;
+// set BREW_STRICT_WX=1 (checked once, at first allocation) to force the
+// classic single-mapping scheme where finalize()/makeWritable() mprotect
+// the one view and no writable alias ever coexists with the executable
+// one. The single-mapping scheme is also the automatic fallback when
+// memfd_create is unavailable.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -23,6 +33,29 @@ namespace brew {
 using ExecFreeHook = void (*)(const void* base, size_t size) noexcept;
 void setExecFreeHook(ExecFreeHook hook) noexcept;
 
+// Monotonic "code mutation" epoch. Bumped whenever executable bytes may
+// have changed under an address this process could have decoded from: a
+// mapping is freed (the address range can be recycled), or switched back
+// to writable for patching. Consumers that cache decoded instructions by
+// address (the isa decode cache) poll this and invalidate when it moves.
+// Kept separate from the free hook: the hook is a single slot owned by the
+// specialization cache, and makeWritable() must not trigger cache-entry
+// invalidation (patched regions stay live), only decode staleness.
+uint64_t codeMutationEpoch() noexcept;
+
+// The address range one epoch bump invalidated.
+struct CodeMutation {
+  uint64_t base = 0;
+  uint64_t size = 0;
+};
+
+// Appends to `out` the ranges of every mutation recorded after
+// `sinceEpoch` and returns true, so pollers can invalidate precisely —
+// static subject functions survive generated-code churn. Returns false
+// when that history has already been evicted from the (bounded) record
+// ring; the caller must then treat all addresses as potentially mutated.
+bool codeMutationsSince(uint64_t sinceEpoch, std::vector<CodeMutation>& out);
+
 class ExecMemory {
  public:
   ExecMemory() = default;
@@ -33,24 +66,34 @@ class ExecMemory {
   ExecMemory(ExecMemory&& other) noexcept;
   ExecMemory& operator=(ExecMemory&& other) noexcept;
 
-  // Maps at least `size` bytes read+write (rounded up to page size).
+  // Maps at least `size` bytes (rounded up to page size), writable via
+  // writeView() until finalize().
   static Result<ExecMemory> allocate(size_t size);
 
-  // Switches the mapping to read+execute. Emitting after this is invalid.
+  // Makes the region executable. Emitting after this is invalid.
   Status finalize();
-  // Switches back to read+write (e.g. to patch and re-finalize).
+  // Makes the region writable again (e.g. to patch and re-finalize).
   Status makeWritable();
 
+  // The code address: where the region executes, is registered with
+  // profilers, and is keyed in caches. Never writable under dual mapping —
+  // emit through writeView()/writableBytes() instead.
   uint8_t* data() noexcept { return static_cast<uint8_t*>(base_); }
   const uint8_t* data() const noexcept {
     return static_cast<const uint8_t*>(base_);
+  }
+  // Writable alias of the same bytes (equal to data() under the strict
+  // single-mapping scheme). Writing through it after finalize() is invalid
+  // even where the mapping would permit it.
+  uint8_t* writeView() noexcept {
+    return static_cast<uint8_t*>(wbase_ != nullptr ? wbase_ : base_);
   }
   size_t size() const noexcept { return size_; }
   bool executable() const noexcept { return executable_; }
   bool valid() const noexcept { return base_ != nullptr; }
 
   std::span<uint8_t> writableBytes() {
-    return executable_ ? std::span<uint8_t>{} : std::span{data(), size_};
+    return executable_ ? std::span<uint8_t>{} : std::span{writeView(), size_};
   }
 
   // Entry point helper: reinterpret the start of the region as a function.
@@ -61,7 +104,8 @@ class ExecMemory {
   }
 
  private:
-  void* base_ = nullptr;
+  void* base_ = nullptr;   // execution view
+  void* wbase_ = nullptr;  // writable alias; nullptr => single mapping
   size_t size_ = 0;
   bool executable_ = false;
 };

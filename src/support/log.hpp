@@ -19,8 +19,17 @@ LogLevel logLevel() noexcept;
 void logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
-#define BREW_LOG_ERROR(...) ::brew::logf(::brew::LogLevel::Error, __VA_ARGS__)
-#define BREW_LOG_INFO(...) ::brew::logf(::brew::LogLevel::Info, __VA_ARGS__)
-#define BREW_LOG_TRACE(...) ::brew::logf(::brew::LogLevel::Trace, __VA_ARGS__)
+// The macros check the level BEFORE evaluating their arguments: call sites
+// pass formatted helpers (isa::toString(...).c_str() on the per-instruction
+// trace path), and building those strings for a disabled level would put
+// string formatting on the rewrite hot path.
+#define BREW_LOG_AT(lvl, ...)                                \
+  do {                                                       \
+    if (__builtin_expect(::brew::logLevel() >= (lvl), 0))    \
+      ::brew::logf((lvl), __VA_ARGS__);                      \
+  } while (0)
+#define BREW_LOG_ERROR(...) BREW_LOG_AT(::brew::LogLevel::Error, __VA_ARGS__)
+#define BREW_LOG_INFO(...) BREW_LOG_AT(::brew::LogLevel::Info, __VA_ARGS__)
+#define BREW_LOG_TRACE(...) BREW_LOG_AT(::brew::LogLevel::Trace, __VA_ARGS__)
 
 }  // namespace brew

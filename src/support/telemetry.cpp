@@ -59,6 +59,9 @@ constexpr const char* kCounterNames[] = {
     "cache.inflight_waits",
     "cache.invalidations",
     "cache.async_installs",
+    "decode.cache_hits",
+    "decode.cache_misses",
+    "decode.cache_flushes",
     "guard.variants_built",
     "guard.variant_failures",
     "guard.dispatches_built",

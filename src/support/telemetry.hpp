@@ -60,6 +60,9 @@ enum class CounterId : int {
   CacheInFlightWaits,
   CacheInvalidations,
   CacheAsyncInstalls,
+  DecodeCacheHits,        // decoded-instruction cache (isa/decode_cache)
+  DecodeCacheMisses,
+  DecodeCacheFlushes,     // thread-local flushes after a code-mutation epoch
   GuardVariantsBuilt,
   GuardVariantFailures,   // per-value rewrite failed; value takes original
   GuardDispatchesBuilt,

@@ -150,12 +150,21 @@ TEST(ExecMemory, WxDiscipline) {
   auto mem = ExecMemory::allocate(64);
   ASSERT_TRUE(mem.ok());
   EXPECT_FALSE(mem->executable());
-  mem->data()[0] = 0xC3;  // ret
+  ASSERT_FALSE(mem->writableBytes().empty());
+  mem->writableBytes()[0] = 0xC3;  // ret
   ASSERT_TRUE(mem->finalize().ok());
   EXPECT_TRUE(mem->executable());
+  EXPECT_TRUE(mem->writableBytes().empty());
   mem->entry<void (*)()>()();
   ASSERT_TRUE(mem->makeWritable().ok());
   EXPECT_FALSE(mem->executable());
+  // Patch through the writable view and re-finalize: the execution view
+  // must observe the new bytes.
+  mem->writableBytes()[0] = 0x90;  // nop
+  mem->writableBytes()[1] = 0xC3;  // ret
+  ASSERT_TRUE(mem->finalize().ok());
+  EXPECT_EQ(mem->data()[0], 0x90);
+  mem->entry<void (*)()>()();
 }
 
 }  // namespace

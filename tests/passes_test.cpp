@@ -18,7 +18,7 @@ using isa::Reg;
 ir::CapturedFunction singleBlock(std::vector<isa::Instruction> instrs) {
   ir::CapturedFunction fn;
   const int id = fn.newBlock(0x1000, 0);
-  fn.block(id).instrs = std::move(instrs);
+  fn.block(id).instrs.assign(instrs.begin(), instrs.end());
   fn.block(id).term.kind = ir::Terminator::Kind::Ret;
   return fn;
 }
