@@ -27,6 +27,11 @@ with open(sys.argv[2], "w") as f:
     json.dump({"bench_a1_rewrite_cost": data}, f)
 EOF
 
+# The cached-hit path gets its own, much tighter threshold: it is the
+# per-call cost every repeat client pays, and the sharded cache serves it
+# lock-free — a mutex or shared cache line creeping back in shows up well
+# below the generic 2x noise allowance.
 exec python3 "$repo/scripts/compare_benches.py" \
   "$repo/BENCH_baseline.json" "$tmp/merged.json" \
-  --only bench_a1_rewrite_cost --threshold 2.0
+  --only bench_a1_rewrite_cost --threshold 2.0 \
+  --per-bench BM_RewriteApplyCached=1.25

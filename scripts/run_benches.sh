@@ -2,16 +2,33 @@
 # Runs every bench binary with --json output and merges the per-binary
 # results into one BENCH_results.json at the repo root:
 #
-#   scripts/run_benches.sh [build-dir]     (default: build)
+#   scripts/run_benches.sh [--threads LIST] [build-dir]   (default: build)
 #
 # Each entry carries the binary's microbenchmark runs (name, iterations,
 # ns/op), the rewrite-pipeline phase-time breakdown from the telemetry
 # registry, and its shape-check verdict. Console output still goes to the
 # terminal, so this is a superset of running the binaries by hand.
+#
+# --threads sets the thread-count matrix for the multi-threaded benches
+# (exported as BREW_BENCH_THREADS, e.g. --threads 1,2,4,8): bench_e6
+# emits one ".../threads:N" entry per count into BENCH_results.json.
 set -eu
 cd "$(dirname "$0")/.."
 
-build_dir="${1:-build}"
+threads=""
+build_dir=build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threads) threads="${2:?--threads needs a comma list}"; shift ;;
+    --threads=*) threads="${1#*=}" ;;
+    *) build_dir="$1" ;;
+  esac
+  shift
+done
+if [ -n "$threads" ]; then
+  BREW_BENCH_THREADS="$threads"
+  export BREW_BENCH_THREADS
+fi
 if [ ! -d "$build_dir/bench" ]; then
   echo "no $build_dir/bench — configure and build first" >&2
   exit 1

@@ -117,6 +117,43 @@ brew_func* brew_retain(brew_func* fn);
  * cache entry are gone. NULL is a no-op. */
 void brew_release_h(brew_func* fn);
 
+/* ---- batch rewriting -------------------------------------------------- */
+
+/* A fan-out of rewrite requests in flight on the runtime's worker pool. */
+typedef struct brew_batch brew_batch;
+
+/* Rewrites every function in fns[0..count), all sharing `conf` and the
+ * same known-argument values (variadic arguments exactly as in
+ * brew_rewrite2). Requests fan out to the asynchronous rewrite workers;
+ * this call returns immediately and results are claimed in COMPLETION
+ * order with brew_batch_next. Duplicate functions in fns[] are
+ * deduplicated by the specialization cache: they trace once and share one
+ * refcounted code object. A null or failing function fails only its own
+ * slot — the rest of the batch proceeds. `conf` must stay alive until the
+ * batch is freed. Returns NULL on null conf, or null fns with count > 0. */
+brew_batch* brew_rewrite_batch(brew_conf* conf, const void* const* fns,
+                               size_t count, ...);
+
+/* Number of requests in the batch. */
+size_t brew_batch_size(const brew_batch* batch);
+
+/* Blocks until some unclaimed request completes, then returns its index
+ * into fns[]. Each index is returned exactly once across all calling
+ * threads; returns -1 once every index has been claimed (immediately for
+ * an empty batch). When the claimed request failed,
+ * brew_batch_take(index) returns NULL and brew_lastError(conf) on the
+ * *calling* thread explains why (thread-local, like brew_rewrite2). */
+int brew_batch_next(brew_batch* batch);
+
+/* New reference to the handle produced for fns[index] (release with
+ * brew_release_h), or NULL while that request is pending or if it
+ * failed. Callable any number of times per index. */
+brew_func* brew_batch_take(brew_batch* batch, size_t index);
+
+/* Waits for all requests, then frees the batch bookkeeping. Handles taken
+ * with brew_batch_take stay valid. NULL is a no-op. */
+void brew_batch_free(brew_batch* batch);
+
 /* Statistics of the rewrite that produced this handle. */
 typedef struct brew_stats {
   size_t traced_instructions;
@@ -142,6 +179,10 @@ typedef struct brew_cache_stats {
   size_t async_installs;      /* asynchronous publications */
   uint64_t async_latency_ns_total;
   uint64_t async_latency_ns_max;
+  size_t fastpath_hits;       /* subset of hits served by the lock-free
+                                 seqlock hit table (no mutex taken) */
+  size_t shard_contention;    /* shard mutex acquisitions that had to wait */
+  size_t shards;              /* configured shard count (BREW_CACHE_SHARDS) */
 } brew_cache_stats;
 void brew_getcachestats(brew_cache_stats* out);
 

@@ -21,6 +21,11 @@ struct brew_func {
   brew_stats stats{};
 };
 
+struct brew_batch {
+  std::shared_ptr<brew::RewriteBatch> impl;
+  const brew_conf* conf = nullptr;  // error reporting target for next()
+};
+
 namespace {
 uint64_t nextConfId() {
   static std::atomic<uint64_t> counter{1};
@@ -68,9 +73,8 @@ bool validIndex(int index) {
          index <= static_cast<int>(brew::Config::kMaxParams);
 }
 
-// Shared worker behind brew_rewrite and brew_rewrite2.
-brew_func* rewriteV(brew_conf* conf, const void* fn, va_list ap) {
-  if (conf == nullptr || fn == nullptr) return nullptr;
+// Reads one variadic argument per declared parameter, typed by the conf.
+std::vector<brew::ArgValue> readArgsV(const brew_conf* conf, va_list ap) {
   std::vector<brew::ArgValue> args;
   for (int i = 0; i < conf->paramCount; ++i) {
     const brew::ParamSpec& spec =
@@ -80,6 +84,24 @@ brew_func* rewriteV(brew_conf* conf, const void* fn, va_list ap) {
     else
       args.push_back(brew::ArgValue::fromInt(va_arg(ap, uint64_t)));
   }
+  return args;
+}
+
+// Wraps a cache handle in a fresh brew_func with its stats filled in.
+brew_func* wrapHandle(brew::CodeHandle handle) {
+  auto* out = new brew_func();
+  const brew::TraceStats& ts = handle->traceStats;
+  out->stats = brew_stats{ts.tracedInstructions, ts.capturedInstructions,
+                          ts.elidedInstructions, ts.blocks,
+                          handle.codeSize()};
+  out->handle = std::move(handle);
+  return out;
+}
+
+// Shared worker behind brew_rewrite and brew_rewrite2.
+brew_func* rewriteV(brew_conf* conf, const void* fn, va_list ap) {
+  if (conf == nullptr || fn == nullptr) return nullptr;
+  std::vector<brew::ArgValue> args = readArgsV(conf, ap);
 
   auto result = brew::SpecManager::process().rewrite(
       conf->config, brew::PassOptions{}, fn, args);
@@ -89,12 +111,7 @@ brew_func* rewriteV(brew_conf* conf, const void* fn, va_list ap) {
   }
   clearLastError(conf);
 
-  auto* handle = new brew_func();
-  handle->handle = std::move(*result);
-  const brew::TraceStats& ts = handle->handle->traceStats;
-  handle->stats =
-      brew_stats{ts.tracedInstructions, ts.capturedInstructions,
-                 ts.elidedInstructions, ts.blocks, handle->handle.codeSize()};
+  brew_func* handle = wrapHandle(std::move(*result));
   {
     std::lock_guard<std::mutex> lock(conf->statsMutex);
     conf->stats = handle->stats;
@@ -212,6 +229,58 @@ void brew_func_getstats(const brew_func* fn, brew_stats* out) {
   if (fn != nullptr && out != nullptr) *out = fn->stats;
 }
 
+/* ---- batch rewriting -------------------------------------------------- */
+
+brew_batch* brew_rewrite_batch(brew_conf* conf, const void* const* fns,
+                               size_t count, ...) {
+  if (conf == nullptr || (fns == nullptr && count > 0)) return nullptr;
+  va_list ap;
+  va_start(ap, count);
+  std::vector<brew::ArgValue> args = readArgsV(conf, ap);
+  va_end(ap);
+
+  auto* batch = new brew_batch();
+  batch->conf = conf;
+  batch->impl = brew::SpecManager::process().rewriteBatch(
+      conf->config, brew::PassOptions{},
+      std::span<const void* const>(fns, count), std::move(args));
+  return batch;
+}
+
+size_t brew_batch_size(const brew_batch* batch) {
+  return batch != nullptr ? batch->impl->size() : 0;
+}
+
+int brew_batch_next(brew_batch* batch) {
+  if (batch == nullptr) return -1;
+  const int index = batch->impl->next();
+  if (index < 0) return -1;
+  /* Errors surface on the claiming thread, mirroring brew_rewrite2's
+   * thread-local contract. */
+  if (batch->impl->ok(static_cast<size_t>(index)))
+    clearLastError(batch->conf);
+  else
+    setLastError(batch->conf,
+                 batch->impl->error(static_cast<size_t>(index)).message());
+  return index;
+}
+
+brew_func* brew_batch_take(brew_batch* batch, size_t index) {
+  if (batch == nullptr || !batch->impl->ok(index)) return nullptr;
+  brew::CodeHandle handle = batch->impl->handle(index);
+  if (!handle) return nullptr;
+  return wrapHandle(std::move(handle));
+}
+
+void brew_batch_free(brew_batch* batch) {
+  if (batch == nullptr) return;
+  /* Items still in flight reference only the shared RewriteBatch state
+   * (kept alive by the workers' shared_ptr), but waiting keeps "freed
+   * batch => no more work running against conf" simple for callers. */
+  batch->impl->wait();
+  delete batch;
+}
+
 void brew_getcachestats(brew_cache_stats* out) {
   if (out == nullptr) return;
   const brew::CacheStats s = brew::SpecManager::process().cache().stats();
@@ -228,6 +297,9 @@ void brew_getcachestats(brew_cache_stats* out) {
       static_cast<size_t>(s.asyncInstalls),
       s.asyncLatencyNsTotal,
       s.asyncLatencyNsMax,
+      static_cast<size_t>(s.fastpathHits),
+      static_cast<size_t>(s.shardContention),
+      static_cast<size_t>(s.shards),
   };
 }
 

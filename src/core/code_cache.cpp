@@ -1,14 +1,16 @@
 #include "core/code_cache.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "support/epoch.hpp"
 #include "support/telemetry.hpp"
 
 namespace brew {
 
 namespace {
 
-// Per-instance stats_ fields stay authoritative for this cache (tests use
+// Per-instance shard counters stay authoritative for this cache (tests use
 // private caches); every movement is mirrored into the process-wide
 // registry so brew_telemetry_snapshot() agrees with brew_getcachestats().
 telemetry::Counter& mirror(telemetry::CounterId id) {
@@ -47,10 +49,61 @@ void onExecMemoryFreed(const void* base, size_t size) noexcept {
   }
 }
 
+size_t roundUpPow2(size_t n) {
+  size_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  return pow2;
+}
+
 }  // namespace
 
-CodeCache::CodeCache(size_t byteBudget) : budget_(byteBudget) {
-  stats_.capacityBytes = budget_;
+namespace detail {
+
+void destroyCodeBlock(CodeBlock* block) noexcept {
+  // A block that ever sat in a lock-free hit table may still be inspected
+  // (refcount probed) by a concurrent fastLookup that loaded its pointer
+  // just before the slot changed; defer its deletion past every in-flight
+  // epoch reader. Never-published blocks have no lock-free observers.
+  if (block->published.load(std::memory_order_acquire)) {
+    try {
+      epoch::retire(block, [](void* p) noexcept {
+        delete static_cast<CodeBlock*>(p);
+      });
+    } catch (...) {
+      // Allocation failure queueing the retirement: leak rather than risk
+      // a use-after-free or crash on a destructor path.
+    }
+  } else {
+    delete block;
+  }
+}
+
+}  // namespace detail
+
+size_t CodeCache::defaultShardCount() {
+  static const size_t value = [] {
+    size_t n = 16;
+    if (const char* env = std::getenv("BREW_CACHE_SHARDS")) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && parsed > 0) n = static_cast<size_t>(parsed);
+    }
+    return roundUpPow2(std::min(n, kMaxShards));
+  }();
+  return value;
+}
+
+CodeCache::CodeCache(size_t byteBudget, size_t shardCount)
+    : budget_(byteBudget) {
+  const size_t n =
+      roundUpPow2(std::min(shardCount != 0 ? shardCount : defaultShardCount(),
+                           kMaxShards));
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  hitMask_ = kHitSlots - 1;
+  // One shard => single-lock compatibility/control mode: no hit table, so
+  // every lookup serializes on the shard mutex (the pre-sharding behavior).
+  if (n > 1) hitSlots_ = std::make_unique<HitSlot[]>(kHitSlots);
   CacheRegistry& registry = cacheRegistry();
   std::lock_guard<std::mutex> lock(registry.mu);
   registry.caches.push_back(this);
@@ -64,79 +117,248 @@ CodeCache::~CodeCache() {
     std::erase(registry.caches, this);
   }
   clear();
+  // Blocks whose last handle died while published wait out their epoch
+  // grace period; give them one reclamation attempt now that this cache's
+  // references are gone (epoch::drain() would be unbounded under churn
+  // from other caches).
+  epoch::reclaim();
 }
 
-void CodeCache::touchLocked(Entry& entry) {
-  lru_.splice(lru_.begin(), lru_, entry.lruPos);
+std::unique_lock<std::mutex> CodeCache::lockShard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contention_.fetch_add(1, std::memory_order_relaxed);
+    mirror(telemetry::CounterId::CacheShardContention).add();
+    lock.lock();
+  }
+  return lock;
 }
 
-void CodeCache::evictOverBudgetLocked(std::vector<CodeHandle>& dropped) {
-  // The most recent insertion always stays: a single oversized entry must
-  // remain usable through the handle the caller just received.
-  while (bytes_ > budget_ && lru_.size() > 1) {
-    const CacheKey victim = lru_.back();
-    auto it = entries_.find(victim);
-    if (it != entries_.end()) {
-      const size_t entryBytes =
-          it->second.handle ? it->second.handle->codeBytes() : 0;
-      bytes_ -= entryBytes;
-      trackBytes(-static_cast<int64_t>(entryBytes));
-      dropped.push_back(std::move(it->second.handle));
-      entries_.erase(it);
-      ++stats_.evictions;
-      mirror(telemetry::CounterId::CacheEvictions).add();
-    }
-    lru_.pop_back();
+// ---------------------------------------------------------------------------
+// Lock-free hit path
+// ---------------------------------------------------------------------------
+
+CodeHandle CodeCache::fastLookup(const CacheKey& key, size_t hash) {
+  if (hitSlots_ == nullptr) return CodeHandle{};
+  HitSlot& slot = hitSlots_[slotIndex(hash)];
+  // The guard keeps any block whose pointer we can still load from the
+  // slot from being freed until we exit (see support/epoch.hpp).
+  epoch::ReadGuard guard;
+  const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+  if ((s1 & 1) != 0) return CodeHandle{};  // writer mid-update
+  CodeBlock* block = slot.block.load(std::memory_order_relaxed);
+  const uint64_t fn = slot.fn.load(std::memory_order_relaxed);
+  const uint64_t configFp = slot.configFp.load(std::memory_order_relaxed);
+  const uint64_t argsHash = slot.argsHash.load(std::memory_order_relaxed);
+  // Seqlock close: if the sequence moved, the payload loads above may mix
+  // two publications — discard.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != s1) return CodeHandle{};
+  if (block == nullptr || fn != key.fn || configFp != key.configFp ||
+      argsHash != key.argsHash)
+    return CodeHandle{};
+
+  // Retain only if alive: the cache entry's own reference keeps refs >= 1
+  // while the block is published, so observing 0 means we lost a race with
+  // removal and must not resurrect the block.
+  uint64_t refs = block->refs.load(std::memory_order_relaxed);
+  do {
+    if (refs == 0) return CodeHandle{};
+  } while (!block->refs.compare_exchange_weak(refs, refs + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed));
+
+  // Revalidate after the retain: an unchanged sequence proves the slot —
+  // and therefore the cache entry, which unpublishes before erasing —
+  // still held this block when we took our reference.
+  if (slot.seq.load(std::memory_order_acquire) != s1) {
+    if (block->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      detail::destroyCodeBlock(block);
+    return CodeHandle{};
+  }
+
+  fastpathHits_.fetch_add(1, std::memory_order_relaxed);
+  mirror(telemetry::CounterId::CacheHits).add();
+  mirror(telemetry::CounterId::CacheFastpathHits).add();
+  return CodeHandle::adopt(block);
+}
+
+void CodeCache::publishLocked(size_t hash, const CacheKey& key,
+                              const CodeHandle& handle) {
+  if (hitSlots_ == nullptr || !handle) return;
+  HitSlot& slot = hitSlots_[slotIndex(hash)];
+  // Slots are shared across shards (direct-mapped on the full key hash),
+  // so a writer from another shard may own this slot right now; publishing
+  // is best-effort — skip rather than spin on the hot insert path.
+  uint64_t s = slot.seq.load(std::memory_order_relaxed);
+  if ((s & 1) != 0) return;
+  if (!slot.seq.compare_exchange_strong(s, s + 1, std::memory_order_acq_rel))
+    return;
+  auto* block = const_cast<CodeBlock*>(handle.get());
+  // Sticky flag first: once the pointer is loadable from a slot, the
+  // block's eventual destruction must go through the epoch grace period.
+  block->published.store(true, std::memory_order_relaxed);
+  slot.fn.store(key.fn, std::memory_order_relaxed);
+  slot.configFp.store(key.configFp, std::memory_order_relaxed);
+  slot.argsHash.store(key.argsHash, std::memory_order_relaxed);
+  slot.block.store(block, std::memory_order_relaxed);
+  slot.seq.store(s + 2, std::memory_order_release);
+}
+
+void CodeCache::unpublishLocked(size_t hash, const CodeBlock* block) {
+  if (hitSlots_ == nullptr || block == nullptr) return;
+  HitSlot& slot = hitSlots_[slotIndex(hash)];
+  // Unlike publish this must not give up: the caller is about to drop the
+  // cache's reference, after which a stale slot pointer would hand out a
+  // dead block. Writers hold the slot for a handful of relaxed stores, so
+  // the spin is bounded.
+  for (;;) {
+    uint64_t s = slot.seq.load(std::memory_order_acquire);
+    if ((s & 1) != 0) continue;  // concurrent writer; recheck after
+    if (slot.block.load(std::memory_order_relaxed) != block) return;
+    if (!slot.seq.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel))
+      continue;
+    slot.block.store(nullptr, std::memory_order_relaxed);
+    slot.fn.store(0, std::memory_order_relaxed);
+    slot.configFp.store(0, std::memory_order_relaxed);
+    slot.argsHash.store(0, std::memory_order_relaxed);
+    slot.seq.store(s + 2, std::memory_order_release);
+    return;
   }
 }
 
-void CodeCache::insertLocked(const CacheKey& key, const CodeHandle& handle,
+// ---------------------------------------------------------------------------
+// Shard-locked helpers
+// ---------------------------------------------------------------------------
+
+void CodeCache::touchLocked(Shard& shard, Entry& entry) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lruPos);
+  entry.stamp = lruClock_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void CodeCache::insertLocked(Shard& shard, size_t hash, const CacheKey& key,
+                             const CodeHandle& handle,
                              std::vector<CodeHandle>& dropped) {
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    const size_t entryBytes =
-        it->second.handle ? it->second.handle->codeBytes() : 0;
-    bytes_ -= entryBytes;
-    trackBytes(-static_cast<int64_t>(entryBytes));
-    dropped.push_back(std::move(it->second.handle));
-    lru_.erase(it->second.lruPos);
-    entries_.erase(it);
-  }
-  lru_.push_front(key);
-  entries_.emplace(key, Entry{handle, lru_.begin()});
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) eraseLocked(shard, hash, it, dropped);
+  shard.lru.push_front(key);
+  Entry entry;
+  entry.handle = handle;
+  entry.lruPos = shard.lru.begin();
+  entry.stamp = lruClock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  shard.entries.emplace(key, std::move(entry));
+  entryCount_.fetch_add(1, std::memory_order_relaxed);
   const size_t newBytes = handle ? handle->codeBytes() : 0;
-  bytes_ += newBytes;
+  bytes_.fetch_add(newBytes, std::memory_order_relaxed);
   trackBytes(static_cast<int64_t>(newBytes));
-  ++stats_.insertions;
+  ++shard.insertions;
   mirror(telemetry::CounterId::CacheInsertions).add();
-  evictOverBudgetLocked(dropped);
+  publishLocked(hash, key, handle);
 }
+
+void CodeCache::eraseLocked(
+    Shard& shard, size_t hash,
+    std::unordered_map<CacheKey, Entry, CacheKeyHash>::iterator it,
+    std::vector<CodeHandle>& dropped) {
+  // Unpublish before dropping the cache's reference: fastLookup treats an
+  // unchanged slot as proof the entry is still live.
+  unpublishLocked(hash, it->second.handle.get());
+  const size_t entryBytes =
+      it->second.handle ? it->second.handle->codeBytes() : 0;
+  bytes_.fetch_sub(entryBytes, std::memory_order_relaxed);
+  trackBytes(-static_cast<int64_t>(entryBytes));
+  dropped.push_back(std::move(it->second.handle));
+  shard.lru.erase(it->second.lruPos);
+  shard.entries.erase(it);
+  entryCount_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void CodeCache::enforceBudget(const CacheKey* protect,
+                              std::vector<CodeHandle>& dropped) {
+  // Runs with NO shard lock held; takes one shard lock at a time. The
+  // budget is global, so the victim search spans shards: pick the entry
+  // with the globally-smallest recency stamp each round. `protect` (the
+  // key a caller just inserted or received) and the last remaining entry
+  // are never evicted, so a single oversized entry stays usable through
+  // the handle its caller holds.
+  while (bytes_.load(std::memory_order_relaxed) >
+             budget_.load(std::memory_order_relaxed) &&
+         entryCount_.load(std::memory_order_relaxed) > 1) {
+    size_t victimShard = SIZE_MAX;
+    uint64_t victimStamp = UINT64_MAX;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // Oldest non-protected entry in this shard = LRU tail (or the one
+      // before it when the tail is protected).
+      for (auto keyIt = shard.lru.rbegin(); keyIt != shard.lru.rend();
+           ++keyIt) {
+        if (protect != nullptr && *keyIt == *protect) continue;
+        auto it = shard.entries.find(*keyIt);
+        if (it != shard.entries.end() && it->second.stamp < victimStamp) {
+          victimStamp = it->second.stamp;
+          victimShard = i;
+        }
+        break;  // only the oldest candidate per shard matters
+      }
+    }
+    if (victimShard == SIZE_MAX) return;  // nothing evictable
+    Shard& shard = *shards_[victimShard];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // Re-find under the lock: the shard may have changed since the scan.
+      bool evicted = false;
+      for (auto keyIt = shard.lru.rbegin(); keyIt != shard.lru.rend();
+           ++keyIt) {
+        if (protect != nullptr && *keyIt == *protect) continue;
+        auto it = shard.entries.find(*keyIt);
+        if (it == shard.entries.end()) break;
+        eraseLocked(shard, CacheKeyHash{}(*keyIt), it, dropped);
+        ++shard.evictions;
+        mirror(telemetry::CounterId::CacheEvictions).add();
+        evicted = true;
+        break;
+      }
+      if (!evicted) return;  // raced away; avoid spinning
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
 
 Result<CodeHandle> CodeCache::getOrBuild(
     const CacheKey& key, const std::function<Result<CodeHandle>()>& build) {
+  const size_t hash = CacheKeyHash{}(key);
+  if (CodeHandle fast = fastLookup(key, hash)) return fast;
+
+  Shard& shard = *shards_[shardIndex(hash)];
   std::shared_ptr<InFlight> flight;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++stats_.hits;
+    std::unique_lock<std::mutex> lock = lockShard(shard);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      ++shard.hits;
       mirror(telemetry::CounterId::CacheHits).add();
-      touchLocked(it->second);
+      touchLocked(shard, it->second);
+      // Re-publish: the slot may have been claimed by a colliding key.
+      publishLocked(hash, key, it->second.handle);
       return it->second.handle;
     }
-    auto fit = inFlight_.find(key);
-    if (fit != inFlight_.end()) {
+    auto fit = shard.inFlight.find(key);
+    if (fit != shard.inFlight.end()) {
       flight = fit->second;
-      ++stats_.hits;
-      ++stats_.inFlightWaits;
+      ++shard.hits;
+      ++shard.inFlightWaits;
       mirror(telemetry::CounterId::CacheHits).add();
       mirror(telemetry::CounterId::CacheInFlightWaits).add();
     } else {
       flight = std::make_shared<InFlight>();
-      inFlight_.emplace(key, flight);
+      shard.inFlight.emplace(key, flight);
       builder = true;
-      ++stats_.misses;
+      ++shard.misses;
       mirror(telemetry::CounterId::CacheMisses).add();
     }
   }
@@ -151,10 +373,11 @@ Result<CodeHandle> CodeCache::getOrBuild(
   Result<CodeHandle> built = build();
   std::vector<CodeHandle> dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    inFlight_.erase(key);
-    if (built.ok()) insertLocked(key, *built, dropped);
+    std::unique_lock<std::mutex> lock = lockShard(shard);
+    shard.inFlight.erase(key);
+    if (built.ok()) insertLocked(shard, hash, key, *built, dropped);
   }
+  if (built.ok()) enforceBudget(&key, dropped);
   {
     std::lock_guard<std::mutex> lock(flight->mu);
     flight->done = true;
@@ -166,49 +389,58 @@ Result<CodeHandle> CodeCache::getOrBuild(
   }
   flight->cv.notify_all();
   return built;
+  // `dropped` handles (evictions / replaced entries) release here, outside
+  // every cache lock: their death can reenter the ExecMemory free hook.
 }
 
 CodeHandle CodeCache::lookup(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  const size_t hash = CacheKeyHash{}(key);
+  if (CodeHandle fast = fastLookup(key, hash)) return fast;
+
+  Shard& shard = *shards_[shardIndex(hash)];
+  std::unique_lock<std::mutex> lock = lockShard(shard);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
     mirror(telemetry::CounterId::CacheMisses).add();
     return CodeHandle{};
   }
-  ++stats_.hits;
+  ++shard.hits;
   mirror(telemetry::CounterId::CacheHits).add();
-  touchLocked(it->second);
+  touchLocked(shard, it->second);
+  publishLocked(hash, key, it->second.handle);
   return it->second.handle;
 }
 
 void CodeCache::insert(const CacheKey& key, const CodeHandle& handle) {
-  // `dropped` is declared before the guard so replaced/evicted handles are
-  // released only after the lock is gone (their death can reenter the
-  // ExecMemory free hook).
+  // `dropped` is declared before the locks so replaced/evicted handles are
+  // released only after every lock is gone.
   std::vector<CodeHandle> dropped;
-  std::lock_guard<std::mutex> lock(mu_);
-  insertLocked(key, handle, dropped);
+  const size_t hash = CacheKeyHash{}(key);
+  Shard& shard = *shards_[shardIndex(hash)];
+  {
+    std::unique_lock<std::mutex> lock = lockShard(shard);
+    insertLocked(shard, hash, key, handle, dropped);
+  }
+  enforceBudget(&key, dropped);
 }
 
 void CodeCache::collectInvalidated(const void* base, size_t size,
                                    std::vector<CodeHandle>& out) {
   const uint64_t start = reinterpret_cast<uint64_t>(base);
   const uint64_t end = start + size;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first.fn >= start && it->first.fn < end) {
-      const size_t entryBytes =
-          it->second.handle ? it->second.handle->codeBytes() : 0;
-      bytes_ -= entryBytes;
-      trackBytes(-static_cast<int64_t>(entryBytes));
-      out.push_back(std::move(it->second.handle));
-      lru_.erase(it->second.lruPos);
-      it = entries_.erase(it);
-      ++stats_.invalidations;
-      mirror(telemetry::CounterId::CacheInvalidations).add();
-    } else {
-      ++it;
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->first.fn >= start && it->first.fn < end) {
+        auto victim = it++;
+        eraseLocked(shard, CacheKeyHash{}(victim->first), victim, out);
+        ++shard.invalidations;
+        mirror(telemetry::CounterId::CacheInvalidations).add();
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -216,56 +448,86 @@ void CodeCache::collectInvalidated(const void* base, size_t size,
 void CodeCache::invalidateTarget(const void* base, size_t size) {
   std::vector<CodeHandle> dropped;
   collectInvalidated(base, size, dropped);
-  // dropped handles released here, outside the cache lock.
+  // dropped handles released here, outside the cache locks.
 }
 
 void CodeCache::setByteBudget(size_t bytes) {
   std::vector<CodeHandle> dropped;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    budget_ = bytes;
-    stats_.capacityBytes = bytes;
-    evictOverBudgetLocked(dropped);
-  }
+  budget_.store(bytes, std::memory_order_relaxed);
+  enforceBudget(nullptr, dropped);
 }
 
 CacheStats CodeCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  CacheStats out = stats_;
-  out.entries = entries_.size();
-  out.codeBytes = bytes_;
-  out.capacityBytes = budget_;
+  CacheStats out;
+  for (const auto& shardPtr : shards_) {
+    const Shard& shard = *shardPtr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.insertions += shard.insertions;
+    out.inFlightWaits += shard.inFlightWaits;
+    out.invalidations += shard.invalidations;
+  }
+  out.fastpathHits = fastpathHits_.load(std::memory_order_relaxed);
+  out.hits += out.fastpathHits;
+  out.shardContention = contention_.load(std::memory_order_relaxed);
+  out.shards = shards_.size();
+  out.entries = entryCount_.load(std::memory_order_relaxed);
+  out.codeBytes = bytes_.load(std::memory_order_relaxed);
+  out.capacityBytes = budget_.load(std::memory_order_relaxed);
+  out.asyncInstalls = asyncInstalls_.load(std::memory_order_relaxed);
+  out.asyncLatencyNsTotal =
+      asyncLatencyNsTotal_.load(std::memory_order_relaxed);
+  out.asyncLatencyNsMax = asyncLatencyNsMax_.load(std::memory_order_relaxed);
   return out;
 }
 
 void CodeCache::clear() {
   std::vector<CodeHandle> dropped;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    dropped.reserve(entries_.size());
-    for (auto& [key, entry] : entries_) dropped.push_back(std::move(entry.handle));
-    entries_.clear();
-    lru_.clear();
-    trackBytes(-static_cast<int64_t>(bytes_));
-    bytes_ = 0;
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t shardBytes = 0;
+    for (auto& [key, entry] : shard.entries) {
+      unpublishLocked(CacheKeyHash{}(key), entry.handle.get());
+      shardBytes += entry.handle ? entry.handle->codeBytes() : 0;
+      dropped.push_back(std::move(entry.handle));
+    }
+    entryCount_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
+    bytes_.fetch_sub(shardBytes, std::memory_order_relaxed);
+    trackBytes(-static_cast<int64_t>(shardBytes));
+    shard.entries.clear();
+    shard.lru.clear();
   }
+  // dropped handles released here, outside the shard locks.
 }
 
 void CodeCache::resetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t capacity = stats_.capacityBytes;
-  stats_ = CacheStats{};
-  stats_.capacityBytes = capacity;
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.hits = shard.misses = shard.evictions = shard.insertions = 0;
+    shard.inFlightWaits = shard.invalidations = 0;
+  }
+  fastpathHits_.store(0, std::memory_order_relaxed);
+  contention_.store(0, std::memory_order_relaxed);
+  asyncInstalls_.store(0, std::memory_order_relaxed);
+  asyncLatencyNsTotal_.store(0, std::memory_order_relaxed);
+  asyncLatencyNsMax_.store(0, std::memory_order_relaxed);
 }
 
 void CodeCache::recordAsyncInstall(uint64_t latencyNs) {
   mirror(telemetry::CounterId::CacheAsyncInstalls).add();
   telemetry::histogram(telemetry::HistogramId::AsyncInstallLatencyNs)
       .record(latencyNs);
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.asyncInstalls;
-  stats_.asyncLatencyNsTotal += latencyNs;
-  stats_.asyncLatencyNsMax = std::max(stats_.asyncLatencyNsMax, latencyNs);
+  asyncInstalls_.fetch_add(1, std::memory_order_relaxed);
+  asyncLatencyNsTotal_.fetch_add(latencyNs, std::memory_order_relaxed);
+  uint64_t seen = asyncLatencyNsMax_.load(std::memory_order_relaxed);
+  while (latencyNs > seen &&
+         !asyncLatencyNsMax_.compare_exchange_weak(
+             seen, latencyNs, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace brew

@@ -9,11 +9,21 @@
 //  - CodeHandle: the smart pointer over CodeBlock. Copy = retain, so a
 //    handle held by an executing caller keeps the code mapped even after
 //    the cache evicts the entry.
-//  - CodeCache: a thread-safe map from (function address, config
-//    fingerprint, known-argument hash) to CodeHandle with LRU eviction
-//    under a byte budget and single-flight deduplication: when N threads
-//    request the same key concurrently, exactly one traces and emits; the
-//    rest block and share the result (counted as hits + inFlightWaits).
+//  - CodeCache: a thread-scalable map from (function address, config
+//    fingerprint, known-argument hash) to CodeHandle. Keys are hashed into
+//    N independently-locked shards (BREW_CACHE_SHARDS, default 16) with
+//    per-key single-flight deduplication, an approximate-LRU eviction
+//    policy under one *global* atomic byte budget debited per shard, and a
+//    lock-free seqlock hit table in front of the shards so a repeat lookup
+//    (the 870 ns cached-hit path) neither takes a mutex nor waits on a
+//    builder.
+//
+// The lock-free hit path publishes raw CodeBlock pointers; readers turn
+// them into owning handles with an inc-if-nonzero retain and revalidate
+// the slot sequence afterwards. Blocks that were ever published are
+// reclaimed through support/epoch (deferred past every in-flight reader)
+// instead of being deleted inline — see fastLookup() in code_cache.cpp for
+// the full protocol.
 //
 // Safety against address reuse: a cache key embeds the *address* of the
 // subject function. When an ExecMemory region is freed (test kernels,
@@ -27,6 +37,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -46,9 +57,19 @@ struct CodeBlock {
   TraceStats traceStats;
   ir::EmitStats emitStats;
   mutable std::atomic<uint64_t> refs{1};
+  // Sticky: set once the block enters a lock-free hit table. Published
+  // blocks are reclaimed through an epoch grace period (a lock-free reader
+  // may still be inspecting the refcount when the last handle dies).
+  std::atomic<bool> published{false};
 
   size_t codeBytes() const noexcept { return memory.size(); }
 };
+
+namespace detail {
+// Deletes the block now, or defers through support/epoch when it was ever
+// published to a lock-free hit table.
+void destroyCodeBlock(CodeBlock* block) noexcept;
+}  // namespace detail
 
 // Intrusive refcounted pointer to a CodeBlock. Copyable (retain) and
 // movable (steal); destroying the last handle unmaps the code.
@@ -111,7 +132,7 @@ class CodeHandle {
   void release() noexcept {
     if (block_ != nullptr &&
         block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
-      delete block_;
+      detail::destroyCodeBlock(block_);
   }
 
   CodeBlock* block_ = nullptr;
@@ -138,7 +159,7 @@ struct CacheKeyHash {
 };
 
 struct CacheStats {
-  uint64_t hits = 0;
+  uint64_t hits = 0;            // total, including lock-free fast-path hits
   uint64_t misses = 0;          // one per actual trace+emit attempt
   uint64_t evictions = 0;       // entries dropped for the byte budget
   uint64_t insertions = 0;
@@ -150,19 +171,34 @@ struct CacheStats {
   uint64_t asyncInstalls = 0;   // SpecManager::rewriteAsync publications
   uint64_t asyncLatencyNsTotal = 0;
   uint64_t asyncLatencyNsMax = 0;
+  uint64_t fastpathHits = 0;    // subset of hits served by the seqlock table
+  uint64_t shardContention = 0; // shard lock acquisitions that had to wait
+  uint64_t shards = 0;          // configured shard count
 };
 
 class CodeCache {
  public:
   static constexpr size_t kDefaultByteBudget = size_t{64} << 20;
+  static constexpr size_t kMaxShards = 64;
+  static constexpr size_t kHitSlots = 1024;  // direct-mapped seqlock table
 
-  explicit CodeCache(size_t byteBudget = kDefaultByteBudget);
+  // Shard count used when the constructor is passed 0: BREW_CACHE_SHARDS
+  // (clamped to [1, 64], rounded up to a power of two; read once), else 16.
+  // BREW_CACHE_SHARDS=1 is the single-lock compatibility/control mode: one
+  // shard and NO lock-free hit table — every lookup takes the mutex, which
+  // reproduces the pre-sharding behavior for A/B scaling measurements.
+  static size_t defaultShardCount();
+
+  explicit CodeCache(size_t byteBudget = kDefaultByteBudget,
+                     size_t shardCount = 0);
   ~CodeCache();
 
   CodeCache(const CodeCache&) = delete;
   CodeCache& operator=(const CodeCache&) = delete;
 
-  // Single-flight lookup-or-build. `build` runs outside the cache lock on
+  size_t shardCount() const { return shards_.size(); }
+
+  // Single-flight lookup-or-build. `build` runs outside all cache locks on
   // exactly one thread per key; concurrent same-key callers block until it
   // finishes and share the result. Failures are returned to every waiter
   // and are NOT cached (the next request retries).
@@ -197,6 +233,7 @@ class CodeCache {
   struct Entry {
     CodeHandle handle;
     std::list<CacheKey>::iterator lruPos;
+    uint64_t stamp = 0;  // global recency stamp for cross-shard eviction
   };
   struct InFlight {
     std::mutex mu;
@@ -206,20 +243,70 @@ class CodeCache {
     CodeHandle handle;
     Error error;
   };
+  // One slot of the lock-free hit table. The sequence number is even while
+  // the slot is stable and odd while a writer owns it; all payload fields
+  // are relaxed atomics so seqlock readers never perform a racing plain
+  // load. The block pointer is non-owning — the shard entry's handle keeps
+  // it alive while published.
+  struct HitSlot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> fn{0};
+    std::atomic<uint64_t> configFp{0};
+    std::atomic<uint64_t> argsHash{0};
+    std::atomic<CodeBlock*> block{nullptr};
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> entries;
+    std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash>
+        inFlight;
+    std::list<CacheKey> lru;  // front = most recently used
+    // Per-shard slices of the counters; stats() sums them.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+    uint64_t inFlightWaits = 0;
+    uint64_t invalidations = 0;
+  };
 
-  void touchLocked(Entry& entry);
-  void insertLocked(const CacheKey& key, const CodeHandle& handle,
-                    std::vector<CodeHandle>& dropped);
-  void evictOverBudgetLocked(std::vector<CodeHandle>& dropped);
+  size_t shardIndex(size_t hash) const { return hash & (shards_.size() - 1); }
+  size_t slotIndex(size_t hash) const {
+    return (hash / shards_.size()) & hitMask_;
+  }
+  // Hot-path lock: counts acquisitions that had to wait (cache.shard_contention).
+  std::unique_lock<std::mutex> lockShard(Shard& shard);
 
-  mutable std::mutex mu_;
-  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
-  std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash>
-      inFlight_;
-  std::list<CacheKey> lru_;  // front = most recently used
-  size_t budget_;
-  size_t bytes_ = 0;
-  CacheStats stats_{};
+  CodeHandle fastLookup(const CacheKey& key, size_t hash);
+  void publishLocked(size_t hash, const CacheKey& key,
+                     const CodeHandle& handle);
+  void unpublishLocked(size_t hash, const CodeBlock* block);
+
+  void touchLocked(Shard& shard, Entry& entry);
+  void insertLocked(Shard& shard, size_t hash, const CacheKey& key,
+                    const CodeHandle& handle, std::vector<CodeHandle>& dropped);
+  // Removes `it` from `shard`, unpublishing and debiting the global byte
+  // count; the handle lands in `dropped` for release outside all locks.
+  void eraseLocked(Shard& shard, size_t hash,
+                   std::unordered_map<CacheKey, Entry, CacheKeyHash>::iterator it,
+                   std::vector<CodeHandle>& dropped);
+  // Evicts globally-oldest LRU tails (one shard locked at a time, no shard
+  // lock held on entry) until the byte budget is met. `protect`, when
+  // non-null, is never evicted — the caller just received its handle.
+  void enforceBudget(const CacheKey* protect, std::vector<CodeHandle>& dropped);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<HitSlot[]> hitSlots_;  // null in single-shard control mode
+  size_t hitMask_ = 0;
+  std::atomic<size_t> budget_;
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> entryCount_{0};
+  std::atomic<uint64_t> lruClock_{0};
+  std::atomic<uint64_t> fastpathHits_{0};
+  std::atomic<uint64_t> contention_{0};
+  std::atomic<uint64_t> asyncInstalls_{0};
+  std::atomic<uint64_t> asyncLatencyNsTotal_{0};
+  std::atomic<uint64_t> asyncLatencyNsMax_{0};
 };
 
 }  // namespace brew

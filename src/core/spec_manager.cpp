@@ -89,8 +89,61 @@ Result<ExecMemory> buildEntrySlotStub(void* const* cell) {
   return as.finalizeExecutable();
 }
 
+int RewriteBatch::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock,
+           [&] { return !completed_.empty() || claimed_ == items_.size(); });
+  if (completed_.empty()) return -1;
+  const int index = completed_.front();
+  completed_.pop_front();
+  ++claimed_;
+  return index;
+}
+
+void RewriteBatch::wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return doneCount_ == items_.size(); });
+}
+
+bool RewriteBatch::ok(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < items_.size() && items_[index].done && items_[index].ok;
+}
+
+CodeHandle RewriteBatch::handle(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < items_.size() ? items_[index].handle : CodeHandle{};
+}
+
+Error RewriteBatch::error(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < items_.size() ? items_[index].error : Error{};
+}
+
+const void* RewriteBatch::fn(size_t index) const {
+  // items_[i].fn is set before the fan-out and never mutated.
+  return index < items_.size() ? items_[index].fn : nullptr;
+}
+
+void RewriteBatch::complete(size_t index, Result<CodeHandle> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Item& item = items_[index];
+    item.done = true;
+    if (result.ok()) {
+      item.ok = true;
+      item.handle = std::move(*result);
+    } else {
+      item.error = result.error();
+    }
+    completed_.push_back(static_cast<int>(index));
+    ++doneCount_;
+  }
+  cv_.notify_all();
+}
+
 SpecManager::SpecManager(Options options)
-    : options_(options), cache_(options.cacheBytes) {
+    : options_(options), cache_(options.cacheBytes, options.cacheShards) {
   if (options_.workers < 1) options_.workers = 1;
 }
 
@@ -205,6 +258,27 @@ std::shared_ptr<SpecRequest> SpecManager::rewriteAsync(
     request->cv_.notify_all();
   });
   return request;
+}
+
+std::shared_ptr<RewriteBatch> SpecManager::rewriteBatch(
+    Config config, PassOptions passes, std::span<const void* const> fns,
+    std::vector<ArgValue> args) {
+  auto batch = std::shared_ptr<RewriteBatch>(new RewriteBatch());
+  batch->items_.resize(fns.size());
+  for (size_t i = 0; i < fns.size(); ++i) batch->items_[i].fn = fns[i];
+  // One copy of the request shape shared by every enqueued item.
+  auto shared = std::make_shared<std::pair<Config, std::vector<ArgValue>>>(
+      std::move(config), std::move(args));
+  for (size_t i = 0; i < batch->items_.size(); ++i) {
+    const void* fn = batch->items_[i].fn;
+    enqueue([this, batch, shared, passes, fn, i] {
+      // Duplicate fns hit the cache's per-key single-flight: one traces,
+      // the rest wait and share the handle. A null/failing fn fails only
+      // its own item.
+      batch->complete(i, rewrite(shared->first, passes, fn, shared->second));
+    });
+  }
+  return batch;
 }
 
 }  // namespace brew

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -92,11 +93,57 @@ class SpecRequest {
   Error error_{};
 };
 
+// Fan-out of one configuration across many target functions on the async
+// worker pool (SpecManager::rewriteBatch). Results are consumed in
+// COMPLETION order: next() blocks until some unclaimed item finishes and
+// returns its index into the original fns[] span — each index is returned
+// exactly once across all callers, so several threads can drain one batch.
+// Duplicate functions in the span deduplicate in the cache: they trace
+// once and every item shares the same refcounted code.
+class RewriteBatch {
+ public:
+  size_t size() const { return items_.size(); }
+
+  // Blocks until an unclaimed item completes and returns its index; -1
+  // once every item has been claimed (immediately for an empty batch).
+  int next();
+  // Blocks until every item is done (claimed or not).
+  void wait() const;
+
+  // Per-item results; meaningful once the item is done (after its index
+  // came back from next(), or after wait()).
+  bool ok(size_t index) const;
+  CodeHandle handle(size_t index) const;
+  Error error(size_t index) const;
+  const void* fn(size_t index) const;
+
+ private:
+  friend class SpecManager;
+  struct Item {
+    const void* fn = nullptr;
+    bool done = false;
+    bool ok = false;
+    CodeHandle handle;
+    Error error{};
+  };
+
+  RewriteBatch() = default;
+  void complete(size_t index, Result<CodeHandle> result);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<Item> items_;     // sized at construction; slots mutate once
+  std::deque<int> completed_;   // completion order, not yet claimed
+  size_t doneCount_ = 0;
+  size_t claimed_ = 0;
+};
+
 class SpecManager {
  public:
   struct Options {
     int workers = 2;                                  // async pool size
     size_t cacheBytes = CodeCache::kDefaultByteBudget;
+    size_t cacheShards = 0;  // 0 = BREW_CACHE_SHARDS env / default (16)
   };
 
   SpecManager() : SpecManager(Options{}) {}
@@ -123,6 +170,15 @@ class SpecManager {
   std::shared_ptr<SpecRequest> rewriteAsync(Config config, PassOptions passes,
                                             const void* fn,
                                             std::vector<ArgValue> args);
+
+  // Fans one rewrite request per function in `fns` out to the worker pool,
+  // all sharing `config`/`passes`/`args`. Returns immediately; consume
+  // results in completion order with RewriteBatch::next(). Null or failing
+  // functions fail their own item only — the rest of the batch proceeds.
+  std::shared_ptr<RewriteBatch> rewriteBatch(Config config,
+                                             PassOptions passes,
+                                             std::span<const void* const> fns,
+                                             std::vector<ArgValue> args);
 
  private:
   void enqueue(std::function<void()> task);

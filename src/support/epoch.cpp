@@ -1,0 +1,161 @@
+#include "support/epoch.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace brew::epoch {
+
+namespace {
+
+// One padded slot per thread: `active` holds the epoch the thread entered
+// its current ReadGuard with, 0 when quiescent. Slots are pushed onto a
+// lock-free list once and recycled via `owned` when threads exit, so the
+// list only ever grows to the high-water thread count.
+struct alignas(64) ThreadSlot {
+  std::atomic<uint64_t> active{0};
+  std::atomic<bool> owned{false};
+  ThreadSlot* next = nullptr;
+  int depth = 0;  // ReadGuard nesting (only touched by the owning thread)
+};
+
+struct Retired {
+  void* ptr;
+  Deleter deleter;
+  uint64_t epoch;  // global epoch value after the retiring bump
+};
+
+struct Registry {
+  std::atomic<ThreadSlot*> head{nullptr};
+  std::atomic<uint64_t> epoch{1};
+  std::mutex retireMu;
+  std::vector<Retired> retired;
+};
+
+// Leaked: guards and retire() can run during static destruction (bench
+// globals hold RewrittenFunctions whose blocks were published).
+Registry& registry() {
+  static auto* r = new Registry();
+  return *r;
+}
+
+ThreadSlot* acquireSlot() {
+  Registry& r = registry();
+  for (ThreadSlot* s = r.head.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    bool expected = false;
+    if (s->owned.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel))
+      return s;
+  }
+  auto* s = new ThreadSlot();
+  s->owned.store(true, std::memory_order_relaxed);
+  ThreadSlot* head = r.head.load(std::memory_order_relaxed);
+  do {
+    s->next = head;
+  } while (!r.head.compare_exchange_weak(head, s, std::memory_order_acq_rel));
+  return s;
+}
+
+struct SlotOwner {
+  ThreadSlot* slot = acquireSlot();
+  ~SlotOwner() {
+    slot->active.store(0, std::memory_order_release);
+    slot->owned.store(false, std::memory_order_release);
+  }
+};
+
+ThreadSlot& mySlot() {
+  thread_local SlotOwner owner;
+  return *owner.slot;
+}
+
+// Smallest epoch any thread is currently reading under; UINT64_MAX when
+// every registered thread is quiescent.
+uint64_t minActiveEpoch() {
+  uint64_t min = UINT64_MAX;
+  for (ThreadSlot* s = registry().head.load(std::memory_order_acquire);
+       s != nullptr; s = s->next) {
+    const uint64_t a = s->active.load(std::memory_order_acquire);
+    if (a != 0 && a < min) min = a;
+  }
+  return min;
+}
+
+// Collects every reclaimable entry under the lock; the caller runs the
+// deleters with no locks held.
+void sweep(std::vector<Retired>& out) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.retireMu);
+  if (r.retired.empty()) return;
+  const uint64_t min = minActiveEpoch();
+  for (size_t i = 0; i < r.retired.size();) {
+    if (r.retired[i].epoch <= min) {
+      out.push_back(r.retired[i]);
+      r.retired[i] = r.retired.back();
+      r.retired.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+size_t runDeleters(std::vector<Retired>& batch) noexcept {
+  const size_t n = batch.size();
+  for (const Retired& item : batch) item.deleter(item.ptr);
+  batch.clear();
+  return n;
+}
+
+}  // namespace
+
+ReadGuard::ReadGuard() noexcept {
+  ThreadSlot& slot = mySlot();
+  if (slot.depth++ > 0) return;  // nested: keep the outer epoch
+  const uint64_t e = registry().epoch.load(std::memory_order_acquire);
+  slot.active.store(e, std::memory_order_relaxed);
+  // Pairs with the seq_cst fence in retire(): either this store is visible
+  // to the reclamation scan (which then waits for our exit), or the scan's
+  // fence precedes ours and the subsequent reads observe the removal.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+ReadGuard::~ReadGuard() {
+  ThreadSlot& slot = mySlot();
+  if (--slot.depth > 0) return;
+  slot.active.store(0, std::memory_order_release);
+}
+
+void retire(void* ptr, Deleter deleter) {
+  Registry& r = registry();
+  // Objects retired under the bumped value: readers entering afterwards
+  // carry a larger epoch and provably cannot have seen the pointer.
+  const uint64_t e = r.epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(r.retireMu);
+    r.retired.push_back(Retired{ptr, deleter, e});
+  }
+  reclaim();
+}
+
+size_t reclaim() noexcept {
+  std::vector<Retired> batch;
+  sweep(batch);
+  return runDeleters(batch);
+}
+
+size_t pendingRetired() noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.retireMu);
+  return r.retired.size();
+}
+
+void drain() noexcept {
+  while (pendingRetired() > 0) {
+    if (reclaim() == 0) std::this_thread::yield();
+  }
+}
+
+}  // namespace brew::epoch

@@ -1,0 +1,65 @@
+// Epoch-based deferred reclamation for lock-free read paths.
+//
+// The sharded code cache publishes raw CodeBlock pointers in a seqlock hit
+// table so a cached-hit lookup never takes a mutex. A reader may therefore
+// hold a pointer it loaded from a slot for a few instructions after the
+// owning cache entry was removed on another thread — the object's memory
+// must stay mapped until every such reader is provably gone.
+//
+// Protocol:
+//
+//  - Readers wrap the lock-free access in a ReadGuard. Entering stores the
+//    current global epoch into a per-thread slot (one padded cache line per
+//    thread, registered once, reused across threads); exiting stores 0.
+//    Enter is one relaxed load + one relaxed store + one seq_cst fence;
+//    exit is one release store. Nothing blocks inside a guard.
+//
+//  - Writers remove the object from every shared location first, then call
+//    retire(ptr, deleter). retire() bumps the global epoch and defers the
+//    deleter until every thread slot is either quiescent (0) or carries an
+//    epoch from after the bump — at which point no reader can still hold
+//    the pointer (a reader that entered after the bump observes the
+//    removal; the seq_cst fence pairing makes "entered before the scan but
+//    not yet visible" impossible).
+//
+// Reclamation is amortized into retire() calls; reclaim()/drain() force it
+// (cache destruction, tests). The thread registry is leaked on purpose so
+// guards taken during static destruction stay valid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace brew::epoch {
+
+using Deleter = void (*)(void*) noexcept;
+
+// RAII read-side critical section. Cheap enough for a cached-hit path;
+// never blocks; safe to nest (inner guards keep the outer epoch).
+class ReadGuard {
+ public:
+  ReadGuard() noexcept;
+  ~ReadGuard();
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+};
+
+// Defers deleter(ptr) until every ReadGuard that was active at the time of
+// this call has exited. The deleter runs outside all reclamation locks (it
+// may itself retire further objects or free ExecMemory, which reenters the
+// cache free hook).
+void retire(void* ptr, Deleter deleter);
+
+// One reclamation attempt: frees every retired object whose grace period
+// has elapsed. Returns the number freed.
+size_t reclaim() noexcept;
+
+// Retired-but-not-yet-freed objects (tests / diagnostics).
+size_t pendingRetired() noexcept;
+
+// Spins (yielding) until the retire list is empty. Callers must ensure no
+// thread parks forever inside a ReadGuard — guards never block, so this
+// terminates once concurrent readers drain.
+void drain() noexcept;
+
+}  // namespace brew::epoch

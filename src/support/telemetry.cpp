@@ -59,6 +59,8 @@ constexpr const char* kCounterNames[] = {
     "cache.inflight_waits",
     "cache.invalidations",
     "cache.async_installs",
+    "cache.fastpath_hits",
+    "cache.shard_contention",
     "decode.cache_hits",
     "decode.cache_misses",
     "decode.cache_flushes",

@@ -60,6 +60,8 @@ enum class CounterId : int {
   CacheInFlightWaits,
   CacheInvalidations,
   CacheAsyncInstalls,
+  CacheFastpathHits,      // hits served by the lock-free seqlock hit table
+  CacheShardContention,   // shard mutex acquisitions that had to wait
   DecodeCacheHits,        // decoded-instruction cache (isa/decode_cache)
   DecodeCacheMisses,
   DecodeCacheFlushes,     // thread-local flushes after a code-mutation epoch

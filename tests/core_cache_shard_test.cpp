@@ -1,0 +1,248 @@
+// Sharded-cache concurrency battery: multi-thread hammer over rewrite /
+// hit / release / invalidate across shard boundaries, plus deterministic
+// checks of the lock-free fast path and the single-shard control mode.
+// Tagged with the `concurrency` ctest label and run under ThreadSanitizer
+// by scripts/check_telemetry.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/code_cache.hpp"
+#include "core/spec_manager.hpp"
+#include "jit/assembler.hpp"
+#include "support/epoch.hpp"
+
+namespace brew {
+namespace {
+
+typedef int64_t (*const_t)(void);
+
+// "mov rax, imm64; ret" — a distinct traceable subject per value, JIT-built
+// so the test controls its lifetime (and can invalidate it by address).
+ExecMemory buildConstFn(int64_t value) {
+  jit::Assembler as;
+  as.movRegImm(isa::Reg::rax, value);
+  as.ret();
+  auto mem = as.finalizeExecutable();
+  EXPECT_TRUE(mem.ok());
+  return std::move(*mem);
+}
+
+Config intConfig() {
+  Config config;
+  config.setReturnKind(ReturnKind::Int);
+  return config;
+}
+
+TEST(CacheShardTest, FastpathServesRepeatHits) {
+  SpecManager manager{SpecManager::Options{.workers = 1, .cacheShards = 16}};
+  ExecMemory fn = buildConstFn(1234);
+  const std::vector<ArgValue> none;
+
+  auto first = manager.rewrite(intConfig(), PassOptions{}, fn.data(), none);
+  ASSERT_TRUE(first.ok()) << first.error().message();
+  auto second = manager.rewrite(intConfig(), PassOptions{}, fn.data(), none);
+  ASSERT_TRUE(second.ok()) << second.error().message();
+
+  EXPECT_EQ(first->entry(), second->entry());
+  EXPECT_EQ(reinterpret_cast<const_t>(second->entry())(), 1234);
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.shards, 16u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  // The repeat hit came from the seqlock table, not the shard mutex.
+  EXPECT_EQ(stats.fastpathHits, 1u);
+}
+
+TEST(CacheShardTest, SingleShardControlDisablesFastpath) {
+  // BREW_CACHE_SHARDS=1 (here forced via Options) is the A/B control: one
+  // lock, no hit table, pre-sharding behavior.
+  SpecManager manager{SpecManager::Options{.workers = 1, .cacheShards = 1}};
+  ExecMemory fn = buildConstFn(77);
+  const std::vector<ArgValue> none;
+
+  for (int i = 0; i < 3; ++i) {
+    auto result = manager.rewrite(intConfig(), PassOptions{}, fn.data(), none);
+    ASSERT_TRUE(result.ok()) << result.error().message();
+    EXPECT_EQ(reinterpret_cast<const_t>(result->entry())(), 77);
+  }
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.shards, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.fastpathHits, 0u);
+}
+
+TEST(CacheShardTest, TwelveThreadHammerKeepsInvariants) {
+  constexpr int kThreads = 12;
+  constexpr int kFns = 32;
+  constexpr int kIters = 400;
+  constexpr int64_t kBase = 1000;
+
+  std::vector<ExecMemory> fns;
+  fns.reserve(kFns);
+  for (int i = 0; i < kFns; ++i) fns.push_back(buildConstFn(kBase + i));
+
+  SpecManager manager{SpecManager::Options{.workers = 2}};
+  const Config config = intConfig();
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> calls{0};
+  std::vector<std::vector<std::pair<int, CodeHandle>>> retained(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& mine = retained[static_cast<size_t>(t)];
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (t * 7 + i) % kFns;
+        auto result =
+            manager.rewrite(config, PassOptions{}, fns[k].data(), {});
+        calls.fetch_add(1);
+        ASSERT_TRUE(result.ok()) << result.error().message();
+        ASSERT_EQ(reinterpret_cast<const_t>(result->entry())(), kBase + k);
+        if (i % 5 == t % 5) mine.emplace_back(k, *result);  // retain
+        if (mine.size() > 16) mine.clear();                 // release burst
+        if (i % 97 == 0)
+          manager.cache().invalidateTarget(fns[k].data(), fns[k].size());
+      }
+    });
+  }
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  const CacheStats stats = manager.cache().stats();
+  // Every rewrite call resolved to exactly one hit or one miss.
+  EXPECT_EQ(stats.hits + stats.misses, calls.load());
+  EXPECT_GT(stats.fastpathHits, 0u);
+  EXPECT_GT(stats.invalidations, 0u);
+  EXPECT_LE(stats.codeBytes, stats.capacityBytes);
+
+  // Handles retained across eviction/invalidation still hold live code.
+  for (const auto& mine : retained)
+    for (const auto& [k, handle] : mine) {
+      ASSERT_TRUE(static_cast<bool>(handle));
+      EXPECT_GE(handle.useCount(), 1u);
+      EXPECT_EQ(reinterpret_cast<const_t>(handle.entry())(), kBase + k);
+    }
+
+  retained.clear();
+  manager.cache().clear();
+  EXPECT_EQ(manager.cache().stats().entries, 0u);
+  EXPECT_EQ(manager.cache().stats().codeBytes, 0u);
+  // Epoch-deferred blocks (published to the hit table, then dropped) all
+  // reclaim once no reader is left.
+  epoch::drain();
+  EXPECT_EQ(epoch::pendingRetired(), 0u);
+}
+
+TEST(CacheShardTest, GlobalBudgetEnforcedAcrossShards) {
+  constexpr int kThreads = 8;
+  constexpr int kFns = 16;
+  constexpr int kIters = 200;
+  constexpr int64_t kBase = 5000;
+  // A few dozen bytes of generated code per entry: this budget holds only
+  // a handful of the 16 keys, forcing continuous cross-shard eviction.
+  constexpr size_t kBudget = 256;
+
+  std::vector<ExecMemory> fns;
+  fns.reserve(kFns);
+  for (int i = 0; i < kFns; ++i) fns.push_back(buildConstFn(kBase + i));
+
+  SpecManager manager{
+      SpecManager::Options{.workers = 1, .cacheBytes = kBudget}};
+  const Config config = intConfig();
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<std::pair<int, CodeHandle>>> retained(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& mine = retained[static_cast<size_t>(t)];
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (t + i * 3) % kFns;
+        auto result =
+            manager.rewrite(config, PassOptions{}, fns[k].data(), {});
+        ASSERT_TRUE(result.ok()) << result.error().message();
+        ASSERT_EQ(reinterpret_cast<const_t>(result->entry())(), kBase + k);
+        if (i % 11 == 0) mine.emplace_back(k, *result);
+        if (mine.size() > 8) mine.erase(mine.begin());
+      }
+    });
+  }
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_GT(stats.evictions, 0u);
+  // The budget is one global atomic debited by every shard: at quiescence
+  // the cache is within budget (or down to the single protected entry).
+  EXPECT_TRUE(stats.codeBytes <= kBudget || stats.entries <= 1)
+      << "codeBytes=" << stats.codeBytes << " entries=" << stats.entries;
+
+  // Eviction never invalidated outstanding references.
+  for (const auto& mine : retained)
+    for (const auto& [k, handle] : mine)
+      EXPECT_EQ(reinterpret_cast<const_t>(handle.entry())(), kBase + k);
+}
+
+TEST(CacheShardTest, InvalidateRacesFastpathReaders) {
+  // Maximize pressure on the seqlock + epoch reclamation path: readers spin
+  // on one hot key while an invalidator repeatedly drops it.
+  constexpr int kReaders = 6;
+  constexpr int kReads = 2000;
+  constexpr int kInvalidations = 300;
+
+  ExecMemory fn = buildConstFn(424242);
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  const Config config = intConfig();
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kReads; ++i) {
+        auto result = manager.rewrite(config, PassOptions{}, fn.data(), {});
+        ASSERT_TRUE(result.ok()) << result.error().message();
+        ASSERT_EQ(reinterpret_cast<const_t>(result->entry())(), 424242);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    ready.fetch_add(1);
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < kInvalidations; ++i) {
+      manager.cache().invalidateTarget(fn.data(), fn.size());
+      std::this_thread::yield();
+    }
+  });
+  while (ready.load() != kReaders + 1) std::this_thread::yield();
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kReaders) * kReads);
+  EXPECT_GE(stats.misses, 1u);
+  epoch::drain();
+  EXPECT_EQ(epoch::pendingRetired(), 0u);
+}
+
+}  // namespace
+}  // namespace brew

@@ -1,6 +1,10 @@
 // C API tests — the paper's interface (Figures 2, 3, 5) end to end.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <thread>
+
 #include "core/brew.h"
 #include "stencil/stencil.hpp"
 
@@ -8,6 +12,9 @@ namespace {
 
 __attribute__((noinline)) int addmul(int a, int b) { return a * 7 + b; }
 typedef int (*addmul_t)(int, int);
+
+__attribute__((noinline)) int mulsub(int a, int b) { return a * 3 - b; }
+__attribute__((noinline)) int xorshift(int a, int b) { return (a ^ b) + a; }
 
 __attribute__((noinline)) double scale(double x, double factor) {
   return x * factor;
@@ -262,6 +269,148 @@ TEST(CApi, NoUnrollFlag) {
   brew_getstats(conf, &stats);
   EXPECT_LT(stats.code_bytes, 512u);  // loop kept, not 50x unrolled
   brew_release((void*)fn);
+  brew_freeConf(conf);
+}
+
+/* ---- brew_rewrite_batch ----------------------------------------------- */
+
+TEST(CApiBatch, EmptyBatchCompletesImmediately) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setret(conf, BREW_RET_INT);
+  brew_batch* batch = brew_rewrite_batch(conf, nullptr, 0, (uint64_t)1,
+                                         (uint64_t)2);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(brew_batch_size(batch), 0u);
+  EXPECT_EQ(brew_batch_next(batch), -1);  // nothing to wait for
+  EXPECT_EQ(brew_batch_next(batch), -1);  // and stays that way
+  brew_batch_free(batch);
+  brew_freeConf(conf);
+}
+
+TEST(CApiBatch, HandlesArriveInCompletionOrderEachIndexOnce) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+  const void* fns[] = {(const void*)addmul, (const void*)mulsub,
+                       (const void*)xorshift};
+  brew_batch* batch =
+      brew_rewrite_batch(conf, fns, 3, (uint64_t)21, (uint64_t)0);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(brew_batch_size(batch), 3u);
+
+  std::set<int> claimed;
+  for (int i = 0; i < 3; ++i) {
+    const int index = brew_batch_next(batch);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, 3);
+    EXPECT_TRUE(claimed.insert(index).second) << "index returned twice";
+    brew_func* fn = brew_batch_take(batch, (size_t)index);
+    ASSERT_NE(fn, nullptr) << brew_lastError(conf);
+    auto specialized = (addmul_t)brew_func_entry(fn);
+    int (*original)(int, int) =
+        index == 0 ? addmul : (index == 1 ? mulsub : xorshift);
+    EXPECT_EQ(specialized(1, 5), original(21, 5));  // arg 1 baked to 21
+    brew_release_h(fn);
+  }
+  EXPECT_EQ(brew_batch_next(batch), -1);  // all indexes claimed
+  brew_batch_free(batch);
+  brew_freeConf(conf);
+}
+
+TEST(CApiBatch, DuplicateFunctionsSingleFlight) {
+  brew_cache_reset();
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+
+  brew_cache_stats before{};
+  brew_getcachestats(&before);
+  /* A baked value no other test uses, so the key is cold. */
+  const void* fns[] = {(const void*)addmul, (const void*)addmul,
+                       (const void*)addmul, (const void*)addmul};
+  brew_batch* batch =
+      brew_rewrite_batch(conf, fns, 4, (uint64_t)4242, (uint64_t)0);
+  ASSERT_NE(batch, nullptr);
+
+  void* entry = nullptr;
+  for (int i = 0; i < 4; ++i) {
+    const int index = brew_batch_next(batch);
+    ASSERT_GE(index, 0);
+    brew_func* fn = brew_batch_take(batch, (size_t)index);
+    ASSERT_NE(fn, nullptr) << brew_lastError(conf);
+    if (entry == nullptr) entry = brew_func_entry(fn);
+    /* All four items share one cached code object. */
+    EXPECT_EQ(brew_func_entry(fn), entry);
+    brew_release_h(fn);
+  }
+  brew_cache_stats after{};
+  brew_getcachestats(&after);
+  EXPECT_EQ(after.misses - before.misses, 1u);  /* traced exactly once */
+  EXPECT_EQ(after.hits - before.hits, 3u);
+  brew_batch_free(batch);
+  brew_freeConf(conf);
+}
+
+TEST(CApiBatch, FailingFunctionDoesNotPoisonTheRest) {
+  static const uint8_t bogus[] = {0x0f, 0xa2, 0xc3};  // cpuid; ret
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+  const void* fns[] = {(const void*)addmul, (const void*)bogus,
+                       (const void*)mulsub, nullptr};
+  brew_batch* batch =
+      brew_rewrite_batch(conf, fns, 4, (uint64_t)7, (uint64_t)0);
+  ASSERT_NE(batch, nullptr);
+
+  int failures = 0;
+  int successes = 0;
+  for (int i = 0; i < 4; ++i) {
+    const int index = brew_batch_next(batch);
+    ASSERT_GE(index, 0);
+    brew_func* fn = brew_batch_take(batch, (size_t)index);
+    if (index == 1 || index == 3) {
+      EXPECT_EQ(fn, nullptr);
+      EXPECT_STRNE(brew_lastError(conf), "");  // claim reported the cause
+      ++failures;
+    } else {
+      ASSERT_NE(fn, nullptr) << brew_lastError(conf);
+      auto specialized = (addmul_t)brew_func_entry(fn);
+      EXPECT_EQ(specialized(0, 9), index == 0 ? addmul(7, 9) : mulsub(7, 9));
+      brew_release_h(fn);
+      ++successes;
+    }
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(successes, 2);
+  brew_batch_free(batch);
+  brew_freeConf(conf);
+}
+
+TEST(CApiBatch, LastErrorStaysThreadLocal) {
+  static const uint8_t bogus[] = {0x0f, 0xa2, 0xc3};  // cpuid; ret
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 0);
+  const void* fns[] = {(const void*)bogus};
+  brew_batch* batch = brew_rewrite_batch(conf, fns, 1);
+  ASSERT_NE(batch, nullptr);
+
+  /* Claim the failure on a helper thread: the error must land in THAT
+   * thread's slot and never leak into this one. */
+  std::string helperError;
+  std::thread helper([&] {
+    const int index = brew_batch_next(batch);
+    EXPECT_EQ(index, 0);
+    helperError = brew_lastError(conf);
+  });
+  helper.join();
+  EXPECT_NE(helperError, "");
+  EXPECT_STREQ(brew_lastError(conf), "");  // main thread never failed
+
+  brew_batch_free(batch);
   brew_freeConf(conf);
 }
 

@@ -6,9 +6,13 @@
 // passes, emitter and encoder together.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rewriter.hpp"
+#include "core/spec_manager.hpp"
 #include "isa/printer.hpp"
 #include "jit/assembler.hpp"
 #include "support/prng.hpp"
@@ -322,6 +326,114 @@ TEST_P(MemDifferentialFuzz, RewrittenAgreesWithOriginal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MemDifferentialFuzz,
                          ::testing::Values(7, 14, 28, 56, 112, 224, 448, 896));
+
+// Concurrency variant (`concurrency` ctest label, TSan via
+// scripts/check_telemetry.sh): several threads fuzz the SAME seeds through
+// one sharded SpecManager. Specialization must be deterministic — every
+// thread gets the same captured IR as a single-shard reference rewrite, no
+// matter which thread traced first or which shard held the entry — and
+// per-key single-flight must hold across shards (one miss per subject per
+// round, all threads sharing one entry pointer).
+TEST(ConcurrentDifferentialFuzz, SameSeedsSameCapturedBytesAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2;
+  const uint64_t seeds[] = {31, 62, 93, 124, 155, 186};
+  constexpr size_t kSubjects = std::size(seeds);
+
+  struct Subject {
+    ExecMemory code;
+    Config config;
+    uint64_t baked0 = 0;
+    uint64_t baked1 = 0;
+    bool know0 = false;
+    bool know1 = false;
+    std::string refCaptured;
+  };
+
+  // Reference captures from a single-shard (pre-sharding-behavior) manager.
+  std::vector<Subject> subjects;
+  SpecManager refManager{
+      SpecManager::Options{.workers = 1, .cacheShards = 1}};
+  for (uint64_t seed : seeds) {
+    Prng rng(seed);
+    Subject s;
+    s.code = buildRandomFunction(rng);
+    s.know0 = rng.chance(0.5);
+    s.know1 = rng.chance(0.5);
+    s.baked0 = rng.next() & 0xFFFFFFFF;
+    s.baked1 = rng.next() & 0xFFFFFFFF;
+    if (s.know0) s.config.setParamKnown(0);
+    if (s.know1) s.config.setParamKnown(1);
+    s.config.setReturnKind(ReturnKind::Int);
+    Rewriter ref{s.config, refManager};
+    auto rewritten = ref.rewrite(s.code.data(), s.baked0, s.baked1);
+    ASSERT_TRUE(rewritten.ok())
+        << "seed " << seed << ": " << rewritten.error().message();
+    s.refCaptured = rewritten->dumpCaptured();
+    subjects.push_back(std::move(s));
+  }
+
+  SpecManager manager{SpecManager::Options{.workers = 2, .cacheShards = 16}};
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::vector<void*>> entries(
+        kThreads, std::vector<void*>(kSubjects, nullptr));
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t, round] {
+        Prng rng(1000 + static_cast<uint64_t>(round) * 100 +
+                 static_cast<uint64_t>(t));
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        for (size_t j = 0; j < kSubjects; ++j) {
+          // Distinct visiting orders so threads collide on different keys.
+          const size_t idx = (j + static_cast<size_t>(t)) % kSubjects;
+          Subject& s = subjects[idx];
+          Rewriter rewriter{s.config, manager};
+          auto rewritten =
+              rewriter.rewrite(s.code.data(), s.baked0, s.baked1);
+          ASSERT_TRUE(rewritten.ok())
+              << "seed " << seeds[idx] << " thread " << t << " round "
+              << round << ": " << rewritten.error().message();
+          entries[static_cast<size_t>(t)][idx] = rewritten->entry();
+          EXPECT_EQ(rewritten->dumpCaptured(), s.refCaptured)
+              << "seed " << seeds[idx] << " thread " << t << " round "
+              << round << ": captured IR depends on thread/shard";
+          auto original = s.code.entry<fn_t>();
+          auto specialized = rewritten->as<fn_t>();
+          for (int call = 0; call < 4; ++call) {
+            const uint64_t a = s.know0 ? s.baked0 : rng.next();
+            const uint64_t b = s.know1 ? s.baked1 : rng.next();
+            ASSERT_EQ(specialized(a, b), original(a, b))
+                << "seed " << seeds[idx] << " thread " << t << " round "
+                << round << " a=" << a << " b=" << b;
+          }
+        }
+      });
+    }
+    while (ready.load() != kThreads) std::this_thread::yield();
+    go.store(true);
+    for (std::thread& thread : threads) thread.join();
+
+    // Single-flight across shards: one code object per subject per round.
+    for (int t = 1; t < kThreads; ++t)
+      for (size_t idx = 0; idx < kSubjects; ++idx)
+        EXPECT_EQ(entries[0][idx], entries[static_cast<size_t>(t)][idx])
+            << "subject " << idx << " round " << round;
+
+    // Force the next round to re-trace everything from scratch.
+    for (Subject& s : subjects)
+      manager.cache().invalidateTarget(s.code.data(), s.code.size());
+  }
+
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.misses, static_cast<uint64_t>(kRounds) * kSubjects);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kRounds) * kThreads * kSubjects);
+  EXPECT_EQ(stats.invalidations, static_cast<uint64_t>(kRounds) * kSubjects);
+}
 
 }  // namespace
 }  // namespace brew
