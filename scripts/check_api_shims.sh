@@ -1,8 +1,10 @@
 #!/bin/sh
 # Fails if in-repo code still calls the deprecated v1 void* C API
-# (brew_rewrite / brew_release). Allowed: the shim's declaration and
-# implementation, and the C API test that pins the shim's behavior.
-# brew_rewrite2 / brew_release_h do not match the pattern.
+# (brew_rewrite / brew_release / brew_getstats). The shim is compiled only
+# under -DBREW_ENABLE_V1_API=ON; the only allowed spellings are the shim's
+# own declaration/implementation (both #ifdef-gated) and the v1 test binary
+# that pins the shim's behavior when that option is on.
+# brew_rewrite2 / brew_release_h / brew_func_getstats do not match.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,7 +12,7 @@ offenders=$(grep -rnE '(^|[^_[:alnum:]])brew_(rewrite|release)[[:space:]]*\(' \
     src examples bench tests stencil 2>/dev/null \
   | grep -v '^src/core/brew\.h:' \
   | grep -v '^src/core/brew_c\.cpp:' \
-  | grep -v '^tests/core_capi_test\.cpp:' \
+  | grep -v '^tests/core_capi_v1_test\.cpp:' \
   || true)
 
 if [ -n "$offenders" ]; then
@@ -27,7 +29,7 @@ stats_offenders=$(grep -rnE '(^|[^_[:alnum:]])brew_getstats[[:space:]]*\(' \
     src examples bench tests stencil 2>/dev/null \
   | grep -v '^src/core/brew\.h:' \
   | grep -v '^src/core/brew_c\.cpp:' \
-  | grep -v '^tests/core_capi_test\.cpp:' \
+  | grep -v '^tests/core_capi_v1_test\.cpp:' \
   || true)
 
 if [ -n "$stats_offenders" ]; then
@@ -36,4 +38,15 @@ if [ -n "$stats_offenders" ]; then
   echo "use brew_func_getstats or brew_telemetry_snapshot instead" >&2
   exit 1
 fi
-echo "no deprecated v1 API callers outside the shim"
+
+# The gated sections themselves must stay inside the #ifdef so a default
+# build exports no v1 symbols at all.
+for f in src/core/brew.h src/core/brew_c.cpp; do
+  if grep -qE '(^|[^_[:alnum:]])brew_rewrite[[:space:]]*\(' "$f" \
+      && ! grep -q 'BREW_ENABLE_V1_API' "$f"; then
+    echo "$f declares v1 symbols without a BREW_ENABLE_V1_API gate" >&2
+    exit 1
+  fi
+done
+
+echo "no deprecated v1 API callers outside the gated shim"

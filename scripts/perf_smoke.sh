@@ -1,12 +1,14 @@
 #!/bin/sh
-# Perf smoke test (ctest -L perf): run bench_a1 for a few iterations and
-# diff it against the committed BENCH_baseline.json at a generous 2x
-# threshold. This is not a measurement -- it exists to catch
-# order-of-magnitude regressions (a lost fast path, a syscall back in the
-# hot loop) in CI without demanding a quiet machine.
+# Perf smoke test (ctest -L perf): run bench_a1 (and, when given,
+# bench_e7) for a few iterations and diff them against the committed
+# BENCH_baseline.json at a generous 2x threshold. This is not a
+# measurement -- it exists to catch order-of-magnitude regressions (a lost
+# fast path, a syscall back in the hot loop) in CI without demanding a
+# quiet machine.
 set -eu
 
-bin="${1:?usage: perf_smoke.sh path/to/bench_a1_rewrite_cost}"
+bin="${1:?usage: perf_smoke.sh path/to/bench_a1_rewrite_cost [bench_e7]}"
+bin_e7="${2:-}"
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -17,21 +19,40 @@ BREW_BENCH_ITERATIONS=20 "$bin" "--json=$tmp/a1.json" \
   exit 1
 }
 
-# Wrap the single-binary output in the merged run_benches.sh shape so the
+only_args="--only bench_a1_rewrite_cost"
+if [ -n "$bin_e7" ]; then
+  "$bin_e7" "--json=$tmp/e7.json" \
+    --benchmark_min_time=0.05s >"$tmp/e7.log" 2>&1 || {
+    cat "$tmp/e7.log"
+    exit 1
+  }
+  only_args="$only_args --only bench_e7_variant_churn"
+fi
+
+# Wrap the single-binary outputs in the merged run_benches.sh shape so the
 # keys line up with the committed baseline.
-python3 - "$tmp/a1.json" "$tmp/merged.json" <<'EOF'
-import json, sys
-with open(sys.argv[1]) as f:
-    data = json.load(f)
-with open(sys.argv[2], "w") as f:
-    json.dump({"bench_a1_rewrite_cost": data}, f)
+python3 - "$tmp/merged.json" "$tmp/a1.json" "$tmp/e7.json" <<'EOF'
+import json, os, sys
+merged = {}
+for path in sys.argv[2:]:
+    if not os.path.exists(path):
+        continue
+    name = {"a1": "bench_a1_rewrite_cost",
+            "e7": "bench_e7_variant_churn"}[os.path.basename(path)[:2]]
+    with open(path) as f:
+        merged[name] = json.load(f)
+with open(sys.argv[1], "w") as f:
+    json.dump(merged, f)
 EOF
 
 # The cached-hit path gets its own, much tighter threshold: it is the
 # per-call cost every repeat client pays, and the sharded cache serves it
 # lock-free — a mutex or shared cache line creeping back in shows up well
-# below the generic 2x noise allowance.
+# below the generic 2x noise allowance. Same idea for the dispatch stub:
+# BM_DispatchMonomorphic is a handful of ns per call, so anything beyond
+# noise (an extra load, a lock) trips the tighter 1.5x bound.
 exec python3 "$repo/scripts/compare_benches.py" \
   "$repo/BENCH_baseline.json" "$tmp/merged.json" \
-  --only bench_a1_rewrite_cost --threshold 2.0 \
-  --per-bench BM_RewriteApplyCached=1.25
+  $only_args --threshold 2.0 \
+  --per-bench BM_RewriteApplyCached=1.25 \
+  --per-bench BM_DispatchMonomorphic=1.5

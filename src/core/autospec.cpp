@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/guard.hpp"
 #include "core/spec_manager.hpp"
 #include "jit/assembler.hpp"
 #include "support/log.hpp"
@@ -36,31 +37,9 @@ namespace {
 Result<ExecMemory> buildSampler(const void* target, Reg profiledArg,
                                 AutoSpecializer* self) {
   jit::Assembler as;
-  const Reg saved[] = {Reg::rdi, Reg::rsi, Reg::rdx, Reg::rcx,
-                       Reg::r8, Reg::r9, Reg::rax};
-  // Entry rsp ≡ 8 (mod 16); 7 pushes make it ≡ 0 — aligned for the call.
-  for (Reg r : saved)
-    as.emit(makeInstr(Mnemonic::Push, 8, Operand::makeReg(r)));
-  // SSE argument registers may carry live doubles.
-  as.emit(makeInstr(Mnemonic::Sub, 8, Operand::makeReg(Reg::rsp),
-                    Operand::makeImm(128)));
-  for (int i = 0; i < 8; ++i)
-    as.emit(makeInstr(Mnemonic::Movups, 16,
-                      Operand::makeMem(MemOperand{.base = Reg::rsp,
-                                                  .disp = i * 16}),
-                      Operand::makeReg(isa::xmmFromNum(i))));
-  if (profiledArg != Reg::rdi) as.movRegReg(Reg::rdi, profiledArg);
-  as.movRegImm(Reg::rsi, static_cast<int64_t>(
-                             reinterpret_cast<uintptr_t>(self)));
-  as.callAbs(reinterpret_cast<uint64_t>(&brewAutospecHook));
-  for (int i = 0; i < 8; ++i)
-    as.emit(makeInstr(Mnemonic::Movups, 16, Operand::makeReg(isa::xmmFromNum(i)),
-                      Operand::makeMem(MemOperand{.base = Reg::rsp,
-                                                  .disp = i * 16})));
-  as.emit(makeInstr(Mnemonic::Add, 8, Operand::makeReg(Reg::rsp),
-                    Operand::makeImm(128)));
-  for (auto it = std::rbegin(saved); it != std::rend(saved); ++it)
-    as.emit(makeInstr(Mnemonic::Pop, 8, Operand::makeReg(*it)));
+  emitPreservedHookCall(as, profiledArg, self,
+                        reinterpret_cast<const void*>(&brewAutospecHook),
+                        /*stageResult=*/false);
   as.jmpAbs(reinterpret_cast<uint64_t>(target));
   return as.finalizeExecutable();
 }
@@ -146,21 +125,27 @@ void AutoSpecializer::finalize() {
     return;
   }
 
-  // Variants allocate through the process specialization cache: repeated
-  // profiles converging on the same hot values share one traced rewrite.
-  Rewriter rewriter{config_, SpecManager::process()};
-  auto guarded = rewriteGuarded(rewriter, fn_, prototypeArgs_, paramIndex_,
-                                hot);
-  if (!guarded.ok()) {
-    BREW_LOG_INFO("autospec of %p failed: %s", fn_,
-                  guarded.error().message().c_str());
+  // Hand the profile to a multi-version dispatcher: the hot values become
+  // the seed variant set (compiled through the process specialization
+  // cache, so repeated profiles converging on the same values share one
+  // traced rewrite), and the inline-cache stub keeps promoting/demoting as
+  // the distribution shifts after sampling ends.
+  SpecManager& manager = SpecManager::process();
+  DispatchOptions dopt = manager.options().dispatch;
+  dopt.maxVariants = options_.maxVariants;
+  dispatcher_ = std::make_unique<VariantDispatcher>(
+      manager, fn_, paramIndex_, prototypeArgs_, config_, dopt);
+  if (!dispatcher_->valid()) {
+    BREW_LOG_INFO("autospec of %p: dispatch stub failed, keeping original",
+                  fn_);
+    dispatcher_.reset();
     entrySlot_ = const_cast<void*>(fn_);
     return;
   }
-  guarded_ = std::make_unique<GuardedFunction>(std::move(*guarded));
-  entrySlot_ = guarded_->dispatch.entry();
+  dispatcher_->seedHot(hot, calls_);
+  entrySlot_ = dispatcher_->entry();
   BREW_LOG_INFO("autospec of %p: %zu variants after %zu samples", fn_,
-                guarded_->variants.size(), static_cast<size_t>(calls_));
+                dispatcher_->variantCount(), static_cast<size_t>(calls_));
 }
 
 }  // namespace brew

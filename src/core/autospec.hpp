@@ -5,8 +5,10 @@
 // AutoSpecializer observes the values one integer parameter takes across
 // calls (through its own counting proxy — the original function stays
 // untouched), and once enough samples exist it specializes the function
-// for the hottest values and installs a guarded dispatcher in front of the
-// original (§III-D's "check for the parameter actually being 42").
+// for the hottest values and installs a multi-version inline-cache
+// dispatcher (core/dispatch.hpp) in front of the original (§III-D's "check
+// for the parameter actually being 42", generalized to N live variants
+// that keep adapting after the sampling phase).
 //
 // Usage:
 //   AutoSpecializer spec(&kernel, /*paramIndex=*/0, options);
@@ -19,7 +21,7 @@
 #include <vector>
 #include <memory>
 
-#include "core/guard.hpp"
+#include "core/dispatch.hpp"
 #include "core/rewriter.hpp"
 
 namespace brew {
@@ -70,8 +72,13 @@ class AutoSpecializer {
   size_t observedCalls() const;
   const std::map<uint64_t, uint64_t>& histogram() const { return counts_; }
   size_t variantCount() const {
-    return guarded_ ? guarded_->variants.size() : 0;
+    return dispatcher_ ? dispatcher_->variantCount() : 0;
   }
+
+  // The multi-version dispatcher seeded by finalize(); null until then (or
+  // when no value qualified). Lets callers keep promoting/demoting live —
+  // the sampling phase only seeds its initial variant set.
+  VariantDispatcher* dispatcher() const { return dispatcher_.get(); }
 
   // Forces the decision now (tests / phase boundaries).
   void finalize();
@@ -94,7 +101,7 @@ class AutoSpecializer {
   // Sampling trampoline (counts, then tail-calls the original) and the
   // final dispatcher; `entrySlot_` is the indirection both share.
   ExecMemory samplerCode_;
-  std::unique_ptr<GuardedFunction> guarded_;
+  std::unique_ptr<VariantDispatcher> dispatcher_;
   mutable void* entrySlot_ = nullptr;
   std::unique_ptr<ExecMemory> entryStub_;
 };

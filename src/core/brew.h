@@ -15,12 +15,23 @@
  *
  * Rewrites are served from a process-wide concurrent specialization cache:
  * two identical brew_rewrite2 calls trace once and share refcounted code
- * (see brew_getcachestats). The v1 void* surface (brew_rewrite /
- * brew_release) remains as a thin shim over the handles and is deprecated.
+ * (see brew_getcachestats). Runtime knobs (worker count, cache budget,
+ * shard count, variant limits) enter through ONE object — brew_options +
+ * brew_configure — with environment variables as documented fallbacks.
+ * The v1 void* surface (brew_rewrite / brew_release) is retired: it is
+ * compiled only when the library is built with -DBREW_ENABLE_V1_API=ON.
  *
  * Parameter indices are 1-based like in the paper. Rewriting failure is not
  * catastrophic: brew_rewrite2 returns NULL and the caller keeps using the
  * original function (brew_lastError, now thread-local, explains why).
+ *
+ * STRUCT LAYOUT / VERSIONING RULE: every struct in this header that the
+ * library fills in for the caller (brew_stats, brew_cache_stats,
+ * brew_variant_stats, brew_func_variant, brew_telemetry*) is append-only.
+ * Fields are fixed-width (uint64_t for every counter/byte/size value),
+ * never renamed, never reordered, never removed; new fields go at the end.
+ * Compiling against a newer header and linking an older library is the
+ * only unsupported direction.
  */
 #ifndef BREW_H_
 #define BREW_H_
@@ -95,6 +106,53 @@ void brew_set_exit_handler(brew_conf* conf, brew_handler handler);
 void brew_set_load_handler(brew_conf* conf, brew_handler handler);
 void brew_set_store_handler(brew_conf* conf, brew_handler handler);
 
+/* ---- runtime configuration (brew_options) ---------------------------- */
+
+/* The ONE way runtime knobs reach the rewrite runtime. Build an options
+ * object, set what you need, and pass it to brew_configure BEFORE the
+ * first rewrite; the process-wide specialization manager is constructed
+ * from it on first use. brew_options_init seeds every field from the
+ * documented environment fallbacks, so configuring nothing is exactly the
+ * env-driven behavior:
+ *
+ *   BREW_WORKERS        async rewrite worker threads        (default 2)
+ *   BREW_CACHE_BYTES    specialization-cache LRU budget     (default 64 MiB)
+ *   BREW_CACHE_SHARDS   cache shard count, pow2, max 64     (default 16)
+ *   BREW_MAX_VARIANTS   live dispatch variants per function (default 4)
+ *   BREW_DISPATCH_WAYS  inline-cache ways per dispatch stub (default 2)
+ *
+ * The environment is parsed in exactly one place
+ * (SpecManager::Options::fromEnv); no other component reads these
+ * variables. */
+typedef struct brew_options brew_options;
+
+brew_options* brew_options_init(void);
+void brew_options_free(brew_options* options);
+
+/* Async rewrite worker threads (min 1). */
+void brew_options_set_workers(brew_options* options, int workers);
+/* Specialization-cache LRU byte budget. */
+void brew_options_set_cache_bytes(brew_options* options, size_t bytes);
+/* Cache shard count (clamped to [1, 64], rounded up to a power of two;
+ * 1 selects the single-lock control mode without the lock-free hit table). */
+void brew_options_set_cache_shards(brew_options* options, size_t shards);
+/* Live specialized variants per dispatched function (N; min 1). */
+void brew_options_set_max_variants(brew_options* options, size_t variants);
+/* Inline-cache ways in each dispatch stub (clamped to [1, 4]). */
+void brew_options_set_dispatch_ways(brew_options* options, size_t ways);
+/* Miss-path observations before a dispatcher starts promoting. */
+void brew_options_set_sample_calls(brew_options* options, size_t calls);
+/* Resolver events between decay rounds (score halvings). */
+void brew_options_set_decay_interval(brew_options* options, uint64_t events);
+/* Compile promotion candidates on the worker pool instead of inline. */
+void brew_options_set_async_specialize(brew_options* options, int enabled);
+
+/* Installs `options` as the configuration of the process-wide runtime.
+ * Returns 0 on success, -1 when options is NULL or the runtime was already
+ * constructed (any earlier rewrite/dispatch call). Later brew_configure
+ * calls before construction overwrite earlier ones wholesale. */
+int brew_configure(const brew_options* options);
+
 /* ---- v2: handle-based rewriting -------------------------------------- */
 
 /* Rewrites `fn`, emulating a call with the given arguments (one variadic
@@ -166,23 +224,26 @@ void brew_func_getstats(const brew_func* fn, brew_stats* out);
 
 /* ---- process-wide specialization cache ------------------------------- */
 
+/* Normalized per the header's layout/versioning rule: every field is a
+ * uint64_t (fields accumulated across earlier releases mixed size_t and
+ * uint64_t), snake_case, append-only. */
 typedef struct brew_cache_stats {
-  size_t hits;                /* served without tracing */
-  size_t misses;              /* one per actual trace+emit */
-  size_t evictions;           /* dropped for the byte budget */
-  size_t insertions;
-  size_t in_flight_waits;     /* hits that blocked on a concurrent build */
-  size_t invalidations;       /* dropped because the target was freed */
-  size_t entries;             /* current */
-  size_t code_bytes;          /* current mapped bytes held by the cache */
-  size_t capacity_bytes;      /* configured budget */
-  size_t async_installs;      /* asynchronous publications */
+  uint64_t hits;              /* served without tracing */
+  uint64_t misses;            /* one per actual trace+emit */
+  uint64_t evictions;         /* dropped for the byte budget */
+  uint64_t insertions;
+  uint64_t in_flight_waits;   /* hits that blocked on a concurrent build */
+  uint64_t invalidations;     /* dropped because the target was freed */
+  uint64_t entries;           /* current */
+  uint64_t code_bytes;        /* current mapped bytes held by the cache */
+  uint64_t capacity_bytes;    /* configured budget */
+  uint64_t async_installs;    /* asynchronous publications */
   uint64_t async_latency_ns_total;
   uint64_t async_latency_ns_max;
-  size_t fastpath_hits;       /* subset of hits served by the lock-free
+  uint64_t fastpath_hits;     /* subset of hits served by the lock-free
                                  seqlock hit table (no mutex taken) */
-  size_t shard_contention;    /* shard mutex acquisitions that had to wait */
-  size_t shards;              /* configured shard count (BREW_CACHE_SHARDS) */
+  uint64_t shard_contention;  /* shard mutex acquisitions that had to wait */
+  uint64_t shards;            /* configured shard count */
 } brew_cache_stats;
 void brew_getcachestats(brew_cache_stats* out);
 
@@ -190,8 +251,76 @@ void brew_getcachestats(brew_cache_stats* out);
  * the counters. Mostly for tests and phase boundaries. */
 void brew_cache_reset(void);
 
-/* LRU byte budget of the cache (default 64 MiB). */
+/* LRU byte budget of the cache (default 64 MiB). Prefer
+ * brew_options_set_cache_bytes before startup; this adjusts it live. */
 void brew_cache_set_budget(size_t bytes);
+
+/* ---- profile-guided multi-version dispatch --------------------------- */
+
+/* A dispatcher keeps up to N (brew_options_set_max_variants) specialized
+ * variants of one function, keyed by the runtime value of one integer
+ * parameter, and dispatches through an inline-cache stub whose hot path is
+ * one compare + one jump. Unknown values fall back to the original
+ * function while their miss counts accumulate; hot values are specialized
+ * and promoted, cold variants decay and retire. See docs/DISPATCH.md. */
+typedef struct brew_dispatch brew_dispatch;
+
+/* Creates a dispatcher over `fn`. `param_index` is 1-based like
+ * brew_setpar and must name an integer-class parameter; the variadic
+ * arguments supply one prototype value per declared parameter (used when
+ * tracing — the dispatched parameter's value is replaced per variant).
+ * The conf may be freed afterwards. Returns NULL on invalid arguments. */
+brew_dispatch* brew_dispatch_create(brew_conf* conf, const void* fn,
+                                    int param_index, ...);
+
+/* The callable entry (same signature as `fn`). Valid until
+ * brew_dispatch_free. */
+void* brew_dispatch_entry(brew_dispatch* dispatch);
+
+/* Declares a predicate-epoch change (e.g. a PGAS redistribution): every
+ * live variant is retired and the previously hot keys respecialize as one
+ * batch on the worker pool; calls fall back to the original meanwhile. */
+void brew_dispatch_bump_epoch(brew_dispatch* dispatch);
+
+/* Live variant count of this dispatcher. */
+size_t brew_dispatch_variant_count(const brew_dispatch* dispatch);
+
+/* Frees the dispatcher, its stub and its variants. Callers must no longer
+ * use the entry pointer. NULL is a no-op. */
+void brew_dispatch_free(brew_dispatch* dispatch);
+
+/* ---- variant introspection ------------------------------------------- */
+
+/* Aggregate over every live dispatcher in the process (uint64_t fields,
+ * append-only; see the header's versioning rule). */
+typedef struct brew_variant_stats {
+  uint64_t functions;      /* live dispatchers */
+  uint64_t variants_live;
+  uint64_t variant_hits;   /* decayed, approximate per-variant hit total */
+  uint64_t table_hits;     /* miss-path calls served from the variant table */
+  uint64_t misses;         /* miss-path calls with no live variant */
+  uint64_t promotions;
+  uint64_t demotions;
+  uint64_t decay_rounds;
+  uint64_t epoch_bumps;
+  uint64_t pending_async;  /* candidate rewrites in flight */
+} brew_variant_stats;
+void brew_getvariantstats(brew_variant_stats* out);
+
+/* One live variant of one dispatched function. */
+typedef struct brew_func_variant {
+  uint64_t key;          /* parameter value the variant is specialized for */
+  uint64_t hits;         /* decayed, approximate */
+  const void* entry;     /* variant code (do not outlive the dispatcher) */
+  uint64_t code_bytes;
+  uint64_t epoch;        /* predicate epoch the variant was built in */
+  int inline_cached;     /* currently occupies an inline-cache way */
+} brew_func_variant;
+
+/* Snapshots the live variants of the dispatcher over `fn` into out[0..cap)
+ * and returns the number of live variants (may exceed cap; only cap rows
+ * are written). Returns 0 when fn has no dispatcher. */
+size_t brew_func_variants(const void* fn, brew_func_variant* out, size_t cap);
 
 /* ---- process-wide telemetry ------------------------------------------ */
 
@@ -255,7 +384,18 @@ int brew_telemetry_write_trace(const char* path);
  * touch brew_getcachestats(): per-cache stats are reset by brew_cache_reset. */
 void brew_telemetry_reset(void);
 
-/* ---- v1 compatibility shim (DEPRECATED) ------------------------------ */
+/* Message for the most recent brew_rewrite2 failure on this conf *on the
+ * calling thread* (thread-local, so concurrent rewriters do not clobber
+ * each other); "" after a successful rewrite or when this thread never
+ * failed. */
+const char* brew_lastError(const brew_conf* conf);
+
+/* ---- v1 compatibility shim (RETIRED) --------------------------------- */
+
+/* The v1 void* surface is compiled only when the library was built with
+ * -DBREW_ENABLE_V1_API=ON; by default these symbols do not exist. In-tree
+ * code must not call them (scripts/check_api_shims.sh enforces it). */
+#ifdef BREW_ENABLE_V1_API
 
 /* DEPRECATED: v1 spelling of brew_rewrite2. Returns the raw entry pointer
  * and tracks the handle internally so brew_release can find it. Prefer
@@ -267,15 +407,11 @@ void* brew_rewrite(brew_conf* conf, const void* fn, ...);
  * brew_rewrite. Prefer brew_release_h. */
 void brew_release(void* rewritten);
 
-/* Message for the most recent brew_rewrite/brew_rewrite2 failure on this
- * conf *on the calling thread* (thread-local, so concurrent rewriters do
- * not clobber each other); "" after a successful rewrite or when this
- * thread never failed. */
-const char* brew_lastError(const brew_conf* conf);
-
-/* Statistics of the most recent successful rewrite on this conf (any
- * thread; last writer wins). Prefer brew_func_getstats. */
+/* DEPRECATED: statistics of the most recent successful rewrite on this
+ * conf (any thread; last writer wins). Prefer brew_func_getstats. */
 void brew_getstats(const brew_conf* conf, brew_stats* out);
+
+#endif /* BREW_ENABLE_V1_API */
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -1,8 +1,9 @@
 // C API implementation. v2 (brew_rewrite2) returns refcounted brew_func
-// handles backed by the process-wide specialization cache; the v1 void*
-// surface (brew_rewrite / brew_release) is a thin shim that tracks handles
-// by entry pointer. brew_lastError is thread-local so concurrent rewriters
-// sharing a conf never see each other's failures.
+// handles backed by the process-wide specialization cache; runtime knobs
+// enter through brew_options/brew_configure; the v1 void* surface
+// (brew_rewrite / brew_release) compiles only under BREW_ENABLE_V1_API.
+// brew_lastError is thread-local so concurrent rewriters sharing a conf
+// never see each other's failures.
 #include "core/brew.h"
 
 #include <atomic>
@@ -11,6 +12,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/dispatch.hpp"
 #include "core/rewriter.hpp"
 #include "core/spec_manager.hpp"
 #include "support/telemetry.hpp"
@@ -24,6 +26,14 @@ struct brew_func {
 struct brew_batch {
   std::shared_ptr<brew::RewriteBatch> impl;
   const brew_conf* conf = nullptr;  // error reporting target for next()
+};
+
+struct brew_options {
+  brew::SpecManager::Options impl;
+};
+
+struct brew_dispatch {
+  std::unique_ptr<brew::VariantDispatcher> impl;
 };
 
 namespace {
@@ -55,6 +65,7 @@ void setLastError(const brew_conf* conf, std::string message) {
 
 void clearLastError(const brew_conf* conf) { t_lastError.erase(conf->id); }
 
+#ifdef BREW_ENABLE_V1_API
 // v1 shim registry: entry pointer -> handle (+ how many times the same
 // entry was handed out, since cache hits return identical pointers).
 struct LegacyEntry {
@@ -67,6 +78,7 @@ std::map<void*, LegacyEntry>& registry() {
   static auto* map = new std::map<void*, LegacyEntry>();
   return *map;
 }
+#endif  // BREW_ENABLE_V1_API
 
 bool validIndex(int index) {
   return index >= 1 &&
@@ -200,6 +212,56 @@ void brew_set_store_handler(brew_conf* conf, brew_handler handler) {
   if (conf != nullptr) conf->config.injection().onStore = handler;
 }
 
+/* ---- runtime configuration ------------------------------------------- */
+
+brew_options* brew_options_init(void) {
+  auto* options = new brew_options();
+  options->impl = brew::SpecManager::Options::fromEnv();
+  return options;
+}
+
+void brew_options_free(brew_options* options) { delete options; }
+
+void brew_options_set_workers(brew_options* options, int workers) {
+  if (options != nullptr && workers >= 1) options->impl.workers = workers;
+}
+
+void brew_options_set_cache_bytes(brew_options* options, size_t bytes) {
+  if (options != nullptr && bytes > 0) options->impl.cacheBytes = bytes;
+}
+
+void brew_options_set_cache_shards(brew_options* options, size_t shards) {
+  if (options != nullptr && shards > 0) options->impl.cacheShards = shards;
+}
+
+void brew_options_set_max_variants(brew_options* options, size_t variants) {
+  if (options != nullptr && variants > 0)
+    options->impl.dispatch.maxVariants = variants;
+}
+
+void brew_options_set_dispatch_ways(brew_options* options, size_t ways) {
+  if (options != nullptr && ways > 0) options->impl.dispatch.inlineWays = ways;
+}
+
+void brew_options_set_sample_calls(brew_options* options, size_t calls) {
+  if (options != nullptr) options->impl.dispatch.sampleCalls = calls;
+}
+
+void brew_options_set_decay_interval(brew_options* options, uint64_t events) {
+  if (options != nullptr && events > 0)
+    options->impl.dispatch.decayInterval = events;
+}
+
+void brew_options_set_async_specialize(brew_options* options, int enabled) {
+  if (options != nullptr)
+    options->impl.dispatch.asyncSpecialize = enabled != 0;
+}
+
+int brew_configure(const brew_options* options) {
+  if (options == nullptr) return -1;
+  return brew::SpecManager::configureProcess(options->impl) ? 0 : -1;
+}
+
 /* ---- v2: handles ----------------------------------------------------- */
 
 brew_func* brew_rewrite2(brew_conf* conf, const void* fn, ...) {
@@ -285,21 +347,21 @@ void brew_getcachestats(brew_cache_stats* out) {
   if (out == nullptr) return;
   const brew::CacheStats s = brew::SpecManager::process().cache().stats();
   *out = brew_cache_stats{
-      static_cast<size_t>(s.hits),
-      static_cast<size_t>(s.misses),
-      static_cast<size_t>(s.evictions),
-      static_cast<size_t>(s.insertions),
-      static_cast<size_t>(s.inFlightWaits),
-      static_cast<size_t>(s.invalidations),
-      static_cast<size_t>(s.entries),
-      static_cast<size_t>(s.codeBytes),
-      static_cast<size_t>(s.capacityBytes),
-      static_cast<size_t>(s.asyncInstalls),
+      s.hits,
+      s.misses,
+      s.evictions,
+      s.insertions,
+      s.inFlightWaits,
+      s.invalidations,
+      s.entries,
+      s.codeBytes,
+      s.capacityBytes,
+      s.asyncInstalls,
       s.asyncLatencyNsTotal,
       s.asyncLatencyNsMax,
-      static_cast<size_t>(s.fastpathHits),
-      static_cast<size_t>(s.shardContention),
-      static_cast<size_t>(s.shards),
+      s.fastpathHits,
+      s.shardContention,
+      s.shards,
   };
 }
 
@@ -311,6 +373,83 @@ void brew_cache_reset(void) {
 
 void brew_cache_set_budget(size_t bytes) {
   brew::SpecManager::process().cache().setByteBudget(bytes);
+}
+
+/* ---- profile-guided multi-version dispatch --------------------------- */
+
+brew_dispatch* brew_dispatch_create(brew_conf* conf, const void* fn,
+                                    int param_index, ...) {
+  if (conf == nullptr || fn == nullptr || param_index < 1 ||
+      param_index > conf->paramCount)
+    return nullptr;
+  const size_t paramIndex = static_cast<size_t>(param_index - 1);
+  if (conf->config.param(paramIndex).isFloat) {
+    setLastError(conf, "dispatched parameter must be integer-class");
+    return nullptr;
+  }
+  va_list ap;
+  va_start(ap, param_index);
+  std::vector<brew::ArgValue> args = readArgsV(conf, ap);
+  va_end(ap);
+
+  auto* dispatch = new brew_dispatch();
+  dispatch->impl = std::make_unique<brew::VariantDispatcher>(
+      brew::SpecManager::process(), fn, paramIndex, std::move(args),
+      conf->config);
+  if (!dispatch->impl->valid()) {
+    setLastError(conf, "dispatch stub emission failed");
+    delete dispatch;
+    return nullptr;
+  }
+  clearLastError(conf);
+  return dispatch;
+}
+
+void* brew_dispatch_entry(brew_dispatch* dispatch) {
+  return dispatch != nullptr ? dispatch->impl->entry() : nullptr;
+}
+
+void brew_dispatch_bump_epoch(brew_dispatch* dispatch) {
+  if (dispatch != nullptr) dispatch->impl->bumpEpoch();
+}
+
+size_t brew_dispatch_variant_count(const brew_dispatch* dispatch) {
+  return dispatch != nullptr ? dispatch->impl->variantCount() : 0;
+}
+
+void brew_dispatch_free(brew_dispatch* dispatch) { delete dispatch; }
+
+/* ---- variant introspection ------------------------------------------- */
+
+void brew_getvariantstats(brew_variant_stats* out) {
+  if (out == nullptr) return;
+  size_t functions = 0;
+  const brew::DispatchStats s =
+      brew::VariantDispatcher::aggregate(&functions);
+  *out = brew_variant_stats{
+      functions,    s.variantsLive, s.variantHits, s.tableHits,
+      s.misses,     s.promotions,   s.demotions,   s.decayRounds,
+      s.epochBumps, s.pendingAsync,
+  };
+}
+
+size_t brew_func_variants(const void* fn, brew_func_variant* out,
+                          size_t cap) {
+  size_t live = 0;
+  brew::VariantDispatcher::withDispatcher(
+      fn, [&](brew::VariantDispatcher& dispatcher) {
+        const std::vector<brew::VariantInfo> rows = dispatcher.variants();
+        live = rows.size();
+        if (out == nullptr) return;
+        for (size_t i = 0; i < rows.size() && i < cap; ++i) {
+          out[i] = brew_func_variant{
+              rows[i].key,       rows[i].hits,
+              rows[i].entry,     rows[i].codeBytes,
+              rows[i].epoch,     rows[i].inlineCached ? 1 : 0,
+          };
+        }
+      });
+  return live;
 }
 
 /* ---- telemetry ------------------------------------------------------- */
@@ -348,7 +487,15 @@ int brew_telemetry_write_trace(const char* path) {
 
 void brew_telemetry_reset(void) { brew::telemetry::resetAll(); }
 
-/* ---- v1 shim --------------------------------------------------------- */
+const char* brew_lastError(const brew_conf* conf) {
+  if (conf == nullptr) return "null conf";
+  auto it = t_lastError.find(conf->id);
+  return it != t_lastError.end() ? it->second.c_str() : "";
+}
+
+/* ---- v1 shim (compiled only under BREW_ENABLE_V1_API) ----------------- */
+
+#ifdef BREW_ENABLE_V1_API
 
 void* brew_rewrite(brew_conf* conf, const void* fn, ...) {
   va_list ap;
@@ -385,16 +532,12 @@ void brew_release(void* rewritten) {
   brew_release_h(toRelease);
 }
 
-const char* brew_lastError(const brew_conf* conf) {
-  if (conf == nullptr) return "null conf";
-  auto it = t_lastError.find(conf->id);
-  return it != t_lastError.end() ? it->second.c_str() : "";
-}
-
 void brew_getstats(const brew_conf* conf, brew_stats* out) {
   if (conf == nullptr || out == nullptr) return;
   std::lock_guard<std::mutex> lock(conf->statsMutex);
   *out = conf->stats;
 }
+
+#endif  // BREW_ENABLE_V1_API
 
 }  // extern "C"

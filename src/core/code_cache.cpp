@@ -81,16 +81,10 @@ void destroyCodeBlock(CodeBlock* block) noexcept {
 }  // namespace detail
 
 size_t CodeCache::defaultShardCount() {
-  static const size_t value = [] {
-    size_t n = 16;
-    if (const char* env = std::getenv("BREW_CACHE_SHARDS")) {
-      char* end = nullptr;
-      const unsigned long parsed = std::strtoul(env, &end, 10);
-      if (end != env && parsed > 0) n = static_cast<size_t>(parsed);
-    }
-    return roundUpPow2(std::min(n, kMaxShards));
-  }();
-  return value;
+  // Fixed default; the BREW_CACHE_SHARDS env fallback is parsed by
+  // SpecManager::Options::fromEnv() — the cache never reads the
+  // environment itself.
+  return 16;
 }
 
 CodeCache::CodeCache(size_t byteBudget, size_t shardCount)

@@ -11,7 +11,7 @@
 //    the cache evicts the entry.
 //  - CodeCache: a thread-scalable map from (function address, config
 //    fingerprint, known-argument hash) to CodeHandle. Keys are hashed into
-//    N independently-locked shards (BREW_CACHE_SHARDS, default 16) with
+//    N independently-locked shards (default 16; see SpecManager::Options) with
 //    per-key single-flight deduplication, an approximate-LRU eviction
 //    policy under one *global* atomic byte budget debited per shard, and a
 //    lock-free seqlock hit table in front of the shards so a repeat lookup
@@ -182,11 +182,13 @@ class CodeCache {
   static constexpr size_t kMaxShards = 64;
   static constexpr size_t kHitSlots = 1024;  // direct-mapped seqlock table
 
-  // Shard count used when the constructor is passed 0: BREW_CACHE_SHARDS
-  // (clamped to [1, 64], rounded up to a power of two; read once), else 16.
-  // BREW_CACHE_SHARDS=1 is the single-lock compatibility/control mode: one
-  // shard and NO lock-free hit table — every lookup takes the mutex, which
-  // reproduces the pre-sharding behavior for A/B scaling measurements.
+  // Shard count used when the constructor is passed 0 (16). The cache
+  // itself never reads the environment: the BREW_CACHE_SHARDS fallback is
+  // parsed once by SpecManager::Options::fromEnv() and arrives here through
+  // the constructor. A shard count of 1 is the single-lock
+  // compatibility/control mode: one shard and NO lock-free hit table —
+  // every lookup takes the mutex, which reproduces the pre-sharding
+  // behavior for A/B scaling measurements.
   static size_t defaultShardCount();
 
   explicit CodeCache(size_t byteBudget = kDefaultByteBudget,

@@ -1,0 +1,537 @@
+#include "core/dispatch.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/guard.hpp"
+#include "jit/assembler.hpp"
+#include "support/log.hpp"
+#include "support/perf_map.hpp"
+#include "support/telemetry.hpp"
+
+namespace brew {
+
+using isa::Cond;
+using isa::makeInstr;
+using isa::MemOperand;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+
+static_assert(std::is_standard_layout_v<IcRecord>,
+              "the generated stub reads IcRecord fields by offset");
+static_assert(offsetof(IcRecord, key) == 0 &&
+                  offsetof(IcRecord, target) == 8 &&
+                  offsetof(IcRecord, hits) == 16,
+              "IcRecord layout is ABI with the emitted inline-cache stub");
+
+namespace {
+
+// Quarantine shape: retired records (and the variant code they own) are
+// freed only once at least this many resolver events have passed since
+// demotion AND more than this many records are queued. A thread that
+// loaded a record pointer in the stub finishes its compare/jump long
+// before the grace period elapses under any realistic schedule; the
+// machine-code reader cannot participate in an epoch scheme, so this is a
+// time/progress bound rather than a proof — docs/DISPATCH.md discusses it.
+constexpr size_t kQuarantineKeep = 8;
+constexpr uint64_t kQuarantineGraceEvents = 1024;
+
+// Arbitrary sentinel key: a real key colliding with it merely takes the
+// original-function path through an empty way (still correct, original
+// handles every value).
+constexpr uint64_t kSentinelKey = 0x6272657764697370ULL;  // "brewdisp"
+
+struct DispatcherRegistry {
+  std::mutex mu;
+  std::vector<VariantDispatcher*> all;
+};
+
+DispatcherRegistry& dispatcherRegistry() {
+  static auto* registry = new DispatcherRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+extern "C" const void* brewDispatchMiss(uint64_t key,
+                                        VariantDispatcher* self) {
+  return self->resolve(key);
+}
+
+VariantDispatcher::VariantDispatcher(SpecManager& manager, const void* fn,
+                                     size_t paramIndex,
+                                     std::vector<ArgValue> prototypeArgs,
+                                     Config config)
+    : VariantDispatcher(manager, fn, paramIndex, std::move(prototypeArgs),
+                        std::move(config), manager.options().dispatch) {}
+
+VariantDispatcher::VariantDispatcher(SpecManager& manager, const void* fn,
+                                     size_t paramIndex,
+                                     std::vector<ArgValue> prototypeArgs,
+                                     Config config, DispatchOptions options)
+    : manager_(manager),
+      fn_(fn),
+      paramIndex_(paramIndex),
+      prototypeArgs_(std::move(prototypeArgs)),
+      config_(std::move(config)),
+      options_(options) {
+  if (options_.maxVariants == 0) options_.maxVariants = 1;
+  options_.inlineWays = std::clamp<size_t>(options_.inlineWays, 1, kMaxWays);
+  if (options_.demoteMargin == 0) options_.demoteMargin = 1;
+  if (options_.decayInterval == 0) options_.decayInterval = 1;
+  nextDecay_ = options_.decayInterval;
+  stats_.epoch = 0;
+
+  sentinel_.key = kSentinelKey;
+  sentinel_.target = fn_;
+  for (auto& way : ways_) way.store(&sentinel_, std::memory_order_release);
+
+  const bool paramOk =
+      fn_ != nullptr && paramIndex_ < prototypeArgs_.size() &&
+      !prototypeArgs_[paramIndex_].isFloat;
+  if (paramOk) {
+    for (size_t i = 0; i < paramIndex_; ++i)
+      if (!prototypeArgs_[i].isFloat) ++intIndex_;
+    config_.setParamKnown(paramIndex_);
+    if (intIndex_ < 6) buildStub();
+  }
+
+  DispatcherRegistry& registry = dispatcherRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.all.push_back(this);
+}
+
+VariantDispatcher::~VariantDispatcher() {
+  {
+    DispatcherRegistry& registry = dispatcherRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    std::erase(registry.all, this);
+  }
+  // Callers must have stopped using entry(); the records (and the variant
+  // code they own) die with the maps.
+}
+
+void VariantDispatcher::buildStub() {
+  jit::Assembler as;
+  const Reg arg = isa::abi::kIntArgs[intIndex_];
+  for (size_t way = 0; way < options_.inlineWays; ++way) {
+    jit::Label next = as.newLabel();
+    as.movRegImm(Reg::r11, static_cast<int64_t>(
+                               reinterpret_cast<uintptr_t>(&ways_[way])));
+    as.emit(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
+                      Operand::makeMem(MemOperand{.base = Reg::r11})));
+    as.emit(makeInstr(Mnemonic::Cmp, 8, Operand::makeReg(arg),
+                      Operand::makeMem(MemOperand{.base = Reg::r11})));
+    as.jcc(Cond::NE, next);
+    as.emit(makeInstr(
+        Mnemonic::Inc, 8,
+        Operand::makeMem(MemOperand{
+            .base = Reg::r11,
+            .disp = static_cast<int32_t>(offsetof(IcRecord, hits))})));
+    as.emit(makeInstr(
+        Mnemonic::JmpInd, 8,
+        Operand::makeMem(MemOperand{
+            .base = Reg::r11,
+            .disp = static_cast<int32_t>(offsetof(IcRecord, target))})));
+    as.bind(next);
+  }
+  // Miss: ABI-transparent call into the resolver; the returned target
+  // comes back staged in r11.
+  emitPreservedHookCall(as, arg, this,
+                        reinterpret_cast<const void*>(&brewDispatchMiss),
+                        /*stageResult=*/true);
+  as.emit(makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::r11)));
+
+  auto mem = as.finalizeExecutable();
+  if (!mem.ok()) {
+    BREW_LOG_INFO("dispatch stub for %p failed: %s", fn_,
+                  mem.error().message().c_str());
+    return;
+  }
+  stubCode_ = std::move(*mem);
+  telemetry::counter(telemetry::CounterId::DispatchStubsBuilt).add();
+  if (codeRegistrationEnabled()) {
+    char name[128];
+    perfSymbolName(name, sizeof name, fn_, reinterpret_cast<uint64_t>(fn_),
+                   "icstub");
+    perfMapRegister(stubCode_.data(), stubCode_.size(), name);
+  }
+}
+
+void* VariantDispatcher::entry() const {
+  if (stubCode_.valid()) return const_cast<uint8_t*>(stubCode_.data());
+  return const_cast<void*>(fn_);
+}
+
+std::vector<ArgValue> VariantDispatcher::argsFor(uint64_t key) const {
+  std::vector<ArgValue> args = prototypeArgs_;
+  args[paramIndex_] = ArgValue::fromInt(key);
+  return args;
+}
+
+uint64_t VariantDispatcher::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.epoch;
+}
+
+size_t VariantDispatcher::variantCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return variants_.size();
+}
+
+DispatchStats VariantDispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DispatchStats out = stats_;
+  out.variantsLive = variants_.size();
+  out.pendingAsync = pending_.size();
+  for (const auto& pb : pendingBatches_)
+    for (size_t i = 0; i < pb.keys.size(); ++i)
+      if (!pb.claimed[i]) ++out.pendingAsync;
+  out.variantHits = 0;
+  for (const auto& [key, rec] : variants_)
+    out.variantHits += rec->hits.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<VariantInfo> VariantDispatcher::variants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<VariantInfo> out;
+  out.reserve(variants_.size());
+  for (const auto& [key, rec] : variants_) {
+    VariantInfo info;
+    info.key = key;
+    info.hits = rec->hits.load(std::memory_order_relaxed);
+    info.entry = rec->target;
+    info.codeBytes = rec->handle.codeSize();
+    info.epoch = rec->epoch;
+    for (size_t w = 0; w < options_.inlineWays; ++w)
+      if (ways_[w].load(std::memory_order_relaxed) == rec.get())
+        info.inlineCached = true;
+    out.push_back(info);
+  }
+  return out;
+}
+
+const void* VariantDispatcher::resolve(uint64_t key) {
+  const uint64_t t0 = telemetry::nowNs();
+  const void* target = fn_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++events_;
+    pollPendingLocked();
+    auto it = variants_.find(key);
+    if (it != variants_.end()) {
+      IcRecord* rec = it->second.get();
+      rec->hits.fetch_add(1, std::memory_order_relaxed);
+      ++stats_.tableHits;
+      telemetry::counter(telemetry::CounterId::DispatchTableHits).add();
+      promoteWayLocked(rec);
+      target = rec->target;
+    } else {
+      ++stats_.misses;
+      telemetry::counter(telemetry::CounterId::DispatchMisses).add();
+      if (failed_.count(key) == 0) {
+        const uint64_t score = ++missScore_[key];
+        maybeSpecializeLocked(key, score);
+        auto installed = variants_.find(key);
+        if (installed != variants_.end())
+          target = installed->second->target;
+      }
+    }
+    maybeDecayLocked();
+    drainQuarantineLocked();
+  }
+  telemetry::histogram(telemetry::HistogramId::DispatchResolveNs)
+      .record(telemetry::nowNs() - t0);
+  return target;
+}
+
+std::map<uint64_t, std::unique_ptr<IcRecord>>::iterator
+VariantDispatcher::coldestLocked() {
+  auto coldest = variants_.end();
+  uint64_t coldScore = UINT64_MAX;
+  for (auto it = variants_.begin(); it != variants_.end(); ++it) {
+    const uint64_t score = it->second->hits.load(std::memory_order_relaxed);
+    if (score < coldScore) {
+      coldScore = score;
+      coldest = it;
+    }
+  }
+  return coldest;
+}
+
+void VariantDispatcher::maybeSpecializeLocked(uint64_t key, uint64_t score) {
+  if (events_ < options_.sampleCalls) return;
+  if (score < options_.promoteThreshold) return;
+  for (const Pending& p : pending_)
+    if (p.key == key) return;  // candidate already in flight
+  if (variants_.size() >= options_.maxVariants) {
+    // Hysteresis: the challenger must clearly beat the coldest variant's
+    // decayed hit score, or the table would thrash under a shifting
+    // distribution.
+    auto coldest = coldestLocked();
+    if (coldest == variants_.end()) return;
+    const uint64_t coldScore =
+        coldest->second->hits.load(std::memory_order_relaxed);
+    if (coldScore > 0 && score / options_.demoteMargin < coldScore) return;
+    demoteLocked(coldest);
+  }
+  if (options_.asyncSpecialize) {
+    Pending pending;
+    pending.key = key;
+    pending.epoch = stats_.epoch;
+    pending.request =
+        manager_.rewriteAsync(config_, passes_, fn_, argsFor(key));
+    pending_.push_back(std::move(pending));
+    telemetry::counter(telemetry::CounterId::DispatchAsyncRespecs).add();
+    return;
+  }
+  auto result = manager_.rewrite(config_, passes_, fn_, argsFor(key));
+  if (!result.ok()) {
+    failed_.insert(key);
+    missScore_.erase(key);
+    telemetry::counter(telemetry::CounterId::DispatchVariantFailures).add();
+    BREW_LOG_INFO("dispatch variant %p/%llu failed: %s", fn_,
+                  static_cast<unsigned long long>(key),
+                  result.error().message().c_str());
+    return;
+  }
+  installLocked(key, std::move(*result), score);
+}
+
+void VariantDispatcher::installLocked(uint64_t key, CodeHandle handle,
+                                      uint64_t seedScore) {
+  auto existing = variants_.find(key);
+  if (existing != variants_.end()) demoteLocked(existing);
+  auto rec = std::make_unique<IcRecord>();
+  rec->key = key;
+  rec->target = handle.entry();
+  rec->epoch = stats_.epoch;
+  rec->handle = std::move(handle);
+  // Seed the hit score so a fresh variant is not instantly the coldest.
+  rec->hits.store(std::max(seedScore, options_.promoteThreshold),
+                  std::memory_order_relaxed);
+  IcRecord* raw = rec.get();
+  variants_[key] = std::move(rec);
+  missScore_.erase(key);
+  ++stats_.promotions;
+  telemetry::counter(telemetry::CounterId::DispatchPromotions).add();
+  promoteWayLocked(raw);
+}
+
+void VariantDispatcher::promoteWayLocked(IcRecord* record) {
+  const size_t ways = options_.inlineWays;
+  size_t victim = ways;
+  uint64_t victimScore = UINT64_MAX;
+  for (size_t w = 0; w < ways; ++w) {
+    IcRecord* cur = ways_[w].load(std::memory_order_relaxed);
+    if (cur == record) return;  // already inline-cached
+    if (cur == &sentinel_) {
+      if (victimScore != 0 || victim == ways) {
+        victim = w;
+        victimScore = 0;  // empty way: best possible victim
+      }
+      continue;
+    }
+    const uint64_t score = cur->hits.load(std::memory_order_relaxed);
+    if (score < victimScore) {
+      victimScore = score;
+      victim = w;
+    }
+  }
+  if (victim == ways) return;
+  // Replace only when strictly hotter (or the way is empty): an inline way
+  // ping-ponging between two warm records would cost more than it saves.
+  if (victimScore > 0 &&
+      record->hits.load(std::memory_order_relaxed) <= victimScore)
+    return;
+  ways_[victim].store(record, std::memory_order_release);
+}
+
+void VariantDispatcher::demoteLocked(
+    std::map<uint64_t, std::unique_ptr<IcRecord>>::iterator it) {
+  IcRecord* raw = it->second.get();
+  for (auto& way : ways_)
+    if (way.load(std::memory_order_relaxed) == raw)
+      way.store(&sentinel_, std::memory_order_release);
+  quarantine_.push_back(Retired{std::move(it->second), events_});
+  variants_.erase(it);
+  ++stats_.demotions;
+  telemetry::counter(telemetry::CounterId::DispatchDemotions).add();
+}
+
+void VariantDispatcher::maybeDecayLocked() {
+  if (events_ < nextDecay_) return;
+  nextDecay_ = events_ + options_.decayInterval;
+  for (auto& [key, rec] : variants_)
+    rec->hits.store(rec->hits.load(std::memory_order_relaxed) / 2,
+                    std::memory_order_relaxed);
+  for (auto it = missScore_.begin(); it != missScore_.end();) {
+    it->second /= 2;
+    it = it->second == 0 ? missScore_.erase(it) : std::next(it);
+  }
+  failed_.clear();  // allow failed keys another attempt next round
+  ++stats_.decayRounds;
+  telemetry::counter(telemetry::CounterId::DispatchDecayRounds).add();
+}
+
+void VariantDispatcher::pollPendingLocked() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (!it->request->ready()) {
+      ++it;
+      continue;
+    }
+    if (it->epoch == stats_.epoch) {
+      if (it->request->ok()) {
+        installLocked(it->key, it->request->handle(),
+                      options_.promoteThreshold);
+      } else {
+        failed_.insert(it->key);
+        missScore_.erase(it->key);
+        telemetry::counter(telemetry::CounterId::DispatchVariantFailures)
+            .add();
+      }
+    }
+    it = pending_.erase(it);
+  }
+  for (auto it = pendingBatches_.begin(); it != pendingBatches_.end();) {
+    PendingBatch& pb = *it;
+    bool open = false;
+    for (size_t i = 0; i < pb.keys.size(); ++i) {
+      if (pb.claimed[i]) continue;
+      if (!pb.batch->done(i)) {
+        open = true;
+        continue;
+      }
+      pb.claimed[i] = true;
+      if (pb.epoch != stats_.epoch) continue;  // stale-epoch result
+      if (pb.batch->ok(i)) {
+        installLocked(pb.keys[i], pb.batch->handle(i),
+                      options_.promoteThreshold);
+      } else {
+        failed_.insert(pb.keys[i]);
+        telemetry::counter(telemetry::CounterId::DispatchVariantFailures)
+            .add();
+      }
+    }
+    it = open ? std::next(it) : pendingBatches_.erase(it);
+  }
+}
+
+void VariantDispatcher::drainQuarantineLocked() {
+  while (quarantine_.size() > kQuarantineKeep &&
+         quarantine_.front().retiredAt + kQuarantineGraceEvents < events_)
+    quarantine_.pop_front();
+}
+
+void VariantDispatcher::seedHot(std::span<const uint64_t> hotKeys,
+                                uint64_t observedCalls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_ = std::max({events_, observedCalls,
+                      static_cast<uint64_t>(options_.sampleCalls)});
+  nextDecay_ = events_ + options_.decayInterval;
+  for (const uint64_t key : hotKeys) {
+    if (variants_.size() >= options_.maxVariants) break;
+    if (variants_.count(key) != 0) continue;
+    auto result = manager_.rewrite(config_, passes_, fn_, argsFor(key));
+    if (!result.ok()) {
+      failed_.insert(key);
+      telemetry::counter(telemetry::CounterId::DispatchVariantFailures).add();
+      BREW_LOG_INFO("dispatch seed %p/%llu failed: %s", fn_,
+                    static_cast<unsigned long long>(key),
+                    result.error().message().c_str());
+      continue;
+    }
+    installLocked(key, std::move(*result), options_.promoteThreshold);
+  }
+}
+
+void VariantDispatcher::bumpEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.epoch;
+  ++stats_.epochBumps;
+  telemetry::counter(telemetry::CounterId::DispatchEpochBumps).add();
+  std::vector<uint64_t> hot;
+  hot.reserve(variants_.size());
+  for (const auto& [key, rec] : variants_) hot.push_back(key);
+  while (!variants_.empty()) demoteLocked(variants_.begin());
+  missScore_.clear();
+  failed_.clear();
+  pending_.clear();  // stale-epoch singles are dropped at poll time anyway
+  if (hot.empty()) return;
+  // Respecialize the previously hot keys for the new epoch as one batch on
+  // the worker pool; hashSpecArgs picks up the new pointee/region bytes,
+  // so unchanged inputs simply hit the cache.
+  PendingBatch pb;
+  pb.keys = hot;
+  pb.claimed.assign(hot.size(), false);
+  pb.epoch = stats_.epoch;
+  std::vector<std::vector<ArgValue>> argSets;
+  argSets.reserve(hot.size());
+  for (const uint64_t key : hot) argSets.push_back(argsFor(key));
+  pb.batch = manager_.rewriteBatchArgs(config_, passes_, fn_,
+                                       std::move(argSets));
+  telemetry::counter(telemetry::CounterId::DispatchAsyncRespecs)
+      .add(hot.size());
+  pendingBatches_.push_back(std::move(pb));
+}
+
+VariantDispatcher* VariantDispatcher::find(const void* fn) {
+  DispatcherRegistry& registry = dispatcherRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (VariantDispatcher* d : registry.all)
+    if (d->subject() == fn) return d;
+  return nullptr;
+}
+
+bool VariantDispatcher::withDispatcher(
+    const void* subject, const std::function<void(VariantDispatcher&)>& fn) {
+  DispatcherRegistry& registry = dispatcherRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (VariantDispatcher* d : registry.all) {
+    if (d->subject() == subject) {
+      fn(*d);
+      return true;
+    }
+  }
+  return false;
+}
+
+DispatchStats VariantDispatcher::aggregate(size_t* functions) {
+  DispatcherRegistry& registry = dispatcherRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  DispatchStats total;
+  for (const VariantDispatcher* d : registry.all) {
+    const DispatchStats s = d->stats();
+    total.variantsLive += s.variantsLive;
+    total.variantHits += s.variantHits;
+    total.tableHits += s.tableHits;
+    total.misses += s.misses;
+    total.promotions += s.promotions;
+    total.demotions += s.demotions;
+    total.decayRounds += s.decayRounds;
+    total.epochBumps += s.epochBumps;
+    total.pendingAsync += s.pendingAsync;
+    total.epoch = std::max(total.epoch, s.epoch);
+  }
+  if (functions != nullptr) *functions = registry.all.size();
+  return total;
+}
+
+std::vector<std::pair<const void*, uint64_t>> VariantDispatcher::rankHot() {
+  DispatcherRegistry& registry = dispatcherRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::pair<const void*, uint64_t>> ranked;
+  ranked.reserve(registry.all.size());
+  for (const VariantDispatcher* d : registry.all) {
+    const DispatchStats s = d->stats();
+    ranked.emplace_back(d->subject(),
+                        s.variantHits + s.tableHits + s.misses);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranked;
+}
+
+}  // namespace brew

@@ -14,10 +14,27 @@
 #include <vector>
 
 #include "core/rewriter.hpp"
+#include "isa/registers.hpp"
 #include "support/error.hpp"
 #include "support/exec_memory.hpp"
 
 namespace brew {
+
+namespace jit {
+class Assembler;
+}
+
+// Emits an ABI-transparent call to `hook(uint64_t key, void* context)` into
+// `as`: preserves the integer argument registers, rax and xmm0-7 on the
+// stack (keeping the call aligned), moves `keyReg` into rdi and `context`
+// into rsi, calls the hook, restores everything. When `stageResult` is set
+// the hook's return value survives the restore in r11 — the one scratch
+// register the guarded-dispatch protocol may clobber — so the caller can
+// tail-jump through it. Shared by the AutoSpecializer sampling proxy and
+// the inline-cache miss path (core/dispatch.cpp).
+void emitPreservedHookCall(jit::Assembler& as, isa::Reg keyReg,
+                           const void* context, const void* hook,
+                           bool stageResult);
 
 struct GuardCase {
   uint64_t value = 0;     // the observed parameter value

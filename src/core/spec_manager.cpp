@@ -1,6 +1,7 @@
 #include "core/spec_manager.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "jit/assembler.hpp"
@@ -30,6 +31,38 @@ uint64_t fnvBytes(uint64_t h, const void* data, size_t size) {
     h *= kFnvPrime;
   }
   return h;
+}
+
+// env helper for Options::fromEnv: positive integer or fallthrough.
+bool envSize(const char* name, size_t* out) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || parsed == 0) return false;
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+// Deferred construction state for the process-wide manager: options staged
+// by configureProcess() until the first process() call freezes them.
+struct ProcessConfig {
+  std::mutex mu;
+  SpecManager::Options options;
+  bool haveOptions = false;  // configureProcess was called
+  bool frozen = false;       // process() already constructed the instance
+};
+
+ProcessConfig& processConfig() {
+  static auto* config = new ProcessConfig();
+  return *config;
+}
+
+SpecManager::Options takeProcessOptions() {
+  ProcessConfig& pc = processConfig();
+  std::lock_guard<std::mutex> lock(pc.mu);
+  pc.frozen = true;
+  return pc.haveOptions ? pc.options : SpecManager::Options::fromEnv();
 }
 
 }  // namespace
@@ -105,6 +138,11 @@ void RewriteBatch::wait() const {
   cv_.wait(lock, [&] { return doneCount_ == items_.size(); });
 }
 
+bool RewriteBatch::done(size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < items_.size() && items_[index].done;
+}
+
 bool RewriteBatch::ok(size_t index) const {
   std::lock_guard<std::mutex> lock(mu_);
   return index < items_.size() && items_[index].done && items_[index].ok;
@@ -142,8 +180,25 @@ void RewriteBatch::complete(size_t index, Result<CodeHandle> result) {
   cv_.notify_all();
 }
 
+SpecManager::Options SpecManager::Options::fromEnv() {
+  static const Options cached = [] {
+    Options o;
+    size_t v = 0;
+    if (envSize("BREW_WORKERS", &v)) o.workers = static_cast<int>(v);
+    if (envSize("BREW_CACHE_BYTES", &v)) o.cacheBytes = v;
+    if (envSize("BREW_CACHE_SHARDS", &v)) o.cacheShards = v;
+    if (envSize("BREW_MAX_VARIANTS", &v)) o.dispatch.maxVariants = v;
+    if (envSize("BREW_DISPATCH_WAYS", &v)) o.dispatch.inlineWays = v;
+    return o;
+  }();
+  return cached;
+}
+
 SpecManager::SpecManager(Options options)
-    : options_(options), cache_(options.cacheBytes, options.cacheShards) {
+    : options_(options),
+      cache_(options.cacheBytes, options.cacheShards != 0
+                                     ? options.cacheShards
+                                     : Options::fromEnv().cacheShards) {
   if (options_.workers < 1) options_.workers = 1;
 }
 
@@ -157,8 +212,17 @@ SpecManager::~SpecManager() {
 }
 
 SpecManager& SpecManager::process() {
-  static SpecManager manager;
+  static SpecManager manager{takeProcessOptions()};
   return manager;
+}
+
+bool SpecManager::configureProcess(const Options& options) {
+  ProcessConfig& pc = processConfig();
+  std::lock_guard<std::mutex> lock(pc.mu);
+  if (pc.frozen) return false;
+  pc.options = options;
+  pc.haveOptions = true;
+  return true;
 }
 
 Result<CodeHandle> SpecManager::rewrite(const Config& config,
@@ -276,6 +340,22 @@ std::shared_ptr<RewriteBatch> SpecManager::rewriteBatch(
       // the rest wait and share the handle. A null/failing fn fails only
       // its own item.
       batch->complete(i, rewrite(shared->first, passes, fn, shared->second));
+    });
+  }
+  return batch;
+}
+
+std::shared_ptr<RewriteBatch> SpecManager::rewriteBatchArgs(
+    Config config, PassOptions passes, const void* fn,
+    std::vector<std::vector<ArgValue>> argSets) {
+  auto batch = std::shared_ptr<RewriteBatch>(new RewriteBatch());
+  batch->items_.resize(argSets.size());
+  for (auto& item : batch->items_) item.fn = fn;
+  auto shared = std::make_shared<std::pair<Config, std::vector<std::vector<ArgValue>>>>(
+      std::move(config), std::move(argSets));
+  for (size_t i = 0; i < batch->items_.size(); ++i) {
+    enqueue([this, batch, shared, passes, fn, i] {
+      batch->complete(i, rewrite(shared->first, passes, fn, shared->second[i]));
     });
   }
   return batch;

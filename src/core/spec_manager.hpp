@@ -110,6 +110,10 @@ class RewriteBatch {
   // Blocks until every item is done (claimed or not).
   void wait() const;
 
+  // Non-blocking: has this item completed (successfully or not)? Lets a
+  // poller (core/dispatch.cpp) install finished variants without waiting.
+  bool done(size_t index) const;
+
   // Per-item results; meaningful once the item is done (after its index
   // came back from next(), or after wait()).
   bool ok(size_t index) const;
@@ -138,12 +142,33 @@ class RewriteBatch {
   size_t claimed_ = 0;
 };
 
+// Tuning for the profile-guided multi-version dispatcher
+// (core/dispatch.hpp). Lives here so it rides inside SpecManager::Options —
+// the one configuration object behind brew_options and the env fallbacks.
+struct DispatchOptions {
+  size_t maxVariants = 4;     // live specialized variants per function (N)
+  size_t inlineWays = 2;      // inline-cache ways in the dispatch stub [1,4]
+  size_t sampleCalls = 64;    // resolver observations before promoting
+  uint64_t promoteThreshold = 8;  // miss score a key needs to specialize
+  uint64_t decayInterval = 1024;  // resolver events between score halvings
+  uint64_t demoteMargin = 2;  // challenger must beat the coldest by this x
+  bool asyncSpecialize = false;   // compile candidates on the worker pool
+};
+
 class SpecManager {
  public:
   struct Options {
     int workers = 2;                                  // async pool size
     size_t cacheBytes = CodeCache::kDefaultByteBudget;
     size_t cacheShards = 0;  // 0 = BREW_CACHE_SHARDS env / default (16)
+    DispatchOptions dispatch{};
+
+    // The ONE place environment fallbacks are parsed (each read once per
+    // process): BREW_WORKERS, BREW_CACHE_BYTES, BREW_CACHE_SHARDS,
+    // BREW_MAX_VARIANTS, BREW_DISPATCH_WAYS. Unset/invalid variables keep
+    // the field defaults above. Prefer brew_options / configureProcess;
+    // the env vars are documented compatibility fallbacks.
+    static Options fromEnv();
   };
 
   SpecManager() : SpecManager(Options{}) {}
@@ -154,8 +179,17 @@ class SpecManager {
   SpecManager& operator=(const SpecManager&) = delete;
 
   // The process-wide instance used by the C API, AutoSpecializer and the
-  // PGAS runtime.
+  // PGAS runtime. First use constructs it from Options::fromEnv(), as
+  // overridden by configureProcess().
   static SpecManager& process();
+
+  // Replaces the options the process-wide instance will be built with.
+  // Must run before the first process() call (i.e. before any rewrite
+  // through the C API); returns false once the instance exists. Backs
+  // brew_configure().
+  static bool configureProcess(const Options& options);
+
+  const Options& options() const { return options_; }
 
   CodeCache& cache() { return cache_; }
 
@@ -179,6 +213,14 @@ class SpecManager {
                                              PassOptions passes,
                                              std::span<const void* const> fns,
                                              std::vector<ArgValue> args);
+
+  // The transpose of rewriteBatch: fans many argument sets for ONE
+  // function out to the worker pool (multi-version respecialization after
+  // a dispatch-epoch bump). Item i corresponds to argSets[i]; results are
+  // polled with RewriteBatch::done()/ok()/handle() or drained with next().
+  std::shared_ptr<RewriteBatch> rewriteBatchArgs(
+      Config config, PassOptions passes, const void* fn,
+      std::vector<std::vector<ArgValue>> argSets);
 
  private:
   void enqueue(std::function<void()> task);

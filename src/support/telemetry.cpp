@@ -67,6 +67,15 @@ constexpr const char* kCounterNames[] = {
     "guard.variants_built",
     "guard.variant_failures",
     "guard.dispatches_built",
+    "dispatch.table_hits",
+    "dispatch.misses",
+    "dispatch.promotions",
+    "dispatch.demotions",
+    "dispatch.decay_rounds",
+    "dispatch.epoch_bumps",
+    "dispatch.stubs_built",
+    "dispatch.variant_failures",
+    "dispatch.async_respecs",
     "jit.stubs_finalized",
     "jit.stub_bytes",
     "exec.allocations",
@@ -94,6 +103,7 @@ constexpr const char* kHistogramNames[] = {
     "trace.queue_depth",
     "async.queue_latency_ns",
     "async.install_latency_ns",
+    "dispatch.resolve_ns",
 };
 static_assert(sizeof kHistogramNames / sizeof kHistogramNames[0] ==
                   static_cast<size_t>(HistogramId::kCount),

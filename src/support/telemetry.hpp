@@ -68,6 +68,15 @@ enum class CounterId : int {
   GuardVariantsBuilt,
   GuardVariantFailures,   // per-value rewrite failed; value takes original
   GuardDispatchesBuilt,
+  DispatchTableHits,      // variant-table hits on the IC-miss slow path
+  DispatchMisses,         // resolver calls with no live variant for the key
+  DispatchPromotions,     // hot value specialized into a live variant
+  DispatchDemotions,      // cold variant retired by decay/hysteresis
+  DispatchDecayRounds,    // periodic halvings of the variant/miss scores
+  DispatchEpochBumps,     // predicate-epoch changes retiring all variants
+  DispatchStubsBuilt,     // inline-cache dispatch stubs emitted
+  DispatchVariantFailures, // candidate rewrite failed; key is blacklisted
+  DispatchAsyncRespecs,   // respecializations submitted to the worker pool
   JitStubsFinalized,      // Assembler::finalizeExecutable successes
   JitStubBytes,
   ExecAllocations,
@@ -91,6 +100,7 @@ enum class HistogramId : int {
   TraceQueueDepth,        // branch-fork pending queue depth, sampled per block
   AsyncQueueLatencyNs,    // enqueue -> worker pickup
   AsyncInstallLatencyNs,  // enqueue -> specialized code published
+  DispatchResolveNs,      // inline-cache miss resolver, per call
   kCount
 };
 

@@ -21,16 +21,24 @@ __attribute__((noinline)) double scale(double x, double factor) {
 }
 typedef double (*scale_t)(double, double);
 
+// One release per handle; helper for the Figure tests, which only care
+// about the entry pointer.
+void* rewriteEntry(brew_conf* conf, const void* fn, brew_func** out,
+                   uint64_t a, uint64_t b) {
+  *out = brew_rewrite2(conf, fn, a, b);
+  return *out != nullptr ? brew_func_entry(*out) : nullptr;
+}
+
 TEST(CApi, Figure2BasicUsage) {
   brew_conf* conf = brew_initConf();
   brew_setnpar(conf, 2);
   brew_setret(conf, BREW_RET_INT);
-  void* newfunc =
-      brew_rewrite(conf, (void*)addmul, (uint64_t)1, (uint64_t)2);
+  brew_func* h = nullptr;
+  void* newfunc = rewriteEntry(conf, (void*)addmul, &h, 1, 2);
   ASSERT_NE(newfunc, nullptr) << brew_lastError(conf);
   EXPECT_EQ(((addmul_t)newfunc)(1, 2), addmul(1, 2));
   EXPECT_EQ(((addmul_t)newfunc)(-3, 10), addmul(-3, 10));
-  brew_release(newfunc);
+  brew_release_h(h);
   brew_freeConf(conf);
 }
 
@@ -39,13 +47,13 @@ TEST(CApi, Figure3KnownParameterIgnoredAtCallTime) {
   brew_setnpar(conf, 2);
   brew_setpar(conf, 1, BREW_KNOWN);
   brew_setret(conf, BREW_RET_INT);
-  addmul_t newfunc =
-      (addmul_t)brew_rewrite(conf, (void*)addmul, (uint64_t)42, (uint64_t)2);
+  brew_func* h = nullptr;
+  addmul_t newfunc = (addmul_t)rewriteEntry(conf, (void*)addmul, &h, 42, 2);
   ASSERT_NE(newfunc, nullptr) << brew_lastError(conf);
   // "ignores value 1"
   EXPECT_EQ(newfunc(1, 2), 42 * 7 + 2);
   EXPECT_EQ(newfunc(999, 5), 42 * 7 + 5);
-  brew_release((void*)newfunc);
+  brew_release_h(h);
   brew_freeConf(conf);
 }
 
@@ -55,11 +63,11 @@ TEST(CApi, DoubleParameters) {
   brew_setpar_double(conf, 1, BREW_UNKNOWN);
   brew_setpar_double(conf, 2, BREW_KNOWN);
   brew_setret(conf, BREW_RET_DOUBLE);
-  scale_t scaled =
-      (scale_t)brew_rewrite(conf, (void*)scale, 0.0, 2.5);
-  ASSERT_NE(scaled, nullptr) << brew_lastError(conf);
+  brew_func* h = brew_rewrite2(conf, (void*)scale, 0.0, 2.5);
+  ASSERT_NE(h, nullptr) << brew_lastError(conf);
+  scale_t scaled = (scale_t)brew_func_entry(h);
   EXPECT_DOUBLE_EQ(scaled(4.0, 999.0), 10.0);  // factor fixed at 2.5
-  brew_release((void*)scaled);
+  brew_release_h(h);
   brew_freeConf(conf);
 }
 
@@ -70,10 +78,10 @@ TEST(CApi, Figure5StencilSpecialization) {
   brew_setpar(conf, 2, BREW_KNOWN);        // xs
   brew_setpar_ptr(conf, 3, sizeof s);      // BREW_PTR_TOKNOWN
   brew_setret(conf, BREW_RET_DOUBLE);
-  brew_stencil_fn app2 = (brew_stencil_fn)brew_rewrite(
-      conf, (void*)brew_stencil_apply, (uint64_t)0, (uint64_t)64,
-      (uint64_t)&s);
-  ASSERT_NE(app2, nullptr) << brew_lastError(conf);
+  brew_func* h = brew_rewrite2(conf, (void*)brew_stencil_apply, (uint64_t)0,
+                               (uint64_t)64, (uint64_t)&s);
+  ASSERT_NE(h, nullptr) << brew_lastError(conf);
+  brew_stencil_fn app2 = (brew_stencil_fn)brew_func_entry(h);
 
   brew::stencil::Matrix m(64, 32);
   m.fillDeterministic();
@@ -84,10 +92,10 @@ TEST(CApi, Figure5StencilSpecialization) {
                        brew_stencil_apply(cell, 64, &s));
     }
   brew_stats stats;
-  brew_getstats(conf, &stats);
+  brew_func_getstats(h, &stats);
   EXPECT_GT(stats.elided_instructions, 10u);
   EXPECT_GT(stats.code_bytes, 0u);
-  brew_release((void*)app2);
+  brew_release_h(h);
   brew_freeConf(conf);
 }
 
@@ -104,11 +112,12 @@ TEST(CApi, SetmemDeclaresConstantData) {
   brew_setmem(conf, table, table + 4, BREW_KNOWN);
   brew_setret(conf, BREW_RET_INT);
   using lookup_t = int64_t (*)(const int64_t*, long);
-  lookup_t fn = (lookup_t)brew_rewrite(conf, (void*)&Helpers::lookup,
-                                       (uint64_t)table, (uint64_t)2);
-  ASSERT_NE(fn, nullptr) << brew_lastError(conf);
+  brew_func* h = brew_rewrite2(conf, (void*)&Helpers::lookup,
+                               (uint64_t)table, (uint64_t)2);
+  ASSERT_NE(h, nullptr) << brew_lastError(conf);
+  lookup_t fn = (lookup_t)brew_func_entry(h);
   EXPECT_EQ(fn(nullptr, 0), 15);
-  brew_release((void*)fn);
+  brew_release_h(h);
   brew_freeConf(conf);
 }
 
@@ -116,7 +125,7 @@ TEST(CApi, FailureReportsMessage) {
   brew_conf* conf = brew_initConf();
   brew_setnpar(conf, 0);
   static const uint8_t bogus[] = {0x0f, 0xa2, 0xc3};  // cpuid; ret
-  void* result = brew_rewrite(conf, (const void*)bogus);
+  brew_func* result = brew_rewrite2(conf, (const void*)bogus);
   EXPECT_EQ(result, nullptr);
   EXPECT_NE(std::string(brew_lastError(conf)).find("Undecodable"),
             std::string::npos);
@@ -124,13 +133,20 @@ TEST(CApi, FailureReportsMessage) {
 }
 
 TEST(CApi, NullSafety) {
-  EXPECT_EQ(brew_rewrite(nullptr, (void*)addmul), nullptr);
+  EXPECT_EQ(brew_rewrite2(nullptr, (void*)addmul), nullptr);
   brew_conf* conf = brew_initConf();
-  EXPECT_EQ(brew_rewrite(conf, nullptr), nullptr);
-  brew_release(nullptr);           // no-op
+  EXPECT_EQ(brew_rewrite2(conf, nullptr), nullptr);
+  brew_release_h(nullptr);         // no-op
   brew_setpar(nullptr, 1, BREW_KNOWN);
   brew_setpar(conf, 0, BREW_KNOWN);   // out of range: ignored
   brew_setpar(conf, 99, BREW_KNOWN);  // out of range: ignored
+  EXPECT_EQ(brew_dispatch_create(nullptr, (void*)addmul, 1), nullptr);
+  EXPECT_EQ(brew_dispatch_create(conf, nullptr, 1), nullptr);
+  EXPECT_EQ(brew_dispatch_entry(nullptr), nullptr);
+  EXPECT_EQ(brew_dispatch_variant_count(nullptr), 0u);
+  brew_dispatch_free(nullptr);     // no-op
+  brew_dispatch_bump_epoch(nullptr);
+  EXPECT_EQ(brew_func_variants((void*)addmul, nullptr, 0), 0u);
   brew_freeConf(conf);
   brew_freeConf(nullptr);
 }
@@ -191,36 +207,6 @@ TEST(CApiV2, CacheDeduplicatesIdenticalRewrites) {
   brew_freeConf(conf);
 }
 
-TEST(CApiV2, LegacyShimSharesCacheAndHandles) {
-  brew_cache_reset();
-  brew_conf* conf = brew_initConf();
-  brew_setnpar(conf, 2);
-  brew_setpar(conf, 1, BREW_KNOWN);
-  brew_setret(conf, BREW_RET_INT);
-
-  // v1 and v2 spellings of the same request share one cache entry, and the
-  // doubly handed-out v1 pointer survives its first release.
-  void* v1 = brew_rewrite(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
-  brew_func* v2 = brew_rewrite2(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
-  void* v1again = brew_rewrite(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
-  ASSERT_NE(v1, nullptr) << brew_lastError(conf);
-  ASSERT_NE(v2, nullptr);
-  EXPECT_EQ(v1, brew_func_entry(v2));
-  EXPECT_EQ(v1, v1again);
-
-  brew_cache_stats cache;
-  brew_getcachestats(&cache);
-  EXPECT_EQ(cache.misses, 1u);
-  EXPECT_EQ(cache.hits, 2u);
-
-  brew_release(v1);
-  EXPECT_EQ(((addmul_t)v1again)(1, 2), 11 * 7 + 2);  // one claim left
-  brew_release(v1again);
-  EXPECT_EQ(((addmul_t)brew_func_entry(v2))(1, 2), 11 * 7 + 2);
-  brew_release_h(v2);
-  brew_freeConf(conf);
-}
-
 TEST(CApiV2, CacheBudgetDrivesEviction) {
   brew_cache_reset();
   brew_cache_set_budget(1);
@@ -262,13 +248,79 @@ TEST(CApi, NoUnrollFlag) {
   brew_setret(conf, BREW_RET_INT);
   brew_setfn(conf, (void*)&Helpers::sum, BREW_FN_NOUNROLL);
   using sum_t = int64_t (*)(int64_t);
-  sum_t fn = (sum_t)brew_rewrite(conf, (void*)&Helpers::sum, (uint64_t)50);
-  ASSERT_NE(fn, nullptr) << brew_lastError(conf);
+  brew_func* h = brew_rewrite2(conf, (void*)&Helpers::sum, (uint64_t)50);
+  ASSERT_NE(h, nullptr) << brew_lastError(conf);
+  sum_t fn = (sum_t)brew_func_entry(h);
   EXPECT_EQ(fn(0), 50 * 51 / 2);
   brew_stats stats;
-  brew_getstats(conf, &stats);
+  brew_func_getstats(h, &stats);
   EXPECT_LT(stats.code_bytes, 512u);  // loop kept, not 50x unrolled
-  brew_release((void*)fn);
+  brew_release_h(h);
+  brew_freeConf(conf);
+}
+
+/* ---- brew_dispatch ----------------------------------------------------- */
+
+TEST(CApiDispatch, MultiVersionDispatchAndIntrospection) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setret(conf, BREW_RET_INT);
+  // Dispatch on parameter 1 of addmul: variants bake the first argument.
+  // The variadic values are the tracing prototype (param 1 is replaced
+  // per variant).
+  brew_dispatch* d =
+      brew_dispatch_create(conf, (void*)addmul, 1, (uint64_t)0, (uint64_t)0);
+  ASSERT_NE(d, nullptr) << brew_lastError(conf);
+  addmul_t entry = (addmul_t)brew_dispatch_entry(d);
+  ASSERT_NE(entry, nullptr);
+
+  // Hammer two hot keys past the sampling gate and promotion threshold.
+  // Every call must stay correct whether it runs the original, the stub
+  // miss path, or a specialized variant.
+  for (int round = 0; round < 300; ++round) {
+    EXPECT_EQ(entry(4, round), addmul(4, round));
+    EXPECT_EQ(entry(9, round), addmul(9, round));
+  }
+  EXPECT_GE(brew_dispatch_variant_count(d), 1u);
+  EXPECT_LE(brew_dispatch_variant_count(d), 4u);
+
+  // Process-wide aggregate sees this dispatcher.
+  brew_variant_stats vs;
+  brew_getvariantstats(&vs);
+  EXPECT_GE(vs.functions, 1u);
+  EXPECT_GE(vs.variants_live, 1u);
+  EXPECT_GT(vs.variant_hits + vs.table_hits + vs.misses, 0u);
+
+  // Per-function snapshot: keys are the observed hot values.
+  brew_func_variant vars[8];
+  size_t n = brew_func_variants((void*)addmul, vars, 8);
+  ASSERT_GE(n, 1u);
+  ASSERT_LE(n, 8u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(vars[i].key == 4u || vars[i].key == 9u);
+    EXPECT_NE(vars[i].entry, nullptr);
+    EXPECT_GT(vars[i].code_bytes, 0u);
+  }
+  // A too-small buffer still reports the live count.
+  EXPECT_EQ(brew_func_variants((void*)addmul, vars, 0), n);
+
+  // Epoch bump retires every variant; dispatch keeps working.
+  brew_dispatch_bump_epoch(d);
+  EXPECT_EQ(entry(4, 1), addmul(4, 1));
+  brew_dispatch_free(d);
+  brew_freeConf(conf);
+}
+
+TEST(CApiDispatch, RejectsFloatAndOutOfRangeParam) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar_double(conf, 1, BREW_UNKNOWN);
+  brew_setpar_double(conf, 2, BREW_UNKNOWN);
+  brew_setret(conf, BREW_RET_DOUBLE);
+  EXPECT_EQ(brew_dispatch_create(conf, (void*)scale, 1), nullptr);
+  EXPECT_STRNE(brew_lastError(conf), "");
+  EXPECT_EQ(brew_dispatch_create(conf, (void*)scale, 0), nullptr);
+  EXPECT_EQ(brew_dispatch_create(conf, (void*)scale, 3), nullptr);
   brew_freeConf(conf);
 }
 

@@ -1,0 +1,85 @@
+// Tests for the deprecated v1 brew_* pointer shim. Built only when the
+// repo is configured with -DBREW_ENABLE_V1_API=ON; the default build has
+// no v1 symbols at all (see scripts/check_api_shims.sh).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/brew.h"
+
+namespace {
+
+__attribute__((noinline)) int addmul(int a, int b) { return a * 7 + b; }
+typedef int (*addmul_t)(int, int);
+
+TEST(CApiV1, Figure2BasicUsageLegacySpelling) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setret(conf, BREW_RET_INT);
+  void* newfunc = brew_rewrite(conf, (void*)addmul, (uint64_t)1, (uint64_t)2);
+  ASSERT_NE(newfunc, nullptr) << brew_lastError(conf);
+  EXPECT_EQ(((addmul_t)newfunc)(1, 2), addmul(1, 2));
+  EXPECT_EQ(((addmul_t)newfunc)(-3, 10), addmul(-3, 10));
+  brew_release(newfunc);
+  brew_freeConf(conf);
+}
+
+TEST(CApiV1, GetstatsReportsLastRewrite) {
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+  addmul_t fn =
+      (addmul_t)brew_rewrite(conf, (void*)addmul, (uint64_t)42, (uint64_t)0);
+  ASSERT_NE(fn, nullptr) << brew_lastError(conf);
+  EXPECT_EQ(fn(1, 2), 42 * 7 + 2);
+  brew_stats stats;
+  brew_getstats(conf, &stats);
+  EXPECT_GT(stats.code_bytes, 0u);
+  EXPECT_GT(stats.traced_instructions, 0u);
+  brew_release((void*)fn);
+  brew_freeConf(conf);
+}
+
+TEST(CApiV1, NullSafety) {
+  EXPECT_EQ(brew_rewrite(nullptr, (void*)addmul), nullptr);
+  brew_conf* conf = brew_initConf();
+  EXPECT_EQ(brew_rewrite(conf, nullptr), nullptr);
+  brew_release(nullptr);  // no-op
+  brew_stats stats;
+  brew_getstats(nullptr, &stats);  // no-op
+  brew_getstats(conf, nullptr);    // no-op
+  brew_freeConf(conf);
+}
+
+TEST(CApiV1, LegacyShimSharesCacheAndHandles) {
+  brew_cache_reset();
+  brew_conf* conf = brew_initConf();
+  brew_setnpar(conf, 2);
+  brew_setpar(conf, 1, BREW_KNOWN);
+  brew_setret(conf, BREW_RET_INT);
+
+  // v1 and v2 spellings of the same request share one cache entry, and the
+  // doubly handed-out v1 pointer survives its first release.
+  void* v1 = brew_rewrite(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
+  brew_func* v2 = brew_rewrite2(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
+  void* v1again = brew_rewrite(conf, (void*)addmul, (uint64_t)11, (uint64_t)0);
+  ASSERT_NE(v1, nullptr) << brew_lastError(conf);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v1, brew_func_entry(v2));
+  EXPECT_EQ(v1, v1again);
+
+  brew_cache_stats cache;
+  brew_getcachestats(&cache);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 2u);
+
+  brew_release(v1);
+  EXPECT_EQ(((addmul_t)v1again)(1, 2), 11 * 7 + 2);  // one claim left
+  brew_release(v1again);
+  EXPECT_EQ(((addmul_t)brew_func_entry(v2))(1, 2), 11 * 7 + 2);
+  brew_release_h(v2);
+  brew_freeConf(conf);
+}
+
+}  // namespace

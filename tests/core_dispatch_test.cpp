@@ -1,0 +1,322 @@
+// Profile-guided multi-version dispatch (core/dispatch.hpp): predicate-
+// keyed variant lookup, inline-cache promotion, decay/hysteresis under a
+// shifting key distribution, epoch bumps, and a multi-thread hammer (the
+// binary carries the `concurrency` label so the TSan sweep runs it).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/dispatch.hpp"
+#include "jit/assembler.hpp"
+
+namespace brew {
+namespace {
+
+using isa::Mnemonic;
+using isa::Reg;
+
+// f(mode, x) = mode * k + x, built deterministically.
+ExecMemory buildKernel(int64_t k) {
+  jit::Assembler as;
+  as.emit(isa::makeInstr(Mnemonic::Imul, 8, isa::Operand::makeReg(Reg::rax),
+                         isa::Operand::makeReg(Reg::rdi),
+                         isa::Operand::makeImm(k)));
+  as.aluRegReg(Mnemonic::Add, Reg::rax, Reg::rsi);
+  as.ret();
+  auto mem = as.finalizeExecutable();
+  EXPECT_TRUE(mem.ok());
+  return std::move(*mem);
+}
+
+using kernel_t = int64_t (*)(int64_t, int64_t);
+
+std::vector<ArgValue> protoArgs() {
+  return {ArgValue::fromInt(0), ArgValue::fromInt(0)};
+}
+
+DispatchOptions fastOptions() {
+  DispatchOptions opt;
+  opt.maxVariants = 2;
+  opt.inlineWays = 2;
+  opt.sampleCalls = 8;
+  opt.promoteThreshold = 4;
+  opt.decayInterval = 32;
+  opt.demoteMargin = 2;
+  return opt;
+}
+
+TEST(Dispatch, PredicateKeyedLookupStaysCorrect) {
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  ExecMemory kernel = buildKernel(1000);
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{},
+                      fastOptions());
+  ASSERT_TRUE(d.valid());
+  auto fn = d.as<kernel_t>();
+
+  // Two hot keys: every call computes correctly whether it runs the
+  // original (sampling), the miss path, or a specialized variant.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(fn(3, i), 3000 + i) << "call " << i;
+    ASSERT_EQ(fn(8, i), 8000 + i) << "call " << i;
+  }
+  EXPECT_EQ(d.variantCount(), 2u);
+  for (const VariantInfo& v : d.variants()) {
+    EXPECT_TRUE(v.key == 3u || v.key == 8u);
+    EXPECT_NE(v.entry, nullptr);
+    EXPECT_GT(v.codeBytes, 0u);
+    EXPECT_EQ(v.epoch, 0u);
+  }
+  const DispatchStats s = d.stats();
+  EXPECT_EQ(s.promotions, 2u);
+  EXPECT_EQ(s.variantsLive, 2u);
+  EXPECT_GT(s.misses, 0u);  // the warm-up misses
+}
+
+TEST(Dispatch, MonomorphicStubFastPathBypassesResolver) {
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  ExecMemory kernel = buildKernel(1000);
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{},
+                      fastOptions());
+  ASSERT_TRUE(d.valid());
+  auto fn = d.as<kernel_t>();
+
+  // Warm one key until it is promoted and inline-cached.
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(fn(7, i), 7000 + i);
+  ASSERT_EQ(d.variantCount(), 1u);
+  ASSERT_TRUE(d.variants()[0].inlineCached);
+
+  // The monomorphic fast path never reaches resolve(): resolver counters
+  // freeze while the stub's per-way hit counter keeps advancing.
+  const DispatchStats before = d.stats();
+  const uint64_t hitsBefore = d.variants()[0].hits;
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(fn(7, i), 7000 + i);
+  const DispatchStats after = d.stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.tableHits, before.tableHits);
+  EXPECT_EQ(d.variants()[0].hits, hitsBefore + 50);
+}
+
+TEST(Dispatch, HysteresisAndDecayUnderShiftingDistribution) {
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  ExecMemory kernel = buildKernel(1000);
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{},
+                      fastOptions());  // maxVariants = 2
+  ASSERT_TRUE(d.valid());
+  auto fn = d.as<kernel_t>();
+
+  // Phase 1: keys 1 and 2 are hot and fill the table.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(fn(1, i), 1000 + i);
+    ASSERT_EQ(fn(2, i), 2000 + i);
+  }
+  ASSERT_EQ(d.variantCount(), 2u);
+
+  // Phase 2: the distribution shifts to keys 5 and 6. Decay erodes the old
+  // variants' scores; the challengers take over once they clearly win —
+  // and the table never exceeds its budget on the way.
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_EQ(fn(5, i), 5000 + i);
+    ASSERT_EQ(fn(6, i), 6000 + i);
+    ASSERT_LE(d.variantCount(), 2u);
+  }
+  std::set<uint64_t> keys;
+  for (const VariantInfo& v : d.variants()) keys.insert(v.key);
+  EXPECT_EQ(keys, (std::set<uint64_t>{5, 6}));
+
+  const DispatchStats shifted = d.stats();
+  EXPECT_GE(shifted.demotions, 2u);  // the phase-1 variants were retired
+  EXPECT_GT(shifted.decayRounds, 0u);
+
+  // Steady state: the new hot set does not thrash.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(fn(5, i), 5000 + i);
+    ASSERT_EQ(fn(6, i), 6000 + i);
+  }
+  EXPECT_EQ(d.stats().demotions, shifted.demotions);
+}
+
+TEST(Dispatch, EpochBumpRetiresAndRespecializes) {
+  SpecManager manager{SpecManager::Options{.workers = 2}};
+  ExecMemory kernel = buildKernel(1000);
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{},
+                      fastOptions());
+  ASSERT_TRUE(d.valid());
+  auto fn = d.as<kernel_t>();
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(fn(1, i), 1000 + i);
+    ASSERT_EQ(fn(2, i), 2000 + i);
+  }
+  ASSERT_EQ(d.variantCount(), 2u);
+
+  // A predicate change retires every variant immediately...
+  d.bumpEpoch();
+  EXPECT_EQ(d.variantCount(), 0u);
+  EXPECT_EQ(d.epoch(), 1u);
+  EXPECT_EQ(d.stats().epochBumps, 1u);
+
+  // ...while calls stay correct, and the previously hot keys come back as
+  // the background batch completes (installed by the miss-path poller).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (d.variantCount() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    ASSERT_EQ(fn(1, 5), 1005);
+    ASSERT_EQ(fn(2, 5), 2005);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(d.variantCount(), 2u);
+  for (const VariantInfo& v : d.variants()) EXPECT_EQ(v.epoch, 1u);
+}
+
+TEST(Dispatch, AsyncSpecializationInstallsEventually) {
+  SpecManager manager{SpecManager::Options{.workers = 2}};
+  ExecMemory kernel = buildKernel(1000);
+  DispatchOptions opt = fastOptions();
+  opt.asyncSpecialize = true;
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{}, opt);
+  ASSERT_TRUE(d.valid());
+  auto fn = d.as<kernel_t>();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int i = 0;
+  while (d.variantCount() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    ASSERT_EQ(fn(9, i), 9000 + i);  // original until the worker installs
+    ++i;
+  }
+  ASSERT_EQ(d.variantCount(), 1u);
+  EXPECT_EQ(d.variants()[0].key, 9u);
+  EXPECT_EQ(d.stats().promotions, 1u);
+  ASSERT_EQ(fn(9, 1), 9001);
+}
+
+TEST(Dispatch, SeedHotStartsInSteadyState) {
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  ExecMemory kernel = buildKernel(1000);
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{},
+                      fastOptions());
+  ASSERT_TRUE(d.valid());
+
+  const uint64_t hot[] = {4, 11};
+  d.seedHot(hot, 500);
+  EXPECT_EQ(d.variantCount(), 2u);
+  EXPECT_EQ(d.stats().promotions, 2u);
+
+  auto fn = d.as<kernel_t>();
+  EXPECT_EQ(fn(4, 3), 4003);
+  EXPECT_EQ(fn(11, 3), 11003);
+  EXPECT_EQ(fn(2, 3), 2003);  // cold key: original, still correct
+}
+
+TEST(Dispatch, InvalidKeyParameterFallsBackToOriginal) {
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  ExecMemory kernel = buildKernel(1000);
+  // A float-class key parameter cannot drive the integer-compare stub.
+  VariantDispatcher d(manager, kernel.data(), 0,
+                      {ArgValue::fromDouble(0.0), ArgValue::fromInt(0)},
+                      Config{}, fastOptions());
+  EXPECT_FALSE(d.valid());
+  EXPECT_EQ(d.entry(), kernel.data());  // entry degrades to the original
+  EXPECT_EQ(d.variantCount(), 0u);
+
+  // Same for an out-of-range parameter index.
+  VariantDispatcher d2(manager, kernel.data(), 5, protoArgs(), Config{},
+                       fastOptions());
+  EXPECT_FALSE(d2.valid());
+  EXPECT_EQ(d2.entry(), kernel.data());
+}
+
+TEST(DispatchRegistry, FindAggregateAndRankHot) {
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  ExecMemory hotKernel = buildKernel(1000);
+  ExecMemory coldKernel = buildKernel(3);
+  VariantDispatcher hot(manager, hotKernel.data(), 0, protoArgs(), Config{},
+                        fastOptions());
+  VariantDispatcher cold(manager, coldKernel.data(), 0, protoArgs(), Config{},
+                         fastOptions());
+  ASSERT_TRUE(hot.valid());
+  ASSERT_TRUE(cold.valid());
+
+  auto hotFn = hot.as<kernel_t>();
+  auto coldFn = cold.as<kernel_t>();
+  for (int i = 0; i < 300; ++i) ASSERT_EQ(hotFn(2, i), 2000 + i);
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(coldFn(2, i), 6 + i);
+
+  EXPECT_EQ(VariantDispatcher::find(hotKernel.data()), &hot);
+  EXPECT_EQ(VariantDispatcher::find(&hotFn), nullptr);
+
+  size_t functions = 0;
+  const DispatchStats total = VariantDispatcher::aggregate(&functions);
+  EXPECT_EQ(functions, 2u);
+  EXPECT_GE(total.variantsLive, 1u);
+  EXPECT_GT(total.variantHits + total.tableHits + total.misses, 0u);
+
+  // The online hot ranking puts the busier subject first.
+  const auto ranked = VariantDispatcher::rankHot();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].first, hotKernel.data());
+  EXPECT_EQ(ranked[1].first, coldKernel.data());
+  EXPECT_GT(ranked[0].second, ranked[1].second);
+
+  bool saw = false;
+  EXPECT_TRUE(VariantDispatcher::withDispatcher(
+      hotKernel.data(), [&](VariantDispatcher& d) {
+        saw = true;
+        EXPECT_EQ(d.subject(), hotKernel.data());
+      }));
+  EXPECT_TRUE(saw);
+  EXPECT_FALSE(VariantDispatcher::withDispatcher(
+      &functions, [](VariantDispatcher&) {}));
+}
+
+// Multi-thread hammer: concurrent callers across a churning key set while
+// another thread bumps the epoch. Every call must stay correct; the TSan
+// build (`ctest -L concurrency` in build-tsan/) must stay silent.
+TEST(DispatchHammer, ConcurrentMixedKeysWithEpochBumps) {
+  SpecManager manager{SpecManager::Options{.workers = 2}};
+  ExecMemory kernel = buildKernel(1000);
+  DispatchOptions opt;
+  opt.maxVariants = 4;
+  opt.inlineWays = 4;
+  opt.sampleCalls = 16;
+  opt.promoteThreshold = 4;
+  opt.decayInterval = 64;
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{}, opt);
+  ASSERT_TRUE(d.valid());
+  auto fn = d.as<kernel_t>();
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 3000;
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const int64_t mode = (i * 7 + t) % 6;
+        if (fn(mode, i) != mode * 1000 + i)
+          failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int bump = 0; bump < 3; ++bump) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    d.bumpEpoch();
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_LE(d.variantCount(), 4u);
+  const DispatchStats s = d.stats();
+  EXPECT_EQ(s.epochBumps, 3u);
+  EXPECT_GT(s.tableHits + s.misses, 0u);
+}
+
+}  // namespace
+}  // namespace brew
