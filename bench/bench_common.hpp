@@ -14,7 +14,10 @@
 #include <cstring>
 #include <algorithm>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/telemetry.hpp"
@@ -84,6 +87,34 @@ class ShapeChecks {
  private:
   int failures_ = 0;
 };
+
+namespace detail {
+// Registry behind latencyHistogram(); also walked by the JSON exporter.
+struct LatencyRegistry {
+  std::mutex mu;
+  std::vector<std::pair<std::string, std::unique_ptr<telemetry::Histogram>>>
+      rows;
+};
+inline LatencyRegistry& latencyRegistry() {
+  static LatencyRegistry registry;
+  return registry;
+}
+}  // namespace detail
+
+// Named per-operation latency histograms, separate from the telemetry
+// registry (which covers the rewrite pipeline, not the bench bodies).
+// Record one nanosecond value per operation; finish() exports every
+// non-empty histogram to the JSON "latency" section with p50/p99/p999.
+// Recording is lock-free (the histogram is atomics); only the by-name
+// lookup takes a lock, so resolve the reference outside timed loops.
+inline telemetry::Histogram& latencyHistogram(const std::string& name) {
+  detail::LatencyRegistry& reg = detail::latencyRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [n, h] : reg.rows)
+    if (n == name) return *h;
+  reg.rows.emplace_back(name, std::make_unique<telemetry::Histogram>());
+  return *reg.rows.back().second;
+}
 
 inline double timeIt(const std::function<void()>& fn) {
   Timer timer;
@@ -157,17 +188,50 @@ inline bool writeJsonResults(const char* path,
   out += "\n  ],\n  \"phases\": [";
   const telemetry::Snapshot snap = telemetry::snapshot();
   first = true;
+  char row[256];
   for (const auto& h : snap.histograms) {
     if (std::strncmp(h.name, "phase.", 6) != 0 || h.count == 0) continue;
     out += first ? "\n" : ",\n";
     first = false;
-    std::snprintf(buf, sizeof buf,
-                  "    {\"name\": \"%s\", \"count\": %llu, "
-                  "\"avg_ns\": %.1f, \"max_ns\": %llu}",
-                  h.name, static_cast<unsigned long long>(h.count),
-                  static_cast<double>(h.sum) / static_cast<double>(h.count),
-                  static_cast<unsigned long long>(h.max));
-    out += buf;
+    std::snprintf(
+        row, sizeof row,
+        "    {\"name\": \"%s\", \"count\": %llu, \"avg_ns\": %.1f, "
+        "\"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu, "
+        "\"max_ns\": %llu}",
+        h.name, static_cast<unsigned long long>(h.count),
+        static_cast<double>(h.sum) / static_cast<double>(h.count),
+        static_cast<unsigned long long>(
+            telemetry::Histogram::quantileFromBuckets(h.buckets, 0.50)),
+        static_cast<unsigned long long>(
+            telemetry::Histogram::quantileFromBuckets(h.buckets, 0.99)),
+        static_cast<unsigned long long>(
+            telemetry::Histogram::quantileFromBuckets(h.buckets, 0.999)),
+        static_cast<unsigned long long>(h.max));
+    out += row;
+  }
+  // Per-operation latency distributions recorded via latencyHistogram().
+  out += "\n  ],\n  \"latency\": [";
+  {
+    LatencyRegistry& reg = latencyRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    first = true;
+    for (const auto& [name, h] : reg.rows) {
+      if (h->count() == 0) continue;
+      out += first ? "\n" : ",\n";
+      first = false;
+      std::snprintf(
+          row, sizeof row,
+          "    {\"name\": \"%s\", \"count\": %llu, \"avg_ns\": %.1f, "
+          "\"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu, "
+          "\"max_ns\": %llu}",
+          name.c_str(), static_cast<unsigned long long>(h->count()),
+          static_cast<double>(h->sum()) / static_cast<double>(h->count()),
+          static_cast<unsigned long long>(h->quantile(0.50)),
+          static_cast<unsigned long long>(h->quantile(0.99)),
+          static_cast<unsigned long long>(h->quantile(0.999)),
+          static_cast<unsigned long long>(h->max()));
+      out += row;
+    }
   }
   std::snprintf(buf, sizeof buf, "\n  ],\n  \"shape_check_failures\": %d\n}\n",
                 shapeFailures);

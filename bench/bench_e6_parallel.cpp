@@ -58,12 +58,22 @@ std::vector<brew_stencil> makeVariants(int count) {
 struct RunResult {
   double seconds = 0;
   CacheStats stats;
+  uint64_t p50Ns = 0;   // per-hit rewrite latency quantiles
+  uint64_t p99Ns = 0;
+  uint64_t p999Ns = 0;
 };
 
 // Traces one variant per thread (warm), zeroes the counters, then times
-// `threads` threads doing kTotalHits/threads cached rewrites each.
+// `threads` threads doing kTotalHits/threads cached rewrites each. Every
+// hit is also clocked individually into a per-row latency histogram
+// (HDR buckets, exported in the --json "latency" section) — the tail is
+// where shard-mutex contention shows up, not in the mean.
 RunResult runHits(size_t shards, int threads,
                   const std::vector<brew_stencil>& variants) {
+  char latName[64];
+  std::snprintf(latName, sizeof latName, "cached_hit_%s_%dt_ns",
+                shards > 1 ? "sharded" : "single", threads);
+  telemetry::Histogram& latency = latencyHistogram(latName);
   SpecManager manager{
       SpecManager::Options{.workers = 1, .cacheShards = shards}};
   const Config config = stencilConfig(sizeof(brew_stencil));
@@ -92,7 +102,9 @@ RunResult runHits(size_t shards, int threads,
       ready.fetch_add(1);
       while (!go.load(std::memory_order_relaxed)) std::this_thread::yield();
       for (int i = 0; i < hitsPerThread; ++i) {
+        const uint64_t t0 = telemetry::nowNs();
         auto hit = rewriter.rewrite(fn, nullptr, kSide, mine);
+        latency.record(telemetry::nowNs() - t0);
         if (!hit.ok()) {
           std::fprintf(stderr, "FATAL: cached rewrite failed: %s\n",
                        hit.error().message().c_str());
@@ -110,6 +122,9 @@ RunResult runHits(size_t shards, int threads,
   RunResult out;
   out.seconds = timer.seconds();
   out.stats = manager.cache().stats();
+  out.p50Ns = latency.quantile(0.50);
+  out.p99Ns = latency.quantile(0.99);
+  out.p999Ns = latency.quantile(0.999);
   return out;
 }
 
@@ -213,6 +228,14 @@ int main(int argc, char** argv) {
                 cps,
                 static_cast<unsigned long long>(
                     single[i].stats.shardContention));
+    std::printf("    per-hit latency: sharded p50/p99/p999 "
+                "%llu/%llu/%llu ns   control %llu/%llu/%llu ns\n",
+                static_cast<unsigned long long>(sharded[i].p50Ns),
+                static_cast<unsigned long long>(sharded[i].p99Ns),
+                static_cast<unsigned long long>(sharded[i].p999Ns),
+                static_cast<unsigned long long>(single[i].p50Ns),
+                static_cast<unsigned long long>(single[i].p99Ns),
+                static_cast<unsigned long long>(single[i].p999Ns));
   }
 
   // The 1-thread run has no slot contention: every hit after the trace is

@@ -71,7 +71,9 @@ struct ChurnResult {
   uint64_t demotionsDuringShifts = 0;
   uint64_t demotionsSteady = 0;
   size_t maxVariantsSeen = 0;
+  double p50Ns = 0;
   double p99Ns = 0;
+  double p999Ns = 0;
 };
 
 // Drives `kPhases` phases; each phase hammers a rotated hot window of
@@ -81,8 +83,12 @@ struct ChurnResult {
 ChurnResult runChurn(VariantDispatcher& d) {
   auto fn = d.as<kernel_t>();
   ChurnResult out;
-  std::vector<double> lastPhaseNs;
-  lastPhaseNs.reserve(kCallsPerPhase);
+  // Steady-phase per-call latencies land in the shared bench latency
+  // histogram — quantiles come from its HDR buckets (and the same
+  // distribution lands in the --json "latency" section) instead of
+  // sorting a 60k-element vector.
+  telemetry::Histogram& steadyLatency =
+      latencyHistogram("dispatch_steady_call_ns");
 
   uint64_t demotionsBeforeSteady = 0;
   uint32_t rng = 0x9e3779b9;
@@ -102,8 +108,9 @@ ChurnResult runChurn(VariantDispatcher& d) {
         const auto t0 = std::chrono::steady_clock::now();
         const int64_t got = fn(key, i);
         const auto t1 = std::chrono::steady_clock::now();
-        lastPhaseNs.push_back(
-            std::chrono::duration<double, std::nano>(t1 - t0).count());
+        steadyLatency.record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
         if (got != key * 1000 + i) {
           std::fprintf(stderr, "FATAL: wrong dispatch result\n");
           std::exit(2);
@@ -121,10 +128,9 @@ ChurnResult runChurn(VariantDispatcher& d) {
   out.resolverEvents = s.tableHits + s.misses;
   out.demotionsSteady = s.demotions - demotionsBeforeSteady;
   out.demotionsDuringShifts = demotionsBeforeSteady;
-  std::sort(lastPhaseNs.begin(), lastPhaseNs.end());
-  out.p99Ns = lastPhaseNs.empty()
-                  ? 0
-                  : lastPhaseNs[lastPhaseNs.size() * 99 / 100];
+  out.p50Ns = static_cast<double>(steadyLatency.quantile(0.50));
+  out.p99Ns = static_cast<double>(steadyLatency.quantile(0.99));
+  out.p999Ns = static_cast<double>(steadyLatency.quantile(0.999));
   return out;
 }
 
@@ -210,10 +216,11 @@ int main(int argc, char** argv) {
       1.0 - static_cast<double>(res.resolverEvents) /
                 static_cast<double>(res.calls);
   std::printf("  churn: %llu calls, %llu resolver events "
-              "(%.1f%% served by the stub), p99 dispatch %.0f ns\n",
+              "(%.1f%% served by the stub), dispatch latency "
+              "p50 %.0f / p99 %.0f / p999 %.0f ns\n",
               static_cast<unsigned long long>(res.calls),
               static_cast<unsigned long long>(res.resolverEvents),
-              100.0 * stubHitRate, res.p99Ns);
+              100.0 * stubHitRate, res.p50Ns, res.p99Ns, res.p999Ns);
   std::printf("  demotions: %llu while shifting, %llu in steady state; "
               "peak live variants %zu\n",
               static_cast<unsigned long long>(res.demotionsDuringShifts),

@@ -26,7 +26,8 @@ cmake -B build-tsan -S . -DBREW_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build-tsan -j"$(nproc)" \
   --target core_cache_test core_cache_shard_test support_telemetry_test \
-  isa_decode_cache_test core_differential_fuzz_test \
+  isa_decode_cache_test core_differential_fuzz_test core_dispatch_test \
+  support_profiler_test \
   > /dev/null
 
 cd build-tsan

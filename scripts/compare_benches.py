@@ -6,15 +6,18 @@ Usage:
 
 Both inputs are the merged format written by scripts/run_benches.sh:
 one object keyed by bench binary, each entry holding "benchmarks"
-(name/iterations/ns_per_op) and "phases" (name/count/avg_ns/max_ns).
-A bare single-binary --json file (one {"benchmarks": ..., "phases": ...}
+(name/iterations/ns_per_op), "phases" (name/count/avg_ns/p50_ns/p99_ns/
+p999_ns/max_ns) and "latency" (same quantile shape, per-operation
+distributions). A bare single-binary --json file (one {"benchmarks": ...}
 object) is also accepted on either side.
 
 A benchmark regresses when current ns_per_op exceeds baseline ns_per_op
-by more than its threshold ratio (default --threshold, overridable
-per benchmark with --per-bench). Benchmarks present on only one side are
-reported but are not failures — the suite grows over time. Exit status is
-1 when any regression is found, 2 on malformed input, else 0.
+by more than its threshold ratio (default --threshold, overridable per
+benchmark with --per-bench). Latency distributions are gated on their
+p99_ns the same way — a tail regression fails even when the mean is
+flat. Benchmarks present on only one side are reported but are not
+failures — the suite grows over time. Exit status is 1 when any
+regression is found, 2 on malformed input, else 0.
 
 Examples:
     scripts/compare_benches.py BENCH_baseline.json BENCH_results.json
@@ -114,10 +117,14 @@ def main():
         return any(sel in (key, binary, short) for sel in args.only)
 
     sections = [("bench", flatten(base, "benchmarks", "ns_per_op"),
-                 flatten(cur, "benchmarks", "ns_per_op"))]
+                 flatten(cur, "benchmarks", "ns_per_op")),
+                ("latency-p99", flatten(base, "latency", "p99_ns"),
+                 flatten(cur, "latency", "p99_ns"))]
     if args.phases:
         sections.append(("phase", flatten(base, "phases", "avg_ns"),
                          flatten(cur, "phases", "avg_ns")))
+        sections.append(("phase-p99", flatten(base, "phases", "p99_ns"),
+                         flatten(cur, "phases", "p99_ns")))
 
     regressions = 0
     compared = 0

@@ -51,8 +51,63 @@ EOF
 # below the generic 2x noise allowance. Same idea for the dispatch stub:
 # BM_DispatchMonomorphic is a handful of ns per call, so anything beyond
 # noise (an extra load, a lock) trips the tighter 1.5x bound.
-exec python3 "$repo/scripts/compare_benches.py" \
+baseline_rc=0
+python3 "$repo/scripts/compare_benches.py" \
   "$repo/BENCH_baseline.json" "$tmp/merged.json" \
   $only_args --threshold 2.0 \
   --per-bench BM_RewriteApplyCached=1.25 \
-  --per-bench BM_DispatchMonomorphic=1.5
+  --per-bench BM_DispatchMonomorphic=1.5 || baseline_rc=$?
+
+# Profiler overhead guard: the 997 Hz sampling profiler must cost the
+# cached-hit fast path under ~2%. Same binary, same session; the plain and
+# profiled runs are INTERLEAVED (plain, profiled, plain, ...) and each side
+# takes its min-of-4, so slow machine-wide drift during the measurement
+# hits both sides alike and cancels out of the ratio. The comparison is
+# profiled-vs-unprofiled on THIS machine, not against the committed
+# baseline, so a slow container cannot mask (or fake) profiler overhead.
+run_one() {
+  env="$1"; out="$2"
+  env $env BREW_BENCH_ITERATIONS=20 "$bin" \
+    "--json=$tmp/prof_run.json" \
+    --benchmark_filter='BM_RewriteApplyCached$' \
+    --benchmark_min_time=0.05s >"$tmp/prof_run.log" 2>&1 || {
+    cat "$tmp/prof_run.log"
+    return 1
+  }
+  python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+for row in data.get("benchmarks", []):
+    if row["name"].startswith("BM_RewriteApplyCached"):
+        print(row["ns_per_op"])
+        break
+' "$tmp/prof_run.json" >>"$out"
+}
+
+: >"$tmp/plain_ns.txt"
+: >"$tmp/prof_ns.txt"
+for i in 1 2 3 4; do
+  run_one "BREW_PROFILE_HZ=0" "$tmp/plain_ns.txt"
+  run_one "BREW_PROFILE_HZ=997" "$tmp/prof_ns.txt"
+done
+
+overhead_rc=0
+python3 - "$tmp/plain_ns.txt" "$tmp/prof_ns.txt" <<'EOF' || overhead_rc=$?
+import sys
+plain = [float(l) for l in open(sys.argv[1]) if l.strip()]
+prof = [float(l) for l in open(sys.argv[2]) if l.strip()]
+if not plain or not prof:
+    print("profiler overhead guard: missing BM_RewriteApplyCached runs",
+          file=sys.stderr)
+    sys.exit(1)
+ratio = min(prof) / min(plain)
+limit = 1.02
+verdict = "OK" if ratio <= limit else "REGRESSION"
+print(f"  {verdict:>10}  profiler overhead BM_RewriteApplyCached: "
+      f"{min(plain):.1f} -> {min(prof):.1f} ns at 997 Hz "
+      f"({ratio:.3f}x, limit {limit:.2f}x)")
+sys.exit(0 if ratio <= limit else 1)
+EOF
+
+[ "$baseline_rc" -eq 0 ] && [ "$overhead_rc" -eq 0 ]

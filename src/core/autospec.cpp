@@ -61,12 +61,8 @@ AutoSpecializer::AutoSpecializer(const void* fn, size_t paramIndex,
   if (sampler.ok()) {
     samplerCode_ = std::move(*sampler);
     entrySlot_ = const_cast<uint8_t*>(samplerCode_.data());
-    if (codeRegistrationEnabled()) {
-      char name[128];
-      perfSymbolName(name, sizeof name, fn_,
-                     reinterpret_cast<uint64_t>(fn_), "sampler");
-      perfMapRegister(samplerCode_.data(), samplerCode_.size(), name);
-    }
+    registerGeneratedCode(samplerCode_.data(), samplerCode_.size(), fn_,
+                          reinterpret_cast<uint64_t>(fn_), "sampler");
   } else {
     entrySlot_ = const_cast<void*>(fn_);  // degrade to a plain forwarder
   }
@@ -76,12 +72,8 @@ AutoSpecializer::AutoSpecializer(const void* fn, size_t paramIndex,
   auto stub = buildEntrySlotStub(&entrySlot_);
   if (stub.ok()) {
     entryStub_ = std::make_unique<ExecMemory>(std::move(*stub));
-    if (codeRegistrationEnabled()) {
-      char name[128];
-      perfSymbolName(name, sizeof name, fn_,
-                     reinterpret_cast<uint64_t>(fn_), "entry");
-      perfMapRegister(entryStub_->data(), entryStub_->size(), name);
-    }
+    registerGeneratedCode(entryStub_->data(), entryStub_->size(), fn_,
+                          reinterpret_cast<uint64_t>(fn_), "entry");
   }
 }
 

@@ -120,6 +120,8 @@ void brew_set_store_handler(brew_conf* conf, brew_handler handler);
  *   BREW_CACHE_SHARDS   cache shard count, pow2, max 64     (default 16)
  *   BREW_MAX_VARIANTS   live dispatch variants per function (default 4)
  *   BREW_DISPATCH_WAYS  inline-cache ways per dispatch stub (default 2)
+ *   BREW_PROFILE_HZ     sampling-profiler frequency, 0 = off (default 0)
+ *   BREW_PROFILE_GUIDED =1 feeds CPU samples into dispatch  (default off)
  *
  * The environment is parsed in exactly one place
  * (SpecManager::Options::fromEnv); no other component reads these
@@ -146,6 +148,12 @@ void brew_options_set_sample_calls(brew_options* options, size_t calls);
 void brew_options_set_decay_interval(brew_options* options, uint64_t events);
 /* Compile promotion candidates on the worker pool instead of inline. */
 void brew_options_set_async_specialize(brew_options* options, int enabled);
+/* Sampling-profiler frequency in Hz (clamped to [1, 10000]; 0 disables).
+ * The profiler starts with the runtime when > 0. */
+void brew_options_set_profile_hz(brew_options* options, int hz);
+/* Feed profiler CPU samples into dispatcher hit scores, so CPU-hot but
+ * call-cold variants still earn inline-cache ways. */
+void brew_options_set_profile_guided(brew_options* options, int enabled);
 
 /* Installs `options` as the configuration of the process-wide runtime.
  * Returns 0 on success, -1 when options is NULL or the runtime was already
@@ -324,17 +332,23 @@ size_t brew_func_variants(const void* fn, brew_func_variant* out, size_t cap);
 
 /* ---- process-wide telemetry ------------------------------------------ */
 
-/* The runtime keeps a registry of counters, gauges and log2-bucketed
- * histograms covering the whole rewrite pipeline (trace, passes, emit,
- * install, cache, guards, executable memory). Names are stable dotted
- * identifiers ("cache.hits", "phase.emit_ns", ...). The cache counters
- * here and brew_getcachestats() are two views over the same events.
+/* The runtime keeps a registry of counters, gauges and two-level
+ * HDR-style histograms (log2 major / linear minor buckets, so p50/p99/p999
+ * resolve to ~6%) covering the whole rewrite pipeline (trace, passes,
+ * emit, install, cache, guards, executable memory). Names are stable
+ * dotted identifiers ("cache.hits", "phase.emit_ns", ...). The cache
+ * counters here and brew_getcachestats() are two views over the same
+ * events.
  *
  * Related environment switches (see docs/OBSERVABILITY.md):
  *   BREW_STATS=1            human-readable summary on stderr at exit
  *   BREW_TRACE_FILE=<path>  Chrome trace-event JSON timeline at exit
  *   BREW_PERF_MAP=1         /tmp/perf-<pid>.map symbols for perf
  *   BREW_JITDUMP=1|<dir>    jitdump file for `perf inject --jit`
+ *   BREW_PROFILE_HZ=<hz>    in-process sampling profiler
+ *   BREW_PROFILE_FILE=<p>   profile JSON at exit
+ *   BREW_CRASH_FILE=<p>     crash-attribution report copy (also on stderr)
+ *   BREW_CRASH_HANDLER=0    disable the crash-report signal handlers
  */
 
 enum { BREW_TELEMETRY_MAX_INSTRUMENTS = 64 };
@@ -354,6 +368,11 @@ typedef struct brew_telemetry_histogram {
   uint64_t count;
   uint64_t sum; /* average = sum / count */
   uint64_t max;
+  /* Quantiles resolved from the two-level HDR buckets (~6% relative
+   * error); 0 when the histogram is empty. */
+  uint64_t p50;
+  uint64_t p99;
+  uint64_t p999;
 } brew_telemetry_histogram;
 
 typedef struct brew_telemetry {
@@ -383,6 +402,40 @@ int brew_telemetry_write_trace(const char* path);
 /* Zeroes every counter/gauge/histogram (tests, phase boundaries). Does not
  * touch brew_getcachestats(): per-cache stats are reset by brew_cache_reset. */
 void brew_telemetry_reset(void);
+
+/* ---- in-process sampling profiler ------------------------------------ */
+
+/* SIGPROF-driven CPU sampling (docs/OBSERVABILITY.md). Samples landing
+ * inside rewritten code are attributed to the owning specialization by
+ * name; everything else counts toward total_samples only. Start it with
+ * brew_options_set_profile_hz / BREW_PROFILE_HZ, or explicitly here. */
+
+enum { BREW_PROFILE_MAX_ENTRIES = 64 };
+
+typedef struct brew_profile_entry {
+  char name[96];    /* specialization symbol, e.g. brew_fn_1234_abcd */
+  uint64_t samples; /* CPU samples attributed to this region */
+} brew_profile_entry;
+
+typedef struct brew_profile {
+  int hz;                   /* 0 when the profiler never ran */
+  uint64_t total_samples;   /* all SIGPROF ticks observed */
+  uint64_t brew_samples;    /* ticks inside rewritten code */
+  uint64_t dropped_samples; /* ring-full ticks (attribution lost) */
+  size_t entry_count;
+  brew_profile_entry entries[BREW_PROFILE_MAX_ENTRIES];
+} brew_profile;
+
+/* Starts sampling at `hz` (clamped to [1, 10000]). Returns 0 on success,
+ * -1 if already running or the timer could not be armed. */
+int brew_profile_start(int hz);
+/* Stops the timer and drains outstanding samples. Safe when not running. */
+void brew_profile_stop(void);
+/* Drains and snapshots the profile, hottest specialization first. */
+void brew_profile_snapshot(brew_profile* out);
+/* Writes the full profile (all entries) as JSON; 0 on success, -1 on I/O
+ * failure. Also written at exit to BREW_PROFILE_FILE when set. */
+int brew_profile_write_json(const char* path);
 
 /* Message for the most recent brew_rewrite2 failure on this conf *on the
  * calling thread* (thread-local, so concurrent rewriters do not clobber

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <string>
@@ -15,6 +16,7 @@
 #include "core/dispatch.hpp"
 #include "core/rewriter.hpp"
 #include "core/spec_manager.hpp"
+#include "support/profiler.hpp"
 #include "support/telemetry.hpp"
 
 struct brew_func {
@@ -257,6 +259,15 @@ void brew_options_set_async_specialize(brew_options* options, int enabled) {
     options->impl.dispatch.asyncSpecialize = enabled != 0;
 }
 
+void brew_options_set_profile_hz(brew_options* options, int hz) {
+  if (options != nullptr && hz >= 0) options->impl.profileHz = hz;
+}
+
+void brew_options_set_profile_guided(brew_options* options, int enabled) {
+  if (options != nullptr)
+    options->impl.dispatch.profileGuided = enabled != 0;
+}
+
 int brew_configure(const brew_options* options) {
   if (options == nullptr) return -1;
   return brew::SpecManager::configureProcess(options->impl) ? 0 : -1;
@@ -468,8 +479,12 @@ void brew_telemetry_snapshot(brew_telemetry* out) {
   }
   for (const auto& h : snap.histograms) {
     if (out->histogram_count >= BREW_TELEMETRY_MAX_INSTRUMENTS) break;
-    out->histograms[out->histogram_count++] =
-        brew_telemetry_histogram{h.name, h.count, h.sum, h.max};
+    using brew::telemetry::Histogram;
+    out->histograms[out->histogram_count++] = brew_telemetry_histogram{
+        h.name, h.count, h.sum, h.max,
+        Histogram::quantileFromBuckets(h.buckets, 0.50),
+        Histogram::quantileFromBuckets(h.buckets, 0.99),
+        Histogram::quantileFromBuckets(h.buckets, 0.999)};
   }
 }
 
@@ -486,6 +501,34 @@ int brew_telemetry_write_trace(const char* path) {
 }
 
 void brew_telemetry_reset(void) { brew::telemetry::resetAll(); }
+
+/* ---- sampling profiler ----------------------------------------------- */
+
+int brew_profile_start(int hz) {
+  return brew::prof::startProfiler(hz) ? 0 : -1;
+}
+
+void brew_profile_stop(void) { brew::prof::stopProfiler(); }
+
+void brew_profile_snapshot(brew_profile* out) {
+  if (out == nullptr) return;
+  *out = brew_profile{};
+  const brew::prof::ProfileSnapshot snap = brew::prof::profileSnapshot();
+  out->hz = snap.hz;
+  out->total_samples = snap.totalSamples;
+  out->brew_samples = snap.brewSamples;
+  out->dropped_samples = snap.droppedSamples;
+  for (const auto& e : snap.entries) {
+    if (out->entry_count >= BREW_PROFILE_MAX_ENTRIES) break;
+    brew_profile_entry& row = out->entries[out->entry_count++];
+    std::snprintf(row.name, sizeof row.name, "%s", e.name.c_str());
+    row.samples = e.samples;
+  }
+}
+
+int brew_profile_write_json(const char* path) {
+  return path != nullptr && brew::prof::writeProfileJson(path) ? 0 : -1;
+}
 
 const char* brew_lastError(const brew_conf* conf) {
   if (conf == nullptr) return "null conf";

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/epoch.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/telemetry.hpp"
 
 namespace brew {
@@ -247,6 +248,7 @@ void CodeCache::insertLocked(Shard& shard, size_t hash, const CacheKey& key,
   trackBytes(static_cast<int64_t>(newBytes));
   ++shard.insertions;
   mirror(telemetry::CounterId::CacheInsertions).add();
+  flight::record(flight::Event::CacheInsert, hash, newBytes);
   publishLocked(hash, key, handle);
 }
 
@@ -307,9 +309,11 @@ void CodeCache::enforceBudget(const CacheKey* protect,
         if (protect != nullptr && *keyIt == *protect) continue;
         auto it = shard.entries.find(*keyIt);
         if (it == shard.entries.end()) break;
-        eraseLocked(shard, CacheKeyHash{}(*keyIt), it, dropped);
+        const size_t victimHash = CacheKeyHash{}(*keyIt);
+        eraseLocked(shard, victimHash, it, dropped);
         ++shard.evictions;
         mirror(telemetry::CounterId::CacheEvictions).add();
+        flight::record(flight::Event::CacheEvict, victimHash);
         evicted = true;
         break;
       }
@@ -429,9 +433,11 @@ void CodeCache::collectInvalidated(const void* base, size_t size,
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {
       if (it->first.fn >= start && it->first.fn < end) {
         auto victim = it++;
+        const uint64_t victimFn = victim->first.fn;
         eraseLocked(shard, CacheKeyHash{}(victim->first), victim, out);
         ++shard.invalidations;
         mirror(telemetry::CounterId::CacheInvalidations).add();
+        flight::record(flight::Event::CacheInvalidate, victimFn);
       } else {
         ++it;
       }
@@ -513,6 +519,7 @@ void CodeCache::resetStats() {
 
 void CodeCache::recordAsyncInstall(uint64_t latencyNs) {
   mirror(telemetry::CounterId::CacheAsyncInstalls).add();
+  flight::record(flight::Event::AsyncInstall, 0, latencyNs);
   telemetry::histogram(telemetry::HistogramId::AsyncInstallLatencyNs)
       .record(latencyNs);
   asyncInstalls_.fetch_add(1, std::memory_order_relaxed);

@@ -5,8 +5,10 @@
 
 #include "core/guard.hpp"
 #include "jit/assembler.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/log.hpp"
 #include "support/perf_map.hpp"
+#include "support/profiler.hpp"
 #include "support/telemetry.hpp"
 
 namespace brew {
@@ -52,6 +54,16 @@ DispatcherRegistry& dispatcherRegistry() {
   return *registry;
 }
 
+// Profiler drain-thread sink: walks the registry and offers the region's
+// fresh CPU samples to each dispatcher until one owns it. Lock order
+// (registry.mu -> d.mu_) matches aggregate()/rankHot().
+void dispatchProfileSink(const void* regionBase, uint64_t samples) {
+  DispatcherRegistry& registry = dispatcherRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (VariantDispatcher* d : registry.all)
+    if (d->absorbProfileSamples(regionBase, samples)) return;
+}
+
 }  // namespace
 
 extern "C" const void* brewDispatchMiss(uint64_t key,
@@ -80,6 +92,8 @@ VariantDispatcher::VariantDispatcher(SpecManager& manager, const void* fn,
   options_.inlineWays = std::clamp<size_t>(options_.inlineWays, 1, kMaxWays);
   if (options_.demoteMargin == 0) options_.demoteMargin = 1;
   if (options_.decayInterval == 0) options_.decayInterval = 1;
+  if (options_.profileWeight == 0) options_.profileWeight = 1;
+  if (options_.profileGuided) prof::setSampleSink(&dispatchProfileSink);
   nextDecay_ = options_.decayInterval;
   stats_.epoch = 0;
 
@@ -151,12 +165,8 @@ void VariantDispatcher::buildStub() {
   }
   stubCode_ = std::move(*mem);
   telemetry::counter(telemetry::CounterId::DispatchStubsBuilt).add();
-  if (codeRegistrationEnabled()) {
-    char name[128];
-    perfSymbolName(name, sizeof name, fn_, reinterpret_cast<uint64_t>(fn_),
-                   "icstub");
-    perfMapRegister(stubCode_.data(), stubCode_.size(), name);
-  }
+  registerGeneratedCode(stubCode_.data(), stubCode_.size(), fn_,
+                        reinterpret_cast<uint64_t>(fn_), "icstub");
 }
 
 void* VariantDispatcher::entry() const {
@@ -247,6 +257,26 @@ const void* VariantDispatcher::resolve(uint64_t key) {
   return target;
 }
 
+bool VariantDispatcher::absorbProfileSamples(const void* regionBase,
+                                             uint64_t samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.profileGuided || samples == 0) return false;
+  const uint64_t base = reinterpret_cast<uint64_t>(regionBase);
+  for (auto& [key, rec] : variants_) {
+    const auto entry = reinterpret_cast<uint64_t>(rec->target);
+    const uint64_t size = std::max<uint64_t>(rec->handle.codeSize(), 1);
+    if (base < entry || base >= entry + size) continue;
+    // Weighted credit onto the same score the call-count path feeds, so
+    // decay, hysteresis and way promotion all see one combined signal.
+    rec->hits.fetch_add(samples * options_.profileWeight,
+                        std::memory_order_relaxed);
+    stats_.profileSamples += samples;
+    promoteWayLocked(rec.get());
+    return true;
+  }
+  return false;
+}
+
 std::map<uint64_t, std::unique_ptr<IcRecord>>::iterator
 VariantDispatcher::coldestLocked() {
   auto coldest = variants_.end();
@@ -292,6 +322,8 @@ void VariantDispatcher::maybeSpecializeLocked(uint64_t key, uint64_t score) {
     failed_.insert(key);
     missScore_.erase(key);
     telemetry::counter(telemetry::CounterId::DispatchVariantFailures).add();
+    flight::record(flight::Event::DispatchVariantFail,
+                   reinterpret_cast<uint64_t>(fn_), key);
     BREW_LOG_INFO("dispatch variant %p/%llu failed: %s", fn_,
                   static_cast<unsigned long long>(key),
                   result.error().message().c_str());
@@ -317,6 +349,8 @@ void VariantDispatcher::installLocked(uint64_t key, CodeHandle handle,
   missScore_.erase(key);
   ++stats_.promotions;
   telemetry::counter(telemetry::CounterId::DispatchPromotions).add();
+  flight::record(flight::Event::DispatchInstall,
+                 reinterpret_cast<uint64_t>(fn_), key);
   promoteWayLocked(raw);
 }
 
@@ -355,6 +389,8 @@ void VariantDispatcher::demoteLocked(
   for (auto& way : ways_)
     if (way.load(std::memory_order_relaxed) == raw)
       way.store(&sentinel_, std::memory_order_release);
+  flight::record(flight::Event::DispatchDemote,
+                 reinterpret_cast<uint64_t>(fn_), raw->key);
   quarantine_.push_back(Retired{std::move(it->second), events_});
   variants_.erase(it);
   ++stats_.demotions;
@@ -452,6 +488,8 @@ void VariantDispatcher::bumpEpoch() {
   ++stats_.epoch;
   ++stats_.epochBumps;
   telemetry::counter(telemetry::CounterId::DispatchEpochBumps).add();
+  flight::record(flight::Event::DispatchEpochBump,
+                 reinterpret_cast<uint64_t>(fn_), stats_.epoch);
   std::vector<uint64_t> hot;
   hot.reserve(variants_.size());
   for (const auto& [key, rec] : variants_) hot.push_back(key);
@@ -513,6 +551,7 @@ DispatchStats VariantDispatcher::aggregate(size_t* functions) {
     total.decayRounds += s.decayRounds;
     total.epochBumps += s.epochBumps;
     total.pendingAsync += s.pendingAsync;
+    total.profileSamples += s.profileSamples;
     total.epoch = std::max(total.epoch, s.epoch);
   }
   if (functions != nullptr) *functions = registry.all.size();

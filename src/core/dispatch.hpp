@@ -79,6 +79,7 @@ struct DispatchStats {
   uint64_t epochBumps = 0;
   uint64_t pendingAsync = 0; // candidate rewrites in flight on the pool
   uint64_t epoch = 0;
+  uint64_t profileSamples = 0;  // CPU samples credited by the profiler sink
 };
 
 // Introspection row for one live variant (brew_func_variants).
@@ -142,6 +143,15 @@ class VariantDispatcher {
   // Miss-path resolver; called from the generated stub via
   // brewDispatchMiss. Returns the call target for `key`.
   const void* resolve(uint64_t key);
+
+  // Profile-guided hotness prior (options.profileGuided): credits CPU
+  // samples the profiler attributed to `regionBase` to the variant whose
+  // code owns that region, weighting its hit score by profileWeight and
+  // re-running way promotion — so a CPU-hot but call-cold variant earns an
+  // inline way on real CPU time, not just call counts. Called from the
+  // profiler's drain thread under the registry lock. Returns true when a
+  // variant matched.
+  bool absorbProfileSamples(const void* regionBase, uint64_t samples);
 
   // --- process-wide dispatcher registry (introspection / hot ranking) ---
 

@@ -3,6 +3,7 @@
 #include <iterator>
 
 #include "jit/assembler.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/perf_map.hpp"
 #include "support/telemetry.hpp"
 
@@ -82,12 +83,9 @@ Result<GuardedDispatch> GuardedDispatch::build(
   GuardedDispatch dispatch;
   dispatch.code_ = std::move(*mem);
   telemetry::counter(telemetry::CounterId::GuardDispatchesBuilt).add();
-  if (codeRegistrationEnabled()) {
-    char name[128];
-    perfSymbolName(name, sizeof name, original,
-                   reinterpret_cast<uint64_t>(original), "guard");
-    perfMapRegister(dispatch.code_.data(), dispatch.code_.size(), name);
-  }
+  registerGeneratedCode(dispatch.code_.data(), dispatch.code_.size(),
+                        original, reinterpret_cast<uint64_t>(original),
+                        "guard");
   return dispatch;
 }
 
@@ -116,6 +114,8 @@ Result<GuardedFunction> rewriteGuarded(Rewriter& rewriter, const void* fn,
     if (!variant) {
       // Graceful: this value dispatches to the original function.
       telemetry::counter(telemetry::CounterId::GuardVariantFailures).add();
+      flight::record(flight::Event::GuardFail,
+                     reinterpret_cast<uint64_t>(fn), value);
       continue;
     }
     telemetry::counter(telemetry::CounterId::GuardVariantsBuilt).add();

@@ -6,13 +6,35 @@
 #include "isa/printer.hpp"
 #include "support/log.hpp"
 #include "support/perf_map.hpp"
+#include "support/profiler.hpp"
 #include "support/telemetry.hpp"
+
+#include <cstring>
 
 namespace brew {
 
 namespace {
 const TraceStats kEmptyTraceStats{};
 const ir::EmitStats kEmptyEmitStats{};
+
+// The crash handler's disassembly window goes through this callback:
+// support/ cannot link isa/, so the printer is plugged in from here (any
+// binary that can rewrite can also disassemble its crash reports).
+size_t crashDisassemble(const uint8_t* code, size_t size, uint64_t address,
+                        char* out, size_t cap) {
+  if (out == nullptr || cap == 0) return 0;
+  const std::string text =
+      isa::disassemble(std::span<const uint8_t>(code, size), address, 32);
+  const size_t n = text.size() < cap - 1 ? text.size() : cap - 1;
+  std::memcpy(out, text.data(), n);
+  out[n] = '\0';
+  return n;
+}
+
+struct CrashDisassemblerInit {
+  CrashDisassemblerInit() { prof::setCrashDisassembler(&crashDisassemble); }
+};
+CrashDisassemblerInit g_crashDisassemblerInit;
 
 // Folds one rewrite's per-instance stats into the process-wide registry.
 void publishStats(const TraceStats& ts, const ir::EmitStats& es) {
@@ -106,13 +128,10 @@ Result<CodeHandle> compileSpecialization(const Config& config,
     return memory.error();
   }
 
-  // Install: provenance registration (perf map / jitdump) + block adoption.
-  if (codeRegistrationEnabled()) {
-    char name[128];
-    perfSymbolName(name, sizeof name, fn,
-                   variantTag != 0 ? variantTag : configFp);
-    perfMapRegister(memory->data(), emitStats.codeBytes, name);
-  }
+  // Install: provenance registration (region index + perf map / jitdump)
+  // + block adoption.
+  registerGeneratedCode(memory->data(), emitStats.codeBytes, fn,
+                        variantTag != 0 ? variantTag : configFp);
 
   auto* block = new CodeBlock();
   block->memory = std::move(*memory);

@@ -7,6 +7,7 @@
 #include "jit/assembler.hpp"
 #include "support/log.hpp"
 #include "support/perf_map.hpp"
+#include "support/profiler.hpp"
 #include "support/telemetry.hpp"
 
 namespace brew {
@@ -189,6 +190,9 @@ SpecManager::Options SpecManager::Options::fromEnv() {
     if (envSize("BREW_CACHE_SHARDS", &v)) o.cacheShards = v;
     if (envSize("BREW_MAX_VARIANTS", &v)) o.dispatch.maxVariants = v;
     if (envSize("BREW_DISPATCH_WAYS", &v)) o.dispatch.inlineWays = v;
+    if (envSize("BREW_PROFILE_HZ", &v)) o.profileHz = static_cast<int>(v);
+    if (const char* g = std::getenv("BREW_PROFILE_GUIDED"))
+      o.dispatch.profileGuided = g[0] == '1' && g[1] == '\0';
     return o;
   }();
   return cached;
@@ -200,6 +204,12 @@ SpecManager::SpecManager(Options options)
                                      ? options.cacheShards
                                      : Options::fromEnv().cacheShards) {
   if (options_.workers < 1) options_.workers = 1;
+  // Profiler autostart mirrors the cacheShards merge: an explicit option
+  // wins, 0 defers to the env fallback.
+  if (options_.profileHz == 0)
+    options_.profileHz = Options::fromEnv().profileHz;
+  if (options_.profileHz > 0 && !prof::profilerRunning())
+    prof::startProfiler(options_.profileHz);
 }
 
 SpecManager::~SpecManager() {
@@ -281,13 +291,9 @@ std::shared_ptr<SpecRequest> SpecManager::rewriteAsync(
       reinterpret_cast<void* const*>(&request->slot_));
   if (stub.ok()) {
     request->stub_ = std::move(*stub);
-    if (codeRegistrationEnabled()) {
-      char name[128];
-      perfSymbolName(name, sizeof name, fn,
-                     fnvMix(config.fingerprint(), passes.fingerprint()),
-                     "stub");
-      perfMapRegister(request->stub_.data(), request->stub_.size(), name);
-    }
+    registerGeneratedCode(request->stub_.data(), request->stub_.size(), fn,
+                          fnvMix(config.fingerprint(), passes.fingerprint()),
+                          "stub");
   } else {
     BREW_LOG_INFO("async entry stub failed: %s (entry() tracks the slot)",
                   stub.error().message().c_str());

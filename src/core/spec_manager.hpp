@@ -153,6 +153,8 @@ struct DispatchOptions {
   uint64_t decayInterval = 1024;  // resolver events between score halvings
   uint64_t demoteMargin = 2;  // challenger must beat the coldest by this x
   bool asyncSpecialize = false;   // compile candidates on the worker pool
+  bool profileGuided = false;     // feed SIGPROF samples into hit scores
+  uint64_t profileWeight = 16;    // hit-score credit per CPU sample
 };
 
 class SpecManager {
@@ -161,13 +163,15 @@ class SpecManager {
     int workers = 2;                                  // async pool size
     size_t cacheBytes = CodeCache::kDefaultByteBudget;
     size_t cacheShards = 0;  // 0 = BREW_CACHE_SHARDS env / default (16)
+    int profileHz = 0;       // 0 = BREW_PROFILE_HZ env / off
     DispatchOptions dispatch{};
 
     // The ONE place environment fallbacks are parsed (each read once per
     // process): BREW_WORKERS, BREW_CACHE_BYTES, BREW_CACHE_SHARDS,
-    // BREW_MAX_VARIANTS, BREW_DISPATCH_WAYS. Unset/invalid variables keep
-    // the field defaults above. Prefer brew_options / configureProcess;
-    // the env vars are documented compatibility fallbacks.
+    // BREW_MAX_VARIANTS, BREW_DISPATCH_WAYS, BREW_PROFILE_HZ,
+    // BREW_PROFILE_GUIDED. Unset/invalid variables keep the field defaults
+    // above. Prefer brew_options / configureProcess; the env vars are
+    // documented compatibility fallbacks.
     static Options fromEnv();
   };
 

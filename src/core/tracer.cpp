@@ -103,7 +103,10 @@ Result<ir::CapturedFunction> Tracer::trace(uint64_t fn,
     if (Status s = traceBlock(std::move(pending)); !s) return s.error();
   }
   const isa::DecodeCacheStats& decodeAfter = isa::decodeCacheThreadStats();
-  stats_.decodeNs = decodeAfter.missNs - decodeBefore.missNs;
+  // Miss time is exact; hit time is the 1-in-64 sampled estimate, so warm
+  // traces (all hits) still report a nonzero decode share.
+  stats_.decodeNs = (decodeAfter.missNs - decodeBefore.missNs) +
+                    (decodeAfter.hitNs - decodeBefore.hitNs);
   stats_.decodeCacheHits = decodeAfter.hits - decodeBefore.hits;
   stats_.decodeCacheMisses = decodeAfter.misses - decodeBefore.misses;
   telemetry::counter(telemetry::CounterId::DecodeCacheHits)

@@ -25,6 +25,11 @@ constexpr size_t kMaxBackingEntries = 1 << 16;
 // examines at most this many bytes past its start address.
 constexpr uint64_t kMaxInstructionLength = 15;
 
+// Hit-path clock sampling period (power of two). One lookup in this many
+// pays two clock reads; the measured delta is scaled back up by the same
+// factor, so warm traces still report a decode share.
+constexpr uint64_t kHitSamplePeriod = 64;
+
 struct ThreadCache {
   // tag[i] == 0 means empty; address 0 is never a decodable address.
   uint64_t tag[kWays] = {};
@@ -33,6 +38,7 @@ struct ThreadCache {
   uint64_t epoch = 0;
   std::vector<brew::CodeMutation> scratch;
   DecodeCacheStats stats;
+  uint64_t sampleTick = 0;  // hit-path clock sampling (1 in kHitSamplePeriod)
 
   void flushAll() {
     for (auto& t : tag) t = 0;
@@ -91,9 +97,14 @@ Result<const Instruction*> decodeCachedAt(uint64_t address) {
   // Every path hands back &entry[slot]: stable storage the caller may read
   // until its next decode, and a 144-byte Instruction copy avoided per hit
   // relative to returning by value.
+  const bool sampleHit = (c.sampleTick++ & (kHitSamplePeriod - 1)) == 0;
+  const uint64_t tLookup = sampleHit ? telemetry::nowNs() : 0;
+
   const size_t slot = address & (kWays - 1);
   if (c.tag[slot] == address) {
     ++c.stats.hits;
+    if (sampleHit)
+      c.stats.hitNs += (telemetry::nowNs() - tLookup) * kHitSamplePeriod;
     return &c.entry[slot];
   }
 
@@ -101,10 +112,12 @@ Result<const Instruction*> decodeCachedAt(uint64_t address) {
     c.tag[slot] = address;
     c.entry[slot] = it->second;
     ++c.stats.hits;
+    if (sampleHit)
+      c.stats.hitNs += (telemetry::nowNs() - tLookup) * kHitSamplePeriod;
     return &c.entry[slot];
   }
 
-  const uint64_t t0 = telemetry::nowNs();
+  const uint64_t t0 = sampleHit ? tLookup : telemetry::nowNs();
   auto decoded = decodeAt(address);
   c.stats.missNs += telemetry::nowNs() - t0;
   ++c.stats.misses;

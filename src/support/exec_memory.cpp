@@ -10,6 +10,8 @@
 #include <mutex>
 #include <utility>
 
+#include "support/flight_recorder.hpp"
+#include "support/profiler.hpp"
 #include "support/telemetry.hpp"
 
 namespace brew {
@@ -51,10 +53,16 @@ void recordMutation(const void* base, size_t size) noexcept {
   g_mutations[e % kMutationHistory] =
       MutationRecord{e, reinterpret_cast<uint64_t>(base), size};
   g_codeMutationEpoch.store(e, std::memory_order_release);
+  flight::record(flight::Event::CodeMutation,
+                 reinterpret_cast<uint64_t>(base), size);
 }
 
 void notifyFree(const void* base, size_t size) noexcept {
   recordMutation(base, size);
+  // The profiler/crash-attribution index drops the range here, symmetric
+  // with registerGeneratedCode at install (separate from the single-slot
+  // ExecFreeHook, which the specialization cache owns).
+  prof::unregisterCodeRegion(base, size);
   telemetry::counter(telemetry::CounterId::ExecFrees).add();
   telemetry::gauge(telemetry::GaugeId::ExecBytesLive)
       .sub(static_cast<int64_t>(size));

@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "support/jitdump.hpp"
+#include "support/profiler.hpp"
 
 namespace brew {
 
@@ -42,6 +43,15 @@ void perfMapRegister(const void* code, size_t size, const char* name) {
   std::fprintf(map, "%" PRIxPTR " %zx %s\n",
                reinterpret_cast<uintptr_t>(code), size, name);
   std::fclose(map);
+}
+
+void registerGeneratedCode(const void* code, size_t size, const void* fn,
+                           uint64_t fingerprint, const char* suffix) {
+  if (code == nullptr || size == 0) return;
+  char name[128];
+  perfSymbolName(name, sizeof name, fn, fingerprint, suffix);
+  prof::registerCodeRegion(code, size, name, fingerprint);
+  if (codeRegistrationEnabled()) perfMapRegister(code, size, name);
 }
 
 const char* perfSymbolName(char* buf, size_t bufSize, const void* fn,

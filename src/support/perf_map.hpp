@@ -26,6 +26,15 @@ bool codeRegistrationEnabled() noexcept;
 // the map file cannot be opened.
 void perfMapRegister(const void* code, size_t size, const char* name);
 
+// The one-stop install hook: formats the provenance name once, always
+// publishes the region in the in-process code-region index (profiler +
+// crash attribution, support/profiler.hpp), and forwards to the perf
+// map/jitdump sinks when they are enabled. Every generated blob —
+// specializations, dispatch/guard/entry stubs — goes through here.
+void registerGeneratedCode(const void* code, size_t size, const void* fn,
+                           uint64_t fingerprint,
+                           const char* suffix = nullptr);
+
 // Formats the stable, provenance-bearing symbol name used for installed
 // code: "brew::<symbol-or-address>@<fingerprint-prefix>[.suffix]". The
 // subject symbol is resolved via dladdr when possible so profiles read

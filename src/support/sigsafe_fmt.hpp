@@ -1,0 +1,88 @@
+// Async-signal-safe text formatting: the crash handler and the flight
+// recorder's dump path must not call snprintf/malloc/locale machinery, so
+// they format through these hand-rolled converters and a small buffered
+// writer that only ever touches write(2).
+#pragma once
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace brew::sigfmt {
+
+// Decimal rendering of v into buf (no NUL). Returns chars written.
+// buf must hold at least 20 bytes.
+inline size_t u64ToDec(uint64_t v, char* buf) noexcept {
+  char tmp[20];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+// Hex rendering (lowercase, no "0x", no NUL). buf must hold 16 bytes.
+inline size_t u64ToHex(uint64_t v, char* buf) noexcept {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  char tmp[16];
+  size_t n = 0;
+  do {
+    tmp[n++] = kDigits[v & 0xF];
+    v >>= 4;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+// Buffered fd writer. All methods are async-signal-safe; flush() retries
+// short writes and swallows errors (a crash report is best effort).
+class FdWriter {
+ public:
+  explicit FdWriter(int fd) noexcept : fd_(fd) {}
+  ~FdWriter() { flush(); }
+
+  void str(const char* s) noexcept {
+    for (; *s != '\0'; ++s) put(*s);
+  }
+  void dec(uint64_t v) noexcept {
+    char buf[20];
+    raw(buf, u64ToDec(v, buf));
+  }
+  void hex(uint64_t v) noexcept {
+    str("0x");
+    char buf[16];
+    raw(buf, u64ToHex(v, buf));
+  }
+  void hexByte(uint8_t v) noexcept {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    put(kDigits[v >> 4]);
+    put(kDigits[v & 0xF]);
+  }
+  void put(char c) noexcept {
+    if (len_ == sizeof buf_) flush();
+    buf_[len_++] = c;
+  }
+  void raw(const char* data, size_t n) noexcept {
+    for (size_t i = 0; i < n; ++i) put(data[i]);
+  }
+
+  void flush() noexcept {
+    size_t off = 0;
+    while (off < len_) {
+      const ssize_t n = ::write(fd_, buf_ + off, len_ - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    len_ = 0;
+  }
+
+ private:
+  int fd_;
+  size_t len_ = 0;
+  char buf_[256];
+};
+
+}  // namespace brew::sigfmt

@@ -5,11 +5,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
+
+#include "support/profiler.hpp"
 
 namespace brew::telemetry {
 
@@ -200,11 +204,48 @@ void appendJsonEscaped(std::string& out, const char* s) {
   }
 }
 
+// Exporters write to "<path>.tmp" and rename into place, so a crash
+// mid-export (reachable from the crash handler and atexit paths) never
+// leaves a torn file where a previous good export used to be.
+bool renameIntoPlace(std::FILE* f, const std::string& tmpPath,
+                     const char* path) {
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok || std::rename(tmpPath.c_str(), path) != 0) {
+    std::remove(tmpPath.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Registry accessors
 // ---------------------------------------------------------------------------
+
+uint64_t Histogram::quantileFromBuckets(const uint64_t* buckets,
+                                        double p) noexcept {
+  uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) total += buckets[i];
+  if (total == 0) return 0;
+  p = std::min(std::max(p, 0.0), 1.0);
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(p * total)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank)
+      return bucketLowerBound(i) + bucketWidth(i) / 2;
+  }
+  return bucketLowerBound(kBuckets - 1);
+}
+
+uint64_t Histogram::quantile(double p) const noexcept {
+  uint64_t copy[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) copy[i] = bucket(i);
+  return quantileFromBuckets(copy, p);
+}
 
 Counter& counter(CounterId id) noexcept {
   return registry().counters[static_cast<int>(id)];
@@ -332,7 +373,8 @@ SpanScope::~SpanScope() {
 
 bool writeTrace(const char* path) {
   if (path == nullptr) return false;
-  std::FILE* f = std::fopen(path, "w");
+  const std::string tmpPath = std::string(path) + ".tmp";
+  std::FILE* f = std::fopen(tmpPath.c_str(), "w");
   if (f == nullptr) return false;
 
   const int pid = static_cast<int>(::getpid());
@@ -368,9 +410,7 @@ bool writeTrace(const char* path) {
     }
   }
   std::fputs("]}\n", f);
-  const bool ok = std::ferror(f) == 0;
-  std::fclose(f);
-  return ok;
+  return renameIntoPlace(f, tmpPath, path);
 }
 
 void clearTrace() noexcept {
@@ -388,7 +428,8 @@ void clearTrace() noexcept {
 
 bool writeJson(const char* path) {
   if (path == nullptr) return false;
-  std::FILE* f = std::fopen(path, "w");
+  const std::string tmpPath = std::string(path) + ".tmp";
+  std::FILE* f = std::fopen(tmpPath.c_str(), "w");
   if (f == nullptr) return false;
   const Snapshot snap = snapshot();
   std::fputs("{\n  \"counters\": {", f);
@@ -406,11 +447,18 @@ bool writeJson(const char* path) {
     const auto& h = snap.histograms[i];
     std::fprintf(f,
                  "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
-                 "\"max\": %llu, \"buckets\": [",
+                 "\"max\": %llu, \"p50\": %llu, \"p99\": %llu, "
+                 "\"p999\": %llu, \"buckets\": [",
                  i > 0 ? "," : "", h.name,
                  static_cast<unsigned long long>(h.count),
                  static_cast<unsigned long long>(h.sum),
-                 static_cast<unsigned long long>(h.max));
+                 static_cast<unsigned long long>(h.max),
+                 static_cast<unsigned long long>(
+                     Histogram::quantileFromBuckets(h.buckets, 0.50)),
+                 static_cast<unsigned long long>(
+                     Histogram::quantileFromBuckets(h.buckets, 0.99)),
+                 static_cast<unsigned long long>(
+                     Histogram::quantileFromBuckets(h.buckets, 0.999)));
     // Trailing zero buckets are truncated to keep the file small.
     int last = Histogram::kBuckets - 1;
     while (last > 0 && h.buckets[last] == 0) --last;
@@ -420,9 +468,7 @@ bool writeJson(const char* path) {
     std::fputs("]}", f);
   }
   std::fputs("\n  }\n}\n", f);
-  const bool ok = std::ferror(f) == 0;
-  std::fclose(f);
-  return ok;
+  return renameIntoPlace(f, tmpPath, path);
 }
 
 void writeSummary(std::FILE* out) {
@@ -439,12 +485,23 @@ void writeSummary(std::FILE* out) {
                    static_cast<long long>(g.value));
   for (const auto& h : snap.histograms) {
     if (h.count == 0) continue;
-    std::fprintf(out,
-                 "  %-28s count %-8llu avg %-10llu max %llu\n", h.name,
-                 static_cast<unsigned long long>(h.count),
-                 static_cast<unsigned long long>(h.sum / h.count),
-                 static_cast<unsigned long long>(h.max));
+    std::fprintf(
+        out,
+        "  %-28s count %-8llu avg %-8llu p50 %-8llu p99 %-8llu "
+        "p999 %-8llu max %llu\n",
+        h.name, static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum / h.count),
+        static_cast<unsigned long long>(
+            Histogram::quantileFromBuckets(h.buckets, 0.50)),
+        static_cast<unsigned long long>(
+            Histogram::quantileFromBuckets(h.buckets, 0.99)),
+        static_cast<unsigned long long>(
+            Histogram::quantileFromBuckets(h.buckets, 0.999)),
+        static_cast<unsigned long long>(h.max));
   }
+  // The sampling profiler's per-specialization attribution rides along in
+  // the same BREW_STATS report (no-op when it never ran).
+  prof::writeProfileSummary(out);
 }
 
 }  // namespace brew::telemetry

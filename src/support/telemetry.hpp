@@ -5,7 +5,9 @@
 // Three parts:
 //
 //  - A metrics REGISTRY of fixed, named instruments: monotonic counters,
-//    up/down gauges and log2-bucketed histograms. All slots are relaxed
+//    up/down gauges and two-level HDR-style histograms (log2 major /
+//    linear minor buckets, so p50/p99/p999 resolve to ~6%). All slots are
+//    relaxed
 //    atomics — incrementing from the rewrite hot path is one uncontended
 //    atomic add, never a lock. Instruments are enumerated at compile time
 //    so lookup is an array index.
@@ -131,19 +133,57 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-// Log2-bucketed histogram: bucket i counts samples in [2^(i-1), 2^i), with
-// bucket 0 holding the zeros. 64 buckets cover the full uint64_t range.
-// record() is 3 relaxed atomic adds plus a CAS loop only when a new max is
-// observed.
+// Two-level HDR-style histogram: a log2 MAJOR level (one per bit width,
+// 64 of them) subdivided into 2^kMinorBits linear MINOR buckets, plus one
+// bucket for zeros. Values land in a bucket whose width is at most
+// 2^(major-1)/16 — a bounded ~6% relative error at any magnitude, which is
+// what makes quantile(p) meaningful for p99/p999 tail reporting (the old
+// single-level log2 scheme could only bound a percentile to within 2x).
+// record() is still 3 relaxed atomic adds plus a CAS loop only when a new
+// max is observed.
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kMinorBits = 4;           // 16 linear sub-buckets
+  static constexpr int kMinors = 1 << kMinorBits;
+  static constexpr int kMajors = 64;             // one per bit width
+  static constexpr int kBuckets = kMajors * kMinors + 1;  // +1 zero bucket
 
   static int bucketFor(uint64_t v) noexcept {
     if (v == 0) return 0;
-    const int b = 64 - __builtin_clzll(v);  // bit_width
-    return b < kBuckets ? b : kBuckets - 1;
+    const int major = 64 - __builtin_clzll(v);   // bit_width, 1..64
+    const int shift = major - 1 - kMinorBits;
+    const int minor =
+        shift > 0 ? static_cast<int>((v >> shift) & (kMinors - 1))
+                  : static_cast<int>(v - (uint64_t{1} << (major - 1)));
+    return 1 + (major - 1) * kMinors + minor;
   }
+
+  // Smallest value that maps to bucket i (0 for the zero bucket).
+  static uint64_t bucketLowerBound(int i) noexcept {
+    if (i <= 0) return 0;
+    const int major = (i - 1) / kMinors + 1;
+    const int minor = (i - 1) % kMinors;
+    const uint64_t base = uint64_t{1} << (major - 1);
+    const int shift = major - 1 - kMinorBits;
+    const auto m = static_cast<uint64_t>(minor);
+    return base + (shift > 0 ? (m << shift) : m);
+  }
+
+  // Width of bucket i in value space (1 for the zero bucket and the
+  // single-value low buckets).
+  static uint64_t bucketWidth(int i) noexcept {
+    if (i <= 0) return 1;
+    const int major = (i - 1) / kMinors + 1;
+    const int shift = major - 1 - kMinorBits;
+    return shift > 0 ? (uint64_t{1} << shift) : 1;
+  }
+
+  // Quantile estimate over a raw bucket array (shared with Snapshot
+  // consumers): walks to the bucket holding rank ceil(p*count) and returns
+  // its midpoint representative. Exact for single-value buckets, within
+  // the ~6% bucket width otherwise. Returns 0 for an empty histogram.
+  static uint64_t quantileFromBuckets(const uint64_t* buckets,
+                                      double p) noexcept;
 
   void record(uint64_t v) noexcept {
     buckets_[bucketFor(v)].fetch_add(1, std::memory_order_relaxed);
@@ -163,6 +203,8 @@ class Histogram {
   uint64_t bucket(int i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  // Quantile estimate from the live buckets; p in [0,1].
+  uint64_t quantile(double p) const noexcept;
   void reset() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);

@@ -232,6 +232,83 @@ TEST(Dispatch, InvalidKeyParameterFallsBackToOriginal) {
   EXPECT_EQ(d2.entry(), kernel.data());
 }
 
+TEST(Dispatch, ProfileGuidedPromotionBoostsCpuHotVariant) {
+  // A variant that is call-cold but CPU-hot (long-running calls) loses the
+  // single inline way on call counts alone. Profiler samples absorbed as a
+  // hotness prior must flip that: the sampled variant takes the way.
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  ExecMemory kernel = buildKernel(1000);
+  DispatchOptions opt = fastOptions();
+  opt.inlineWays = 1;
+  opt.profileGuided = true;
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{},
+                      opt);
+  ASSERT_TRUE(d.valid());
+  auto fn = d.as<kernel_t>();
+
+  // Key 3 is call-hot and owns the way; key 8 is promoted to a variant but
+  // stays call-cold, so it cannot displace the incumbent by calls.
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(fn(3, i), 3000 + i);
+  for (int i = 0; i < 40; ++i) ASSERT_EQ(fn(8, i), 8000 + i);
+  ASSERT_EQ(d.variantCount(), 2u);
+
+  const void* coldEntry = nullptr;
+  for (const VariantInfo& v : d.variants()) {
+    if (v.key == 3u) {
+      EXPECT_TRUE(v.inlineCached);
+    }
+    if (v.key == 8u) {
+      EXPECT_FALSE(v.inlineCached);
+      coldEntry = v.entry;
+    }
+  }
+  ASSERT_NE(coldEntry, nullptr);
+
+  // The drain thread attributes CPU samples to the cold variant's code
+  // region (here injected directly: same entry point the sink resolves).
+  EXPECT_TRUE(d.absorbProfileSamples(coldEntry, 1000));
+  EXPECT_EQ(d.stats().profileSamples, 1000u);
+  for (const VariantInfo& v : d.variants()) {
+    if (v.key == 8u) {
+      EXPECT_TRUE(v.inlineCached) << "samples did not promote";
+    }
+    if (v.key == 3u) {
+      EXPECT_FALSE(v.inlineCached);
+    }
+  }
+
+  // A PC outside every variant is not absorbed.
+  EXPECT_FALSE(d.absorbProfileSamples(&kernel, 10));
+}
+
+TEST(Dispatch, ProfileSamplesIgnoredWithoutProfileGuided) {
+  SpecManager manager{SpecManager::Options{.workers = 1}};
+  ExecMemory kernel = buildKernel(1000);
+  DispatchOptions opt = fastOptions();
+  opt.inlineWays = 1;  // profileGuided stays false
+  VariantDispatcher d(manager, kernel.data(), 0, protoArgs(), Config{},
+                      opt);
+  ASSERT_TRUE(d.valid());
+  auto fn = d.as<kernel_t>();
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(fn(3, i), 3000 + i);
+  for (int i = 0; i < 40; ++i) ASSERT_EQ(fn(8, i), 8000 + i);
+  ASSERT_EQ(d.variantCount(), 2u);
+
+  const void* coldEntry = nullptr;
+  for (const VariantInfo& v : d.variants()) {
+    if (v.key == 8u) coldEntry = v.entry;
+  }
+  ASSERT_NE(coldEntry, nullptr);
+
+  EXPECT_FALSE(d.absorbProfileSamples(coldEntry, 1000));
+  EXPECT_EQ(d.stats().profileSamples, 0u);
+  for (const VariantInfo& v : d.variants()) {
+    if (v.key == 8u) {
+      EXPECT_FALSE(v.inlineCached);
+    }
+  }
+}
+
 TEST(DispatchRegistry, FindAggregateAndRankHot) {
   SpecManager manager{SpecManager::Options{.workers = 1}};
   ExecMemory hotKernel = buildKernel(1000);

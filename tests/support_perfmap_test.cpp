@@ -1,0 +1,227 @@
+// Parses what the perf-map and jitdump writers actually emit
+// (support/perf_map.hpp, support/jitdump.hpp): the jitdump file header
+// magic/version/machine, JIT_CODE_LOAD record framing (one record per
+// install, totalSize == header + name + code, monotonic timestamps,
+// dense code indices, the code bytes round-tripping), the perf-map line
+// format, and the provenance symbol name.
+//
+// The jitdump target directory is read from BREW_JITDUMP when the file
+// is first opened (lazily, on the first enabled registration), so this
+// suite must be its own binary: the env is set before any registration.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "support/jitdump.hpp"
+#include "support/perf_map.hpp"
+#include "support/profiler.hpp"
+
+namespace brew {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// tools/perf/util/jitdump.h, version 1. Mirrored here so the test parses
+// the bytes independently of the writer's structs.
+struct FileHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t totalSize;
+  uint32_t elfMach;
+  uint32_t pad1;
+  uint32_t pid;
+  uint64_t timestamp;
+  uint64_t flags;
+};
+static_assert(sizeof(FileHeader) == 40);
+
+struct CodeLoadRecord {
+  uint32_t id;
+  uint32_t totalSize;
+  uint64_t timestamp;
+  uint32_t pid;
+  uint32_t tid;
+  uint64_t vma;
+  uint64_t codeAddr;
+  uint64_t codeSize;
+  uint64_t codeIndex;
+};
+static_assert(sizeof(CodeLoadRecord) == 56);
+
+struct ParsedRecord {
+  CodeLoadRecord fixed;
+  std::string name;
+  std::vector<uint8_t> code;
+};
+
+// One install per blob: three distinct names and code byte patterns.
+struct Blob {
+  const char* name;
+  std::vector<uint8_t> code;
+};
+
+std::vector<Blob> testBlobs() {
+  return {{"jit_blob_ret", {0xc3}},
+          {"jit_blob_nops", {0x90, 0x90, 0x90, 0x90, 0xc3}},
+          {"jit_blob_xor", {0x31, 0xc0, 0xc3}}};
+}
+
+TEST(JitDump, HeaderAndRecordFraming) {
+  char dirTemplate[] = "/tmp/brew_jitdump_test.XXXXXX";
+  char* dir = ::mkdtemp(dirTemplate);
+  ASSERT_NE(dir, nullptr);
+  ::setenv("BREW_JITDUMP", dir, 1);
+  setJitDump(true);
+  ASSERT_TRUE(jitDumpEnabled());
+
+  const auto blobs = testBlobs();
+  for (const auto& b : blobs)
+    jitDumpRegister(b.code.data(), b.code.size(), b.name);
+  setJitDump(false);
+  ::unsetenv("BREW_JITDUMP");
+
+  const std::string path =
+      std::string(dir) + "/jit-" + std::to_string(::getpid()) + ".dump";
+  const std::string raw = readFile(path);
+  ASSERT_GE(raw.size(), sizeof(FileHeader)) << "no jitdump written";
+
+  FileHeader header;
+  std::memcpy(&header, raw.data(), sizeof header);
+  EXPECT_EQ(header.magic, 0x4A695444u);  // "JiTD" as LE uint32
+  EXPECT_EQ(header.version, 1u);
+  EXPECT_EQ(header.totalSize, sizeof(FileHeader));
+  EXPECT_EQ(header.elfMach, 62u);  // EM_X86_64
+  EXPECT_EQ(header.pid, static_cast<uint32_t>(::getpid()));
+  EXPECT_GT(header.timestamp, 0u);
+
+  // Walk the record stream by each record's own totalSize — the framing
+  // `perf inject --jit` relies on.
+  std::vector<ParsedRecord> records;
+  size_t off = sizeof(FileHeader);
+  while (off < raw.size()) {
+    ASSERT_LE(off + sizeof(CodeLoadRecord), raw.size())
+        << "truncated record at offset " << off;
+    ParsedRecord rec;
+    std::memcpy(&rec.fixed, raw.data() + off, sizeof rec.fixed);
+    ASSERT_GE(rec.fixed.totalSize, sizeof(CodeLoadRecord));
+    ASSERT_LE(off + rec.fixed.totalSize, raw.size())
+        << "record overruns the file";
+    const char* tail = raw.data() + off + sizeof(CodeLoadRecord);
+    rec.name.assign(tail);  // NUL-terminated name
+    const size_t nameLen = rec.name.size() + 1;
+    const size_t codeLen =
+        rec.fixed.totalSize - sizeof(CodeLoadRecord) - nameLen;
+    EXPECT_EQ(codeLen, rec.fixed.codeSize);
+    rec.code.assign(tail + nameLen, tail + nameLen + codeLen);
+    records.push_back(std::move(rec));
+    off += rec.fixed.totalSize;
+  }
+  EXPECT_EQ(off, raw.size());
+
+  ASSERT_EQ(records.size(), blobs.size()) << "one record per install";
+  uint64_t prevTs = header.timestamp;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ParsedRecord& rec = records[i];
+    const Blob& blob = blobs[i];
+    EXPECT_EQ(rec.fixed.id, 0u);  // JIT_CODE_LOAD
+    EXPECT_EQ(rec.fixed.totalSize,
+              sizeof(CodeLoadRecord) + rec.name.size() + 1 + blob.code.size());
+    EXPECT_GE(rec.fixed.timestamp, prevTs) << "timestamps must be monotonic";
+    prevTs = rec.fixed.timestamp;
+    EXPECT_EQ(rec.fixed.pid, static_cast<uint32_t>(::getpid()));
+    EXPECT_EQ(rec.fixed.codeIndex, i) << "code indices must be dense";
+    EXPECT_EQ(rec.fixed.vma, rec.fixed.codeAddr);
+    EXPECT_EQ(rec.fixed.codeAddr,
+              reinterpret_cast<uint64_t>(blob.code.data()));
+    EXPECT_EQ(rec.name, blob.name);
+    EXPECT_EQ(rec.code, blob.code) << "code bytes must round-trip";
+  }
+
+  std::remove(path.c_str());
+  ::rmdir(dir);
+}
+
+TEST(PerfMap, LineFormatMatchesRegistration) {
+  setPerfMap(true);
+  ASSERT_TRUE(perfMapEnabled());
+  static const uint8_t blob[24] = {0xc3};
+  perfMapRegister(blob, sizeof blob, "brew::perfmap_probe@deadbeef");
+  setPerfMap(false);
+
+  const std::string path =
+      "/tmp/perf-" + std::to_string(::getpid()) + ".map";
+  const std::string map = readFile(path);
+  ASSERT_FALSE(map.empty()) << "perf map was not written";
+
+  // Find our line and parse it back: "<start-hex> <size-hex> <name>".
+  bool found = false;
+  size_t pos = 0;
+  while (pos < map.size()) {
+    size_t eol = map.find('\n', pos);
+    if (eol == std::string::npos) eol = map.size();
+    const std::string line = map.substr(pos, eol - pos);
+    pos = eol + 1;
+    uintptr_t start = 0;
+    size_t size = 0;
+    char name[128] = {0};
+    if (std::sscanf(line.c_str(), "%" SCNxPTR " %zx %127s", &start, &size,
+                    name) != 3)
+      continue;
+    if (std::strcmp(name, "brew::perfmap_probe@deadbeef") != 0) continue;
+    EXPECT_EQ(start, reinterpret_cast<uintptr_t>(blob));
+    EXPECT_EQ(size, sizeof blob);
+    found = true;
+  }
+  EXPECT_TRUE(found) << "registered symbol missing from " << path;
+}
+
+TEST(PerfMap, SymbolNameCarriesProvenance) {
+  char buf[160];
+  const char* name =
+      perfSymbolName(buf, sizeof buf, reinterpret_cast<const void*>(&readFile),
+                     0x1234567800000000ULL, "v1");
+  ASSERT_EQ(name, buf);
+  const std::string s(name);
+  EXPECT_EQ(s.rfind("brew::", 0), 0u) << s;
+  // Fingerprint prefix (the top 32 bits) and the variant suffix.
+  EXPECT_NE(s.find("@12345678"), std::string::npos) << s;
+  EXPECT_NE(s.find(".v1"), std::string::npos) << s;
+}
+
+TEST(PerfMap, RegisterGeneratedCodeFeedsRegionIndex) {
+  // The install hook publishes into the profiler's region index even with
+  // both external sinks disabled — crash attribution must never depend on
+  // BREW_PERF_MAP/BREW_JITDUMP.
+  setPerfMap(false);
+  setJitDump(false);
+  static const uint8_t blob[40] = {0xc3};
+  registerGeneratedCode(blob, sizeof blob,
+                        reinterpret_cast<const void*>(&testBlobs),
+                        0x0badf00d00000000ULL, "hook");
+  prof::CodeRegion region;
+  ASSERT_TRUE(
+      prof::lookupCodeRegion(reinterpret_cast<uint64_t>(blob) + 4, &region));
+  EXPECT_EQ(region.fingerprint, 0x0badf00d00000000ULL);
+  EXPECT_NE(std::string(region.name).find("@0badf00d"), std::string::npos);
+  prof::unregisterCodeRegion(blob, sizeof blob);
+}
+
+}  // namespace
+}  // namespace brew

@@ -63,15 +63,59 @@ TEST(TelemetryGauge, UpAndDown) {
 }
 
 TEST(TelemetryHistogram, BucketBoundaries) {
-  // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i).
+  // Two-level HDR layout: bucket 0 holds zeros, then 16 linear sub-buckets
+  // per power-of-two major. Values below 2^kMinorBits get single-value
+  // buckets; above that, each bucket spans ~1/16 of its octave.
   EXPECT_EQ(Histogram::bucketFor(0), 0);
   EXPECT_EQ(Histogram::bucketFor(1), 1);
-  EXPECT_EQ(Histogram::bucketFor(2), 2);
-  EXPECT_EQ(Histogram::bucketFor(3), 2);
-  EXPECT_EQ(Histogram::bucketFor(4), 3);
-  EXPECT_EQ(Histogram::bucketFor(1023), 10);
-  EXPECT_EQ(Histogram::bucketFor(1024), 11);
+  EXPECT_EQ(Histogram::bucketFor(2), 17);   // major 2, minor 0
+  EXPECT_EQ(Histogram::bucketFor(3), 18);   // major 2, minor 1
+  EXPECT_EQ(Histogram::bucketFor(4), 33);   // major 3, minor 0
+  EXPECT_EQ(Histogram::bucketFor(1023), 160);
+  EXPECT_EQ(Histogram::bucketFor(1024), 161);
   EXPECT_EQ(Histogram::bucketFor(UINT64_MAX), Histogram::kBuckets - 1);
+
+  // bucketLowerBound inverts bucketFor on every bucket edge.
+  for (const uint64_t v : {uint64_t{1}, uint64_t{2}, uint64_t{15},
+                           uint64_t{16}, uint64_t{1000}, uint64_t{1 << 20},
+                           uint64_t{0x123456789abcULL}}) {
+    const int b = Histogram::bucketFor(v);
+    EXPECT_LE(Histogram::bucketLowerBound(b), v) << v;
+    EXPECT_GT(Histogram::bucketLowerBound(b) + Histogram::bucketWidth(b), v)
+        << v;
+  }
+}
+
+TEST(TelemetryHistogram, QuantilesWithinBucketResolution) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  // Sub-buckets are ~1/16 of an octave wide and the estimate returns the
+  // bucket midpoint, so ~8% relative error bounds the answer.
+  const auto near = [](uint64_t got, uint64_t want) {
+    const double rel =
+        (static_cast<double>(got) - static_cast<double>(want)) /
+        static_cast<double>(want);
+    return rel > -0.08 && rel < 0.08;
+  };
+  EXPECT_TRUE(near(h.quantile(0.50), 500)) << h.quantile(0.50);
+  EXPECT_TRUE(near(h.quantile(0.99), 990)) << h.quantile(0.99);
+  EXPECT_TRUE(near(h.quantile(0.999), 999)) << h.quantile(0.999);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+
+  // Single-value buckets (values < 2^kMinorBits) are exact.
+  Histogram exact;
+  for (int i = 0; i < 100; ++i) exact.record(5);
+  EXPECT_EQ(exact.quantile(0.5), 5u);
+  EXPECT_EQ(exact.quantile(0.999), 5u);
+
+  // Empty histogram: quantile is 0, not a crash.
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+
+  // The static form sees the same buckets the C API snapshot copies out.
+  uint64_t raw[Histogram::kBuckets];
+  for (int i = 0; i < Histogram::kBuckets; ++i) raw[i] = h.bucket(i);
+  EXPECT_EQ(Histogram::quantileFromBuckets(raw, 0.50), h.quantile(0.50));
 }
 
 TEST(TelemetryHistogram, RecordAggregates) {
@@ -213,6 +257,29 @@ TEST(TelemetryJson, ExportsRegistry) {
   EXPECT_NE(json.find("\"phase.emit_ns\""), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(TelemetryJson, AtomicExportLeavesNoTmp) {
+  // Crash-safe exports: both writers stage into "<path>.tmp" and rename,
+  // so a reader never sees a torn file and no temporary survives success.
+  char path[] = "/tmp/brew_atomic_test_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  ASSERT_TRUE(writeJson(path));
+  EXPECT_NE(slurp(path).find("\"counters\""), std::string::npos);
+  std::FILE* tmp = std::fopen((std::string(path) + ".tmp").c_str(), "r");
+  EXPECT_EQ(tmp, nullptr) << "writeJson left its staging file";
+  if (tmp != nullptr) std::fclose(tmp);
+
+  ASSERT_TRUE(writeTrace(path));
+  tmp = std::fopen((std::string(path) + ".tmp").c_str(), "r");
+  EXPECT_EQ(tmp, nullptr) << "writeTrace left its staging file";
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path);
+
+  // An unwritable destination fails cleanly and leaves nothing behind.
+  EXPECT_FALSE(writeJson("/nonexistent_dir_brew/metrics.json"));
 }
 
 TEST(TelemetryCapi, SnapshotMirrorsRegistry) {
