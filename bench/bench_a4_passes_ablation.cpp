@@ -66,15 +66,20 @@ int main(int argc, char** argv) {
   table.addRow("rewritten, passes on (ext.)", -1.0, with);
   table.print();
 
+  // Speed of the pass-on kernel relative to pass-off (higher is better;
+  // >1 once SLP vectorization packs the load/multiply chains).
+  recordMetric("passes_speedup", without / with);
+
   ShapeChecks checks;
   checks.expect(std::abs(checksum - a.interiorChecksum()) < 1e-12,
                 "passes preserve semantics exactly");
   checks.expect(g_withPasses.emitStats().instructions <=
                     g_withoutPasses.emitStats().instructions,
                 "passes never grow the code");
-  // With the trace-level zero-accumulator fold the two variants are often
-  // byte-identical; timing differences are pure scheduler noise on a
-  // shared single core.
+  // The SLP vectorizer + cross-iteration load elimination make the two
+  // variants genuinely different code now (packed loads, fused
+  // coefficient pairs); the bound still leaves room for scheduler noise
+  // on a shared single core.
   checks.expect(with <= without * 1.25,
                 "passes never slow the code down (within noise)");
   return finish(checks, argc, argv);

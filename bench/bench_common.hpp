@@ -99,7 +99,31 @@ inline LatencyRegistry& latencyRegistry() {
   static LatencyRegistry registry;
   return registry;
 }
+// Registry behind recordMetric(); walked by the JSON exporter.
+struct MetricRegistry {
+  std::mutex mu;
+  std::vector<std::pair<std::string, double>> rows;
+};
+inline MetricRegistry& metricRegistry() {
+  static MetricRegistry registry;
+  return registry;
+}
 }  // namespace detail
+
+// Named scalar result — a speedup ratio, a derived figure of merit —
+// exported to the JSON "metrics" section. Re-recording a name overwrites
+// it. scripts/compare_benches.py diffs metrics higher-is-better and gates
+// absolute floors with --min-ratio NAME=VALUE.
+inline void recordMetric(const std::string& name, double value) {
+  detail::MetricRegistry& reg = detail::metricRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [n, v] : reg.rows)
+    if (n == name) {
+      v = value;
+      return;
+    }
+  reg.rows.emplace_back(name, value);
+}
 
 // Named per-operation latency histograms, separate from the telemetry
 // registry (which covers the rewrite pipeline, not the bench bodies).
@@ -230,6 +254,21 @@ inline bool writeJsonResults(const char* path,
           static_cast<unsigned long long>(h->quantile(0.99)),
           static_cast<unsigned long long>(h->quantile(0.999)),
           static_cast<unsigned long long>(h->max()));
+      out += row;
+    }
+  }
+  // Named scalar metrics recorded via recordMetric().
+  out += "\n  ],\n  \"metrics\": [";
+  {
+    MetricRegistry& reg = metricRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    first = true;
+    for (const auto& [name, value] : reg.rows) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    {\"name\": \"";
+      appendEscaped(out, name);
+      std::snprintf(row, sizeof row, "\", \"value\": %.6f}", value);
       out += row;
     }
   }

@@ -70,6 +70,12 @@ int main(int argc, char** argv) {
   table.addRow("manual 5-point kernel", 0.74, manual);
   table.print();
 
+  // Speed of the generic kernel relative to manual (1.0 = parity; the
+  // paper's abstraction penalty puts it well below). Gate with
+  // compare_benches.py --min-ratio speedup_vs_manual=<floor>.
+  recordMetric("speedup_vs_manual", manual / generic);
+  recordMetric("manual_speedup_vs_generic", generic / manual);
+
   ShapeChecks checks;
   checks.expectFaster(manual, generic, 1.5,
                       "manual kernel at least 1.5x faster than generic "

@@ -39,6 +39,8 @@ inline RewrittenFunction rewriteApply(const brew_stencil& s,
     rewriter.passes().deadFlagWriters = false;
     rewriter.passes().redundantLoads = false;
     rewriter.passes().foldZeroAdd = false;
+    rewriter.passes().slpVectorize = false;
+    rewriter.passes().crossIterLoads = false;
   }
   auto rewritten = rewriter.rewrite(
       reinterpret_cast<const void*>(&brew_stencil_apply), nullptr, kSide, &s);

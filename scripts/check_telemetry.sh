@@ -27,9 +27,23 @@ cmake -B build-tsan -S . -DBREW_SANITIZE=thread \
 cmake --build build-tsan -j"$(nproc)" \
   --target core_cache_test core_cache_shard_test support_telemetry_test \
   isa_decode_cache_test core_differential_fuzz_test core_dispatch_test \
-  support_profiler_test \
+  support_profiler_test passes_vectorize_test \
   > /dev/null
 
 cd build-tsan
 ctest -L concurrency --output-on-failure -j"$(nproc)"
+
+# The vectorizer must also report itself: a BREW_STATS run over the
+# differential suite has to show the passes.* counters moving (a silent
+# pass is indistinguishable from a disabled one).
+stats_out=$(BREW_STATS=1 ./tests/passes_vectorize_test 2>&1)
+for counter in passes.vectorized_groups passes.loads_eliminated; do
+  if ! printf '%s\n' "$stats_out" | \
+      grep -E "$counter[[:space:]]+[1-9][0-9]*" > /dev/null; then
+    echo "FAIL: $counter missing or zero in BREW_STATS output" >&2
+    printf '%s\n' "$stats_out" | grep "passes\." >&2 || true
+    exit 1
+  fi
+done
+echo "passes.* counters present in BREW_STATS"
 echo "telemetry/concurrency tests are TSan-clean"

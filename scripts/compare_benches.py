@@ -15,15 +15,22 @@ A benchmark regresses when current ns_per_op exceeds baseline ns_per_op
 by more than its threshold ratio (default --threshold, overridable per
 benchmark with --per-bench). Latency distributions are gated on their
 p99_ns the same way — a tail regression fails even when the mean is
-flat. Benchmarks present on only one side are reported but are not
-failures — the suite grows over time. Exit status is 1 when any
-regression is found, 2 on malformed input, else 0.
+flat. Named scalar metrics (the "metrics" section, e.g. the
+speedup_vs_manual ratios bench_e1/e2 emit) are higher-is-better: they
+regress when current drops below baseline by more than the threshold,
+and --min-ratio NAME=VALUE additionally enforces an absolute floor on
+the current value (missing metric = failure). Benchmarks present on
+only one side are reported but are not failures — the suite grows over
+time. Exit status is 1 when any regression is found, 2 on malformed
+input, else 0.
 
 Examples:
     scripts/compare_benches.py BENCH_baseline.json BENCH_results.json
     scripts/compare_benches.py BENCH_baseline.json /tmp/a1.json \
         --only bench_a1_rewrite_cost --threshold 2.0 \
         --per-bench BM_RewriteApplyCached=1.02
+    scripts/compare_benches.py BENCH_baseline.json BENCH_results.json \
+        --min-ratio speedup_vs_manual=0.55 --min-ratio speedup_vs_generic=1.3
 """
 
 import argparse
@@ -80,20 +87,32 @@ def main():
     parser.add_argument("--phases", action="store_true",
                         help="also compare phase avg_ns values against the "
                              "same thresholds")
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="absolute floor for a 'metrics' entry in "
+                             "CURRENT (e.g. speedup_vs_manual=0.55); a "
+                             "missing metric fails the gate")
     args = parser.parse_args()
 
-    overrides = {}
-    for spec in args.per_bench:
-        name, sep, ratio = spec.partition("=")
-        if not sep:
-            print(f"bad --per-bench {spec!r}: expected NAME=RATIO",
-                  file=sys.stderr)
-            return 2
-        try:
-            overrides[name] = float(ratio)
-        except ValueError:
-            print(f"bad --per-bench ratio in {spec!r}", file=sys.stderr)
-            return 2
+    def parse_pairs(specs, flag):
+        pairs = {}
+        for spec in specs:
+            name, sep, value = spec.partition("=")
+            if not sep:
+                print(f"bad {flag} {spec!r}: expected NAME=VALUE",
+                      file=sys.stderr)
+                return None
+            try:
+                pairs[name] = float(value)
+            except ValueError:
+                print(f"bad {flag} value in {spec!r}", file=sys.stderr)
+                return None
+        return pairs
+
+    overrides = parse_pairs(args.per_bench, "--per-bench")
+    floors = parse_pairs(args.min_ratio, "--min-ratio")
+    if overrides is None or floors is None:
+        return 2
 
     try:
         base = load(args.baseline)
@@ -151,6 +170,47 @@ def main():
                 status = "improved"
             print(f"  {status:>10}  {label} {key}: {b:.1f} -> {c:.1f} ns "
                   f"({ratio:.2f}x, limit {limit:.2f}x)")
+
+    # Named metrics: higher is better, so the regression direction flips.
+    base_metrics = flatten(base, "metrics", "value")
+    cur_metrics = flatten(cur, "metrics", "value")
+    for key in sorted(set(base_metrics) | set(cur_metrics)):
+        if not selected(key):
+            continue
+        b = base_metrics.get(key)
+        c = cur_metrics.get(key)
+        if b is None or c is None:
+            print(f"  note  metric {key}: only in "
+                  f"{'current' if b is None else 'baseline'}")
+            continue
+        compared += 1
+        limit = threshold_for(key)
+        ratio = b / c if c > 0 else float("inf") if b > 0 else 1.0
+        status = "OK"
+        if ratio > limit:
+            status = "REGRESSION"
+            regressions += 1
+        elif ratio < 1.0:
+            status = "improved"
+        print(f"  {status:>10}  metric {key}: {b:.3f} -> {c:.3f} "
+              f"(kept {1 / ratio:.2f}x, limit {limit:.2f}x drop)")
+
+    # Absolute floors on current metrics (--min-ratio).
+    for name, floor in sorted(floors.items()):
+        found = {k: v for k, v in match(cur_metrics, name).items()
+                 if selected(k)}
+        if not found:
+            print(f"  REGRESSION  metric {name}: missing from current "
+                  f"(floor {floor:.3f})")
+            regressions += 1
+            continue
+        for key, value in sorted(found.items()):
+            compared += 1
+            ok = value >= floor
+            if not ok:
+                regressions += 1
+            print(f"  {'OK' if ok else 'REGRESSION':>10}  metric {key}: "
+                  f"{value:.3f} (floor {floor:.3f})")
 
     if compared == 0:
         print("error: no overlapping benchmarks to compare", file=sys.stderr)

@@ -7,8 +7,9 @@
 # quiet machine.
 set -eu
 
-bin="${1:?usage: perf_smoke.sh path/to/bench_a1_rewrite_cost [bench_e7]}"
+bin="${1:?usage: perf_smoke.sh path/to/bench_a1_rewrite_cost [bench_e7] [bench_a4]}"
 bin_e7="${2:-}"
+bin_a4="${3:-}"
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -28,17 +29,27 @@ if [ -n "$bin_e7" ]; then
   }
   only_args="$only_args --only bench_e7_variant_churn"
 fi
+if [ -n "$bin_a4" ]; then
+  BREW_BENCH_ITERATIONS=20 "$bin_a4" "--json=$tmp/a4.json" \
+    --benchmark_min_time=0.05s >"$tmp/a4.log" 2>&1 || {
+    cat "$tmp/a4.log"
+    exit 1
+  }
+  only_args="$only_args --only bench_a4_passes_ablation"
+fi
 
 # Wrap the single-binary outputs in the merged run_benches.sh shape so the
 # keys line up with the committed baseline.
-python3 - "$tmp/merged.json" "$tmp/a1.json" "$tmp/e7.json" <<'EOF'
+python3 - "$tmp/merged.json" "$tmp/a1.json" "$tmp/e7.json" \
+  "$tmp/a4.json" <<'EOF'
 import json, os, sys
 merged = {}
 for path in sys.argv[2:]:
     if not os.path.exists(path):
         continue
     name = {"a1": "bench_a1_rewrite_cost",
-            "e7": "bench_e7_variant_churn"}[os.path.basename(path)[:2]]
+            "e7": "bench_e7_variant_churn",
+            "a4": "bench_a4_passes_ablation"}[os.path.basename(path)[:2]]
     with open(path) as f:
         merged[name] = json.load(f)
 with open(sys.argv[1], "w") as f:
@@ -51,12 +62,18 @@ EOF
 # below the generic 2x noise allowance. Same idea for the dispatch stub:
 # BM_DispatchMonomorphic is a handful of ns per call, so anything beyond
 # noise (an extra load, a lock) trips the tighter 1.5x bound.
+# The pass-ablation pair gets per-bench bounds too: BM_WithPasses is the
+# SLP-vectorized kernel (a lost packing proof shows as a jump well inside
+# 2x), while BM_WithoutPasses is the scalar reference and only guards
+# against pipeline-wide regressions.
 baseline_rc=0
 python3 "$repo/scripts/compare_benches.py" \
   "$repo/BENCH_baseline.json" "$tmp/merged.json" \
   $only_args --threshold 2.0 \
   --per-bench BM_RewriteApplyCached=1.25 \
-  --per-bench BM_DispatchMonomorphic=1.5 || baseline_rc=$?
+  --per-bench BM_DispatchMonomorphic=1.5 \
+  --per-bench BM_WithPasses=1.5 \
+  --per-bench BM_WithoutPasses=1.75 || baseline_rc=$?
 
 # Profiler overhead guard: the 997 Hz sampling profiler must cost the
 # cached-hit fast path under ~2%. Same binary, same session; the plain and

@@ -39,17 +39,30 @@ tmp_dir=$(mktemp -d)
 trap 'rm -rf "$tmp_dir"' EXIT
 
 status=0
+ran=0
 printf '{\n' > "$out"
 first=1
 for bin in "$build_dir"/bench/bench_*; do
-  [ -x "$bin" ] || continue
+  # A bench_* path that is not an executable file means the glob matched
+  # nothing or a binary failed to build — either way the sweep is
+  # incomplete, so fail loudly instead of silently skipping.
+  if [ ! -x "$bin" ]; then
+    echo "MISSING bench binary: $bin (build incomplete?)" >&2
+    status=1
+    continue
+  fi
+  ran=$((ran + 1))
   name=$(basename "$bin")
   echo "=== $name ==="
   if ! "$bin" "--json=$tmp_dir/$name.json"; then
     echo "FAILED: $name" >&2
     status=1
   fi
-  [ -f "$tmp_dir/$name.json" ] || continue
+  if [ ! -f "$tmp_dir/$name.json" ]; then
+    echo "NO JSON from $name ($tmp_dir/$name.json missing)" >&2
+    status=1
+    continue
+  fi
   [ $first -eq 1 ] || printf ',\n' >> "$out"
   first=0
   printf '  "%s": ' "$name" >> "$out"
@@ -57,5 +70,9 @@ for bin in "$build_dir"/bench/bench_*; do
 done
 printf '\n}\n' >> "$out"
 
+if [ "$ran" -eq 0 ]; then
+  echo "no bench binaries found under $build_dir/bench" >&2
+  status=1
+fi
 echo "wrote $out"
 exit $status

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/passes/vectorize.hpp"
 #include "core/rewriter.hpp"
 #include "ir/captured.hpp"
 #include "isa/instruction.hpp"
@@ -475,6 +476,25 @@ void runPasses(ir::CapturedFunction& fn, const PassOptions& options) {
     counter(CounterId::PassZeroAddFolds).add(runFoldZeroAdd(fn));
   if (options.redundantLoads)
     counter(CounterId::PassLoadsForwarded).add(runRedundantLoads(fn));
+  // The vectorizing pair runs after load dedup (so it sees the canonical
+  // scalar stream) and before the final peephole (which mops up any moves
+  // the rewrites leave behind). SLP first: the pool pair constants and
+  // packed loads it introduces are exactly what the cross-iteration pass
+  // hoists and lane-shares.
+  if (options.slpVectorize || options.crossIterLoads) {
+    const uint64_t v0 = telemetry::nowNs();
+    if (options.slpVectorize) {
+      const VectorizeStats vs = runSlpVectorize(fn);
+      counter(CounterId::PassVectorizedGroups).add(vs.groups);
+      peephole += vs.retMovesCoalesced;
+    }
+    if (options.crossIterLoads)
+      counter(CounterId::PassLoadsEliminated).add(runCrossIterLoads(fn));
+    const uint64_t v1 = telemetry::nowNs();
+    telemetry::histogram(telemetry::HistogramId::PhaseVectorizeNs)
+        .record(v1 - v0);
+    if (telemetry::tracingEnabled()) telemetry::recordSpan("vectorize", v0, v1);
+  }
   if (options.peephole) peephole += runPeephole(fn);  // cleanups may expose more
   counter(CounterId::PassBlocksMerged).add(merged);
   counter(CounterId::PassPeepholeRemoved).add(peephole);

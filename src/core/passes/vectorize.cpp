@@ -1,0 +1,895 @@
+// SLP vectorization + cross-iteration redundant-load elimination (§IV).
+//
+// Full unrolling leaves the captured stream as long runs of isomorphic
+// scalar groups — load / multiply-by-pool-constant / accumulate, repeated
+// once per unrolled iteration. Two passes exploit that shape:
+//
+//  * runSlpVectorize packs groups of 2 (f64) or 4 (f32) isomorphic scalar
+//    chains into one packed SSE op each (movupd/mulpd, movups/mulps,
+//    packed stores), keeping the original accumulation ORDER bit-exact:
+//    packed lanes only ever carry the independent products, and the
+//    sequential adds are fed by lane extraction (unpckhpd / shufps
+//    rotation). A group that fails an adjacency, lane-order, overlap or
+//    liveness proof falls back to scalar code on its own.
+//
+//  * runCrossIterLoads keeps a value-numbered window of live loaded lanes
+//    and turns re-loads of the same location — the same pool constant
+//    referenced by every unrolled iteration, or a lane a previous packed
+//    load already brought in — into register reuse.
+//
+// Both passes synthesize only instructions whose results are bitwise
+// identical to the scalar stream on every lane the program can observe;
+// lanes that diverge (the high half of a packed product feeding a scalar
+// chain) are proven dead through the scalar-return ABI before a rewrite is
+// allowed.
+#include "core/passes/vectorize.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/registers.hpp"
+
+namespace brew {
+
+namespace {
+
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+
+bool referencesReg(const Instruction& in, Reg r) {
+  const uint32_t bit = isa::regBit(r);
+  return ((isa::regsRead(in) | isa::regsWritten(in)) & bit) != 0;
+}
+
+bool scalarSdArith(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::Addsd: case Mnemonic::Subsd: case Mnemonic::Mulsd:
+    case Mnemonic::Divsd: case Mnemonic::Minsd: case Mnemonic::Maxsd:
+    case Mnemonic::Sqrtsd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool scalarSsArith(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::Addss: case Mnemonic::Subss: case Mnemonic::Mulss:
+    case Mnemonic::Divss: case Mnemonic::Sqrtss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool scalarCompare(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::Ucomisd: case Mnemonic::Comisd:
+    case Mnemonic::Ucomiss: case Mnemonic::Comiss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Does this instruction replace every bit of XMM register r?
+bool fullXmmOverwrite(const Instruction& in, Reg r) {
+  if (in.nops < 2 || !in.ops[0].isReg() || in.ops[0].reg != r) return false;
+  switch (in.mnemonic) {
+    case Mnemonic::Movsd:
+    case Mnemonic::Movss:
+      return in.ops[1].isMem();  // the load forms zero the upper lanes
+    case Mnemonic::Movapd: case Mnemonic::Movaps:
+    case Mnemonic::Movupd: case Mnemonic::Movups:
+    case Mnemonic::Movdqa: case Mnemonic::Movdqu:
+    case Mnemonic::Movq:   // zeroes the upper lane
+      return true;
+    default:
+      return false;
+  }
+}
+
+// True when no instruction after `from` can observe the value left in r.
+bool deadAfter(const ir::Block& block, size_t from, Reg r) {
+  const uint32_t bit = isa::regBit(r);
+  for (size_t k = from + 1; k < block.instrs.size(); ++k) {
+    const Instruction& in = block.instrs[k];
+    if (fullXmmOverwrite(in, r)) return true;
+    if ((isa::regsRead(in) | isa::regsWritten(in)) & bit) return false;
+  }
+  if (block.term.kind != ir::Terminator::Kind::Ret) return false;
+  return r != isa::abi::kSseReturn;  // xmm0 may carry the return value
+}
+
+// After `from`, register r's high 64-bit lane differs from the scalar run.
+// True when that lane can never be observed: every later reference reads
+// the low lane only, the register is fully overwritten, or the block
+// returns (the scalar-return ABI exposes only xmm0's low lane). The one
+// full-register copy tolerated is a trailing return-value move, whose
+// destination inherits the same unobservability argument.
+bool hiLaneUnobserved(const ir::Block& block, size_t from, Reg r) {
+  const size_t n = block.instrs.size();
+  for (size_t k = from + 1; k < n; ++k) {
+    const Instruction& in = block.instrs[k];
+    if (fullXmmOverwrite(in, r)) return true;
+    const bool dst = in.nops >= 1 && in.ops[0].isReg() && in.ops[0].reg == r;
+    const bool src = in.nops >= 2 && in.ops[1].isReg() && in.ops[1].reg == r;
+    if (!dst && !src) {
+      if (referencesReg(in, r)) return false;  // unmodeled implicit use
+      continue;
+    }
+    if (dst && !src &&
+        (scalarSdArith(in.mnemonic) || scalarSsArith(in.mnemonic)))
+      continue;  // read-modify-write of the low lane; hi preserved, unread
+    if (src && !dst) {
+      if (scalarSdArith(in.mnemonic) || scalarSsArith(in.mnemonic) ||
+          scalarCompare(in.mnemonic))
+        continue;  // low-lane source
+      if (in.mnemonic == Mnemonic::Movsd || in.mnemonic == Mnemonic::Movss ||
+          in.mnemonic == Mnemonic::Movq || in.mnemonic == Mnemonic::Movd)
+        continue;  // scalar store / low-lane merge / low-bits extract
+      if ((in.mnemonic == Mnemonic::Movapd ||
+           in.mnemonic == Mnemonic::Movaps) &&
+          k + 1 == n && block.term.kind == ir::Terminator::Kind::Ret)
+        continue;  // trailing return-value copy; hi lane dies at the ret
+      return false;
+    }
+    return false;
+  }
+  return block.term.kind == ir::Terminator::Kind::Ret;
+}
+
+// Allocator over the XMM registers the block never touches.
+struct ScratchPool {
+  uint32_t freeMask = 0;
+
+  explicit ScratchPool(const ir::Block& block) {
+    uint32_t used = 0;
+    for (const Instruction& in : block.instrs)
+      used |= isa::regsRead(in) | isa::regsWritten(in);
+    freeMask = ~used & 0xffff0000u;
+    // The return register is never recycled as scratch.
+    freeMask &= ~isa::regBit(isa::abi::kSseReturn);
+  }
+
+  bool take(Reg* r) {
+    if (freeMask == 0) return false;
+    const unsigned n = static_cast<unsigned>(__builtin_ctz(freeMask)) - 16;
+    *r = isa::xmmFromNum(n);
+    freeMask &= freeMask - 1;
+    return true;
+  }
+};
+
+bool plainBaseMem(const isa::MemOperand& m) {
+  return m.base != Reg::none && m.index == Reg::none && !m.ripRelative &&
+         m.poolSlot < 0;
+}
+
+bool touchesMemoryState(const Instruction& in) {
+  return isa::writesMemory(in) || in.mnemonic == Mnemonic::Call ||
+         in.mnemonic == Mnemonic::CallInd || in.mnemonic == Mnemonic::Push ||
+         in.mnemonic == Mnemonic::Pushfq || in.mnemonic == Mnemonic::Pop ||
+         in.mnemonic == Mnemonic::Popfq;
+}
+
+Operand poolMem(int slot) {
+  isa::MemOperand m;
+  m.ripRelative = true;
+  m.poolSlot = slot;
+  return Operand::makeMem(m);
+}
+
+Operand baseMem(Reg base, int32_t disp) {
+  isa::MemOperand m;
+  m.base = base;
+  m.disp = disp;
+  return Operand::makeMem(m);
+}
+
+// --- chain discovery --------------------------------------------------------
+//
+// One unrolled iteration shows up as a three-instruction def-use chain
+//     movsd  xR, [base+disp]     (or movss)
+//     mulsd  xR, [pool c]        (or mulss)
+//     addsd  acc, xR             (or addss / the movapd accumulator seed)
+// with xR dead afterwards. Members may interleave with other chains.
+
+struct Chain {
+  size_t load = 0, mul = 0, consume = 0;
+  Reg xr = Reg::none, acc = Reg::none, base = Reg::none;
+  int32_t disp = 0;
+  int coeffSlot = -1;
+  bool init = false;  // consume is the full-register accumulator seed copy
+};
+
+// Finds the next instruction referencing r after `from`; instructions in
+// between must neither write `base` nor touch memory state. Returns the
+// block size when the scan fails.
+size_t nextRefClean(const ir::Block& block, size_t from, Reg r, Reg base) {
+  for (size_t k = from + 1; k < block.instrs.size(); ++k) {
+    const Instruction& in = block.instrs[k];
+    if (referencesReg(in, r)) return k;
+    if (touchesMemoryState(in)) return block.instrs.size();
+    if (isa::regsWritten(in) & isa::regBit(base)) return block.instrs.size();
+  }
+  return block.instrs.size();
+}
+
+std::vector<Chain> findChains(const ir::Block& block, bool f32) {
+  const Mnemonic loadMn = f32 ? Mnemonic::Movss : Mnemonic::Movsd;
+  const Mnemonic mulMn = f32 ? Mnemonic::Mulss : Mnemonic::Mulsd;
+  const Mnemonic addMn = f32 ? Mnemonic::Addss : Mnemonic::Addsd;
+  const uint8_t w = f32 ? 4 : 8;
+  const size_t n = block.instrs.size();
+  std::vector<Chain> chains;
+  for (size_t k = 0; k < n; ++k) {
+    const Instruction& ld = block.instrs[k];
+    if (ld.mnemonic != loadMn || ld.nops != 2 || !ld.ops[0].isReg() ||
+        !ld.ops[1].isMem() || !plainBaseMem(ld.ops[1].mem) || ld.width != w)
+      continue;
+    Chain c;
+    c.load = k;
+    c.xr = ld.ops[0].reg;
+    c.base = ld.ops[1].mem.base;
+    c.disp = ld.ops[1].mem.disp;
+
+    c.mul = nextRefClean(block, c.load, c.xr, c.base);
+    if (c.mul >= n) continue;
+    const Instruction& mul = block.instrs[c.mul];
+    if (mul.mnemonic != mulMn || mul.nops != 2 || !mul.ops[0].isReg() ||
+        mul.ops[0].reg != c.xr || !mul.ops[1].isMem() ||
+        mul.ops[1].mem.poolSlot < 0)
+      continue;
+    c.coeffSlot = mul.ops[1].mem.poolSlot;
+
+    c.consume = nextRefClean(block, c.mul, c.xr, c.base);
+    if (c.consume >= n) continue;
+    const Instruction& use = block.instrs[c.consume];
+    const bool isAdd = use.mnemonic == addMn && use.nops == 2 &&
+                       use.ops[0].isReg() && use.ops[1].isReg() &&
+                       use.ops[1].reg == c.xr && use.ops[0].reg != c.xr;
+    const bool isInit = !f32 && use.mnemonic == Mnemonic::Movapd &&
+                        use.nops == 2 && use.ops[0].isReg() &&
+                        use.ops[1].isReg() && use.ops[1].reg == c.xr &&
+                        use.ops[0].reg != c.xr;
+    if (!isAdd && !isInit) continue;
+    c.acc = use.ops[0].reg;
+    c.init = isInit;
+    if (!deadAfter(block, c.consume, c.xr)) continue;
+    chains.push_back(c);
+  }
+  return chains;
+}
+
+// The accumulator must flow straight from chain a's consume into chain b's:
+// nothing in between may read or write it.
+bool accUntouchedBetween(const ir::Block& block, const Chain& a,
+                         const Chain& b) {
+  for (size_t k = a.consume + 1; k < b.consume; ++k)
+    if (referencesReg(block.instrs[k], a.acc)) return false;
+  return true;
+}
+
+// Window safety for moving loads to `lo` and packing through `hi`: no
+// stores (a load moved earlier must not cross one), no base mutation.
+bool windowSafe(const ir::Block& block, size_t lo, size_t hi, Reg base,
+                const std::vector<size_t>& members) {
+  for (size_t k = lo; k <= hi; ++k) {
+    if (std::find(members.begin(), members.end(), k) != members.end())
+      continue;
+    const Instruction& in = block.instrs[k];
+    if (touchesMemoryState(in)) return false;
+    if (isa::regsWritten(in) & isa::regBit(base)) return false;
+  }
+  return true;
+}
+
+// Per-block edit list: indices whose instruction is replaced by zero or
+// more new instructions. Applied in one rebuild.
+struct EditList {
+  std::vector<std::pair<size_t, std::vector<Instruction>>> edits;
+  std::vector<bool> claimed;
+
+  explicit EditList(size_t n) : claimed(n, false) {}
+
+  bool free(std::initializer_list<size_t> idx) const {
+    for (size_t i : idx)
+      if (claimed[i]) return false;
+    return true;
+  }
+  void replace(size_t idx, std::vector<Instruction> repl) {
+    claimed[idx] = true;
+    edits.emplace_back(idx, std::move(repl));
+  }
+  void drop(size_t idx) { replace(idx, {}); }
+
+  void apply(ir::CapturedFunction& fn, ir::Block& block) const {
+    if (edits.empty()) return;
+    ir::InstrVec out(fn.instrAllocator());
+    out.reserve(block.instrs.size() + 8);
+    for (size_t k = 0; k < block.instrs.size(); ++k) {
+      auto it = std::find_if(edits.begin(), edits.end(),
+                             [&](const auto& e) { return e.first == k; });
+      if (it == edits.end()) {
+        out.push_back(block.instrs[k]);
+        continue;
+      }
+      for (const Instruction& in : it->second) out.push_back(in);
+    }
+    block.instrs = std::move(out);
+  }
+};
+
+// --- f64 pair packing -------------------------------------------------------
+
+// Packs two f64 chains: one packed load (movupd when the two addresses are
+// exactly adjacent, movsd+movhpd otherwise), one mulpd against a two-lane
+// pool constant, and lane extraction feeding the ORIGINAL add order.
+bool packPair(ir::CapturedFunction& fn, ir::Block& block, const Chain& a,
+              const Chain& b, ScratchPool& scratch, EditList& edits) {
+  const std::vector<size_t> members{a.load, a.mul, a.consume,
+                                    b.load, b.mul, b.consume};
+  if (!edits.free({a.load, a.mul, a.consume, b.load, b.mul, b.consume}))
+    return false;
+  const size_t w0 = std::min(a.load, b.load);
+  if (!windowSafe(block, w0, b.consume, a.base, members)) return false;
+
+  // Lane assignment. An exactly-adjacent pair uses one unaligned 16-byte
+  // load, which fixes lanes by address; otherwise the first-consumed chain
+  // takes the cheap low lane. Same-address pairs are redundant loads, not
+  // SLP material; loads may otherwise overlap freely (stores may not).
+  const int64_t delta =
+      static_cast<int64_t>(b.disp) - static_cast<int64_t>(a.disp);
+  if (delta == 0) return false;
+  const bool adjacent = delta == 8 || delta == -8;
+  const Chain& loChain = adjacent ? (delta > 0 ? a : b) : a;
+  const Chain& hiChain = &loChain == &a ? b : a;
+
+  // Every packed rewrite leaves the products' partner lane alive in the
+  // accumulator's high half (the scalar run kept zeros there), so the high
+  // lane must be provably unobservable.
+  if (!hiLaneUnobserved(block, a.consume, a.acc)) return false;
+
+  // Reserve every scratch register up front: a high lane consumed first by
+  // a plain add needs a second register for the realignment, and edits must
+  // not be half-recorded when allocation fails.
+  const bool needXu = &a == &hiChain && !a.init;
+  Reg xt, xu = Reg::none;
+  if (!scratch.take(&xt)) return false;
+  if (needXu && !scratch.take(&xu)) return false;
+
+  // Packed load + packed multiply, placed where the first load was.
+  std::vector<Instruction> head;
+  if (adjacent) {
+    head.push_back(isa::makeInstr(Mnemonic::Movupd, 16, Operand::makeReg(xt),
+                                  baseMem(loChain.base, loChain.disp)));
+  } else {
+    head.push_back(isa::makeInstr(Mnemonic::Movsd, 8, Operand::makeReg(xt),
+                                  baseMem(loChain.base, loChain.disp)));
+    head.push_back(isa::makeInstr(Mnemonic::Movhpd, 8, Operand::makeReg(xt),
+                                  baseMem(hiChain.base, hiChain.disp)));
+  }
+  const int pairSlot =
+      fn.addPoolConstant(fn.pool()[static_cast<size_t>(loChain.coeffSlot)].lo,
+                         fn.pool()[static_cast<size_t>(hiChain.coeffSlot)].lo);
+  head.push_back(isa::makeInstr(Mnemonic::Mulpd, 16, Operand::makeReg(xt),
+                                poolMem(pairSlot)));
+  edits.replace(w0, std::move(head));
+  const size_t later = a.load == w0 ? b.load : a.load;
+  edits.drop(later);
+  edits.drop(a.mul);
+  edits.drop(b.mul);
+
+  // Consumes, in the original order and association.
+  auto extractConsume = [&](const Chain& c, bool lo) {
+    std::vector<Instruction> repl;
+    if (c.init) {
+      repl.push_back(isa::makeInstr(Mnemonic::Movapd, 16,
+                                    Operand::makeReg(c.acc),
+                                    Operand::makeReg(xt)));
+      if (!lo)
+        repl.push_back(isa::makeInstr(Mnemonic::Unpckhpd, 16,
+                                      Operand::makeReg(c.acc),
+                                      Operand::makeReg(c.acc)));
+    } else if (lo) {
+      repl.push_back(isa::makeInstr(Mnemonic::Addsd, 8,
+                                    Operand::makeReg(c.acc),
+                                    Operand::makeReg(xt)));
+    } else if (&c == &b) {
+      // Last consume: the scratch register may be shuffled in place.
+      repl.push_back(isa::makeInstr(Mnemonic::Unpckhpd, 16,
+                                    Operand::makeReg(xt),
+                                    Operand::makeReg(xt)));
+      repl.push_back(isa::makeInstr(Mnemonic::Addsd, 8,
+                                    Operand::makeReg(c.acc),
+                                    Operand::makeReg(xt)));
+    } else {
+      // High lane consumed first: realign through the second scratch so
+      // the low lane stays available for the later consume.
+      repl.push_back(isa::makeInstr(Mnemonic::Movapd, 16,
+                                    Operand::makeReg(xu),
+                                    Operand::makeReg(xt)));
+      repl.push_back(isa::makeInstr(Mnemonic::Unpckhpd, 16,
+                                    Operand::makeReg(xu),
+                                    Operand::makeReg(xu)));
+      repl.push_back(isa::makeInstr(Mnemonic::Addsd, 8,
+                                    Operand::makeReg(c.acc),
+                                    Operand::makeReg(xu)));
+    }
+    edits.replace(c.consume, std::move(repl));
+  };
+  extractConsume(a, &a == &loChain);
+  extractConsume(b, &b == &loChain);
+  return true;
+}
+
+// --- f32 quad packing -------------------------------------------------------
+//
+// Four f32 chains over [base+d .. base+d+12], consumed in address order,
+// become movups + mulps + an addss/shufps-rotation chain that extracts the
+// lanes in the exact original association.
+
+bool packQuad(ir::CapturedFunction& fn, ir::Block& block, const Chain* q[4],
+              ScratchPool& scratch, EditList& edits, size_t* bailouts) {
+  std::vector<size_t> members;
+  for (int i = 0; i < 4; ++i) {
+    members.push_back(q[i]->load);
+    members.push_back(q[i]->mul);
+    members.push_back(q[i]->consume);
+    if (!edits.free({q[i]->load, q[i]->mul, q[i]->consume})) return false;
+  }
+  // Addresses must be four consecutive lanes AND consumed in lane order:
+  // a permuted consume order would need a different association.
+  for (int i = 1; i < 4; ++i) {
+    if (q[i]->disp != q[0]->disp + 4 * i) {
+      ++*bailouts;
+      return false;
+    }
+  }
+  size_t w0 = q[0]->load;
+  for (int i = 1; i < 4; ++i) w0 = std::min(w0, q[i]->load);
+  if (!windowSafe(block, w0, q[3]->consume, q[0]->base, members)) {
+    ++*bailouts;
+    return false;
+  }
+  Reg xt;
+  if (!scratch.take(&xt)) {
+    ++*bailouts;
+    return false;
+  }
+
+  uint32_t lanes[4];
+  for (int i = 0; i < 4; ++i)
+    lanes[i] = static_cast<uint32_t>(
+        fn.pool()[static_cast<size_t>(q[i]->coeffSlot)].lo);
+  const int quadSlot = fn.addPoolConstant(
+      static_cast<uint64_t>(lanes[0]) | (static_cast<uint64_t>(lanes[1]) << 32),
+      static_cast<uint64_t>(lanes[2]) |
+          (static_cast<uint64_t>(lanes[3]) << 32));
+
+  std::vector<Instruction> head;
+  head.push_back(isa::makeInstr(Mnemonic::Movups, 16, Operand::makeReg(xt),
+                                baseMem(q[0]->base, q[0]->disp)));
+  head.push_back(isa::makeInstr(Mnemonic::Mulps, 16, Operand::makeReg(xt),
+                                poolMem(quadSlot)));
+  edits.replace(w0, std::move(head));
+  for (int i = 0; i < 4; ++i) {
+    if (q[i]->load != w0) edits.drop(q[i]->load);
+    edits.drop(q[i]->mul);
+    std::vector<Instruction> repl;
+    if (i != 0)  // rotate the next product into lane 0
+      repl.push_back(isa::makeInstr(Mnemonic::Shufps, 16,
+                                    Operand::makeReg(xt),
+                                    Operand::makeReg(xt),
+                                    Operand::makeImm(0x39)));
+    repl.push_back(isa::makeInstr(Mnemonic::Addss, 4,
+                                  Operand::makeReg(q[i]->acc),
+                                  Operand::makeReg(xt)));
+    edits.replace(q[i]->consume, std::move(repl));
+  }
+  return true;
+}
+
+// --- store pair packing -----------------------------------------------------
+//
+// Two adjacent 8-byte stores off the same base combine into one unaligned
+// 16-byte store at the later position. Overlapping or non-adjacent store
+// pairs, and windows containing any other memory access, bail out.
+
+size_t packStorePairs(ir::Block& block, ScratchPool& scratch, EditList& edits,
+                      size_t* bailouts) {
+  size_t groups = 0;
+  const size_t n = block.instrs.size();
+  auto isScalarStore = [](const Instruction& in) {
+    return in.mnemonic == Mnemonic::Movsd && in.nops == 2 &&
+           in.ops[0].isMem() && plainBaseMem(in.ops[0].mem) &&
+           in.ops[1].isReg() && in.width == 8;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (edits.claimed[i] || !isScalarStore(block.instrs[i])) continue;
+    const Reg base = block.instrs[i].ops[0].mem.base;
+    const int32_t di = block.instrs[i].ops[0].mem.disp;
+    const Reg va = block.instrs[i].ops[1].reg;
+    for (size_t j = i + 1; j < n; ++j) {
+      const Instruction& in = block.instrs[j];
+      // Any other memory access between the two stores forfeits the pair:
+      // merging delays the first store past it.
+      if (!isScalarStore(in)) {
+        bool mem = touchesMemoryState(in);
+        for (unsigned o = 0; o < in.nops && !mem; ++o)
+          if (in.ops[o].isMem() && in.ops[o].mem.poolSlot < 0) mem = true;
+        if (mem || (isa::regsWritten(in) &
+                    (isa::regBit(base) | isa::regBit(va))))
+          break;
+        continue;
+      }
+      if (edits.claimed[j] || in.ops[0].mem.base != base) break;
+      const int64_t delta = static_cast<int64_t>(in.ops[0].mem.disp) -
+                            static_cast<int64_t>(di);
+      if (delta > -8 && delta < 8) {  // overlapping stores: order matters
+        ++*bailouts;
+        break;
+      }
+      if (delta != 8 && delta != -8) break;  // not mergeable; try no further
+      Reg xt;
+      if (!scratch.take(&xt)) {
+        ++*bailouts;
+        break;
+      }
+      const Reg vb = in.ops[1].reg;
+      const Reg loReg = delta > 0 ? va : vb;
+      const Reg hiReg = delta > 0 ? vb : va;
+      const int32_t loDisp = delta > 0 ? di : in.ops[0].mem.disp;
+      edits.drop(i);
+      edits.replace(
+          j, {isa::makeInstr(Mnemonic::Movapd, 16, Operand::makeReg(xt),
+                             Operand::makeReg(loReg)),
+              isa::makeInstr(Mnemonic::Unpcklpd, 16, Operand::makeReg(xt),
+                             Operand::makeReg(hiReg)),
+              isa::makeInstr(Mnemonic::Movupd, 16, baseMem(base, loDisp),
+                             Operand::makeReg(xt))});
+      ++groups;
+      break;
+    }
+  }
+  return groups;
+}
+
+// --- trailing return-move coalescing ---------------------------------------
+//
+// The accumulator usually lives in a scratch register and is copied into
+// xmm0 right before the ret. When the destination is otherwise untouched
+// and the source is block-local, renaming the source removes the copy.
+
+size_t coalesceRetMoves(ir::CapturedFunction& fn) {
+  size_t coalesced = 0;
+  for (ir::Block& block : fn.blocks()) {
+    if (block.term.kind != ir::Terminator::Kind::Ret) continue;
+    if (block.instrs.empty()) continue;
+    const Instruction last = block.instrs.back();
+    if ((last.mnemonic != Mnemonic::Movapd &&
+         last.mnemonic != Mnemonic::Movaps) ||
+        last.nops != 2 || !last.ops[0].isReg() || !last.ops[1].isReg())
+      continue;
+    const Reg dst = last.ops[0].reg;
+    const Reg src = last.ops[1].reg;
+    if (dst == src || !isa::isXmm(dst) || !isa::isXmm(src)) continue;
+
+    const size_t lastIdx = block.instrs.size() - 1;
+    bool ok = true;
+    bool srcDefined = false;  // src's first appearance must be a full def
+    for (size_t k = 0; k < lastIdx && ok; ++k) {
+      const Instruction& in = block.instrs[k];
+      if (referencesReg(in, dst)) ok = false;
+      if (!srcDefined && referencesReg(in, src)) {
+        if (fullXmmOverwrite(in, src))
+          srcDefined = true;
+        else
+          ok = false;  // src is live-in; renaming would corrupt it
+      }
+    }
+    if (!ok || !srcDefined) continue;
+
+    for (size_t k = 0; k < lastIdx; ++k) {
+      Instruction& in = block.instrs[k];
+      for (unsigned o = 0; o < in.nops; ++o)
+        if (in.ops[o].isReg() && in.ops[o].reg == src) in.ops[o].reg = dst;
+    }
+    block.instrs.pop_back();
+    ++coalesced;
+  }
+  return coalesced;
+}
+
+}  // namespace
+
+VectorizeStats runSlpVectorize(ir::CapturedFunction& fn) {
+  VectorizeStats stats;
+  for (ir::Block& block : fn.blocks()) {
+    // Smallest packable shape: two scalar stores fed by two loads.
+    if (block.instrs.size() < 4) continue;
+    ScratchPool scratch(block);
+    EditList edits(block.instrs.size());
+
+    // f64 pairs: adjacent chains on the same accumulator, original order.
+    const std::vector<Chain> f64 = findChains(block, /*f32=*/false);
+    for (size_t i = 0; i + 1 < f64.size(); ++i) {
+      const Chain& a = f64[i];
+      const Chain& b = f64[i + 1];
+      if (a.acc != b.acc || a.base != b.base || b.init ||
+          a.consume >= b.consume || !accUntouchedBetween(block, a, b))
+        continue;
+      if (packPair(fn, block, a, b, scratch, edits)) {
+        ++stats.groups;
+        ++i;  // both chains consumed
+      } else {
+        ++stats.bailouts;
+      }
+    }
+
+    // f32 quads.
+    const std::vector<Chain> f32 = findChains(block, /*f32=*/true);
+    for (size_t i = 0; i + 3 < f32.size(); ++i) {
+      const Chain* q[4] = {&f32[i], &f32[i + 1], &f32[i + 2], &f32[i + 3]};
+      bool linked = true;
+      for (int t = 0; t < 3 && linked; ++t)
+        linked = q[t]->acc == q[t + 1]->acc && q[t]->base == q[t + 1]->base &&
+                 q[t]->consume < q[t + 1]->consume &&
+                 accUntouchedBetween(block, *q[t], *q[t + 1]);
+      if (!linked) continue;
+      if (packQuad(fn, block, q, scratch, edits, &stats.bailouts)) {
+        ++stats.groups;
+        i += 3;
+      }
+    }
+
+    stats.groups += packStorePairs(block, scratch, edits, &stats.bailouts);
+    edits.apply(fn, block);
+  }
+  stats.retMovesCoalesced = coalesceRetMoves(fn);
+  return stats;
+}
+
+// --- cross-iteration redundant-load elimination -----------------------------
+
+namespace {
+
+// An 8-byte lane whose memory value is currently live in a register.
+struct LaneFact {
+  Reg base = Reg::none;  // none => pool reference
+  int32_t disp = 0;      // byte address of the lane (slot*16 for pool)
+  Reg reg = Reg::none;
+  bool hi = false;
+};
+
+bool poolOperandArith(const Instruction& in, bool* wide) {
+  if (in.nops != 2 || !in.ops[0].isReg() || !in.ops[1].isMem() ||
+      in.ops[1].mem.poolSlot < 0)
+    return false;
+  switch (in.mnemonic) {
+    case Mnemonic::Addsd: case Mnemonic::Subsd: case Mnemonic::Mulsd:
+    case Mnemonic::Divsd: case Mnemonic::Minsd: case Mnemonic::Maxsd:
+    case Mnemonic::Sqrtsd: case Mnemonic::Ucomisd: case Mnemonic::Comisd:
+      *wide = false;
+      return true;
+    case Mnemonic::Addpd: case Mnemonic::Subpd: case Mnemonic::Mulpd:
+    case Mnemonic::Divpd: case Mnemonic::Addps: case Mnemonic::Subps:
+    case Mnemonic::Mulps: case Mnemonic::Divps: case Mnemonic::Paddd:
+      *wide = true;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+size_t runCrossIterLoads(ir::CapturedFunction& fn) {
+  size_t eliminated = 0;
+  for (ir::Block& block : fn.blocks()) {
+    const size_t n = block.instrs.size();
+    if (n < 2) continue;
+    ScratchPool scratch(block);
+
+    // --- pool-constant hoisting: every unrolled iteration re-reads its
+    // coefficients from the literal pool; a constant used twice or more is
+    // loaded once into a scratch register and the arithmetic goes
+    // register-form. A 16-byte hoist also serves scalar users of its low
+    // lane (SLP broadcast pairs share their lane constant this way).
+    struct PoolUse {
+      size_t idx;
+      int slot;
+      bool wide;
+      bool claimed = false;
+    };
+    std::vector<PoolUse> uses;
+    for (size_t k = 0; k < n; ++k) {
+      bool wide = false;
+      if (poolOperandArith(block.instrs[k], &wide))
+        uses.push_back({k, block.instrs[k].ops[1].mem.poolSlot, wide, false});
+    }
+    EditList edits(n);
+    if (uses.size() >= 2) {
+      auto value = [&](int slot) { return fn.pool()[size_t(slot)]; };
+      // Wide anchors first: each distinct 16-byte value, counting scalar
+      // low-lane matches toward its use count.
+      for (size_t i = 0; i < uses.size(); ++i) {
+        if (uses[i].claimed || !uses[i].wide) continue;
+        const ir::PoolEntry v = value(uses[i].slot);
+        std::vector<size_t> served;
+        for (size_t j = 0; j < uses.size(); ++j) {
+          if (uses[j].claimed) continue;
+          const ir::PoolEntry w = value(uses[j].slot);
+          if (uses[j].wide ? (w == v) : (w.lo == v.lo)) served.push_back(j);
+        }
+        if (served.size() < 2) continue;
+        Reg xh;
+        if (!scratch.take(&xh)) break;
+        // Insert the hoist load before the earliest served use.
+        size_t firstIdx = uses[served[0]].idx;
+        for (size_t j : served) firstIdx = std::min(firstIdx, uses[j].idx);
+        for (size_t j : served) {
+          uses[j].claimed = true;
+          Instruction in = block.instrs[uses[j].idx];
+          in.ops[1] = Operand::makeReg(xh);
+          std::vector<Instruction> repl;
+          if (uses[j].idx == firstIdx)
+            repl.push_back(isa::makeInstr(Mnemonic::Movapd, 16,
+                                          Operand::makeReg(xh),
+                                          poolMem(uses[i].slot)));
+          repl.push_back(in);
+          edits.replace(uses[j].idx, std::move(repl));
+        }
+        eliminated += served.size() - 1;
+      }
+      // Remaining scalar constants, keyed by their 8-byte value.
+      for (size_t i = 0; i < uses.size(); ++i) {
+        if (uses[i].claimed || uses[i].wide) continue;
+        const uint64_t v = value(uses[i].slot).lo;
+        std::vector<size_t> served;
+        for (size_t j = 0; j < uses.size(); ++j)
+          if (!uses[j].claimed && !uses[j].wide && value(uses[j].slot).lo == v)
+            served.push_back(j);
+        if (served.size() < 2) continue;
+        Reg xh;
+        if (!scratch.take(&xh)) break;
+        size_t firstIdx = uses[served[0]].idx;
+        for (size_t j : served) firstIdx = std::min(firstIdx, uses[j].idx);
+        for (size_t j : served) {
+          uses[j].claimed = true;
+          Instruction in = block.instrs[uses[j].idx];
+          in.ops[1] = Operand::makeReg(xh);
+          std::vector<Instruction> repl;
+          if (uses[j].idx == firstIdx)
+            repl.push_back(isa::makeInstr(Mnemonic::Movsd, 8,
+                                          Operand::makeReg(xh),
+                                          poolMem(uses[i].slot)));
+          repl.push_back(in);
+          edits.replace(uses[j].idx, std::move(repl));
+        }
+        eliminated += served.size() - 1;
+      }
+    }
+    edits.apply(fn, block);
+
+    // --- lane reuse: a scalar re-load of an address whose value a previous
+    // (packed or scalar) load still holds becomes a register move, with a
+    // lane realignment when the live copy sits in the high half.
+    std::vector<LaneFact> facts;
+    EditList reuse(block.instrs.size());
+    auto killReg = [&](uint32_t writtenMask) {
+      for (size_t i = 0; i < facts.size();) {
+        const uint32_t bits =
+            isa::regBit(facts[i].reg) |
+            (facts[i].base != Reg::none ? isa::regBit(facts[i].base) : 0u);
+        if (writtenMask & bits) {
+          facts[i] = facts.back();
+          facts.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    };
+    for (size_t k = 0; k < block.instrs.size(); ++k) {
+      const Instruction& in = block.instrs[k];
+      // Rewrite a scalar f64 re-load through a live lane.
+      if (in.mnemonic == Mnemonic::Movsd && in.nops == 2 &&
+          in.ops[0].isReg() && in.ops[1].isMem() && in.width == 8) {
+        const isa::MemOperand& m = in.ops[1].mem;
+        const Reg fbase = m.poolSlot >= 0 ? Reg::none : m.base;
+        const int32_t fdisp = m.poolSlot >= 0 ? m.poolSlot * 16 : m.disp;
+        const bool plain = plainBaseMem(m) || m.poolSlot >= 0;
+        if (plain) {
+          auto it = std::find_if(facts.begin(), facts.end(),
+                                 [&](const LaneFact& f) {
+                                   return f.base == fbase && f.disp == fdisp;
+                                 });
+          if (it != facts.end() && it->reg != in.ops[0].reg &&
+              hiLaneUnobserved(block, k, in.ops[0].reg)) {
+            const Reg dst = in.ops[0].reg;
+            std::vector<Instruction> repl;
+            repl.push_back(isa::makeInstr(Mnemonic::Movapd, 16,
+                                          Operand::makeReg(dst),
+                                          Operand::makeReg(it->reg)));
+            if (it->hi)
+              repl.push_back(isa::makeInstr(Mnemonic::Unpckhpd, 16,
+                                            Operand::makeReg(dst),
+                                            Operand::makeReg(dst)));
+            reuse.replace(k, std::move(repl));
+            ++eliminated;
+            // The destination now holds the lane value; fact bookkeeping
+            // below records it off the rewritten semantics all the same.
+          }
+        }
+      }
+
+      // Kill, then record what this instruction makes available. A movhpd/
+      // movlpd load replaces one lane only; the other lane's fact survives.
+      uint32_t written = isa::regsWritten(in);
+      if ((in.mnemonic == Mnemonic::Movhpd || in.mnemonic == Mnemonic::Movlpd) &&
+          in.nops == 2 && in.ops[0].isReg()) {
+        const Reg d = in.ops[0].reg;
+        const bool hiWrite = in.mnemonic == Mnemonic::Movhpd;
+        for (size_t i = 0; i < facts.size();)
+          if (facts[i].reg == d && facts[i].hi == hiWrite) {
+            facts[i] = facts.back();
+            facts.pop_back();
+          } else {
+            ++i;
+          }
+        written &= ~isa::regBit(d);
+      }
+      killReg(written);
+      if (touchesMemoryState(in)) {
+        for (size_t i = 0; i < facts.size();)
+          if (facts[i].base != Reg::none) {
+            facts[i] = facts.back();
+            facts.pop_back();
+          } else {
+            ++i;
+          }
+      }
+      if (in.nops == 2 && in.ops[0].isReg() && in.ops[1].isMem()) {
+        const isa::MemOperand& m = in.ops[1].mem;
+        const bool pool = m.poolSlot >= 0;
+        if (plainBaseMem(m) || pool) {
+          const Reg fbase = pool ? Reg::none : m.base;
+          const int32_t fdisp = pool ? m.poolSlot * 16 : m.disp;
+          const Reg r = in.ops[0].reg;
+          switch (in.mnemonic) {
+            case Mnemonic::Movsd:
+              facts.push_back({fbase, fdisp, r, false});
+              break;
+            case Mnemonic::Movhpd:
+              facts.push_back({fbase, fdisp, r, true});
+              break;
+            case Mnemonic::Movupd: case Mnemonic::Movapd:
+              facts.push_back({fbase, fdisp, r, false});
+              facts.push_back({fbase, fdisp + 8, r, true});
+              break;
+            default:
+              break;
+          }
+        }
+      } else if (in.mnemonic == Mnemonic::Movsd && in.nops == 2 &&
+                 in.ops[0].isMem() && plainBaseMem(in.ops[0].mem) &&
+                 in.ops[1].isReg()) {
+        // Store-to-load forwarding: the stored lane is now a known value
+        // of that address (the store itself wiped the other memory facts
+        // above).
+        facts.push_back(
+            {in.ops[0].mem.base, in.ops[0].mem.disp, in.ops[1].reg, false});
+      }
+    }
+    reuse.apply(fn, block);
+  }
+  return eliminated;
+}
+
+}  // namespace brew

@@ -1,0 +1,29 @@
+// SLP vectorization and cross-iteration load elimination over the captured
+// straight-line streams that full unrolling produces (§IV). Declarations are
+// internal to the pass pipeline; the public knobs live in PassOptions.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/captured.hpp"
+
+namespace brew {
+
+struct VectorizeStats {
+  size_t groups = 0;            // scalar groups re-emitted as packed ops
+  size_t bailouts = 0;          // candidate groups rejected by a safety check
+  size_t retMovesCoalesced = 0; // trailing return-value copies renamed away
+};
+
+// Packs isomorphic scalar load/mul/add (and store) groups into SSE packed
+// forms when memory adjacency, lane order and liveness can be proven; each
+// group falls back to scalar code independently otherwise.
+VectorizeStats runSlpVectorize(ir::CapturedFunction& fn);
+
+// Value-numbered window of live loaded lanes: repeated memory operands of
+// the unrolled stream (literal-pool constants especially) are hoisted into
+// scratch registers and re-loads become register reuse. Returns the number
+// of memory accesses eliminated.
+size_t runCrossIterLoads(ir::CapturedFunction& fn);
+
+}  // namespace brew

@@ -62,6 +62,8 @@ uint64_t PassOptions::fingerprint() const {
   bits |= static_cast<uint64_t>(redundantLoads) << 2;
   bits |= static_cast<uint64_t>(foldZeroAdd) << 3;
   bits |= static_cast<uint64_t>(mergeBlocks) << 4;
+  bits |= static_cast<uint64_t>(slpVectorize) << 5;
+  bits |= static_cast<uint64_t>(crossIterLoads) << 6;
   // Spread the low bits so the composite key mixes well.
   return (bits + 1) * 0x9e3779b97f4a7c15ULL;
 }

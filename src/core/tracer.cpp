@@ -372,9 +372,13 @@ Status Tracer::traceOne(const Instruction& in, uint64_t next) {
     case Mnemonic::Divss: case Mnemonic::Sqrtss:
     case Mnemonic::Addpd: case Mnemonic::Subpd: case Mnemonic::Mulpd:
     case Mnemonic::Divpd:
+    case Mnemonic::Addps: case Mnemonic::Subps: case Mnemonic::Mulps:
+    case Mnemonic::Divps: case Mnemonic::Paddd:
     case Mnemonic::Pxor: case Mnemonic::Xorpd: case Mnemonic::Xorps:
     case Mnemonic::Andpd: case Mnemonic::Andps: case Mnemonic::Orpd:
+    case Mnemonic::Orps:
     case Mnemonic::Unpcklpd: case Mnemonic::Unpckhpd: case Mnemonic::Shufpd:
+    case Mnemonic::Unpcklps: case Mnemonic::Unpckhps: case Mnemonic::Shufps:
     case Mnemonic::Ucomisd: case Mnemonic::Comisd:
     case Mnemonic::Ucomiss: case Mnemonic::Comiss:
     case Mnemonic::Cvtsi2sd: case Mnemonic::Cvtsi2ss:
@@ -1924,9 +1928,14 @@ Status Tracer::traceSse(const Instruction& in, uint64_t next) {
     // --- packed arithmetic / logicals ---
     case Mnemonic::Addpd: case Mnemonic::Subpd: case Mnemonic::Mulpd:
     case Mnemonic::Divpd:
+    case Mnemonic::Addps: case Mnemonic::Subps: case Mnemonic::Mulps:
+    case Mnemonic::Divps: case Mnemonic::Paddd:
     case Mnemonic::Pxor: case Mnemonic::Xorpd: case Mnemonic::Xorps:
     case Mnemonic::Andpd: case Mnemonic::Andps: case Mnemonic::Orpd:
+    case Mnemonic::Orps:
     case Mnemonic::Unpcklpd: case Mnemonic::Unpckhpd:
+    case Mnemonic::Unpcklps: case Mnemonic::Unpckhps:
+    case Mnemonic::Shufps:
     case Mnemonic::Shufpd: {
       const bool zeroIdiom =
           (in.mnemonic == Mnemonic::Pxor || in.mnemonic == Mnemonic::Xorpd ||
@@ -1949,6 +1958,19 @@ Status Tracer::traceSse(const Instruction& in, uint64_t next) {
           bhi->isKnown()) {
         ++stats_.elidedInstructions;
         uint64_t rlo = 0, rhi = 0;
+        // Packed-single helpers: each 64-bit lane holds two f32 sub-lanes.
+        const auto ps2 = [](Mnemonic ss, uint64_t a, uint64_t b) {
+          const uint64_t lo =
+              emu::evalFpScalar(ss, 4, a & 0xffffffffu, b & 0xffffffffu) &
+              0xffffffffu;
+          const uint64_t hi =
+              emu::evalFpScalar(ss, 4, a >> 32, b >> 32) & 0xffffffffu;
+          return lo | (hi << 32);
+        };
+        const auto f32lane = [](uint64_t lo, uint64_t hi, unsigned i) {
+          const uint64_t lane = (i < 2) ? lo : hi;
+          return (i & 1) ? (lane >> 32) : (lane & 0xffffffffu);
+        };
         switch (in.mnemonic) {
           case Mnemonic::Addpd:
             rlo = emu::evalFpScalar(Mnemonic::Addsd, 8, alo->bits, blo->bits);
@@ -1966,6 +1988,32 @@ Status Tracer::traceSse(const Instruction& in, uint64_t next) {
             rlo = emu::evalFpScalar(Mnemonic::Divsd, 8, alo->bits, blo->bits);
             rhi = emu::evalFpScalar(Mnemonic::Divsd, 8, ahi->bits, bhi->bits);
             break;
+          case Mnemonic::Addps:
+            rlo = ps2(Mnemonic::Addss, alo->bits, blo->bits);
+            rhi = ps2(Mnemonic::Addss, ahi->bits, bhi->bits);
+            break;
+          case Mnemonic::Subps:
+            rlo = ps2(Mnemonic::Subss, alo->bits, blo->bits);
+            rhi = ps2(Mnemonic::Subss, ahi->bits, bhi->bits);
+            break;
+          case Mnemonic::Mulps:
+            rlo = ps2(Mnemonic::Mulss, alo->bits, blo->bits);
+            rhi = ps2(Mnemonic::Mulss, ahi->bits, bhi->bits);
+            break;
+          case Mnemonic::Divps:
+            rlo = ps2(Mnemonic::Divss, alo->bits, blo->bits);
+            rhi = ps2(Mnemonic::Divss, ahi->bits, bhi->bits);
+            break;
+          case Mnemonic::Paddd: {
+            const auto add32 = [](uint64_t a, uint64_t b) {
+              const uint64_t lo = (a + b) & 0xffffffffu;
+              const uint64_t hi = ((a >> 32) + (b >> 32)) & 0xffffffffu;
+              return lo | (hi << 32);
+            };
+            rlo = add32(alo->bits, blo->bits);
+            rhi = add32(ahi->bits, bhi->bits);
+            break;
+          }
           case Mnemonic::Pxor: case Mnemonic::Xorpd: case Mnemonic::Xorps:
             rlo = alo->bits ^ blo->bits;
             rhi = ahi->bits ^ bhi->bits;
@@ -1974,7 +2022,7 @@ Status Tracer::traceSse(const Instruction& in, uint64_t next) {
             rlo = alo->bits & blo->bits;
             rhi = ahi->bits & bhi->bits;
             break;
-          case Mnemonic::Orpd:
+          case Mnemonic::Orpd: case Mnemonic::Orps:
             rlo = alo->bits | blo->bits;
             rhi = ahi->bits | bhi->bits;
             break;
@@ -1990,6 +2038,26 @@ Status Tracer::traceSse(const Instruction& in, uint64_t next) {
             const uint8_t sel = static_cast<uint8_t>(in.ops[2].imm);
             rlo = (sel & 1) ? ahi->bits : alo->bits;
             rhi = ((sel >> 1) & 1) ? bhi->bits : blo->bits;
+            break;
+          }
+          case Mnemonic::Unpcklps:
+            rlo = f32lane(alo->bits, ahi->bits, 0) |
+                  (f32lane(blo->bits, bhi->bits, 0) << 32);
+            rhi = f32lane(alo->bits, ahi->bits, 1) |
+                  (f32lane(blo->bits, bhi->bits, 1) << 32);
+            break;
+          case Mnemonic::Unpckhps:
+            rlo = f32lane(alo->bits, ahi->bits, 2) |
+                  (f32lane(blo->bits, bhi->bits, 2) << 32);
+            rhi = f32lane(alo->bits, ahi->bits, 3) |
+                  (f32lane(blo->bits, bhi->bits, 3) << 32);
+            break;
+          case Mnemonic::Shufps: {
+            const uint8_t sel = static_cast<uint8_t>(in.ops[2].imm);
+            rlo = f32lane(alo->bits, ahi->bits, sel & 3) |
+                  (f32lane(alo->bits, ahi->bits, (sel >> 2) & 3) << 32);
+            rhi = f32lane(blo->bits, bhi->bits, (sel >> 4) & 3) |
+                  (f32lane(blo->bits, bhi->bits, (sel >> 6) & 3) << 32);
             break;
           }
           default:

@@ -392,8 +392,82 @@ Status Interpreter::step() {
       return Status::okStatus();
     }
 
+    case Mnemonic::Addps: case Mnemonic::Subps: case Mnemonic::Mulps:
+    case Mnemonic::Divps: case Mnemonic::Paddd: {
+      uint64_t* d = xmm_[isa::regNum(in.ops[0].reg)];
+      uint64_t slo, shi;
+      if (in.ops[1].isReg()) {
+        slo = xmm_[isa::regNum(in.ops[1].reg)][0];
+        shi = xmm_[isa::regNum(in.ops[1].reg)][1];
+      } else {
+        const uint64_t addr = effAddr(in.ops[1].mem);
+        slo = loadMem(addr, 8);
+        shi = loadMem(addr + 8, 8);
+      }
+      // Each 64-bit half holds two 32-bit sub-lanes.
+      const auto lane2 = [&](uint64_t a, uint64_t b) {
+        if (in.mnemonic == Mnemonic::Paddd) {
+          const uint64_t lo = (a + b) & 0xffffffffu;
+          const uint64_t hi = ((a >> 32) + (b >> 32)) & 0xffffffffu;
+          return lo | (hi << 32);
+        }
+        Mnemonic ss;
+        switch (in.mnemonic) {
+          case Mnemonic::Addps: ss = Mnemonic::Addss; break;
+          case Mnemonic::Subps: ss = Mnemonic::Subss; break;
+          case Mnemonic::Mulps: ss = Mnemonic::Mulss; break;
+          default: ss = Mnemonic::Divss; break;
+        }
+        const uint64_t lo =
+            evalFpScalar(ss, 4, a & 0xffffffffu, b & 0xffffffffu) &
+            0xffffffffu;
+        const uint64_t hi = evalFpScalar(ss, 4, a >> 32, b >> 32) &
+                            0xffffffffu;
+        return lo | (hi << 32);
+      };
+      d[0] = lane2(d[0], slo);
+      d[1] = lane2(d[1], shi);
+      return Status::okStatus();
+    }
+
+    case Mnemonic::Unpcklps: case Mnemonic::Unpckhps:
+    case Mnemonic::Shufps: {
+      uint64_t* d = xmm_[isa::regNum(in.ops[0].reg)];
+      uint64_t s[2];
+      if (in.ops[1].isReg()) {
+        s[0] = xmm_[isa::regNum(in.ops[1].reg)][0];
+        s[1] = xmm_[isa::regNum(in.ops[1].reg)][1];
+      } else {
+        const uint64_t addr = effAddr(in.ops[1].mem);
+        s[0] = loadMem(addr, 8);
+        s[1] = loadMem(addr + 8, 8);
+      }
+      const auto lane = [](const uint64_t* x, unsigned i) {
+        const uint64_t half = x[i >> 1];
+        return (i & 1) ? (half >> 32) : (half & 0xffffffffu);
+      };
+      uint64_t r[4];
+      if (in.mnemonic == Mnemonic::Unpcklps) {
+        r[0] = lane(d, 0); r[1] = lane(s, 0);
+        r[2] = lane(d, 1); r[3] = lane(s, 1);
+      } else if (in.mnemonic == Mnemonic::Unpckhps) {
+        r[0] = lane(d, 2); r[1] = lane(s, 2);
+        r[2] = lane(d, 3); r[3] = lane(s, 3);
+      } else {
+        const uint8_t sel = static_cast<uint8_t>(in.ops[2].imm);
+        r[0] = lane(d, sel & 3);
+        r[1] = lane(d, (sel >> 2) & 3);
+        r[2] = lane(s, (sel >> 4) & 3);
+        r[3] = lane(s, (sel >> 6) & 3);
+      }
+      d[0] = r[0] | (r[1] << 32);
+      d[1] = r[2] | (r[3] << 32);
+      return Status::okStatus();
+    }
+
     case Mnemonic::Pxor: case Mnemonic::Xorpd: case Mnemonic::Xorps:
-    case Mnemonic::Andpd: case Mnemonic::Andps: case Mnemonic::Orpd: {
+    case Mnemonic::Andpd: case Mnemonic::Andps: case Mnemonic::Orpd:
+    case Mnemonic::Orps: {
       uint64_t* d = xmm_[isa::regNum(in.ops[0].reg)];
       uint64_t slo, shi;
       if (in.ops[1].isReg()) {

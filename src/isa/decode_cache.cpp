@@ -30,6 +30,23 @@ constexpr uint64_t kMaxInstructionLength = 15;
 // factor, so warm traces still report a decode share.
 constexpr uint64_t kHitSamplePeriod = 64;
 
+// Cost of the clock itself, measured once per thread. A sampled hit's
+// delta spans two nowNs() calls around a ~2ns probe, so the raw reading
+// is mostly clock_gettime overhead; scaled by kHitSamplePeriod that used
+// to overstate warm-trace phase.decode_ns by roughly an order of
+// magnitude. The minimum over a short back-to-back burst is the stable
+// per-call floor (larger deltas are interrupts / timer granularity).
+uint64_t calibrateClockOverheadNs() noexcept {
+  uint64_t best = ~uint64_t{0};
+  uint64_t prev = telemetry::nowNs();
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t now = telemetry::nowNs();
+    if (now - prev < best) best = now - prev;
+    prev = now;
+  }
+  return best == ~uint64_t{0} ? 0 : best;
+}
+
 struct ThreadCache {
   // tag[i] == 0 means empty; address 0 is never a decodable address.
   uint64_t tag[kWays] = {};
@@ -39,6 +56,22 @@ struct ThreadCache {
   std::vector<brew::CodeMutation> scratch;
   DecodeCacheStats stats;
   uint64_t sampleTick = 0;  // hit-path clock sampling (1 in kHitSamplePeriod)
+  uint64_t clockOverheadNs = calibrateClockOverheadNs();
+  uint64_t hitEwmaNsX16 = 0;  // EWMA of corrected samples, x16 fixed point
+
+  // One corrected hit sample: remove the measured clock cost (floor 1ns —
+  // a hit is never free), then smooth with an EWMA (alpha = 1/8) so a
+  // single preempted sample cannot inflate an entire 64-hit window.
+  uint64_t chargeHitSample(uint64_t rawDeltaNs) noexcept {
+    const uint64_t corrected =
+        rawDeltaNs > clockOverheadNs ? rawDeltaNs - clockOverheadNs : 1;
+    if (hitEwmaNsX16 == 0)
+      hitEwmaNsX16 = corrected * 16;
+    else
+      hitEwmaNsX16 += (static_cast<int64_t>(corrected * 16) -
+                       static_cast<int64_t>(hitEwmaNsX16)) / 8;
+    return (hitEwmaNsX16 / 16) * kHitSamplePeriod;
+  }
 
   void flushAll() {
     for (auto& t : tag) t = 0;
@@ -104,7 +137,7 @@ Result<const Instruction*> decodeCachedAt(uint64_t address) {
   if (c.tag[slot] == address) {
     ++c.stats.hits;
     if (sampleHit)
-      c.stats.hitNs += (telemetry::nowNs() - tLookup) * kHitSamplePeriod;
+      c.stats.hitNs += c.chargeHitSample(telemetry::nowNs() - tLookup);
     return &c.entry[slot];
   }
 
@@ -113,13 +146,15 @@ Result<const Instruction*> decodeCachedAt(uint64_t address) {
     c.entry[slot] = it->second;
     ++c.stats.hits;
     if (sampleHit)
-      c.stats.hitNs += (telemetry::nowNs() - tLookup) * kHitSamplePeriod;
+      c.stats.hitNs += c.chargeHitSample(telemetry::nowNs() - tLookup);
     return &c.entry[slot];
   }
 
   const uint64_t t0 = sampleHit ? tLookup : telemetry::nowNs();
   auto decoded = decodeAt(address);
-  c.stats.missNs += telemetry::nowNs() - t0;
+  const uint64_t missDelta = telemetry::nowNs() - t0;
+  c.stats.missNs +=
+      missDelta > c.clockOverheadNs ? missDelta - c.clockOverheadNs : 1;
   ++c.stats.misses;
   if (!decoded) return decoded.error();
 

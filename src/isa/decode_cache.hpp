@@ -23,9 +23,14 @@
 // Per-thread hit/miss stats are always-on. Misses are clocked
 // unconditionally; hits are clocked on a 1-in-64 sample and pre-scaled, so
 // phase.decode_ns reflects real decode cost even in fully warm runs where
-// every lookup hits, without paying two clock reads per instruction. The
-// tracer publishes per-trace deltas to the telemetry registry, keeping the
-// hot path free of atomics.
+// every lookup hits, without paying two clock reads per instruction.
+// Sampled deltas are corrected for the clock's own cost — each thread
+// calibrates clock_gettime overhead once (minimum of a back-to-back
+// burst) and subtracts it per sample (floor 1ns), then smooths with an
+// EWMA before scaling; the raw reading is mostly clock overhead for a
+// ~2ns probe and, pre-scaled, used to overstate warm-trace decode time by
+// roughly 10x. The tracer publishes per-trace deltas to the telemetry
+// registry, keeping the hot path free of atomics.
 #pragma once
 
 #include <cstdint>
@@ -40,8 +45,9 @@ namespace brew::isa {
 struct DecodeCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
-  uint64_t missNs = 0;  // wall time inside the decoder on misses
-  uint64_t hitNs = 0;   // estimated hit-path time: 1-in-64 sampled, ×64
+  uint64_t missNs = 0;  // decoder wall time on misses, clock cost removed
+  uint64_t hitNs = 0;   // hit-path estimate: 1-in-64 sampled, clock cost
+                        // removed, EWMA-smoothed, scaled back ×64
 };
 
 // Decodes the instruction at a live address in this process, serving

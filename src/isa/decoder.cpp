@@ -630,10 +630,12 @@ Result<Instruction> decodeImpl(std::span<const uint8_t> bytes,
 
     case 0x14:
       if (sse == SsePfx::P66) return xmmRM(Mnemonic::Unpcklpd, 16);
-      return fail(address, "unpcklps unsupported");
+      if (sse == SsePfx::None) return xmmRM(Mnemonic::Unpcklps, 16);
+      return fail(address, "0F 14 with rep prefix");
     case 0x15:
       if (sse == SsePfx::P66) return xmmRM(Mnemonic::Unpckhpd, 16);
-      return fail(address, "unpckhps unsupported");
+      if (sse == SsePfx::None) return xmmRM(Mnemonic::Unpckhps, 16);
+      return fail(address, "0F 15 with rep prefix");
 
     case 0x1E:
       if (sse == SsePfx::PF3 && cur.peek() == 0xFA) {
@@ -725,7 +727,8 @@ Result<Instruction> decodeImpl(std::span<const uint8_t> bytes,
       return fail(address, "0F 54");
     case 0x56:
       if (sse == SsePfx::P66) return xmmRM(Mnemonic::Orpd, 16);
-      return fail(address, "orps unsupported");
+      if (sse == SsePfx::None) return xmmRM(Mnemonic::Orps, 16);
+      return fail(address, "0F 56 with rep prefix");
     case 0x57:
       if (sse == SsePfx::P66) return xmmRM(Mnemonic::Xorpd, 16);
       if (sse == SsePfx::None) return xmmRM(Mnemonic::Xorps, 16);
@@ -733,23 +736,27 @@ Result<Instruction> decodeImpl(std::span<const uint8_t> bytes,
 
     case 0x58: case 0x59: case 0x5C: case 0x5D: case 0x5E: case 0x5F: {
       struct Row {
-        Mnemonic sd, ss, pd;
+        Mnemonic sd, ss, pd, ps;
       };
       Row row;
       switch (op2) {
-        case 0x58: row = {Mnemonic::Addsd, Mnemonic::Addss, Mnemonic::Addpd};
+        case 0x58: row = {Mnemonic::Addsd, Mnemonic::Addss, Mnemonic::Addpd,
+                          Mnemonic::Addps};
           break;
-        case 0x59: row = {Mnemonic::Mulsd, Mnemonic::Mulss, Mnemonic::Mulpd};
+        case 0x59: row = {Mnemonic::Mulsd, Mnemonic::Mulss, Mnemonic::Mulpd,
+                          Mnemonic::Mulps};
           break;
-        case 0x5C: row = {Mnemonic::Subsd, Mnemonic::Subss, Mnemonic::Subpd};
+        case 0x5C: row = {Mnemonic::Subsd, Mnemonic::Subss, Mnemonic::Subpd,
+                          Mnemonic::Subps};
           break;
         case 0x5D: row = {Mnemonic::Minsd, Mnemonic::Invalid,
-                          Mnemonic::Invalid};
+                          Mnemonic::Invalid, Mnemonic::Invalid};
           break;
-        case 0x5E: row = {Mnemonic::Divsd, Mnemonic::Divss, Mnemonic::Divpd};
+        case 0x5E: row = {Mnemonic::Divsd, Mnemonic::Divss, Mnemonic::Divpd,
+                          Mnemonic::Divps};
           break;
         default:   row = {Mnemonic::Maxsd, Mnemonic::Invalid,
-                          Mnemonic::Invalid};
+                          Mnemonic::Invalid, Mnemonic::Invalid};
           break;
       }
       Mnemonic mn = Mnemonic::Invalid;
@@ -762,6 +769,9 @@ Result<Instruction> decodeImpl(std::span<const uint8_t> bytes,
         w = 4;
       } else if (sse == SsePfx::P66) {
         mn = row.pd;
+        w = 16;
+      } else {
+        mn = row.ps;
         w = 16;
       }
       if (mn == Mnemonic::Invalid) return fail(address, "SSE arith form");
@@ -864,12 +874,14 @@ Result<Instruction> decodeImpl(std::span<const uint8_t> bytes,
       return finish();
     }
 
-    case 0xC6: {  // shufpd xmm, xmm/m, imm8
-      if (sse != SsePfx::P66) return fail(address, "shufps unsupported");
+    case 0xC6: {  // shufpd/shufps xmm, xmm/m, imm8
+      if (sse != SsePfx::P66 && sse != SsePfx::None)
+        return fail(address, "0F C6 with rep prefix");
       auto mrm = decodeModRM(cur, pfx, address, /*rmIsXmm=*/true);
       if (!mrm) return mrm.error();
       const int64_t imm = cur.u8();
-      instr.mnemonic = Mnemonic::Shufpd;
+      instr.mnemonic =
+          (sse == SsePfx::P66) ? Mnemonic::Shufpd : Mnemonic::Shufps;
       instr.width = 16;
       instr.setOps(Operand::makeReg(xmmFromNum(mrm->regNum)), mrm->rm,
                    Operand::makeImm(imm));
@@ -879,6 +891,11 @@ Result<Instruction> decodeImpl(std::span<const uint8_t> bytes,
     case 0xEF: {  // pxor
       if (sse != SsePfx::P66) return fail(address, "mmx pxor unsupported");
       return xmmRM(Mnemonic::Pxor, 16);
+    }
+
+    case 0xFE: {  // paddd
+      if (sse != SsePfx::P66) return fail(address, "mmx paddd unsupported");
+      return xmmRM(Mnemonic::Paddd, 16);
     }
 
     default:

@@ -252,14 +252,22 @@ bool sseArithForm(Mnemonic m, SseForm& f) {
     case Mnemonic::Mulpd: f = {0x66, 0x59}; return true;
     case Mnemonic::Subpd: f = {0x66, 0x5C}; return true;
     case Mnemonic::Divpd: f = {0x66, 0x5E}; return true;
+    case Mnemonic::Addps: f = {0x00, 0x58}; return true;
+    case Mnemonic::Mulps: f = {0x00, 0x59}; return true;
+    case Mnemonic::Subps: f = {0x00, 0x5C}; return true;
+    case Mnemonic::Divps: f = {0x00, 0x5E}; return true;
+    case Mnemonic::Paddd: f = {0x66, 0xFE}; return true;
     case Mnemonic::Pxor: f = {0x66, 0xEF}; return true;
     case Mnemonic::Xorpd: f = {0x66, 0x57}; return true;
     case Mnemonic::Xorps: f = {0x00, 0x57}; return true;
     case Mnemonic::Andpd: f = {0x66, 0x54}; return true;
     case Mnemonic::Andps: f = {0x00, 0x54}; return true;
     case Mnemonic::Orpd: f = {0x66, 0x56}; return true;
+    case Mnemonic::Orps: f = {0x00, 0x56}; return true;
     case Mnemonic::Unpcklpd: f = {0x66, 0x14}; return true;
     case Mnemonic::Unpckhpd: f = {0x66, 0x15}; return true;
+    case Mnemonic::Unpcklps: f = {0x00, 0x14}; return true;
+    case Mnemonic::Unpckhps: f = {0x00, 0x15}; return true;
     case Mnemonic::Ucomisd: f = {0x66, 0x2E}; return true;
     case Mnemonic::Comisd: f = {0x66, 0x2F}; return true;
     case Mnemonic::Ucomiss: f = {0x00, 0x2E}; return true;
@@ -753,8 +761,11 @@ Status encodeImpl(const Instruction& instr, uint64_t instrAddress,
                       0, 0, poolSlot, ripTarget, instrAddress);
     }
 
-    case Mnemonic::Shufpd: {
-      Form f{.mandatory = 0x66, .escape0F = true, .opcode = 0xC6};
+    case Mnemonic::Shufpd: case Mnemonic::Shufps: {
+      Form f{.mandatory = static_cast<uint8_t>(
+                 mn == Mnemonic::Shufpd ? 0x66 : 0x00),
+             .escape0F = true,
+             .opcode = 0xC6};
       return emitForm(em, instr, f, regNum(instr.ops[0].reg), instr.ops[1],
                       instr.ops[2].imm, 1, poolSlot, ripTarget, instrAddress);
     }

@@ -80,6 +80,11 @@ const char* mnemonicName(Mnemonic m) noexcept {
     case Mnemonic::Subpd: return "subpd";
     case Mnemonic::Mulpd: return "mulpd";
     case Mnemonic::Divpd: return "divpd";
+    case Mnemonic::Addps: return "addps";
+    case Mnemonic::Subps: return "subps";
+    case Mnemonic::Mulps: return "mulps";
+    case Mnemonic::Divps: return "divps";
+    case Mnemonic::Paddd: return "paddd";
     case Mnemonic::Ucomisd: return "ucomisd";
     case Mnemonic::Comisd: return "comisd";
     case Mnemonic::Ucomiss: return "ucomiss";
@@ -90,9 +95,13 @@ const char* mnemonicName(Mnemonic m) noexcept {
     case Mnemonic::Andpd: return "andpd";
     case Mnemonic::Andps: return "andps";
     case Mnemonic::Orpd: return "orpd";
+    case Mnemonic::Orps: return "orps";
     case Mnemonic::Unpcklpd: return "unpcklpd";
     case Mnemonic::Unpckhpd: return "unpckhpd";
     case Mnemonic::Shufpd: return "shufpd";
+    case Mnemonic::Unpcklps: return "unpcklps";
+    case Mnemonic::Unpckhps: return "unpckhps";
+    case Mnemonic::Shufps: return "shufps";
     case Mnemonic::Cvtsi2sd: return "cvtsi2sd";
     case Mnemonic::Cvttsd2si: return "cvttsd2si";
     case Mnemonic::Cvtsd2ss: return "cvtsd2ss";
@@ -213,9 +222,13 @@ bool readsDestination(const Instruction& instr) noexcept {
     case Mnemonic::Divss:
     case Mnemonic::Addpd: case Mnemonic::Subpd: case Mnemonic::Mulpd:
     case Mnemonic::Divpd:
+    case Mnemonic::Addps: case Mnemonic::Subps: case Mnemonic::Mulps:
+    case Mnemonic::Divps: case Mnemonic::Paddd:
     case Mnemonic::Pxor: case Mnemonic::Xorpd: case Mnemonic::Xorps:
     case Mnemonic::Andpd: case Mnemonic::Andps: case Mnemonic::Orpd:
+    case Mnemonic::Orps:
     case Mnemonic::Unpcklpd: case Mnemonic::Unpckhpd: case Mnemonic::Shufpd:
+    case Mnemonic::Unpcklps: case Mnemonic::Unpckhps: case Mnemonic::Shufps:
       return true;
     // 3-operand imul (dst <- src * imm) does not read dst; the tracer
     // distinguishes by nops.

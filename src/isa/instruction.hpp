@@ -57,9 +57,12 @@ enum class Mnemonic : uint8_t {
   Addsd, Subsd, Mulsd, Divsd, Minsd, Maxsd, Sqrtsd,
   Addss, Subss, Mulss, Divss, Sqrtss,
   Addpd, Subpd, Mulpd, Divpd,
+  Addps, Subps, Mulps, Divps,  // packed single (4 x f32 lanes)
+  Paddd,                       // packed 32-bit integer add
   Ucomisd, Comisd, Ucomiss, Comiss,
-  Pxor, Xorpd, Xorps, Andpd, Andps, Orpd,
+  Pxor, Xorpd, Xorps, Andpd, Andps, Orpd, Orps,
   Unpcklpd, Unpckhpd, Shufpd,
+  Unpcklps, Unpckhps, Shufps,
   Cvtsi2sd,  // xmm <- int r/m (srcWidth 4 or 8)
   Cvttsd2si, // int r <- xmm (width 4 or 8)
   Cvtsd2ss, Cvtss2sd,

@@ -53,6 +53,8 @@ constexpr const char* kCounterNames[] = {
     "passes.dead_flags_removed",
     "passes.loads_forwarded",
     "passes.zero_add_folds",
+    "passes.vectorized_groups",
+    "passes.loads_eliminated",
     "emit.instructions",
     "emit.code_bytes",
     "emit.pool_bytes",
@@ -101,6 +103,7 @@ constexpr const char* kHistogramNames[] = {
     "phase.decode_ns",
     "phase.emulate_ns",
     "phase.passes_ns",
+    "phase.vectorize_ns",
     "phase.emit_ns",
     "phase.install_ns",
     "phase.rewrite_ns",

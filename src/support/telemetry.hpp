@@ -52,6 +52,8 @@ enum class CounterId : int {
   PassDeadFlagsRemoved,
   PassLoadsForwarded,
   PassZeroAddFolds,
+  PassVectorizedGroups,   // scalar groups re-emitted as one packed SSE op
+  PassLoadsEliminated,    // cross-iteration re-loads replaced by reg reuse
   EmitInstructions,
   EmitCodeBytes,
   EmitPoolBytes,
@@ -96,6 +98,7 @@ enum class HistogramId : int {
   PhaseDecodeNs,          // per rewrite: time inside the instruction decoder
   PhaseEmulateNs,         // per rewrite: trace/emulate time minus decode
   PhasePassesNs,
+  PhaseVectorizeNs,       // SLP + cross-iteration passes inside runPasses
   PhaseEmitNs,
   PhaseInstallNs,         // registration + block adoption / publication
   RewriteNs,              // whole compileSpecialization

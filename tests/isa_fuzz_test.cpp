@@ -91,6 +91,48 @@ TEST_P(DecoderFuzz, ValidPrefixSoup) {
   }
 }
 
+TEST_P(DecoderFuzz, PackedSseSoup) {
+  // Bias toward the packed-SSE rows the SLP vectorizer emits: optional
+  // 66/F3 prefix, 0F escape, a mov/arith/shuffle opcode, random tail.
+  // Exercises the imm8-carrying shufps path and the P66-vs-none mnemonic
+  // splits (movupd/movups, addpd/addps, ...).
+  Prng rng(GetParam() * 104729);
+  const uint8_t opcodes[] = {0x10, 0x11, 0x28, 0x29, 0x14, 0x15, 0x51,
+                             0x54, 0x56, 0x58, 0x59, 0x5C, 0x5E, 0x5D,
+                             0x5F, 0xC6, 0xEF, 0xFE};
+  std::vector<uint8_t> buf(16);
+  size_t decoded = 0;
+  for (int i = 0; i < 30000; ++i) {
+    size_t pos = 0;
+    const double pick = rng.uniform();
+    if (pick < 0.35)
+      buf[pos++] = 0x66;
+    else if (pick < 0.5)
+      buf[pos++] = 0xF3;
+    if (rng.chance(0.25))
+      buf[pos++] = static_cast<uint8_t>(0x40 | rng.below(16));
+    buf[pos++] = 0x0F;
+    buf[pos++] = opcodes[rng.below(std::size(opcodes))];
+    for (; pos < buf.size(); ++pos)
+      buf[pos] = static_cast<uint8_t>(rng.next());
+    auto instr = decodeOne(buf, 0x400000);
+    if (!instr.ok()) continue;
+    ++decoded;
+    checkWellFormed(*instr);
+    std::vector<uint8_t> out;
+    Status s = encode(*instr, 0x400000, out);
+    if (s.ok()) {
+      auto redecoded = decodeOne(out, 0x400000);
+      ASSERT_TRUE(redecoded.ok())
+          << toString(*instr) << " re-encoded to undecodable bytes";
+      EXPECT_EQ(redecoded->mnemonic, instr->mnemonic) << toString(*instr);
+    } else {
+      EXPECT_EQ(s.error().code, ErrorCode::UnencodableInstruction);
+    }
+  }
+  EXPECT_GT(decoded, 1000u);
+}
+
 TEST(DecoderFuzz, TruncationsNeverOverread) {
   // Every prefix of a valid instruction decodes or fails cleanly.
   const std::vector<std::vector<uint8_t>> valid = {
@@ -99,6 +141,10 @@ TEST(DecoderFuzz, TruncationsNeverOverread) {
       {0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8},              // movabs
       {0x0f, 0x1f, 0x84, 0x00, 0, 0, 0, 0},              // long nop
       {0x66, 0x0f, 0xef, 0xc9},                          // pxor
+      {0x0f, 0x10, 0x47, 0xf8},                          // movups load
+      {0x0f, 0xc6, 0xc1, 0x39},                          // shufps imm8
+      {0x66, 0x0f, 0xfe, 0xc1},                          // paddd
+      {0x0f, 0x59, 0x4c, 0x24, 0x10},                    // mulps [rsp+16]
   };
   for (const auto& bytes : valid) {
     for (size_t len = 0; len <= bytes.size(); ++len) {

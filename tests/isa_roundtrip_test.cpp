@@ -188,6 +188,47 @@ TEST(RoundTrip, SseMoves) {
   }
 }
 
+TEST(RoundTrip, PackedSingleAndIntegerForms) {
+  // The SLP vectorizer emits these packed forms; every operand shape it
+  // uses (reg-reg, load, store) must survive encode→decode→encode.
+  const Mnemonic arith[] = {Mnemonic::Addps,    Mnemonic::Subps,
+                            Mnemonic::Mulps,    Mnemonic::Divps,
+                            Mnemonic::Paddd,    Mnemonic::Orps,
+                            Mnemonic::Unpcklps, Mnemonic::Unpckhps};
+  for (Mnemonic mn : arith) {
+    expectRoundTrip(makeInstr(mn, 16, Operand::makeReg(Reg::xmm2),
+                              Operand::makeReg(Reg::xmm11)));
+    expectRoundTrip(
+        makeInstr(mn, 16, Operand::makeReg(Reg::xmm8),
+                  Operand::makeMem(MemOperand{.base = Reg::rsi,
+                                              .disp = -0x20})));
+  }
+  for (Mnemonic mn : {Mnemonic::Movups, Mnemonic::Movaps}) {
+    const MemOperand m{.base = Reg::r9, .disp = 0x40};
+    expectRoundTrip(makeInstr(mn, 16, Operand::makeReg(Reg::xmm3),
+                              Operand::makeMem(m)));
+    expectRoundTrip(makeInstr(mn, 16, Operand::makeMem(m),
+                              Operand::makeReg(Reg::xmm14)));
+  }
+}
+
+TEST(RoundTrip, ShufpsImmediateForms) {
+  for (const int64_t imm : {0x00, 0x39, 0x4E, 0xB1, 0xFF}) {
+    expectRoundTrip(makeInstr(Mnemonic::Shufps, 16,
+                              Operand::makeReg(Reg::xmm1),
+                              Operand::makeReg(Reg::xmm6),
+                              Operand::makeImm(imm)));
+    expectRoundTrip(makeInstr(Mnemonic::Shufpd, 16,
+                              Operand::makeReg(Reg::xmm9),
+                              Operand::makeReg(Reg::xmm2),
+                              Operand::makeImm(imm & 3)));
+    expectRoundTrip(makeInstr(
+        Mnemonic::Shufps, 16, Operand::makeReg(Reg::xmm4),
+        Operand::makeMem(MemOperand{.base = Reg::rbx, .disp = 16}),
+        Operand::makeImm(imm)));
+  }
+}
+
 TEST(RoundTrip, MovqMovdForms) {
   expectRoundTrip(makeInstr(Mnemonic::Movq, 8, Operand::makeReg(Reg::xmm0),
                             Operand::makeReg(Reg::rax)));

@@ -31,6 +31,8 @@ PassOptions only(bool peephole, bool deadFlags, bool loads,
   options.redundantLoads = loads;
   options.foldZeroAdd = zeroAdd;
   options.mergeBlocks = false;  // structure-sensitive tests pick passes
+  options.slpVectorize = false;
+  options.crossIterLoads = false;
   return options;
 }
 

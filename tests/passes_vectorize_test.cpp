@@ -1,0 +1,322 @@
+// Differential tests for the SLP vectorizer and cross-iteration
+// redundant-load elimination (§IV). The contract under test is strict:
+// the optimized capture must produce byte-identical results to the
+// scalar one — FP addition is not reassociated, lane extraction replays
+// the original accumulation order — including on the bailout shapes the
+// packer must refuse (overlapping stores, non-contiguous lanes,
+// out-of-order consumption).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/rewriter.hpp"
+#include "ir/captured.hpp"
+#include "support/prng.hpp"
+
+namespace brew {
+namespace {
+
+using isa::makeInstr;
+using isa::MemOperand;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+
+uint64_t f64bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return bits;
+}
+
+uint32_t f32bits(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  return bits;
+}
+
+Operand xmm(int n) { return Operand::makeReg(isa::xmmFromNum(n)); }
+
+Operand poolRef(int slot) {
+  MemOperand m;
+  m.ripRelative = true;
+  m.poolSlot = slot;
+  return Operand::makeMem(m);
+}
+
+Operand memAt(int32_t disp) {
+  return Operand::makeMem(MemOperand{.base = Reg::rdi, .disp = disp});
+}
+
+// Scalar options: the legacy pipeline with both new passes off.
+PassOptions scalarOptions() {
+  PassOptions options;
+  options.slpVectorize = false;
+  options.crossIterLoads = false;
+  return options;
+}
+
+// Builds the post-unroll shape the tracer captures for an N-point f64
+// stencil: per point `movsd xmm0, [rdi+disp]; mulsd xmm0, [pool coeff]`,
+// accumulated left-to-right into xmm1, result returned in xmm0.
+ir::CapturedFunction buildF64Chain(
+    const std::vector<std::pair<int32_t, double>>& points) {
+  ir::CapturedFunction fn;
+  const int id = fn.newBlock(0x1000, 0);
+  auto& ins = fn.block(id).instrs;
+  bool first = true;
+  for (const auto& [disp, coeff] : points) {
+    const int slot = fn.addPoolConstant(f64bits(coeff));
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, xmm(0), memAt(disp)));
+    ins.push_back(makeInstr(Mnemonic::Mulsd, 8, xmm(0), poolRef(slot)));
+    if (first)
+      ins.push_back(makeInstr(Mnemonic::Movapd, 16, xmm(1), xmm(0)));
+    else
+      ins.push_back(makeInstr(Mnemonic::Addsd, 8, xmm(1), xmm(0)));
+    first = false;
+  }
+  ins.push_back(makeInstr(Mnemonic::Movapd, 16, xmm(0), xmm(1)));
+  fn.block(id).term.kind = ir::Terminator::Kind::Ret;
+  return fn;
+}
+
+// Same shape in f32: seed the accumulator with a plain load, then
+// mul-accumulate one chain per point.
+ir::CapturedFunction buildF32Chain(
+    int32_t seedDisp, const std::vector<std::pair<int32_t, float>>& points) {
+  ir::CapturedFunction fn;
+  const int id = fn.newBlock(0x1000, 0);
+  auto& ins = fn.block(id).instrs;
+  ins.push_back(makeInstr(Mnemonic::Movss, 4, xmm(1), memAt(seedDisp)));
+  for (const auto& [disp, coeff] : points) {
+    const int slot = fn.addPoolConstant(f32bits(coeff));
+    ins.push_back(makeInstr(Mnemonic::Movss, 4, xmm(0), memAt(disp)));
+    ins.push_back(makeInstr(Mnemonic::Mulss, 4, xmm(0), poolRef(slot)));
+    ins.push_back(makeInstr(Mnemonic::Addss, 4, xmm(1), xmm(0)));
+  }
+  ins.push_back(makeInstr(Mnemonic::Movaps, 16, xmm(0), xmm(1)));
+  fn.block(id).term.kind = ir::Terminator::Kind::Ret;
+  return fn;
+}
+
+size_t countMnemonic(const ir::CapturedFunction& fn, Mnemonic mn) {
+  size_t n = 0;
+  for (int b = 0; b < fn.blockCount(); ++b)
+    for (const isa::Instruction& in : fn.block(b).instrs)
+      if (in.mnemonic == mn) ++n;
+  return n;
+}
+
+// Runs `build()` twice — scalar pipeline vs full pipeline — executes
+// both over the same randomized buffer and requires bitwise-equal
+// results (return value and, for kernels that store, the whole buffer).
+template <typename BuildFn>
+void expectDifferentialEqual(BuildFn build, uint64_t seed,
+                             bool expectPacked) {
+  ir::CapturedFunction scalar = build();
+  runPasses(scalar, scalarOptions());
+  ir::CapturedFunction vectorized = build();
+  runPasses(vectorized, PassOptions{});
+  if (expectPacked) {
+    EXPECT_GT(countMnemonic(vectorized, Mnemonic::Mulpd) +
+                  countMnemonic(vectorized, Mnemonic::Mulps) +
+                  countMnemonic(vectorized, Mnemonic::Movupd),
+              0u)
+        << "expected at least one packed op in:\n" << vectorized.dump();
+  }
+
+  auto memScalar = ir::emit(scalar, 1 << 16);
+  auto memVector = ir::emit(vectorized, 1 << 16);
+  ASSERT_TRUE(memScalar.ok());
+  ASSERT_TRUE(memVector.ok());
+
+  Prng rng(seed);
+  std::vector<double> bufA(1024), bufB(1024);
+  for (size_t i = 0; i < bufA.size(); ++i) {
+    // Mixed magnitudes so reassociation would actually change bits.
+    const double v = (rng.uniform() - 0.5) *
+                     (i % 7 == 0 ? 1e9 : i % 3 == 0 ? 1e-6 : 1.0);
+    bufA[i] = v;
+    bufB[i] = v;
+  }
+  // rdi points mid-buffer so negative displacements stay in bounds.
+  using Fn = double (*)(double*);
+  const double a = memScalar->entry<Fn>()(bufA.data() + 512);
+  const double b = memVector->entry<Fn>()(bufB.data() + 512);
+  EXPECT_EQ(f64bits(a), f64bits(b))
+      << "scalar " << a << " vs vectorized " << b << "\nscalar:\n"
+      << scalar.dump() << "\nvectorized:\n" << vectorized.dump();
+  EXPECT_EQ(std::memcmp(bufA.data(), bufB.data(),
+                        bufA.size() * sizeof(double)),
+            0)
+      << "stored bytes diverge";
+}
+
+TEST(Vectorize, PairsAdjacentF64Loads) {
+  // The 5-point stencil shape: two adjacent pairs + one leftover.
+  auto build = [] {
+    return buildF64Chain({{0, -1.0},
+                          {-8, 0.25},
+                          {8, 0.25},
+                          {-4000, 0.25},
+                          {4000, 0.25}});
+  };
+  ir::CapturedFunction fn = build();
+  runPasses(fn, PassOptions{});
+  EXPECT_GT(countMnemonic(fn, Mnemonic::Mulpd), 0u) << fn.dump();
+  EXPECT_EQ(countMnemonic(fn, Mnemonic::Movupd), 1u) << fn.dump();
+  expectDifferentialEqual(build, 42, /*expectPacked=*/true);
+}
+
+TEST(Vectorize, PacksF32QuadWhenContiguous) {
+  auto build = [] {
+    return buildF32Chain(
+        64, {{0, 0.5f}, {4, 0.25f}, {8, 0.125f}, {12, 2.0f}});
+  };
+  ir::CapturedFunction fn = build();
+  runPasses(fn, PassOptions{});
+  EXPECT_EQ(countMnemonic(fn, Mnemonic::Mulps), 1u) << fn.dump();
+  EXPECT_EQ(countMnemonic(fn, Mnemonic::Movups), 1u) << fn.dump();
+
+  // f32 differential: compare the 32-bit return lane.
+  ir::CapturedFunction scalar = build();
+  runPasses(scalar, scalarOptions());
+  auto memScalar = ir::emit(scalar, 1 << 16);
+  auto memVector = ir::emit(fn, 1 << 16);
+  ASSERT_TRUE(memScalar.ok());
+  ASSERT_TRUE(memVector.ok());
+  Prng rng(7);
+  std::vector<float> buf(256);
+  for (auto& v : buf) v = static_cast<float>(rng.uniform() - 0.5) * 100.0f;
+  using Fn = float (*)(float*);
+  const float a = memScalar->entry<Fn>()(buf.data() + 8);
+  const float b = memVector->entry<Fn>()(buf.data() + 8);
+  EXPECT_EQ(f32bits(a), f32bits(b));
+}
+
+TEST(Vectorize, BailsOutOnNonContiguousF32Quad) {
+  // {0,4,12,16} has a lane gap: the quad must stay scalar but pairs of
+  // f64 packing do not apply to f32, so no packed multiply may appear.
+  auto build = [] {
+    return buildF32Chain(
+        64, {{0, 0.5f}, {4, 0.25f}, {12, 0.125f}, {16, 2.0f}});
+  };
+  ir::CapturedFunction fn = build();
+  runPasses(fn, PassOptions{});
+  EXPECT_EQ(countMnemonic(fn, Mnemonic::Mulps), 0u) << fn.dump();
+  EXPECT_EQ(countMnemonic(fn, Mnemonic::Movups), 0u) << fn.dump();
+}
+
+TEST(Vectorize, BailsOutOnOutOfOrderF32Lanes) {
+  // Contiguous addresses consumed out of order: the shufps rotation
+  // scheme cannot replay the original add order, so the group bails.
+  auto build = [] {
+    return buildF32Chain(
+        64, {{4, 0.5f}, {0, 0.25f}, {8, 0.125f}, {12, 2.0f}});
+  };
+  ir::CapturedFunction fn = build();
+  runPasses(fn, PassOptions{});
+  EXPECT_EQ(countMnemonic(fn, Mnemonic::Mulps), 0u) << fn.dump();
+}
+
+TEST(Vectorize, PacksAdjacentStores) {
+  auto build = [] {
+    ir::CapturedFunction fn;
+    const int id = fn.newBlock(0x1000, 0);
+    auto& ins = fn.block(id).instrs;
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, xmm(1), memAt(0)));
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, xmm(2), memAt(8)));
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, memAt(256), xmm(1)));
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, memAt(264), xmm(2)));
+    ins.push_back(makeInstr(Mnemonic::Movapd, 16, xmm(0), xmm(1)));
+    fn.block(id).term.kind = ir::Terminator::Kind::Ret;
+    return fn;
+  };
+  ir::CapturedFunction fn = build();
+  runPasses(fn, PassOptions{});
+  // The two scalar stores fused into one unaligned 16-byte store.
+  EXPECT_EQ(countMnemonic(fn, Mnemonic::Movupd), 1u) << fn.dump();
+  expectDifferentialEqual(build, 11, /*expectPacked=*/true);
+}
+
+TEST(Vectorize, BailsOutOnOverlappingStores) {
+  // Stores 4 bytes apart overlap as a 16-byte pair: must stay scalar and
+  // still produce the scalar run's exact final memory image.
+  auto build = [] {
+    ir::CapturedFunction fn;
+    const int id = fn.newBlock(0x1000, 0);
+    auto& ins = fn.block(id).instrs;
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, xmm(1), memAt(0)));
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, xmm(2), memAt(8)));
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, memAt(256), xmm(1)));
+    ins.push_back(makeInstr(Mnemonic::Movsd, 8, memAt(260), xmm(2)));
+    ins.push_back(makeInstr(Mnemonic::Movapd, 16, xmm(0), xmm(1)));
+    fn.block(id).term.kind = ir::Terminator::Kind::Ret;
+    return fn;
+  };
+  ir::CapturedFunction fn = build();
+  runPasses(fn, PassOptions{});
+  EXPECT_EQ(countMnemonic(fn, Mnemonic::Movupd), 0u) << fn.dump();
+  expectDifferentialEqual(build, 13, /*expectPacked=*/false);
+}
+
+TEST(Vectorize, CrossIterPoolHoistKeepsResult) {
+  // One coefficient shared by four points: cross-iteration elimination
+  // hoists it into a register; the sum must not move by a bit.
+  auto build = [] {
+    return buildF64Chain({{0, -1.0},
+                          {-8, 0.25},
+                          {8, 0.25},
+                          {16, 0.25},
+                          {24, 0.25},
+                          {4000, 0.125}});
+  };
+  ir::CapturedFunction scalar = build();
+  runPasses(scalar, scalarOptions());
+  ir::CapturedFunction optimized = build();
+  runPasses(optimized, PassOptions{});
+  // Fewer pool-memory references after hoisting.
+  auto poolRefs = [](const ir::CapturedFunction& fn) {
+    size_t n = 0;
+    for (int b = 0; b < fn.blockCount(); ++b)
+      for (const isa::Instruction& in : fn.block(b).instrs)
+        for (unsigned o = 0; o < in.nops; ++o)
+          if (in.ops[o].isMem() && in.ops[o].mem.poolSlot >= 0) ++n;
+    return n;
+  };
+  EXPECT_LT(poolRefs(optimized), poolRefs(scalar)) << optimized.dump();
+  expectDifferentialEqual(build, 17, /*expectPacked=*/true);
+}
+
+TEST(Vectorize, RandomizedStencilsStayBitExact) {
+  // Randomized stencil shapes: random point counts, displacements
+  // (including adjacent, strided and duplicate-coefficient mixes) and
+  // magnitudes. Every shape must come out bit-exact, packed or not.
+  Prng rng(0xb3e30u);
+  for (int round = 0; round < 40; ++round) {
+    const int points = 2 + static_cast<int>(rng.below(5));
+    std::vector<std::pair<int32_t, double>> spec;
+    std::vector<int32_t> used;
+    for (int p = 0; p < points; ++p) {
+      int32_t disp;
+      bool fresh = true;
+      do {
+        disp = static_cast<int32_t>(rng.range(-24, 24)) * 8;
+        fresh = true;
+        for (int32_t u : used) fresh = fresh && u != disp;
+      } while (!fresh);
+      used.push_back(disp);
+      const double coeff = rng.chance(0.4)
+                               ? 0.25
+                               : (rng.uniform() - 0.5) * 3.0;
+      spec.emplace_back(disp, coeff);
+    }
+    expectDifferentialEqual([&spec] { return buildF64Chain(spec); },
+                            1000 + static_cast<uint64_t>(round),
+                            /*expectPacked=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace brew
