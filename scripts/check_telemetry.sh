@@ -28,6 +28,7 @@ cmake --build build-tsan -j"$(nproc)" \
   --target core_cache_test core_cache_shard_test support_telemetry_test \
   isa_decode_cache_test core_differential_fuzz_test core_dispatch_test \
   support_profiler_test passes_vectorize_test \
+  core_blocks_differential_test \
   > /dev/null
 
 cd build-tsan
@@ -46,4 +47,20 @@ for counter in passes.vectorized_groups passes.loads_eliminated; do
   fi
 done
 echo "passes.* counters present in BREW_STATS"
+
+# Same for the block-chained tier: its differential suite traces branchy
+# functions, so a BREW_STATS run must show the blocks.* counters moving —
+# zero chained/merged blocks means the tier silently fell back to the
+# generic fork path.
+stats_out=$(BREW_STATS=1 ./tests/core_blocks_differential_test 2>&1)
+for counter in blocks.started blocks.chained blocks.merged \
+    blocks.side_exits; do
+  if ! printf '%s\n' "$stats_out" | \
+      grep -E "$counter[[:space:]]+[1-9][0-9]*" > /dev/null; then
+    echo "FAIL: $counter missing or zero in BREW_STATS output" >&2
+    printf '%s\n' "$stats_out" | grep "blocks\." >&2 || true
+    exit 1
+  fi
+done
+echo "blocks.* counters present in BREW_STATS"
 echo "telemetry/concurrency tests are TSan-clean"

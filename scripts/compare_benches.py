@@ -38,14 +38,33 @@ import json
 import sys
 
 
+# Sections every merged-format entry must carry. run_benches.sh always
+# writes all three; a missing one means a truncated or hand-edited file,
+# which must fail loudly here instead of silently comparing nothing (or
+# blowing up with a KeyError deep in the walk).
+REQUIRED_SECTIONS = ("benchmarks", "latency", "metrics")
+
+
 def load(path):
     with open(path) as f:
         data = json.load(f)
     if not isinstance(data, dict):
         raise ValueError(f"{path}: top level must be an object")
     # Bare single-binary file: wrap it so both formats walk the same way.
+    # (Only "benchmarks" is required of this form — a raw google-benchmark
+    # --benchmark_out json has no latency/metrics sections.)
     if "benchmarks" in data or "phases" in data:
-        data = {"": data}
+        return {"": data}
+    for name, entry in data.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: entry {name!r} must be an object")
+        for sec in REQUIRED_SECTIONS:
+            if sec not in entry:
+                raise ValueError(f"{path}: entry {name!r} missing required "
+                                 f"section {sec!r}")
+            if not isinstance(entry[sec], list):
+                raise ValueError(f"{path}: entry {name!r} section {sec!r} "
+                                 f"must be a list")
     return data
 
 

@@ -244,6 +244,8 @@ void CodeCache::insertLocked(Shard& shard, size_t hash, const CacheKey& key,
   shard.entries.emplace(key, std::move(entry));
   entryCount_.fetch_add(1, std::memory_order_relaxed);
   const size_t newBytes = handle ? handle->codeBytes() : 0;
+  blocksLive_.fetch_add(handle ? handle->blockUnits() : 0,
+                        std::memory_order_relaxed);
   bytes_.fetch_add(newBytes, std::memory_order_relaxed);
   trackBytes(static_cast<int64_t>(newBytes));
   ++shard.insertions;
@@ -261,6 +263,9 @@ void CodeCache::eraseLocked(
   unpublishLocked(hash, it->second.handle.get());
   const size_t entryBytes =
       it->second.handle ? it->second.handle->codeBytes() : 0;
+  blocksLive_.fetch_sub(
+      it->second.handle ? it->second.handle->blockUnits() : 0,
+      std::memory_order_relaxed);
   bytes_.fetch_sub(entryBytes, std::memory_order_relaxed);
   trackBytes(-static_cast<int64_t>(entryBytes));
   dropped.push_back(std::move(it->second.handle));
@@ -474,6 +479,7 @@ CacheStats CodeCache::stats() const {
   out.shardContention = contention_.load(std::memory_order_relaxed);
   out.shards = shards_.size();
   out.entries = entryCount_.load(std::memory_order_relaxed);
+  out.blocksLive = blocksLive_.load(std::memory_order_relaxed);
   out.codeBytes = bytes_.load(std::memory_order_relaxed);
   out.capacityBytes = budget_.load(std::memory_order_relaxed);
   out.asyncInstalls = asyncInstalls_.load(std::memory_order_relaxed);
@@ -489,12 +495,15 @@ void CodeCache::clear() {
     Shard& shard = *shardPtr;
     std::lock_guard<std::mutex> lock(shard.mu);
     size_t shardBytes = 0;
+    size_t shardBlocks = 0;
     for (auto& [key, entry] : shard.entries) {
       unpublishLocked(CacheKeyHash{}(key), entry.handle.get());
       shardBytes += entry.handle ? entry.handle->codeBytes() : 0;
+      shardBlocks += entry.handle ? entry.handle->blockUnits() : 0;
       dropped.push_back(std::move(entry.handle));
     }
     entryCount_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
+    blocksLive_.fetch_sub(shardBlocks, std::memory_order_relaxed);
     bytes_.fetch_sub(shardBytes, std::memory_order_relaxed);
     trackBytes(-static_cast<int64_t>(shardBytes));
     shard.entries.clear();

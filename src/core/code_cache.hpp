@@ -63,6 +63,12 @@ struct CodeBlock {
   std::atomic<bool> published{false};
 
   size_t codeBytes() const noexcept { return memory.size(); }
+  // Specialized basic blocks this unit carries (docs/BLOCKS.md): the cache
+  // accounts for live blocks as well as bytes, so per-block growth (fork
+  // bombs, variant churn) is observable at the cache boundary.
+  size_t blockUnits() const noexcept {
+    return static_cast<size_t>(captured.blockCount());
+  }
 };
 
 namespace detail {
@@ -166,6 +172,7 @@ struct CacheStats {
   uint64_t inFlightWaits = 0;   // hits that blocked on a concurrent build
   uint64_t invalidations = 0;   // entries dropped by target-address reuse
   uint64_t entries = 0;         // current
+  uint64_t blocksLive = 0;      // current specialized basic blocks held
   uint64_t codeBytes = 0;       // current mapped bytes held by the cache
   uint64_t capacityBytes = 0;   // configured budget
   uint64_t asyncInstalls = 0;   // SpecManager::rewriteAsync publications
@@ -303,6 +310,7 @@ class CodeCache {
   std::atomic<size_t> budget_;
   std::atomic<size_t> bytes_{0};
   std::atomic<size_t> entryCount_{0};
+  std::atomic<size_t> blocksLive_{0};
   std::atomic<uint64_t> lruClock_{0};
   std::atomic<uint64_t> fastpathHits_{0};
   std::atomic<uint64_t> contention_{0};

@@ -94,13 +94,17 @@ uint64_t Config::fingerprint() const {
     h = mix(h, functionOptionBits(options));
   }
   h = mix(h, functionOptionBits(defaults_));
-  h = mix(h, static_cast<uint64_t>(returnKind_) << 1 |
-                 static_cast<uint64_t>(foldZeroAccumulator_));
+  h = mix(h, static_cast<uint64_t>(returnKind_) << 4 |
+                 static_cast<uint64_t>(foldZeroAccumulator_) |
+                 static_cast<uint64_t>(chainBlocks_) << 1 |
+                 static_cast<uint64_t>(reconvergeJoins_) << 2 |
+                 static_cast<uint64_t>(sideExitFallback_) << 3);
   h = mix(h, limits_.maxTraceSteps);
   h = mix(h, limits_.maxCodeBytes);
   h = mix(h, limits_.maxBlocks);
   h = mix(h, static_cast<uint64_t>(limits_.maxVariantsPerAddress));
   h = mix(h, static_cast<uint64_t>(limits_.maxInlineDepth));
+  h = mix(h, static_cast<uint64_t>(limits_.maxForkDepth));
   h = mix(h, reinterpret_cast<uint64_t>(injection_.onEntry));
   h = mix(h, reinterpret_cast<uint64_t>(injection_.onExit));
   h = mix(h, reinterpret_cast<uint64_t>(injection_.onLoad));

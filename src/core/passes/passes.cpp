@@ -102,13 +102,20 @@ size_t runPeephole(ir::CapturedFunction& fn) {
 
 size_t runDeadFlagWriters(ir::CapturedFunction& fn) {
   const int n = fn.blockCount();
-  std::vector<uint8_t> liveIn(static_cast<size_t>(n), 0);
-  std::vector<uint8_t> liveOut(static_cast<size_t>(n), 0);
+  // Thread-local scratch: the passes run on every compile, so the vectors
+  // keep their steady-state capacity instead of reallocating per rewrite.
+  static thread_local std::vector<uint8_t> liveIn, liveOut;
+  liveIn.assign(static_cast<size_t>(n), 0);
+  liveOut.assign(static_cast<size_t>(n), 0);
 
   auto blockLiveIn = [&](const ir::Block& block, bool out) {
     // Backward scan: does a consumer appear before the first full writer?
     bool live = out;
-    if (block.term.kind == ir::Terminator::Kind::CondJmp) live = true;
+    // A SideExit resumes original code that may read the flags (the
+    // branch that exceeded the fork-depth cap re-executes there).
+    if (block.term.kind == ir::Terminator::Kind::CondJmp ||
+        block.term.kind == ir::Terminator::Kind::SideExit)
+      live = true;
     for (auto it = block.instrs.rbegin(); it != block.instrs.rend(); ++it) {
       if (isa::flagsRead(*it) != 0 || it->mnemonic == Mnemonic::Pushfq ||
           it->mnemonic == Mnemonic::CallInd ||
@@ -129,7 +136,8 @@ size_t runDeadFlagWriters(ir::CapturedFunction& fn) {
       uint8_t out = 0;
       if (block.term.kind == ir::Terminator::Kind::Jmp)
         out = liveIn[static_cast<size_t>(block.term.taken)];
-      if (block.term.kind == ir::Terminator::Kind::CondJmp)
+      if (block.term.kind == ir::Terminator::Kind::CondJmp ||
+          block.term.kind == ir::Terminator::Kind::SideExit)
         out = 1;  // terminator itself consumes
       if (out != liveOut[static_cast<size_t>(i)]) {
         liveOut[static_cast<size_t>(i)] = out;
@@ -144,11 +152,14 @@ size_t runDeadFlagWriters(ir::CapturedFunction& fn) {
   }
 
   size_t removed = 0;
-  std::vector<size_t> dead;  // indices to drop, shared scratch across blocks
+  // Indices to drop, shared scratch across blocks (and across rewrites).
+  static thread_local std::vector<size_t> dead;
   for (int i = 0; i < n; ++i) {
     ir::Block& block = fn.block(i);
     bool live = liveOut[static_cast<size_t>(i)] != 0;
-    if (block.term.kind == ir::Terminator::Kind::CondJmp) live = true;
+    if (block.term.kind == ir::Terminator::Kind::CondJmp ||
+        block.term.kind == ir::Terminator::Kind::SideExit)
+      live = true;
     dead.clear();
     for (size_t k = block.instrs.size(); k-- > 0;) {
       const Instruction& in = block.instrs[k];
@@ -246,9 +257,10 @@ Mnemonic regMoveFor(Mnemonic loadMn) {
 
 size_t runRedundantLoads(ir::CapturedFunction& fn) {
   size_t forwarded = 0;
-  // Flat fact table, reused across blocks: a block carries a handful of
-  // loads at most, so a linear scan beats a node-allocating tree map.
-  std::vector<std::pair<LoadKey, isa::Reg>> available;
+  // Flat fact table, reused across blocks (and across rewrites): a block
+  // carries a handful of loads at most, so a linear scan beats a
+  // node-allocating tree map.
+  static thread_local std::vector<std::pair<LoadKey, isa::Reg>> available;
   for (ir::Block& block : fn.blocks()) {
     available.clear();
     size_t neutralized = 0;
@@ -352,7 +364,8 @@ bool isZeroPoolLoad(const Instruction& in, const ir::CapturedFunction& fn) {
 
 size_t runFoldZeroAdd(ir::CapturedFunction& fn) {
   size_t folded = 0;
-  std::vector<size_t> drop;  // seed-load indices, shared scratch
+  // Seed-load indices, shared scratch across blocks (and rewrites).
+  static thread_local std::vector<size_t> drop;
   for (ir::Block& block : fn.blocks()) {
     // For each register: index of a pending +0.0 seed load, or -1.
     int pending[32];
@@ -417,8 +430,9 @@ size_t runFoldZeroAdd(ir::CapturedFunction& fn) {
 
 size_t runMergeBlocks(ir::CapturedFunction& fn) {
   const int n = fn.blockCount();
-  std::vector<int> predCount(static_cast<size_t>(n), 0);
-  std::vector<int> soleJmpPred(static_cast<size_t>(n), -1);
+  static thread_local std::vector<int> predCount, soleJmpPred;
+  predCount.assign(static_cast<size_t>(n), 0);
+  soleJmpPred.assign(static_cast<size_t>(n), -1);
   for (int i = 0; i < n; ++i) {
     const ir::Terminator& t = fn.block(i).term;
     auto note = [&](int succ, bool viaJmp) {

@@ -25,7 +25,9 @@
 #include "core/passes/vectorize.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -221,13 +223,14 @@ size_t nextRefClean(const ir::Block& block, size_t from, Reg r, Reg base) {
   return block.instrs.size();
 }
 
-std::vector<Chain> findChains(const ir::Block& block, bool f32) {
+void findChains(const ir::Block& block, bool f32,
+                std::vector<Chain>& chains) {
+  chains.clear();
   const Mnemonic loadMn = f32 ? Mnemonic::Movss : Mnemonic::Movsd;
   const Mnemonic mulMn = f32 ? Mnemonic::Mulss : Mnemonic::Mulsd;
   const Mnemonic addMn = f32 ? Mnemonic::Addss : Mnemonic::Addsd;
   const uint8_t w = f32 ? 4 : 8;
   const size_t n = block.instrs.size();
-  std::vector<Chain> chains;
   for (size_t k = 0; k < n; ++k) {
     const Instruction& ld = block.instrs[k];
     if (ld.mnemonic != loadMn || ld.nops != 2 || !ld.ops[0].isReg() ||
@@ -264,7 +267,6 @@ std::vector<Chain> findChains(const ir::Block& block, bool f32) {
     if (!deadAfter(block, c.consume, c.xr)) continue;
     chains.push_back(c);
   }
-  return chains;
 }
 
 // The accumulator must flow straight from chain a's consume into chain b's:
@@ -279,7 +281,7 @@ bool accUntouchedBetween(const ir::Block& block, const Chain& a,
 // Window safety for moving loads to `lo` and packing through `hi`: no
 // stores (a load moved earlier must not cross one), no base mutation.
 bool windowSafe(const ir::Block& block, size_t lo, size_t hi, Reg base,
-                const std::vector<size_t>& members) {
+                std::span<const size_t> members) {
   for (size_t k = lo; k <= hi; ++k) {
     if (std::find(members.begin(), members.end(), k) != members.end())
       continue;
@@ -296,7 +298,12 @@ struct EditList {
   std::vector<std::pair<size_t, std::vector<Instruction>>> edits;
   std::vector<bool> claimed;
 
-  explicit EditList(size_t n) : claimed(n, false) {}
+  // Reused across blocks/rewrites via PassScratch: assign() keeps the
+  // grown capacity, so steady-state passes make no allocations here.
+  void reset(size_t n) {
+    edits.clear();
+    claimed.assign(n, false);
+  }
 
   bool free(std::initializer_list<size_t> idx) const {
     for (size_t i : idx)
@@ -333,8 +340,8 @@ struct EditList {
 // pool constant, and lane extraction feeding the ORIGINAL add order.
 bool packPair(ir::CapturedFunction& fn, ir::Block& block, const Chain& a,
               const Chain& b, ScratchPool& scratch, EditList& edits) {
-  const std::vector<size_t> members{a.load, a.mul, a.consume,
-                                    b.load, b.mul, b.consume};
+  const std::array<size_t, 6> members{a.load, a.mul, a.consume,
+                                      b.load, b.mul, b.consume};
   if (!edits.free({a.load, a.mul, a.consume, b.load, b.mul, b.consume}))
     return false;
   const size_t w0 = std::min(a.load, b.load);
@@ -437,11 +444,11 @@ bool packPair(ir::CapturedFunction& fn, ir::Block& block, const Chain& a,
 
 bool packQuad(ir::CapturedFunction& fn, ir::Block& block, const Chain* q[4],
               ScratchPool& scratch, EditList& edits, size_t* bailouts) {
-  std::vector<size_t> members;
+  std::array<size_t, 12> members;
   for (int i = 0; i < 4; ++i) {
-    members.push_back(q[i]->load);
-    members.push_back(q[i]->mul);
-    members.push_back(q[i]->consume);
+    members[3 * i + 0] = q[i]->load;
+    members[3 * i + 1] = q[i]->mul;
+    members[3 * i + 2] = q[i]->consume;
     if (!edits.free({q[i]->load, q[i]->mul, q[i]->consume})) return false;
   }
   // Addresses must be four consecutive lanes AND consumed in lane order:
@@ -607,18 +614,34 @@ size_t coalesceRetMoves(ir::CapturedFunction& fn) {
   return coalesced;
 }
 
+// Per-thread scratch buffers for the pass working sets. The passes run on
+// every cold rewrite over mostly-tiny blocks, so the handful of vector
+// allocations per block used to be a measurable slice of branchy rewrite
+// cost; reusing grown capacity makes the steady state allocation-free.
+struct SlpScratch {
+  std::vector<Chain> f64, f32;
+  EditList edits;
+};
+SlpScratch& slpScratch() {
+  static thread_local SlpScratch s;
+  return s;
+}
+
 }  // namespace
 
 VectorizeStats runSlpVectorize(ir::CapturedFunction& fn) {
   VectorizeStats stats;
+  SlpScratch& s = slpScratch();
   for (ir::Block& block : fn.blocks()) {
     // Smallest packable shape: two scalar stores fed by two loads.
     if (block.instrs.size() < 4) continue;
     ScratchPool scratch(block);
-    EditList edits(block.instrs.size());
+    EditList& edits = s.edits;
+    edits.reset(block.instrs.size());
 
     // f64 pairs: adjacent chains on the same accumulator, original order.
-    const std::vector<Chain> f64 = findChains(block, /*f32=*/false);
+    findChains(block, /*f32=*/false, s.f64);
+    const std::vector<Chain>& f64 = s.f64;
     for (size_t i = 0; i + 1 < f64.size(); ++i) {
       const Chain& a = f64[i];
       const Chain& b = f64[i + 1];
@@ -634,7 +657,8 @@ VectorizeStats runSlpVectorize(ir::CapturedFunction& fn) {
     }
 
     // f32 quads.
-    const std::vector<Chain> f32 = findChains(block, /*f32=*/true);
+    findChains(block, /*f32=*/true, s.f32);
+    const std::vector<Chain>& f32 = s.f32;
     for (size_t i = 0; i + 3 < f32.size(); ++i) {
       const Chain* q[4] = {&f32[i], &f32[i + 1], &f32[i + 2], &f32[i + 3]};
       bool linked = true;
@@ -668,6 +692,26 @@ struct LaneFact {
   bool hi = false;
 };
 
+// One pool-referencing arithmetic operand; collected per block for the
+// constant-hoisting phase.
+struct PoolUse {
+  size_t idx;
+  int slot;
+  bool wide;
+  bool claimed = false;
+};
+
+struct CrossIterScratch {
+  std::vector<PoolUse> uses;
+  std::vector<LaneFact> facts;
+  std::vector<size_t> served;
+  EditList edits, reuse;
+};
+CrossIterScratch& crossIterScratch() {
+  static thread_local CrossIterScratch s;
+  return s;
+}
+
 bool poolOperandArith(const Instruction& in, bool* wide) {
   if (in.nops != 2 || !in.ops[0].isReg() || !in.ops[1].isMem() ||
       in.ops[1].mem.poolSlot < 0)
@@ -692,6 +736,7 @@ bool poolOperandArith(const Instruction& in, bool* wide) {
 
 size_t runCrossIterLoads(ir::CapturedFunction& fn) {
   size_t eliminated = 0;
+  CrossIterScratch& s = crossIterScratch();
   for (ir::Block& block : fn.blocks()) {
     const size_t n = block.instrs.size();
     if (n < 2) continue;
@@ -702,19 +747,15 @@ size_t runCrossIterLoads(ir::CapturedFunction& fn) {
     // loaded once into a scratch register and the arithmetic goes
     // register-form. A 16-byte hoist also serves scalar users of its low
     // lane (SLP broadcast pairs share their lane constant this way).
-    struct PoolUse {
-      size_t idx;
-      int slot;
-      bool wide;
-      bool claimed = false;
-    };
-    std::vector<PoolUse> uses;
+    std::vector<PoolUse>& uses = s.uses;
+    uses.clear();
     for (size_t k = 0; k < n; ++k) {
       bool wide = false;
       if (poolOperandArith(block.instrs[k], &wide))
         uses.push_back({k, block.instrs[k].ops[1].mem.poolSlot, wide, false});
     }
-    EditList edits(n);
+    EditList& edits = s.edits;
+    edits.reset(n);
     if (uses.size() >= 2) {
       auto value = [&](int slot) { return fn.pool()[size_t(slot)]; };
       // Wide anchors first: each distinct 16-byte value, counting scalar
@@ -722,7 +763,8 @@ size_t runCrossIterLoads(ir::CapturedFunction& fn) {
       for (size_t i = 0; i < uses.size(); ++i) {
         if (uses[i].claimed || !uses[i].wide) continue;
         const ir::PoolEntry v = value(uses[i].slot);
-        std::vector<size_t> served;
+        std::vector<size_t>& served = s.served;
+        served.clear();
         for (size_t j = 0; j < uses.size(); ++j) {
           if (uses[j].claimed) continue;
           const ir::PoolEntry w = value(uses[j].slot);
@@ -752,7 +794,8 @@ size_t runCrossIterLoads(ir::CapturedFunction& fn) {
       for (size_t i = 0; i < uses.size(); ++i) {
         if (uses[i].claimed || uses[i].wide) continue;
         const uint64_t v = value(uses[i].slot).lo;
-        std::vector<size_t> served;
+        std::vector<size_t>& served = s.served;
+        served.clear();
         for (size_t j = 0; j < uses.size(); ++j)
           if (!uses[j].claimed && !uses[j].wide && value(uses[j].slot).lo == v)
             served.push_back(j);
@@ -781,8 +824,10 @@ size_t runCrossIterLoads(ir::CapturedFunction& fn) {
     // --- lane reuse: a scalar re-load of an address whose value a previous
     // (packed or scalar) load still holds becomes a register move, with a
     // lane realignment when the live copy sits in the high half.
-    std::vector<LaneFact> facts;
-    EditList reuse(block.instrs.size());
+    std::vector<LaneFact>& facts = s.facts;
+    facts.clear();
+    EditList& reuse = s.reuse;
+    reuse.reset(block.instrs.size());
     auto killReg = [&](uint32_t writtenMask) {
       for (size_t i = 0; i < facts.size();) {
         const uint32_t bits =

@@ -49,6 +49,11 @@ void publishStats(const TraceStats& ts, const ir::EmitStats& es) {
   counter(CounterId::TraceResolvedBranches).add(ts.resolvedBranches);
   counter(CounterId::TraceCapturedBranches).add(ts.capturedBranches);
   counter(CounterId::TraceMigrations).add(ts.migrations);
+  counter(CounterId::BlocksStarted).add(ts.startedBlocks);
+  counter(CounterId::BlocksChained).add(ts.chainedBlocks);
+  counter(CounterId::BlocksReused).add(ts.reusedBlocks);
+  counter(CounterId::BlocksMerged).add(ts.mergedBlocks);
+  counter(CounterId::BlocksSideExits).add(ts.sideExits);
   counter(CounterId::EmitInstructions).add(es.instructions);
   counter(CounterId::EmitCodeBytes).add(es.codeBytes);
   counter(CounterId::EmitPoolBytes).add(es.poolBytes);
@@ -105,11 +110,19 @@ Result<CodeHandle> compileSpecialization(const Config& config,
   counter(CounterId::RewriteAttempts).add();
   const bool tracing = telemetry::tracingEnabled();
   const uint64_t configFp = config.fingerprint() ^ passes.fingerprint();
-  const uint64_t t0 = telemetry::nowNs();
+  // Phase stamps use the raw TSC unless span tracing is on (spans need
+  // wall-clock-aligned timestamps); deltas are converted once per phase.
+  const auto stamp = [tracing]() {
+    return tracing ? telemetry::nowNs() : telemetry::fastTicks();
+  };
+  const auto deltaNs = [tracing](uint64_t from, uint64_t to) {
+    return tracing ? to - from : telemetry::ticksToNs(to - from);
+  };
+  const uint64_t t0 = stamp();
 
   Tracer tracer(config);
   auto captured = tracer.trace(reinterpret_cast<uint64_t>(fn), args);
-  const uint64_t tTrace = telemetry::nowNs();
+  const uint64_t tTrace = stamp();
   if (!captured) {
     counter(CounterId::RewriteFailures).add();
     BREW_LOG_INFO("rewrite of %p failed: %s", fn,
@@ -118,11 +131,11 @@ Result<CodeHandle> compileSpecialization(const Config& config,
   }
 
   runPasses(*captured, passes);
-  const uint64_t tPasses = telemetry::nowNs();
+  const uint64_t tPasses = stamp();
 
   ir::EmitStats emitStats;
   auto memory = ir::emit(*captured, config.limits().maxCodeBytes, &emitStats);
-  const uint64_t tEmit = telemetry::nowNs();
+  const uint64_t tEmit = stamp();
   if (!memory) {
     counter(CounterId::RewriteFailures).add();
     BREW_LOG_INFO("emit of %p failed: %s", fn,
@@ -140,21 +153,33 @@ Result<CodeHandle> compileSpecialization(const Config& config,
   block->captured = std::move(*captured);
   block->traceStats = tracer.stats();
   block->emitStats = emitStats;
-  const uint64_t tInstall = telemetry::nowNs();
+  const uint64_t tInstall = stamp();
 
   const TraceStats& ts = block->traceStats;
   publishStats(ts, emitStats);
   // The decoder runs interleaved with emulation, so the decode share is
   // accounted separately by the tracer and the emulate phase is the rest
   // of the trace window.
+  const uint64_t traceWindow = deltaNs(t0, tTrace);
   const uint64_t decodeNs =
-      ts.decodeNs < tTrace - t0 ? ts.decodeNs : tTrace - t0;
+      ts.decodeNs < traceWindow ? ts.decodeNs : traceWindow;
   histogram(HistogramId::PhaseDecodeNs).record(decodeNs);
-  histogram(HistogramId::PhaseEmulateNs).record(tTrace - t0 - decodeNs);
-  histogram(HistogramId::PhasePassesNs).record(tPasses - tTrace);
-  histogram(HistogramId::PhaseEmitNs).record(tEmit - tPasses);
-  histogram(HistogramId::PhaseInstallNs).record(tInstall - tEmit);
-  histogram(HistogramId::RewriteNs).record(tInstall - t0);
+  histogram(HistogramId::PhaseEmulateNs).record(traceWindow - decodeNs);
+  // Split of the trace window: decoder time, known-world-state bookkeeping
+  // (snapshots/digests/meets, clocked by the tracer), and the emulation
+  // rest. The three parts sum to the decode+emulate window by construction.
+  const uint64_t shadowNs = ts.shadowNs < traceWindow - decodeNs
+                                ? ts.shadowNs
+                                : traceWindow - decodeNs;
+  histogram(HistogramId::PhaseEmulateDecodeNs).record(decodeNs);
+  histogram(HistogramId::PhaseEmulateShadowNs).record(shadowNs);
+  histogram(HistogramId::PhaseEmulateExecNs)
+      .record(traceWindow - decodeNs - shadowNs);
+  histogram(HistogramId::PhasePassesNs).record(deltaNs(tTrace, tPasses));
+  histogram(HistogramId::PhaseEmitNs).record(deltaNs(tPasses, tEmit));
+  histogram(HistogramId::PhaseChainNs).record(emitStats.chainNs);
+  histogram(HistogramId::PhaseInstallNs).record(deltaNs(tEmit, tInstall));
+  histogram(HistogramId::RewriteNs).record(deltaNs(t0, tInstall));
 
   if (tracing) {
     telemetry::recordSpan("decode", t0, t0 + decodeNs);

@@ -35,6 +35,19 @@ bool immFoldable(uint64_t bits, unsigned width) {
 
 Value readLane(const emu::XmmValue& x, bool high) { return high ? x.hi : x.lo; }
 
+// Accumulates wall time into a TraceStats field across early returns
+// (phase.emulate_shadow_ns attribution).
+// Accumulates elapsed TSC ticks into `sink`; the tracer converts the total
+// to nanoseconds once per trace. Two of these run per basic block, so the
+// cheap tick source matters (rdtsc vs clock_gettime is ~15ns per reading).
+struct TickAccumulator {
+  uint64_t& sink;
+  uint64_t start;
+  explicit TickAccumulator(uint64_t& s)
+      : sink(s), start(telemetry::fastTicks()) {}
+  ~TickAccumulator() { sink += telemetry::fastTicks() - start; }
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -114,6 +127,7 @@ Result<ir::CapturedFunction> Tracer::trace(uint64_t fn,
   telemetry::counter(telemetry::CounterId::DecodeCacheMisses)
       .add(stats_.decodeCacheMisses);
   stats_.blocks = static_cast<size_t>(out_.blockCount());
+  stats_.shadowNs = telemetry::ticksToNs(shadowTicks_);
   return std::move(out_);
 }
 
@@ -123,13 +137,25 @@ Result<ir::CapturedFunction> Tracer::trace(uint64_t fn,
 
 Result<Tracer::VariantRef> Tracer::getOrCreateVariant(
     uint64_t address, const emu::KnownWorldState& state,
-    uint64_t currentFunction) {
+    uint64_t currentFunction, OnMiss mode, int forkDepth) {
+  TickAccumulator timeShadow(shadowTicks_);
+  markSeen(address);
   auto& list = variantsFor(address);
-  const uint64_t digest = state.digest();
-  for (const Variant& v : list) {
-    // Digest prefilter: unrolling can create thousands of variants per
-    // address; full content comparison only runs on hash hits.
-    if (v.digest != digest || !v.state->sameContent(state)) continue;
+  // Digest prefilter: unrolling can create thousands of variants per
+  // address, and then full content comparison should only run on hash
+  // hits. But hashing the whole register file costs more than a handful
+  // of sameContent early-exits, so short lists skip it entirely; digests
+  // are computed lazily (0 = not yet computed) once a list grows past the
+  // threshold.
+  constexpr size_t kDigestThreshold = 8;
+  const bool useDigest = list.size() >= kDigestThreshold;
+  const uint64_t digest = useDigest ? state.quickDigest() : 0;
+  for (Variant& v : list) {
+    if (useDigest) {
+      if (v.digest == 0) v.digest = v.state->quickDigest();
+      if (v.digest != digest) continue;
+    }
+    if (!v.state->sameContent(state)) continue;
     // Content matches, but the target block may have been traced assuming
     // some locations are live in the runtime registers (materialized)
     // while the current path kept them folded. Emit compensation
@@ -162,25 +188,76 @@ Result<Tracer::VariantRef> Tracer::getOrCreateVariant(
       }
     }
     if (!ok) continue;  // cannot adapt to this variant; try another
-    return VariantRef{v.blockId, false};
+    ++stats_.reusedBlocks;
+    return VariantRef{v.blockId, false, false};
+  }
+
+  // Reconvergence (docs/BLOCKS.md): instead of tracing a second variant of
+  // a join both fork arms reach, weaken a still-pending variant's entry
+  // state to the meet of the two states. The meet is only taken when every
+  // fact it drops is already realized on the edge that knew it; the
+  // incoming edge's unrealized facts get compensation code here (valid for
+  // this edge only — it goes into the current block).
+  if (config_.reconvergeJoins() && pendingCount_ > 0 && curId_ >= 0) {
+    for (Variant& v : list) {
+      if (!v.pending) continue;
+      const emu::IntersectPlan plan = emu::planIntersect(*v.state, st_);
+      if (!plan.feasible) continue;
+      bool ok = true;
+      for (unsigned i = 0; i < 16 && ok; ++i) {
+        if (plan.materializeGprs & (1u << i)) {
+          const Reg r = isa::gprFromNum(i);
+          Status s = st_.gpr(r).isStackRel() ? materializeStackRel(r)
+                                             : materializeGpr(r);
+          if (!s) ok = false;
+        }
+        if (ok && (plan.materializeXmms & (1u << i))) {
+          if (Status s = materializeXmmLanes(isa::xmmFromNum(i)); !s)
+            ok = false;
+        }
+      }
+      if (!ok) continue;  // compensation failed; fork normally
+      v.state->intersectWith(st_);
+      v.digest = 0;  // weakened: recompute lazily if the list grows
+      out_.block(v.blockId).stateDigest = 0;
+      ++stats_.mergedBlocks;
+      return VariantRef{v.blockId, false, false};
+    }
   }
 
   if (static_cast<int>(list.size()) >=
       config_.limits().maxVariantsPerAddress)
-    return migrateToVariant(address, state, currentFunction);
+    return migrateToVariant(address, state, currentFunction, forkDepth);
 
   if (out_.blockCount() >= static_cast<int>(config_.limits().maxBlocks))
     return Error{ErrorCode::VariantLimit, address, "block limit exceeded"};
 
   const int id = out_.newBlock(address, digest);
-  auto snapshot = std::make_unique<const emu::KnownWorldState>(state);
-  queue_.push_back(Pending{address, id, currentFunction, snapshot.get()});
-  list.push_back(Variant{digest, id, std::move(snapshot)});
-  return VariantRef{id, true};
+  ++stats_.startedBlocks;
+  auto snapshot = std::make_unique<emu::KnownWorldState>(state);
+  if (mode == OnMiss::Inline) {
+    // The caller keeps tracing into the block right now with `state`
+    // (which is st_): no queue round-trip, no restore, not weakenable.
+    list.push_back(Variant{digest, id, false, std::move(snapshot)});
+    return VariantRef{id, true, true};
+  }
+  queueInsert(Pending{address, id, currentFunction, snapshot.get(),
+                      forkDepth});
+  list.push_back(Variant{digest, id, true, std::move(snapshot)});
+  ++pendingCount_;
+  return VariantRef{id, true, false};
+}
+
+void Tracer::queueInsert(Pending pending) {
+  auto it = std::upper_bound(
+      queue_.begin(), queue_.end(), pending.address,
+      [](uint64_t addr, const Pending& p) { return addr < p.address; });
+  queue_.insert(it, std::move(pending));
 }
 
 Result<Tracer::VariantRef> Tracer::migrateToVariant(
-    uint64_t address, emu::KnownWorldState state, uint64_t currentFunction) {
+    uint64_t address, emu::KnownWorldState state, uint64_t currentFunction,
+    int forkDepth) {
   auto& list = variantsFor(address);
 
   // Candidates must agree on the shadow call stack (same continuation).
@@ -245,10 +322,22 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
   if (best->state->flags().known != state.flags().known ||
       ((best->state->flags().values ^ state.flags().values) &
        best->state->flags().known) != 0) {
-    if (state.flags().known != 0 && !state.flags().materialized)
-      return Error{ErrorCode::VariantLimit, address,
-                   "cannot migrate stale flags"};
-    general.flags().clobber();
+    if (state.flags().known != 0 && !state.flags().materialized) {
+      // Stale flags (elided writer) that disagree with the candidate:
+      // meet per bit. Agreeing bits stay known (branches on them resolve
+      // identically on every path); the rest drop to unknown while
+      // staying unmaterialized, so a later captured consumer fails the
+      // trace cleanly instead of reading garbage runtime flags.
+      emu::FlagsState& gf = general.flags();
+      const emu::FlagsState& bf = best->state->flags();
+      const uint8_t agree =
+          bf.known & gf.known & static_cast<uint8_t>(~(bf.values ^ gf.values));
+      gf.known = agree;
+      gf.values &= agree;
+      gf.materialized = gf.materialized && bf.materialized;
+    } else {
+      general.flags().clobber();
+    }
   }
   if (!best->state->stack().sameContent(state.stack())) {
     // Shadow bytes are always materialized (stores are captured), so the
@@ -272,16 +361,19 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
   // one is created (allowed past the threshold — each migration strictly
   // reduces knowledge, so the chain terminates at the all-unknown state).
   for (const Variant& v : list)
-    if (v.state->sameContent(general)) return VariantRef{v.blockId, false};
+    if (v.state->sameContent(general))
+      return VariantRef{v.blockId, false, false};
   if (out_.blockCount() >= static_cast<int>(config_.limits().maxBlocks))
     return Error{ErrorCode::VariantLimit, address, "block limit exceeded"};
-  const uint64_t generalDigest = general.digest();
-  const int id = out_.newBlock(address, generalDigest);
+  const int id = out_.newBlock(address, 0);
+  ++stats_.startedBlocks;
   auto snapshot =
-      std::make_unique<const emu::KnownWorldState>(std::move(general));
-  queue_.push_back(Pending{address, id, currentFunction, snapshot.get()});
-  list.push_back(Variant{generalDigest, id, std::move(snapshot)});
-  return VariantRef{id, true};
+      std::make_unique<emu::KnownWorldState>(std::move(general));
+  queueInsert(Pending{address, id, currentFunction, snapshot.get(),
+                      forkDepth});
+  list.push_back(Variant{0, id, true, std::move(snapshot)});
+  ++pendingCount_;
+  return VariantRef{id, true, false};
 }
 
 // ---------------------------------------------------------------------------
@@ -289,13 +381,45 @@ Result<Tracer::VariantRef> Tracer::migrateToVariant(
 // ---------------------------------------------------------------------------
 
 Status Tracer::traceBlock(Pending pending) {
-  st_ = *pending.entryState;
+  {
+    // The block is no longer pending (weakenable) once tracing starts, and
+    // the entry-state restore is known-world bookkeeping time.
+    TickAccumulator timeShadow(shadowTicks_);
+    for (Variant& v : variantsFor(pending.address)) {
+      if (v.blockId == pending.blockId && v.pending) {
+        v.pending = false;
+        --pendingCount_;
+        break;
+      }
+    }
+    st_ = *pending.entryState;
+  }
   currentFunction_ = pending.currentFunction;
   curId_ = pending.blockId;
+  forkDepth_ = pending.forkDepth;
   blockDone_ = false;
+  chainPending_ = false;
 
   uint64_t address = pending.address;
+  // `entered` suppresses the fall-in check for an address we arrived at via
+  // an explicit edge (block entry, chain, inline continue) — it is a block
+  // start, but the current output block IS that block.
+  bool entered = true;
   while (!blockDone_) {
+    if (!entered && isBlockStart(address)) {
+      // Fell through into a known block start (e.g. a join already traced
+      // or pending): close/merge via the edge machinery instead of
+      // duplicating the join's tail.
+      if (Status s = continueAt(address); !s) return s.error();
+      if (chainPending_) {
+        // continueAt chose to keep tracing inline at the same address.
+        chainPending_ = false;
+        entered = true;
+        continue;
+      }
+      break;
+    }
+    entered = false;
     if (++stats_.tracedInstructions > config_.limits().maxTraceSteps)
       return Error{ErrorCode::TraceStepLimit, address,
                    "trace step limit (endless unrolling?)"};
@@ -304,7 +428,7 @@ Status Tracer::traceBlock(Pending pending) {
     if (stats_.capturedInstructions * 2 > config_.limits().maxCodeBytes)
       return Error{ErrorCode::CodeBufferFull, address,
                    "captured code exceeds the configured maximum"};
-    auto decoded = isa::decodeCachedAt(address);
+    auto decoded = decode_.at(address);
     if (!decoded) return decoded.error();
     // The pointer stays valid until the next decode; traceOne consumes the
     // instruction fully before this loop comes back around.
@@ -312,8 +436,17 @@ Status Tracer::traceBlock(Pending pending) {
     const uint64_t next = address + in.length;
     BREW_LOG_TRACE("0x%llx: %s", static_cast<unsigned long long>(address),
                    isa::toString(in).c_str());
+    traceAddr_ = address;
     if (Status s = traceOne(in, next); !s) return s.error();
-    address = next;
+    if (chainPending_) {
+      // continueAt redirected the trace (resolved jump, inline call/ret,
+      // or a freshly opened inline block): keep going in this loop.
+      chainPending_ = false;
+      address = chainTo_;
+      entered = true;
+    } else {
+      address = next;
+    }
   }
   return Status::okStatus();
 }
@@ -418,11 +551,41 @@ Status Tracer::checkStackAccess(int64_t offset, uint64_t guestAddr) const {
 }
 
 Status Tracer::continueAt(uint64_t address) {
-  auto v = getOrCreateVariant(address, st_, currentFunction_);
+  // Ordering guard: while forks are outstanding, only chain to addresses
+  // that stay below every pending block, so the queue's program-order
+  // processing is preserved and joins are still pending (mergeable) when
+  // the later arm reaches them. Fork-free traces chain unrestricted.
+  const bool ordered = queue_.empty() || address < queue_.front().address;
+
+  if (config_.chainBlocks() && ordered && address > traceAddr_ &&
+      !isBlockStart(address)) {
+    // Chain: the edge is strictly forward in program order (terminates)
+    // and the target was never a block start, so keep tracing inline in
+    // the current output block — no snapshot, no digest, no queue.
+    markSeen(address);
+    ++stats_.chainedBlocks;
+    ++stats_.startedBlocks;
+    chainPending_ = true;
+    chainTo_ = address;
+    return Status::okStatus();
+  }
+
+  const OnMiss mode =
+      ordered && config_.chainBlocks() ? OnMiss::Inline : OnMiss::Queue;
+  auto v = getOrCreateVariant(address, st_, currentFunction_, mode,
+                              forkDepth_);
   if (!v) return v.error();
   ir::Block& block = out_.block(curId_);
   block.term.kind = ir::Terminator::Kind::Jmp;
   block.term.taken = v->blockId;
+  if (v->inlineContinue) {
+    // Fresh block, no compatible variant: keep tracing into it right now
+    // with the current state (st_ is its entry snapshot's source).
+    curId_ = v->blockId;
+    chainPending_ = true;
+    chainTo_ = address;
+    return Status::okStatus();
+  }
   blockDone_ = true;
   return Status::okStatus();
 }
@@ -430,9 +593,11 @@ Status Tracer::continueAt(uint64_t address) {
 Status Tracer::endBlockCond(Cond cond, uint64_t takenAddress,
                             uint64_t fallAddress) {
   ++stats_.capturedBranches;
-  auto taken = getOrCreateVariant(takenAddress, st_, currentFunction_);
+  auto taken = getOrCreateVariant(takenAddress, st_, currentFunction_,
+                                  OnMiss::Queue, forkDepth_ + 1);
   if (!taken) return taken.error();
-  auto fall = getOrCreateVariant(fallAddress, st_, currentFunction_);
+  auto fall = getOrCreateVariant(fallAddress, st_, currentFunction_,
+                                 OnMiss::Queue, forkDepth_ + 1);
   if (!fall) return fall.error();
   ir::Block& block = out_.block(curId_);
   block.term.kind = ir::Terminator::Kind::CondJmp;
@@ -451,6 +616,45 @@ Status Tracer::endBlockRet() {
   block.term.kind = ir::Terminator::Kind::Ret;
   blockDone_ = true;
   return Status::okStatus();
+}
+
+bool Tracer::trySideExit(const isa::Instruction& in) {
+  // A side exit re-enters the ORIGINAL code at the branch, so the runtime
+  // state there must be exactly the architectural state: no inlined frames
+  // left to unwind, real flags, a tracked-and-real rsp, and every known
+  // stack byte/slot already written through to the runtime stack.
+  if (!st_.callStack().empty()) return false;
+  if (!st_.flags().materialized) return false;
+  const Value rsp = st_.gpr(Reg::rsp);
+  if (!rsp.isStackRel() || !rsp.materialized) return false;
+  bool stackReal = true;
+  st_.stack().forEachKnownByte([&](int64_t, uint8_t, bool materialized) {
+    if (!materialized) stackReal = false;
+  });
+  if (!stackReal) return false;
+  for (const auto& [off, slot] : st_.stack().stackRelSlots()) {
+    (void)off;
+    if (!slot.materialized) return false;
+  }
+  // Realize every known-but-folded register. A failure mid-way is fine:
+  // the caller falls back to a normal fork, and the materializations
+  // already emitted only realize values the shared state knows.
+  for (unsigned i = 0; i < 16; ++i) {
+    const Reg r = isa::gprFromNum(i);
+    const Value& v = st_.gpr(r);
+    if (!v.isUnknown() && !v.materialized) {
+      Status s = v.isStackRel() ? materializeStackRel(r) : materializeGpr(r);
+      if (!s) return false;
+    }
+    if (Status s = materializeXmmLanes(isa::xmmFromNum(i)); !s) return false;
+  }
+  ir::Block& block = out_.block(curId_);
+  block.term.kind = ir::Terminator::Kind::SideExit;
+  block.term.guestTarget = in.address;
+  block.term.poolSlot = out_.addPoolConstant(in.address);
+  ++stats_.sideExits;
+  blockDone_ = true;
+  return true;
 }
 
 Status Tracer::traceBranch(const Instruction& in, uint64_t next) {
@@ -513,6 +717,9 @@ Status Tracer::traceBranch(const Instruction& in, uint64_t next) {
       if (!known && !st_.flags().materialized)
         return Error{ErrorCode::UnsupportedInstruction, in.address,
                      "branch on flags of an elided instruction"};
+      if (config_.sideExitFallback() &&
+          forkDepth_ >= config_.limits().maxForkDepth && trySideExit(in))
+        return Status::okStatus();
       return endBlockCond(in.cond, static_cast<uint64_t>(in.ops[0].imm),
                           next);
     }

@@ -6,6 +6,7 @@
 // variants + known-world-state migration.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "emu/known_state.hpp"
 #include "emu/semantics.hpp"
 #include "ir/captured.hpp"
+#include "isa/decode_cache.hpp"
 #include "support/arena.hpp"
 #include "support/error.hpp"
 
@@ -32,6 +34,15 @@ struct TraceStats {
   size_t resolvedBranches = 0;
   size_t capturedBranches = 0;
   size_t migrations = 0;
+  // Block-chained tier (docs/BLOCKS.md).
+  size_t startedBlocks = 0;  // logical basic blocks the tracer opened
+  size_t chainedBlocks = 0;  // forward edges continued inline, no variant
+  size_t reusedBlocks = 0;   // edges resolved to an existing block variant
+  size_t mergedBlocks = 0;   // reconvergence meets into a pending variant
+  size_t sideExits = 0;      // fork-depth cap hit: side-exit stub emitted
+  // Time spent on known-world-state bookkeeping: snapshots, variant
+  // digests/compares and reconvergence meets ("phase.emulate_shadow_ns").
+  uint64_t shadowNs = 0;
   // Decoded-instruction cache activity for this trace. Misses are clocked
   // unconditionally inside the cache (the clock only runs on the cold
   // path), so decodeNs is real decoder time whether or not phase tracing
@@ -45,7 +56,12 @@ class Tracer {
  public:
   explicit Tracer(const Config& config)
       : config_(config),
-        queue_(support::ArenaAllocator<Pending>(&arena_)) {}
+        queue_(support::ArenaAllocator<Pending>(&arena_)) {
+    // Typical traces touch a handful of block-start addresses; reserve
+    // past them so the hot getOrCreateVariant path never reallocates.
+    variants_.reserve(8);
+    seen_.reserve(16);
+  }
 
   // Traces `fn` called with `args` (signature order; see Config parameter
   // specs) and returns the captured function, or the first failure.
@@ -65,41 +81,65 @@ class Tracer {
     int blockId = -1;
     uint64_t currentFunction = 0;
     const emu::KnownWorldState* entryState = nullptr;
+    int forkDepth = 0;  // unknown-branch nesting depth at the fork
   };
   struct Variant {
-    uint64_t digest = 0;
+    uint64_t digest = 0;  // quickDigest prefilter (register-only)
     int blockId = -1;
+    // Queued but not yet traced: eligible for reconvergence weakening.
+    bool pending = false;
     // Entry state the block was traced with. unique_ptr keeps the address
-    // stable across variant-list reallocation (Pending points into it).
-    std::unique_ptr<const emu::KnownWorldState> state;
+    // stable across variant-list reallocation (Pending points into it);
+    // non-const so a pending variant's state can be weakened in place.
+    std::unique_ptr<emu::KnownWorldState> state;
   };
 
   // --- queue / variants ---
   struct VariantRef {
     int blockId = -1;
     bool created = false;
+    // Created in OnMiss::Inline mode: the caller keeps tracing into the
+    // new block with the current state instead of queueing it.
+    bool inlineContinue = false;
   };
+  // What to do when no existing variant matches: Queue snapshots the state
+  // and defers the block (fork arms), Inline opens the block and lets the
+  // tracer continue into it immediately (resolved edges).
+  enum class OnMiss : uint8_t { Queue, Inline };
   Result<VariantRef> getOrCreateVariant(uint64_t address,
                                         const emu::KnownWorldState& state,
-                                        uint64_t currentFunction);
+                                        uint64_t currentFunction,
+                                        OnMiss mode = OnMiss::Queue,
+                                        int forkDepth = 0);
   // Migration when the per-address variant threshold is hit: generalizes
   // the state towards an existing variant, appending compensation code
   // (materializations) to the current block.
   Result<VariantRef> migrateToVariant(uint64_t address,
                                       emu::KnownWorldState state,
-                                      uint64_t currentFunction);
+                                      uint64_t currentFunction,
+                                      int forkDepth);
+  // Keeps queue_ sorted by guest address ascending (program order): for
+  // forward CFGs every fork arm is traced before its join, so joins are
+  // still pending — and mergeable — when the arms reach them.
+  void queueInsert(Pending pending);
 
   // --- per-block tracing ---
   Status traceBlock(Pending pending);
   Status traceOne(const isa::Instruction& instr, uint64_t next);
 
   // Continue control flow at `address` (resolved jump / inline call /
-  // inline return): terminates the current block with a jump to the
-  // (possibly new) variant.
+  // inline return): chains forward into the current block when allowed,
+  // otherwise closes the block with a jump to the (possibly new) variant.
   Status continueAt(uint64_t address);
   Status endBlockCond(isa::Cond cond, uint64_t takenAddress,
                       uint64_t fallAddress);
   Status endBlockRet();
+  // Fork-depth cap: materialize the whole known state and terminate the
+  // block with an indirect jump back into the original code at the
+  // branch, instead of forking further. Returns false when the state
+  // cannot be realized (inlined frames, stale flags/stack) — the caller
+  // falls back to a normal fork.
+  bool trySideExit(const isa::Instruction& in);
 
   // --- operand plumbing ---
   emu::Value memAddress(const isa::MemOperand& m, uint64_t nextRip) const;
@@ -170,17 +210,47 @@ class Tracer {
   std::deque<Pending, support::ArenaAllocator<Pending>> queue_;
   // Variant lists keyed by guest address. A trace touches a handful of
   // distinct addresses, so a flat vector with linear lookup beats a hash
-  // map on both lookup and teardown cost. Note: the returned reference is
-  // invalidated by the next variantsFor() call that inserts a new address.
-  std::vector<std::pair<uint64_t, std::vector<Variant>>> variants_;
-  std::vector<Variant>& variantsFor(uint64_t address) {
+  // map on both lookup and teardown cost; the inner lists grow out of the
+  // trace arena (one bump each instead of one malloc per block address).
+  // Note: the returned reference is invalidated by the next variantsFor()
+  // call that inserts a new address.
+  using VariantList = std::vector<Variant, support::ArenaAllocator<Variant>>;
+  std::vector<std::pair<uint64_t, VariantList>> variants_;
+  VariantList& variantsFor(uint64_t address) {
     for (auto& entry : variants_)
       if (entry.first == address) return entry.second;
-    return variants_.emplace_back(address, std::vector<Variant>{}).second;
+    return variants_
+        .emplace_back(address,
+                      VariantList(support::ArenaAllocator<Variant>(&arena_)))
+        .second;
   }
   // KnownPtr parameter regions discovered at trace start.
   std::vector<MemRegion> extraRegions_;
   TraceStats stats_;
+
+  // Every logical block-start address seen so far (entries, fork arms,
+  // chain targets, variant addresses), sorted ascending. Fall-through
+  // into one of these closes the current block instead of duplicating
+  // the join's tail.
+  std::vector<uint64_t> seen_;
+  bool isBlockStart(uint64_t address) const {
+    return std::binary_search(seen_.begin(), seen_.end(), address);
+  }
+  void markSeen(uint64_t address) {
+    auto it = std::lower_bound(seen_.begin(), seen_.end(), address);
+    if (it == seen_.end() || *it != address) seen_.insert(it, address);
+  }
+  // Queued-but-untraced blocks; nonzero gates the reconvergence scan.
+  int pendingCount_ = 0;
+  // Shadow-bookkeeping time in raw TSC ticks; converted into
+  // stats_.shadowNs once at the end of trace().
+  uint64_t shadowTicks_ = 0;
+
+  // One decode-cache session for the whole trace: TLS lookup and mutation
+  // epoch reconciled once at Tracer construction, inline probe per
+  // instruction. The tracer never installs code mid-trace, so the session
+  // stays valid for its lifetime.
+  isa::DecodeSession decode_;
 
   // Current block context. Blocks are addressed by id because newBlock()
   // may reallocate the block vector mid-trace.
@@ -192,6 +262,12 @@ class Tracer {
   mutable FunctionOptions policyCache_{};
   bool blockDone_ = false;
   bool injecting_ = false;  // reentrancy guard for emitInjectedCall
+  int forkDepth_ = 0;       // fork depth of the block being traced
+  uint64_t traceAddr_ = 0;  // guest address of the instruction in traceOne
+  // Set by continueAt when tracing continues inline (same or new block):
+  // traceBlock resumes at chainTo_ instead of the linear successor.
+  bool chainPending_ = false;
+  uint64_t chainTo_ = 0;
 };
 
 }  // namespace brew

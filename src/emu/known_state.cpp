@@ -504,4 +504,150 @@ uint64_t KnownWorldState::digest() const {
   return hash;
 }
 
+uint64_t KnownWorldState::quickDigest() const {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned i = 0; i < 16; ++i) {
+    hashValue(hash, gpr_[i]);
+    hashValue(hash, xmm_[i].lo);
+    hashValue(hash, xmm_[i].hi);
+  }
+  hashMix(hash, flags_.known);
+  hashMix(hash, flags_.values & flags_.known);
+  for (const CallFrame& frame : callStack_) hashMix(hash, frame.returnAddress);
+  return hash;
+}
+
+// --- Reconvergence meet ----------------------------------------------------
+
+namespace {
+const Value* slotAt(const StackShadow& shadow, int64_t offset) {
+  for (const auto& [off, value] : shadow.stackRelSlots())
+    if (off == offset) return &value;
+  return nullptr;
+}
+
+// Meet of one value pair: can the pending side drop `a` without appended
+// compensation, and does the incoming side need one? Returns false when
+// the drop is unsound (pending-side fact not in the runtime register).
+bool meetValue(const Value& a, const Value& b, bool& needIncomingFix) {
+  if (a.sameContent(b)) return true;
+  if (!a.isUnknown() && !a.materialized) return false;
+  if (!b.isUnknown() && !b.materialized) needIncomingFix = true;
+  return true;
+}
+}  // namespace
+
+IntersectPlan planIntersect(const KnownWorldState& pending,
+                            const KnownWorldState& incoming) {
+  IntersectPlan plan;
+  // Inlined-call frames cannot be merged away: a ret in the merged block
+  // must resume at one exact address per frame.
+  const std::vector<CallFrame>& fa = pending.callStack();
+  const std::vector<CallFrame>& fb = incoming.callStack();
+  if (fa.size() != fb.size()) return plan;
+  for (size_t i = 0; i < fa.size(); ++i) {
+    if (fa[i].returnAddress != fb[i].returnAddress ||
+        fa[i].callerFunction != fb[i].callerFunction ||
+        fa[i].calleeEntry != fb[i].calleeEntry ||
+        fa[i].entrySpOffset != fb[i].entrySpOffset)
+      return plan;
+  }
+  // rsp anchors every stack fact; a disagreeing frame pointer has no
+  // sound meet.
+  if (!pending.gpr(Reg::rsp).sameContent(incoming.gpr(Reg::rsp))) return plan;
+  for (unsigned i = 0; i < 16; ++i) {
+    bool fix = false;
+    if (!meetValue(pending.gpr(isa::gprFromNum(i)),
+                   incoming.gpr(isa::gprFromNum(i)), fix))
+      return plan;
+    if (fix) plan.materializeGprs |= 1u << i;
+  }
+  for (unsigned i = 0; i < 16; ++i) {
+    const XmmValue& a = pending.xmm(isa::xmmFromNum(i));
+    const XmmValue& b = incoming.xmm(isa::xmmFromNum(i));
+    bool fix = false;
+    if (!meetValue(a.lo, b.lo, fix) || !meetValue(a.hi, b.hi, fix))
+      return plan;
+    if (fix) plan.materializeXmms |= 1u << i;
+  }
+  // Disagreeing flags meet to "clobbered" = unknown-but-real runtime
+  // flags; that is only true when neither side elided its last flag
+  // writer.
+  const FlagsState& flA = pending.flags();
+  const FlagsState& flB = incoming.flags();
+  const bool flagsEqual = flA.known == flB.known &&
+                          (flA.values & flA.known) == (flB.values & flB.known);
+  if (!flagsEqual && (!flA.materialized || !flB.materialized)) return plan;
+  // Stack bytes and StackRel slots: a dropped fact must be materialized on
+  // the side that knew it — there is no register to compensate through.
+  // (Captured stores always materialize, so this near-always holds.)
+  bool ok = true;
+  pending.stack().forEachKnownByte([&](int64_t off, uint8_t byte, bool mat) {
+    if (!ok) return;
+    const Value other = incoming.stack().read(off, 1);
+    if (other.isKnown() && static_cast<uint8_t>(other.bits) == byte) return;
+    if (!mat) ok = false;
+  });
+  if (!ok) return plan;
+  incoming.stack().forEachKnownByte([&](int64_t off, uint8_t byte, bool mat) {
+    if (!ok) return;
+    const Value other = pending.stack().read(off, 1);
+    if (other.isKnown() && static_cast<uint8_t>(other.bits) == byte) return;
+    if (!mat) ok = false;
+  });
+  if (!ok) return plan;
+  for (const auto& [off, value] : pending.stack().stackRelSlots()) {
+    const Value* other = slotAt(incoming.stack(), off);
+    if (other != nullptr && value.sameContent(*other)) continue;
+    if (!value.materialized) return plan;
+  }
+  for (const auto& [off, value] : incoming.stack().stackRelSlots()) {
+    const Value* other = slotAt(pending.stack(), off);
+    if (other != nullptr && value.sameContent(*other)) continue;
+    if (!value.materialized) return plan;
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+void KnownWorldState::intersectWith(const KnownWorldState& incoming) {
+  auto meet = [](Value& a, const Value& b) {
+    if (a.sameContent(b))
+      a.materialized = a.materialized && b.materialized;
+    else
+      a = Value::unknown();
+  };
+  for (unsigned i = 0; i < 16; ++i) {
+    meet(gpr_[i], incoming.gpr_[i]);
+    meet(xmm_[i].lo, incoming.xmm_[i].lo);
+    meet(xmm_[i].hi, incoming.xmm_[i].hi);
+  }
+  if (flags_.known == incoming.flags_.known &&
+      (flags_.values & flags_.known) ==
+          (incoming.flags_.values & incoming.flags_.known)) {
+    flags_.materialized = flags_.materialized && incoming.flags_.materialized;
+  } else {
+    flags_.clobber();
+  }
+  // Rebuild the shadow as the byte/slot intersection. Bytes and slots
+  // never overlap within one shadow, and a byte kept here is known in
+  // both, so the two loops cannot collide either.
+  StackShadow met;
+  stack_.forEachKnownByte([&](int64_t off, uint8_t byte, bool mat) {
+    const Value other = incoming.stack_.read(off, 1);
+    if (other.isKnown() && static_cast<uint8_t>(other.bits) == byte)
+      met.write(off, 1, Value::known(byte, mat && other.materialized));
+  });
+  for (const auto& [off, value] : stack_.stackRelSlots()) {
+    const Value* other = slotAt(incoming.stack_, off);
+    if (other != nullptr && value.sameContent(*other)) {
+      Value kept = value;
+      kept.materialized = value.materialized && other->materialized;
+      met.write(off, 8, kept);
+    }
+  }
+  stack_ = std::move(met);
+  // callStack_ is identical on both sides by planIntersect's contract.
+}
+
 }  // namespace brew::emu

@@ -196,6 +196,16 @@ class KnownWorldState {
   // keying and migration.
   bool sameContent(const KnownWorldState& other) const;
   uint64_t digest() const;
+  // Register-only digest (GPRs, XMM lanes, flags, call stack): a cheap
+  // prefilter for variant lookup that skips the per-byte stack walk.
+  // Weaker than digest() — equal quickDigests still need sameContent.
+  uint64_t quickDigest() const;
+
+  // Weakens *this to the meet with `incoming`: facts the two states agree
+  // on survive (materialized only if materialized in both), everything
+  // else drops to unknown. Callers must have validated feasibility with
+  // planIntersect first — the meet itself never fails.
+  void intersectWith(const KnownWorldState& incoming);
 
  private:
   Value gpr_[16];
@@ -204,5 +214,23 @@ class KnownWorldState {
   StackShadow stack_;
   std::vector<CallFrame> callStack_;
 };
+
+// Reconvergence merge feasibility (§ docs/BLOCKS.md). `pending` is the
+// entry state of a queued, not-yet-traced block; `incoming` is the state
+// on the edge the tracer is about to close. The meet is sound only when
+// every fact it drops is already reflected in the runtime machine state
+// on the edge that knew it: the pending edge's code is final (nothing can
+// be appended there), so its dropped facts must be materialized; the
+// incoming edge can still be compensated, so its unmaterialized facts are
+// returned as bitmasks for the tracer to materialize into the current
+// block before jumping.
+struct IntersectPlan {
+  uint32_t materializeGprs = 0;  // incoming-side GPRs needing a fix-up mov
+  uint32_t materializeXmms = 0;  // incoming-side XMMs needing lane fix-ups
+  bool feasible = false;
+};
+
+IntersectPlan planIntersect(const KnownWorldState& pending,
+                            const KnownWorldState& incoming);
 
 }  // namespace brew::emu

@@ -6,6 +6,7 @@
 
 #include "isa/encoder.hpp"
 #include "isa/printer.hpp"
+#include "support/telemetry.hpp"
 
 namespace brew::ir {
 
@@ -71,6 +72,12 @@ std::string CapturedFunction::dump() const {
       case Terminator::Kind::Stop:
         out += "  <tail transfer>\n";
         break;
+      case Terminator::Kind::SideExit:
+        std::snprintf(buf, sizeof buf,
+                      "  side-exit to guest 0x%" PRIx64 " (pool slot %d)\n",
+                      b.term.guestTarget, b.term.poolSlot);
+        out += buf;
+        break;
     }
   }
   if (!pool_.empty()) {
@@ -87,20 +94,27 @@ std::string CapturedFunction::dump() const {
   return out;
 }
 
-std::vector<int> layoutOrder(const CapturedFunction& fn) {
-  std::vector<int> order;
-  std::vector<bool> placed(static_cast<size_t>(fn.blockCount()), false);
+namespace {
+
+// layoutOrder runs on every emit; the marker vectors keep their capacity
+// across calls on each thread instead of reallocating per rewrite.
+void layoutOrderInto(const CapturedFunction& fn, std::vector<int>& order) {
+  order.clear();
+  static thread_local std::vector<uint8_t> placed, reachable;
+  static thread_local std::vector<int> work;
+  placed.assign(static_cast<size_t>(fn.blockCount()), 0);
   order.reserve(static_cast<size_t>(fn.blockCount()));
 
   // Reachability from the entry block: merged/dead blocks are not emitted.
-  std::vector<bool> reachable(static_cast<size_t>(fn.blockCount()), false);
+  reachable.assign(static_cast<size_t>(fn.blockCount()), 0);
   {
-    std::vector<int> work{fn.entry()};
+    work.clear();
+    work.push_back(fn.entry());
     while (!work.empty()) {
       const int id = work.back();
       work.pop_back();
-      if (id < 0 || reachable[static_cast<size_t>(id)]) continue;
-      reachable[static_cast<size_t>(id)] = true;
+      if (id < 0 || reachable[static_cast<size_t>(id)] != 0) continue;
+      reachable[static_cast<size_t>(id)] = 1;
       const Terminator& t = fn.block(id).term;
       if (t.kind == Terminator::Kind::Jmp ||
           t.kind == Terminator::Kind::CondJmp)
@@ -114,9 +128,9 @@ std::vector<int> layoutOrder(const CapturedFunction& fn) {
   // after a Jmp place its target next when still unplaced.
   auto placeChain = [&](int start) {
     int current = start;
-    while (current >= 0 && reachable[static_cast<size_t>(current)] &&
-           !placed[static_cast<size_t>(current)]) {
-      placed[static_cast<size_t>(current)] = true;
+    while (current >= 0 && reachable[static_cast<size_t>(current)] != 0 &&
+           placed[static_cast<size_t>(current)] == 0) {
+      placed[static_cast<size_t>(current)] = 1;
       order.push_back(current);
       const Terminator& t = fn.block(current).term;
       switch (t.kind) {
@@ -136,8 +150,16 @@ std::vector<int> layoutOrder(const CapturedFunction& fn) {
   placeChain(fn.entry());
   // Remaining reachable blocks (branch-taken targets) in discovery order.
   for (int i = 0; i < fn.blockCount(); ++i)
-    if (reachable[static_cast<size_t>(i)] && !placed[static_cast<size_t>(i)])
+    if (reachable[static_cast<size_t>(i)] != 0 &&
+        placed[static_cast<size_t>(i)] == 0)
       placeChain(i);
+}
+
+}  // namespace
+
+std::vector<int> layoutOrder(const CapturedFunction& fn) {
+  std::vector<int> order;
+  layoutOrderInto(fn, order);
   return order;
 }
 
@@ -146,7 +168,13 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
   if (fn.blockCount() == 0)
     return Error{ErrorCode::InvalidArgument, 0, "empty captured function"};
 
-  const std::vector<int> order = layoutOrder(fn);
+  // Chain-time accounting in raw TSC ticks (converted once at the end):
+  // layout + relocation run on every rewrite, so the cheap clock matters.
+  uint64_t chainTicks = 0;
+  const uint64_t tLayout0 = telemetry::fastTicks();
+  static thread_local std::vector<int> order;
+  layoutOrderInto(fn, order);
+  chainTicks += telemetry::fastTicks() - tLayout0;
 
   struct BlockFixup {
     size_t fieldOffset;
@@ -172,7 +200,8 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
   size_t estimate = fn.pool().size() * 16 + 64;
   for (const int id : order) estimate += fn.block(id).instrs.size() * 8 + 16;
   code.reserve(estimate);
-  std::vector<int64_t> blockOffset(static_cast<size_t>(fn.blockCount()), -1);
+  static thread_local std::vector<int64_t> blockOffset;
+  blockOffset.assign(static_cast<size_t>(fn.blockCount()), -1);
   size_t instructions = 0;
 
   for (size_t pos = 0; pos < order.size(); ++pos) {
@@ -239,6 +268,27 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
       }
       case Terminator::Kind::Stop:
         break;  // last instruction already transferred control
+      case Terminator::Kind::SideExit: {
+        // jmp qword ptr [rip+pool]: transfers to the original code at
+        // guestTarget without touching any register or flag.
+        if (block.term.poolSlot < 0)
+          return Error{ErrorCode::InvalidArgument, block.guestAddress,
+                       "side exit without a pool slot"};
+        const size_t start = code.size();
+        isa::MemOperand m;
+        m.ripRelative = true;
+        m.poolSlot = block.term.poolSlot;
+        const isa::Instruction j = isa::makeInstr(
+            isa::Mnemonic::JmpInd, 8, isa::Operand::makeMem(m));
+        isa::EncodeInfo info;
+        if (Status s = isa::encode(j, start, code, &info); !s)
+          return s.error();
+        if (info.rel32Offset >= 0 && info.isPoolRef)
+          poolFixups.push_back({start + static_cast<size_t>(info.rel32Offset),
+                                start + info.length, info.poolSlot});
+        ++instructions;
+        break;
+      }
       case Terminator::Kind::None:
         return Error{ErrorCode::InvalidArgument, block.guestAddress,
                      "block without terminator"};
@@ -259,6 +309,7 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
   }
 
   // Relocation (§III-G last step).
+  const uint64_t tReloc0 = telemetry::fastTicks();
   for (const BlockFixup& fixup : blockFixups) {
     const int64_t target = blockOffset[static_cast<size_t>(fixup.targetBlock)];
     if (target < 0)
@@ -274,6 +325,7 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
     const auto rel32 = static_cast<int32_t>(rel);
     std::memcpy(code.data() + fixup.fieldOffset, &rel32, 4);
   }
+  chainTicks += telemetry::fastTicks() - tReloc0;
 
   auto mem = ExecMemory::allocate(code.size());
   if (!mem) return mem.error();
@@ -284,6 +336,7 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
     stats->codeBytes = poolOffset;
     stats->poolBytes = fn.pool().size() * 16;
     stats->instructions = instructions;
+    stats->chainNs = telemetry::ticksToNs(chainTicks);
   }
   return std::move(*mem);
 }

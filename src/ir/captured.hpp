@@ -33,11 +33,16 @@ struct Terminator {
     CondJmp,  // jcc `cond` to `taken`, else fall through to `fall`
     Stop,     // control already left via the block's last instruction
               // (kept tail call: jmp to external code)
+    SideExit, // indirect jmp through pool slot `poolSlot` back into the
+              // original code at `guestTarget` (fork-depth cap reached);
+              // the preceding code has fully materialized the known state
   };
   Kind kind = Kind::None;
   isa::Cond cond = isa::Cond::O;
   int taken = -1;
   int fall = -1;
+  int poolSlot = -1;         // SideExit: pool slot holding guestTarget
+  uint64_t guestTarget = 0;  // SideExit: original-code resume address
 };
 
 struct Block {
@@ -92,6 +97,9 @@ struct EmitStats {
   size_t codeBytes = 0;
   size_t poolBytes = 0;
   size_t instructions = 0;
+  // Time spent wiring blocks together: layout plus the block/pool
+  // relocation passes (telemetry "phase.chain_ns").
+  uint64_t chainNs = 0;
 };
 
 // Lays out, encodes and relocates the function into executable memory.

@@ -55,9 +55,21 @@ struct ThreadCache {
   uint64_t epoch = 0;
   std::vector<brew::CodeMutation> scratch;
   DecodeCacheStats stats;
-  uint64_t sampleTick = 0;  // hit-path clock sampling (1 in kHitSamplePeriod)
   uint64_t clockOverheadNs = calibrateClockOverheadNs();
   uint64_t hitEwmaNsX16 = 0;  // EWMA of corrected samples, x16 fixed point
+  // Address watermarks over everything cached (front array + backing).
+  // Mutations are installs into generated-code regions, which live far
+  // from the static subject code the cache holds; when a mutation batch
+  // misses [lo, hi] entirely the per-entry invalidation scan is skipped.
+  // Watermarks only widen (invalidation never shrinks them), so the skip
+  // is conservative.
+  uint64_t loAddr = ~uint64_t{0};
+  uint64_t hiAddr = 0;
+
+  void noteCached(uint64_t a) noexcept {
+    if (a < loAddr) loAddr = a;
+    if (a > hiAddr) hiAddr = a;
+  }
 
   // One corrected hit sample: remove the measured clock cost (floor 1ns —
   // a hit is never free), then smooth with an EWMA (alpha = 1/8) so a
@@ -76,6 +88,8 @@ struct ThreadCache {
   void flushAll() {
     for (auto& t : tag) t = 0;
     backing.clear();
+    loAddr = ~uint64_t{0};
+    hiAddr = 0;
   }
 
   // Drops only entries whose bytes a recorded mutation could have changed.
@@ -84,6 +98,14 @@ struct ThreadCache {
   // generated-code churn this way, which is what lets the cache pay off
   // across repeat rewrites.
   void invalidateRanges(const std::vector<brew::CodeMutation>& ranges) {
+    if (loAddr > hiAddr) return;  // cache empty
+    bool touches = false;
+    for (const brew::CodeMutation& m : ranges)
+      if (loAddr < m.base + m.size && hiAddr + kMaxInstructionLength > m.base) {
+        touches = true;
+        break;
+      }
+    if (!touches) return;
     auto stale = [&ranges](uint64_t a) {
       for (const brew::CodeMutation& m : ranges)
         if (a < m.base + m.size && a + kMaxInstructionLength > m.base)
@@ -106,51 +128,57 @@ ThreadCache& threadCache() noexcept {
   return cache;
 }
 
+// Catches the thread cache up with the global mutation epoch; called once
+// per session construction (and thus once per decodeCachedAt).
+void reconcileEpoch(ThreadCache& c) {
+  const uint64_t epoch = brew::codeMutationEpoch();
+  if (epoch == c.epoch) return;
+  c.scratch.clear();
+  if (brew::codeMutationsSince(c.epoch, c.scratch)) {
+    c.invalidateRanges(c.scratch);
+  } else {
+    // History evicted: cannot tell what moved, drop everything.
+    c.flushAll();
+    telemetry::counter(telemetry::CounterId::DecodeCacheFlushes).add();
+  }
+  c.epoch = epoch;
+}
+
 }  // namespace
 
-Result<const Instruction*> decodeCachedAt(uint64_t address) {
+DecodeSession::DecodeSession() noexcept {
   ThreadCache& c = threadCache();
+  reconcileEpoch(c);
+  impl_ = &c;
+  tag_ = c.tag;
+  entry_ = c.entry;
+  stats_ = &c.stats;
+}
 
-  const uint64_t epoch = brew::codeMutationEpoch();
-  if (epoch != c.epoch) {
-    c.scratch.clear();
-    if (brew::codeMutationsSince(c.epoch, c.scratch)) {
-      c.invalidateRanges(c.scratch);
-    } else {
-      // History evicted: cannot tell what moved, drop everything.
-      c.flushAll();
-      telemetry::counter(telemetry::CounterId::DecodeCacheFlushes).add();
-    }
-    c.epoch = epoch;
-  }
+const Instruction* DecodeSession::sampledHit(size_t slot) {
+  // The probe already hit; clock a repeat probe as the sample. The reading
+  // is mostly clock overhead for a ~2ns probe, which chargeHitSample
+  // corrects for before scaling back up by the sample period.
+  ThreadCache& c = *static_cast<ThreadCache*>(impl_);
+  const uint64_t t0 = telemetry::nowNs();
+  const Instruction* in = &entry_[slot];
+  c.stats.hitNs += c.chargeHitSample(telemetry::nowNs() - t0);
+  return in;
+}
 
-  // Hot path touches only the thread-local stats; the tracer publishes
-  // hit/miss deltas to the telemetry registry once per trace, so the
-  // registry counters stay exact without an atomic add per instruction.
-  // Every path hands back &entry[slot]: stable storage the caller may read
-  // until its next decode, and a 144-byte Instruction copy avoided per hit
-  // relative to returning by value.
-  const bool sampleHit = (c.sampleTick++ & (kHitSamplePeriod - 1)) == 0;
-  const uint64_t tLookup = sampleHit ? telemetry::nowNs() : 0;
-
+Result<const Instruction*> DecodeSession::miss(uint64_t address) {
+  ThreadCache& c = *static_cast<ThreadCache*>(impl_);
   const size_t slot = address & (kWays - 1);
-  if (c.tag[slot] == address) {
-    ++c.stats.hits;
-    if (sampleHit)
-      c.stats.hitNs += c.chargeHitSample(telemetry::nowNs() - tLookup);
-    return &c.entry[slot];
-  }
 
+  // Front-array conflict served from the backing map: still a hit.
   if (auto it = c.backing.find(address); it != c.backing.end()) {
     c.tag[slot] = address;
     c.entry[slot] = it->second;
     ++c.stats.hits;
-    if (sampleHit)
-      c.stats.hitNs += c.chargeHitSample(telemetry::nowNs() - tLookup);
     return &c.entry[slot];
   }
 
-  const uint64_t t0 = sampleHit ? tLookup : telemetry::nowNs();
+  const uint64_t t0 = telemetry::nowNs();
   auto decoded = decodeAt(address);
   const uint64_t missDelta = telemetry::nowNs() - t0;
   c.stats.missNs +=
@@ -162,7 +190,17 @@ Result<const Instruction*> decodeCachedAt(uint64_t address) {
   c.backing.emplace(address, decoded.value());
   c.tag[slot] = address;
   c.entry[slot] = decoded.value();
+  c.noteCached(address);
   return &c.entry[slot];
+}
+
+static_assert(DecodeSession::kWays == kWays,
+              "session probe must mirror the thread cache geometry");
+
+Result<const Instruction*> decodeCachedAt(uint64_t address) {
+  // One-shot convenience path; batch decoding goes through DecodeSession.
+  DecodeSession session;
+  return session.at(address);
 }
 
 const DecodeCacheStats& decodeCacheThreadStats() noexcept {

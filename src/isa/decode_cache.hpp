@@ -57,6 +57,40 @@ struct DecodeCacheStats {
 // flushDecodeCache call — consume it before decoding again.
 Result<const Instruction*> decodeCachedAt(uint64_t address);
 
+// One trace's view of the calling thread's decode cache. The TLS lookup
+// and the mutation-epoch reconciliation are paid once at construction and
+// the direct-mapped hit probe inlines into the trace loop, instead of a
+// function call + TLS guard + epoch atomic per decoded instruction.
+// Sessions are cheap to construct, must stay on the constructing thread,
+// and must not be used across anything that can mutate executable bytes
+// (finish the session before installing generated code).
+class DecodeSession {
+ public:
+  static constexpr size_t kWays = 2048;  // mirrors the thread cache
+
+  DecodeSession() noexcept;  // snapshots the TLS cache, reconciles epoch
+
+  Result<const Instruction*> at(uint64_t address) {
+    const size_t slot = address & (kWays - 1);
+    if (tag_[slot] == address) [[likely]] {
+      // 1-in-64 hits divert to the clocked path so phase.decode_ns keeps
+      // a warm-trace estimate without two clock reads per instruction.
+      if (((++stats_->hits) & 63) != 0) [[likely]] return &entry_[slot];
+      return sampledHit(slot);
+    }
+    return miss(address);
+  }
+
+ private:
+  Result<const Instruction*> miss(uint64_t address);
+  const Instruction* sampledHit(size_t slot);
+
+  void* impl_;  // the thread's cache (opaque: layout lives in the .cpp)
+  uint64_t* tag_;
+  Instruction* entry_;
+  DecodeCacheStats* stats_;
+};
+
 // The calling thread's cumulative stats.
 const DecodeCacheStats& decodeCacheThreadStats() noexcept;
 

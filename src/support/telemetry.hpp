@@ -47,6 +47,11 @@ enum class CounterId : int {
   TraceResolvedBranches,
   TraceCapturedBranches,
   TraceMigrations,        // variant-threshold state migrations
+  BlocksStarted,          // logical basic blocks opened by the tracer
+  BlocksChained,          // forward edges continued inline (no fork)
+  BlocksReused,           // edges resolved to an existing block variant
+  BlocksMerged,           // reconvergence meets into a pending variant
+  BlocksSideExits,        // fork-depth cap hit: side-exit stub emitted
   PassBlocksMerged,
   PassPeepholeRemoved,
   PassDeadFlagsRemoved,
@@ -97,9 +102,13 @@ enum class GaugeId : int {
 enum class HistogramId : int {
   PhaseDecodeNs,          // per rewrite: time inside the instruction decoder
   PhaseEmulateNs,         // per rewrite: trace/emulate time minus decode
+  PhaseEmulateDecodeNs,   // emulate sub-span: instruction decode
+  PhaseEmulateExecNs,     // emulate sub-span: abstract execution proper
+  PhaseEmulateShadowNs,   // emulate sub-span: state snapshots + variant keys
   PhasePassesNs,
   PhaseVectorizeNs,       // SLP + cross-iteration passes inside runPasses
   PhaseEmitNs,
+  PhaseChainNs,           // emit sub-span: block layout + jump relocation
   PhaseInstallNs,         // registration + block adoption / publication
   RewriteNs,              // whole compileSpecialization
   TraceQueueDepth,        // branch-fork pending queue depth, sampled per block
@@ -268,6 +277,19 @@ void setTracing(bool enabled) noexcept;
 // Monotonic nanoseconds (CLOCK_MONOTONIC; matches the jitdump clock so a
 // perf timeline and a BREW trace line up).
 uint64_t nowNs() noexcept;
+
+// Cheap monotonic tick source for high-frequency interval accumulation on
+// hot paths (the tracer's shadow-time bookkeeping takes dozens of readings
+// per rewrite; clock_gettime there is measurable). x86-64 reads the
+// invariant TSC (~5ns vs ~20ns); elsewhere it falls back to nowNs() and
+// ticksToNs is the identity. Tick deltas are only meaningful through
+// ticksToNs, which calibrates the tick rate once per process.
+#if defined(__x86_64__)
+inline uint64_t fastTicks() noexcept { return __builtin_ia32_rdtsc(); }
+#else
+inline uint64_t fastTicks() noexcept { return nowNs(); }
+#endif
+uint64_t ticksToNs(uint64_t ticks) noexcept;
 
 // Records a completed span with explicit timestamps into the calling
 // thread's ring buffer. `argsJson`, when given, is a pre-rendered JSON

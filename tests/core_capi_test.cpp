@@ -99,6 +99,34 @@ TEST(CApi, Figure5StencilSpecialization) {
   brew_freeConf(conf);
 }
 
+// The block-chained tier knobs (docs/BLOCKS.md) flow through the conf
+// fingerprint: flipping one must produce a distinct cached specialization,
+// and both settings must compute the same results.
+TEST(CApi, BlockTierKnobs) {
+  brew_conf* chained = brew_initConf();
+  brew_setnpar(chained, 2);
+  brew_setret(chained, BREW_RET_INT);
+
+  brew_conf* generic = brew_initConf();
+  brew_setnpar(generic, 2);
+  brew_setret(generic, BREW_RET_INT);
+  brew_set_chain_blocks(generic, 0);
+  brew_set_reconverge_joins(generic, 0);
+  brew_set_side_exit_fallback(generic, 0);
+  brew_set_max_fork_depth(generic, 4);
+
+  brew_func* a = brew_rewrite2(chained, (void*)addmul, 3, 4);
+  brew_func* b = brew_rewrite2(generic, (void*)addmul, 3, 4);
+  ASSERT_NE(a, nullptr) << brew_lastError(chained);
+  ASSERT_NE(b, nullptr) << brew_lastError(generic);
+  EXPECT_EQ(((addmul_t)brew_func_entry(a))(3, 4), addmul(3, 4));
+  EXPECT_EQ(((addmul_t)brew_func_entry(b))(3, 4), addmul(3, 4));
+  brew_release_h(a);
+  brew_release_h(b);
+  brew_freeConf(chained);
+  brew_freeConf(generic);
+}
+
 TEST(CApi, SetmemDeclaresConstantData) {
   static int64_t table[4] = {5, 10, 15, 20};
   // lookup(i) through a compiled helper using the table via a pointer.

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/brew.h"
+#include "core/rewriter.hpp"
+#include "jit/assembler.hpp"
 #include "support/telemetry.hpp"
 
 namespace brew::telemetry {
@@ -132,6 +134,46 @@ TEST(TelemetryHistogram, RecordAggregates) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0u);
+}
+
+// The rewriter splits the trace window into emulate_decode/exec/shadow;
+// by construction the three parts sum exactly to the decode+emulate whole
+// (same stamps, same clock), per rewrite and therefore over any number of
+// rewrites. Histogram sums are exact (only buckets are approximate), so
+// the deltas must match to the nanosecond.
+TEST(TelemetryPhases, EmulateSplitSumsToWhole) {
+  jit::Assembler as;
+  as.movRegImm(isa::Reg::rax, 0);
+  for (int i = 0; i < 8; ++i)
+    as.aluRegReg(isa::Mnemonic::Add, isa::Reg::rax, isa::Reg::rdi);
+  as.ret();
+  auto fn = as.finalizeExecutable();
+  ASSERT_TRUE(fn.ok()) << fn.error().message();
+
+  Histogram& whole0 = histogram(HistogramId::PhaseDecodeNs);
+  Histogram& whole1 = histogram(HistogramId::PhaseEmulateNs);
+  Histogram& partDecode = histogram(HistogramId::PhaseEmulateDecodeNs);
+  Histogram& partExec = histogram(HistogramId::PhaseEmulateExecNs);
+  Histogram& partShadow = histogram(HistogramId::PhaseEmulateShadowNs);
+  const uint64_t wholeSum = whole0.sum() + whole1.sum();
+  const uint64_t partSum = partDecode.sum() + partExec.sum() + partShadow.sum();
+  const uint64_t partCount = partDecode.count();
+
+  constexpr int kRewrites = 5;
+  for (int i = 0; i < kRewrites; ++i) {
+    Rewriter rewriter{Config{}};
+    auto rewritten = rewriter.rewrite(fn->data(), 3);
+    ASSERT_TRUE(rewritten.ok()) << rewritten.error().message();
+    EXPECT_EQ(rewritten->as<int64_t (*)(int64_t)>()(3), 24);
+  }
+
+  EXPECT_EQ(partDecode.count() - partCount, uint64_t{kRewrites});
+  EXPECT_EQ(partExec.count(), partDecode.count());
+  EXPECT_EQ(partShadow.count(), partDecode.count());
+  const uint64_t wholeDelta = whole0.sum() + whole1.sum() - wholeSum;
+  const uint64_t partDelta =
+      partDecode.sum() + partExec.sum() + partShadow.sum() - partSum;
+  EXPECT_EQ(partDelta, wholeDelta);
 }
 
 TEST(TelemetryRace, EightThreadIncrements) {
