@@ -29,6 +29,7 @@ cmake --build build-tsan -j"$(nproc)" \
   isa_decode_cache_test core_differential_fuzz_test core_dispatch_test \
   support_profiler_test passes_vectorize_test \
   core_blocks_differential_test \
+  support_persist_cache_test support_persist_process_test \
   > /dev/null
 
 cd build-tsan
@@ -63,4 +64,20 @@ for counter in blocks.started blocks.chained blocks.merged \
   fi
 done
 echo "blocks.* counters present in BREW_STATS"
+
+# Persistent cache: a warm-start run of the persistence battery must show
+# the cache.persist_* counters moving — zero writes means nothing was
+# published, zero hits means every restart silently traced cold.
+stats_out=$(BREW_STATS=1 ./tests/support_persist_cache_test \
+  --gtest_filter='PersistRoundTrip.*:PersistCorruption.Truncated*' 2>&1)
+for counter in cache.persist_hits cache.persist_writes \
+    cache.persist_rejects; do
+  if ! printf '%s\n' "$stats_out" | \
+      grep -E "$counter[[:space:]]+[1-9][0-9]*" > /dev/null; then
+    echo "FAIL: $counter missing or zero in BREW_STATS output" >&2
+    printf '%s\n' "$stats_out" | grep "cache\.persist" >&2 || true
+    exit 1
+  fi
+done
+echo "cache.persist_* counters present in BREW_STATS"
 echo "telemetry/concurrency tests are TSan-clean"

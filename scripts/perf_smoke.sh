@@ -7,12 +7,20 @@
 # quiet machine.
 set -eu
 
-bin="${1:?usage: perf_smoke.sh path/to/bench_a1_rewrite_cost [bench_e7] [bench_a4]}"
+bin="${1:?usage: perf_smoke.sh path/to/bench_a1_rewrite_cost [bench_e7] [bench_a4] [bench_e9]}"
 bin_e7="${2:-}"
 bin_a4="${3:-}"
+bin_e9="${4:-}"
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+# Fresh private persistent-cache dir for the whole run: a warm inherited
+# BREW_CACHE_DIR would serve the cold-rewrite benches from disk and fake
+# (or mask) regressions. bench_e9 manages its own cold/warm dirs on top.
+BREW_CACHE_DIR="$tmp/persist-cache"
+export BREW_CACHE_DIR
+mkdir -p "$BREW_CACHE_DIR"
 
 # Self-test the comparator's input validation before trusting its verdicts:
 # a baseline entry stripped of a required section must fail with a clear
@@ -60,11 +68,24 @@ if [ -n "$bin_a4" ]; then
   }
   only_args="$only_args --only bench_a4_passes_ablation"
 fi
+min_ratio_args=""
+if [ -n "$bin_e9" ]; then
+  BREW_BENCH_ITERATIONS=20 "$bin_e9" "--json=$tmp/e9.json" \
+    --benchmark_min_time=0.05s >"$tmp/e9.log" 2>&1 || {
+    cat "$tmp/e9.log"
+    exit 1
+  }
+  only_args="$only_args --only bench_e9_coldstart"
+  # Absolute floor, not a baseline diff: restarting warm off the on-disk
+  # cache must reach full cached-hit throughput at least 5x faster than a
+  # cold start, whatever this machine's absolute speed.
+  min_ratio_args="--min-ratio warmstart_speedup=5.0"
+fi
 
 # Wrap the single-binary outputs in the merged run_benches.sh shape so the
 # keys line up with the committed baseline.
 python3 - "$tmp/merged.json" "$tmp/a1.json" "$tmp/e7.json" \
-  "$tmp/a4.json" <<'EOF'
+  "$tmp/a4.json" "$tmp/e9.json" <<'EOF'
 import json, os, sys
 merged = {}
 for path in sys.argv[2:]:
@@ -72,7 +93,8 @@ for path in sys.argv[2:]:
         continue
     name = {"a1": "bench_a1_rewrite_cost",
             "e7": "bench_e7_variant_churn",
-            "a4": "bench_a4_passes_ablation"}[os.path.basename(path)[:2]]
+            "a4": "bench_a4_passes_ablation",
+            "e9": "bench_e9_coldstart"}[os.path.basename(path)[:2]]
     with open(path) as f:
         merged[name] = json.load(f)
 with open(sys.argv[1], "w") as f:
@@ -101,7 +123,8 @@ python3 "$repo/scripts/compare_benches.py" \
   --per-bench BM_RewritePgasStyleBranchy=1.5 \
   --per-bench BM_DispatchMonomorphic=1.5 \
   --per-bench BM_WithPasses=1.5 \
-  --per-bench BM_WithoutPasses=1.75 || baseline_rc=$?
+  --per-bench BM_WithoutPasses=1.75 \
+  $min_ratio_args || baseline_rc=$?
 
 # Profiler overhead guard: the 997 Hz sampling profiler must cost the
 # cached-hit fast path under ~2%. Same binary, same session; the plain and

@@ -38,6 +38,13 @@ out=BENCH_results.json
 tmp_dir=$(mktemp -d)
 trap 'rm -rf "$tmp_dir"' EXIT
 
+# Every run gets a fresh, private persistent-cache directory (cleaned with
+# the temp dir): a stale BREW_CACHE_DIR pointing at a warm store would turn
+# the cold-rewrite benches into disk loads and corrupt the numbers.
+BREW_CACHE_DIR="$tmp_dir/persist-cache"
+export BREW_CACHE_DIR
+mkdir -p "$BREW_CACHE_DIR"
+
 status=0
 ran=0
 printf '{\n' > "$out"

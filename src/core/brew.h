@@ -138,6 +138,8 @@ void brew_set_store_handler(brew_conf* conf, brew_handler handler);
  *   BREW_DISPATCH_WAYS  inline-cache ways per dispatch stub (default 2)
  *   BREW_PROFILE_HZ     sampling-profiler frequency, 0 = off (default 0)
  *   BREW_PROFILE_GUIDED =1 feeds CPU samples into dispatch  (default off)
+ *   BREW_CACHE_DIR      persistent on-disk specialization-cache directory
+ *                       (default unset = persistence off; see docs/CACHE.md)
  *
  * The environment is parsed in exactly one place
  * (SpecManager::Options::fromEnv); no other component reads these
@@ -170,6 +172,13 @@ void brew_options_set_profile_hz(brew_options* options, int hz);
 /* Feed profiler CPU samples into dispatcher hit scores, so CPU-hot but
  * call-cold variants still earn inline-cache ways. */
 void brew_options_set_profile_guided(brew_options* options, int enabled);
+/* Persistent on-disk specialization cache directory (copied; NULL or ""
+ * disables persistence). Entries are keyed by the executable's build id
+ * plus the full specialization identity, written crash-safely, and — when
+ * position independent — shared as read-only code pages between sibling
+ * processes using the same directory. A restarted process warm-starts
+ * with zero trace phases. See docs/CACHE.md "Persistence". */
+void brew_options_set_cache_dir(brew_options* options, const char* dir);
 
 /* Installs `options` as the configuration of the process-wide runtime.
  * Returns 0 on success, -1 when options is NULL or the runtime was already
@@ -280,6 +289,25 @@ void brew_cache_reset(void);
 /* LRU byte budget of the cache (default 64 MiB). Prefer
  * brew_options_set_cache_bytes before startup; this adjusts it live. */
 void brew_cache_set_budget(size_t bytes);
+
+/* ---- persistent on-disk cache ---------------------------------------- */
+
+/* Traffic between the process-wide cache and its on-disk store (all zero
+ * when no cache directory is configured). uint64_t fields, append-only per
+ * the header's versioning rule. The cache.persist_* telemetry counters are
+ * the process-global view of the same events. */
+typedef struct brew_persist_stats {
+  uint64_t hits;         /* cold builds replaced by an on-disk entry */
+  uint64_t misses;       /* probes that fell through to a cold rewrite */
+  uint64_t writes;       /* entries published to disk */
+  uint64_t rejects;      /* on-disk entries that failed validation
+                            (corruption, stale format, foreign build) */
+  uint64_t shared_maps;  /* hits served as shared pages from a sibling
+                            process's sealed memfd */
+  uint64_t serving_pages; /* 1 when this process owns the directory's
+                             page-sharing socket */
+} brew_persist_stats;
+void brew_getpersiststats(brew_persist_stats* out);
 
 /* ---- profile-guided multi-version dispatch --------------------------- */
 

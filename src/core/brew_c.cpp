@@ -16,6 +16,7 @@
 #include "core/dispatch.hpp"
 #include "core/rewriter.hpp"
 #include "core/spec_manager.hpp"
+#include "support/persist_cache.hpp"
 #include "support/profiler.hpp"
 #include "support/telemetry.hpp"
 
@@ -285,6 +286,10 @@ void brew_options_set_profile_guided(brew_options* options, int enabled) {
     options->impl.dispatch.profileGuided = enabled != 0;
 }
 
+void brew_options_set_cache_dir(brew_options* options, const char* dir) {
+  if (options != nullptr) options->impl.cacheDir = dir != nullptr ? dir : "";
+}
+
 int brew_configure(const brew_options* options) {
   if (options == nullptr) return -1;
   return brew::SpecManager::configureProcess(options->impl) ? 0 : -1;
@@ -402,6 +407,23 @@ void brew_cache_reset(void) {
 
 void brew_cache_set_budget(size_t bytes) {
   brew::SpecManager::process().cache().setByteBudget(bytes);
+}
+
+void brew_getpersiststats(brew_persist_stats* out) {
+  if (out == nullptr) return;
+  brew::SpecManager& manager = brew::SpecManager::process();
+  const brew::CacheStats s = manager.cache().stats();
+  const brew::persist::Store* store = manager.persistStore();
+  *out = brew_persist_stats{
+      s.persistHits,
+      s.persistMisses,
+      s.persistWrites,
+      s.persistRejects,
+      brew::telemetry::counter(
+          brew::telemetry::CounterId::PersistSharedMaps)
+          .value(),
+      store != nullptr && store->servingPages() ? uint64_t{1} : uint64_t{0},
+  };
 }
 
 /* ---- profile-guided multi-version dispatch --------------------------- */

@@ -486,6 +486,10 @@ CacheStats CodeCache::stats() const {
   out.asyncLatencyNsTotal =
       asyncLatencyNsTotal_.load(std::memory_order_relaxed);
   out.asyncLatencyNsMax = asyncLatencyNsMax_.load(std::memory_order_relaxed);
+  out.persistHits = persistHits_.load(std::memory_order_relaxed);
+  out.persistMisses = persistMisses_.load(std::memory_order_relaxed);
+  out.persistWrites = persistWrites_.load(std::memory_order_relaxed);
+  out.persistRejects = persistRejects_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -524,6 +528,24 @@ void CodeCache::resetStats() {
   asyncInstalls_.store(0, std::memory_order_relaxed);
   asyncLatencyNsTotal_.store(0, std::memory_order_relaxed);
   asyncLatencyNsMax_.store(0, std::memory_order_relaxed);
+  persistHits_.store(0, std::memory_order_relaxed);
+  persistMisses_.store(0, std::memory_order_relaxed);
+  persistWrites_.store(0, std::memory_order_relaxed);
+  persistRejects_.store(0, std::memory_order_relaxed);
+}
+
+void CodeCache::recordPersistProbe(bool hit, bool rejected) {
+  // The persist::Store already bumped the global telemetry counters; this
+  // folds the outcome into the per-cache CacheStats snapshot.
+  if (hit)
+    persistHits_.fetch_add(1, std::memory_order_relaxed);
+  else
+    persistMisses_.fetch_add(1, std::memory_order_relaxed);
+  if (rejected) persistRejects_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CodeCache::recordPersistWrite() {
+  persistWrites_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CodeCache::recordAsyncInstall(uint64_t latencyNs) {

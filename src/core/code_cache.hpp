@@ -62,12 +62,21 @@ struct CodeBlock {
   // may still be inspecting the refcount when the last handle dies).
   std::atomic<bool> published{false};
 
+  // Blocks restored from the persistent store carry no captured IR (only
+  // the finalized bytes survive serialization); this preserves the unit's
+  // block count for cache accounting. Zero for freshly-compiled blocks.
+  uint32_t persistedBlocks = 0;
+  // True when the code pages are a shared mapping of another process's
+  // sealed memfd (see support/persist_cache.hpp).
+  bool sharedMapping = false;
+
   size_t codeBytes() const noexcept { return memory.size(); }
   // Specialized basic blocks this unit carries (docs/BLOCKS.md): the cache
   // accounts for live blocks as well as bytes, so per-block growth (fork
   // bombs, variant churn) is observable at the cache boundary.
   size_t blockUnits() const noexcept {
-    return static_cast<size_t>(captured.blockCount());
+    const size_t fromIr = static_cast<size_t>(captured.blockCount());
+    return fromIr != 0 ? fromIr : persistedBlocks;
   }
 };
 
@@ -181,6 +190,12 @@ struct CacheStats {
   uint64_t fastpathHits = 0;    // subset of hits served by the seqlock table
   uint64_t shardContention = 0; // shard lock acquisitions that had to wait
   uint64_t shards = 0;          // configured shard count
+  // Persistent-store traffic (zero unless a cache directory is configured;
+  // see support/persist_cache.hpp).
+  uint64_t persistHits = 0;     // builds replaced by an on-disk entry
+  uint64_t persistMisses = 0;   // probes that fell through to a cold build
+  uint64_t persistWrites = 0;   // entries published to disk
+  uint64_t persistRejects = 0;  // on-disk entries failing validation
 };
 
 class CodeCache {
@@ -237,6 +252,11 @@ class CodeCache {
 
   // Async-install accounting (reported by SpecManager).
   void recordAsyncInstall(uint64_t latencyNs);
+
+  // Persistent-store accounting (reported by SpecManager, which owns the
+  // persist::Store; the cache just aggregates into CacheStats).
+  void recordPersistProbe(bool hit, bool rejected);
+  void recordPersistWrite();
 
  private:
   struct Entry {
@@ -317,6 +337,10 @@ class CodeCache {
   std::atomic<uint64_t> asyncInstalls_{0};
   std::atomic<uint64_t> asyncLatencyNsTotal_{0};
   std::atomic<uint64_t> asyncLatencyNsMax_{0};
+  std::atomic<uint64_t> persistHits_{0};
+  std::atomic<uint64_t> persistMisses_{0};
+  std::atomic<uint64_t> persistWrites_{0};
+  std::atomic<uint64_t> persistRejects_{0};
 };
 
 }  // namespace brew

@@ -157,6 +157,20 @@ class Config {
   // rewrites of a given function.
   uint64_t fingerprint() const;
 
+  // True when nothing in this Config embeds an absolute address: no known
+  // regions (bounds are addresses), no per-function options (keyed by
+  // address) and no injection handlers (function pointers). Such configs
+  // produce ASLR-stable fingerprints, so a restarted process with a
+  // different memory layout recomputes the same persistent-cache key
+  // (support/persist_cache.hpp) and warm-starts. Address-bearing configs
+  // still persist correctly — they just miss across layout changes and
+  // fall back to a cold rewrite.
+  bool aslrStableFingerprint() const {
+    return knownRegions_.empty() && perFunction_.empty() &&
+           injection_.onEntry == nullptr && injection_.onExit == nullptr &&
+           injection_.onLoad == nullptr && injection_.onStore == nullptr;
+  }
+
  private:
   ParamSpec params_[kMaxParams];
   size_t declaredParams_ = 0;

@@ -7,6 +7,7 @@
 #include "jit/assembler.hpp"
 #include "support/log.hpp"
 #include "support/perf_map.hpp"
+#include "support/persist_cache.hpp"
 #include "support/profiler.hpp"
 #include "support/telemetry.hpp"
 
@@ -191,6 +192,8 @@ SpecManager::Options SpecManager::Options::fromEnv() {
     if (envSize("BREW_MAX_VARIANTS", &v)) o.dispatch.maxVariants = v;
     if (envSize("BREW_DISPATCH_WAYS", &v)) o.dispatch.inlineWays = v;
     if (envSize("BREW_PROFILE_HZ", &v)) o.profileHz = static_cast<int>(v);
+    if (const char* d = std::getenv("BREW_CACHE_DIR"))
+      if (d[0] != '\0') o.cacheDir = d;
     if (const char* g = std::getenv("BREW_PROFILE_GUIDED"))
       o.dispatch.profileGuided = g[0] == '1' && g[1] == '\0';
     return o;
@@ -210,6 +213,12 @@ SpecManager::SpecManager(Options options)
     options_.profileHz = Options::fromEnv().profileHz;
   if (options_.profileHz > 0 && !prof::profilerRunning())
     prof::startProfiler(options_.profileHz);
+  if (!options_.cacheDir.empty()) {
+    persist_ = persist::Store::open(options_.cacheDir);
+    if (persist_ == nullptr)
+      BREW_LOG_INFO("persistent cache disabled: cannot open %s",
+                    options_.cacheDir.c_str());
+  }
 }
 
 SpecManager::~SpecManager() {
@@ -243,8 +252,50 @@ Result<CodeHandle> SpecManager::rewrite(const Config& config,
     return Error{ErrorCode::InvalidArgument, 0, "null function pointer"};
   const CacheKey key = makeCacheKey(config, passes, fn, args);
   return cache_.getOrBuild(key, [&]() -> Result<CodeHandle> {
-    return compileSpecialization(config, passes, fn, args,
-                                 CacheKeyHash{}(key));
+    // Probe the persistent store first: a hit materializes finalized code
+    // with zero trace/emulate/emit phases (docs/CACHE.md "Persistence").
+    if (persist_ != nullptr) {
+      persist::ProbeResult probe =
+          persist_->probe(fn, key.configFp, key.argsHash);
+      cache_.recordPersistProbe(probe.entry.has_value(), probe.rejected);
+      if (probe.entry.has_value()) {
+        auto* block = new CodeBlock();
+        block->memory = std::move(probe.entry->memory);
+        block->emitStats.codeBytes = probe.entry->codeBytes;
+        block->emitStats.poolBytes = probe.entry->poolBytes;
+        block->emitStats.instructions = probe.entry->instructions;
+        block->persistedBlocks = probe.entry->blockUnits;
+        block->sharedMapping = probe.entry->shared;
+        registerGeneratedCode(block->memory.data(),
+                              block->emitStats.codeBytes, fn, key.configFp,
+                              "persist");
+        return CodeHandle::adopt(block);
+      }
+    }
+    auto built = compileSpecialization(config, passes, fn, args,
+                                       CacheKeyHash{}(key));
+    if (persist_ != nullptr && built.ok()) {
+      const CodeBlock* block = built->get();
+      std::vector<persist::RawReloc> relocs;
+      relocs.reserve(block->emitStats.relocs.size());
+      for (const ir::CodeReloc& r : block->emitStats.relocs)
+        relocs.push_back(persist::RawReloc{r.offset, r.target});
+      persist::WriteRequest req;
+      req.fn = fn;
+      req.configFp = key.configFp;
+      req.argsHash = key.argsHash;
+      req.bytes = block->memory.data();
+      req.size = block->memory.size();
+      req.codeBytes = static_cast<uint32_t>(block->emitStats.codeBytes);
+      req.poolBytes = static_cast<uint32_t>(block->emitStats.poolBytes);
+      req.instructions =
+          static_cast<uint32_t>(block->emitStats.instructions);
+      req.blockUnits = static_cast<uint32_t>(block->blockUnits());
+      req.relocs = relocs;
+      req.portable = block->emitStats.portable;
+      if (persist_->write(req)) cache_.recordPersistWrite();
+    }
+    return built;
   });
 }
 

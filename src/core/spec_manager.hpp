@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -25,6 +26,10 @@
 #include "core/rewriter.hpp"
 
 namespace brew {
+
+namespace persist {
+class Store;
+}
 
 // Hash of everything the generated code depends on besides the target
 // address and the config *shape*: known argument values, the bytes behind
@@ -164,14 +169,19 @@ class SpecManager {
     size_t cacheBytes = CodeCache::kDefaultByteBudget;
     size_t cacheShards = 0;  // 0 = BREW_CACHE_SHARDS env / default (16)
     int profileHz = 0;       // 0 = BREW_PROFILE_HZ env / off
+    // Persistent on-disk specialization cache directory (see
+    // support/persist_cache.hpp). Empty = persistence disabled; the
+    // BREW_CACHE_DIR env fallback applies only through fromEnv(), so
+    // ad-hoc `SpecManager m;` instances in tests/benches stay cold.
+    std::string cacheDir;
     DispatchOptions dispatch{};
 
     // The ONE place environment fallbacks are parsed (each read once per
     // process): BREW_WORKERS, BREW_CACHE_BYTES, BREW_CACHE_SHARDS,
-    // BREW_MAX_VARIANTS, BREW_DISPATCH_WAYS, BREW_PROFILE_HZ,
-    // BREW_PROFILE_GUIDED. Unset/invalid variables keep the field defaults
-    // above. Prefer brew_options / configureProcess; the env vars are
-    // documented compatibility fallbacks.
+    // BREW_CACHE_DIR, BREW_MAX_VARIANTS, BREW_DISPATCH_WAYS,
+    // BREW_PROFILE_HZ, BREW_PROFILE_GUIDED. Unset/invalid variables keep
+    // the field defaults above. Prefer brew_options / configureProcess;
+    // the env vars are documented compatibility fallbacks.
     static Options fromEnv();
   };
 
@@ -196,6 +206,10 @@ class SpecManager {
   const Options& options() const { return options_; }
 
   CodeCache& cache() { return cache_; }
+
+  // The persistent store, or nullptr when options().cacheDir is empty or
+  // the directory could not be opened. Exposed for tests and diagnostics.
+  persist::Store* persistStore() const { return persist_.get(); }
 
   // Synchronous cached rewrite: key, deduplicate, trace+emit on miss.
   Result<CodeHandle> rewrite(const Config& config, const PassOptions& passes,
@@ -232,6 +246,7 @@ class SpecManager {
 
   Options options_;
   CodeCache cache_;
+  std::unique_ptr<persist::Store> persist_;  // null = persistence off
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -668,8 +668,11 @@ Status Tracer::traceBranch(const Instruction& in, uint64_t next) {
         // transfer. The callee returns straight to our caller.
         if (Status s = materializeForCall(in.address); !s) return s;
         ++stats_.keptCalls;
-        capture(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
-                          Operand::makeImm(static_cast<int64_t>(target))));
+        Instruction tgt =
+            makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
+                      Operand::makeImm(static_cast<int64_t>(target)));
+        tgt.absCode = true;
+        capture(tgt);
         capture(makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::r11)));
         out_.block(curId_).term.kind = ir::Terminator::Kind::Stop;
         blockDone_ = true;
@@ -687,9 +690,11 @@ Status Tracer::traceBranch(const Instruction& in, uint64_t next) {
             target->bits != currentFunction_) {
           if (Status s = materializeForCall(in.address); !s) return s;
           ++stats_.keptCalls;
-          capture(makeInstr(
+          Instruction tgt = makeInstr(
               Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
-              Operand::makeImm(static_cast<int64_t>(target->bits))));
+              Operand::makeImm(static_cast<int64_t>(target->bits)));
+          tgt.absCode = true;
+          capture(tgt);
           capture(
               makeInstr(Mnemonic::JmpInd, 8, Operand::makeReg(Reg::r11)));
           out_.block(curId_).term.kind = ir::Terminator::Kind::Stop;
@@ -754,8 +759,11 @@ Status Tracer::traceBranch(const Instruction& in, uint64_t next) {
         // Kept call to a known target: movabs r11, target; call r11.
         if (Status s = materializeForCall(in.address); !s) return s;
         ++stats_.keptCalls;
-        capture(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
-                          Operand::makeImm(static_cast<int64_t>(target))));
+        Instruction tgt =
+            makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
+                      Operand::makeImm(static_cast<int64_t>(target)));
+        tgt.absCode = true;
+        capture(tgt);
         capture(makeInstr(Mnemonic::CallInd, 8, Operand::makeReg(Reg::r11)));
         st_.applyCallClobbers(!calleeOpts.pure);
         if (calleeOpts.pure) st_.stack().clobberBelow(rspOffset());
@@ -1213,9 +1221,12 @@ void Tracer::emitInjectedCall(Injection::Handler handler, uint64_t arg) {
                       Operand::makeReg(isa::xmmFromNum(i))));
   capture(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::rdi),
                     Operand::makeImm(static_cast<int64_t>(arg))));
-  capture(makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
-                    Operand::makeImm(static_cast<int64_t>(
-                        reinterpret_cast<uintptr_t>(handler)))));
+  Instruction hcall =
+      makeInstr(Mnemonic::Mov, 8, Operand::makeReg(Reg::r11),
+                Operand::makeImm(static_cast<int64_t>(
+                    reinterpret_cast<uintptr_t>(handler))));
+  hcall.absCode = true;
+  capture(hcall);
   capture(makeInstr(Mnemonic::CallInd, 8, Operand::makeReg(Reg::r11)));
   for (int i = 0; i < 16; ++i)
     capture(makeInstr(Mnemonic::Movups, 16, Operand::makeReg(isa::xmmFromNum(i)),

@@ -203,6 +203,8 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
   static thread_local std::vector<int64_t> blockOffset;
   blockOffset.assign(static_cast<size_t>(fn.blockCount()), -1);
   size_t instructions = 0;
+  std::vector<CodeReloc> relocs;
+  bool portable = true;
 
   for (size_t pos = 0; pos < order.size(); ++pos) {
     const int id = order[pos];
@@ -217,6 +219,15 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
       if (info.rel32Offset >= 0 && info.isPoolRef)
         poolFixups.push_back({start + static_cast<size_t>(info.rel32Offset),
                               start + info.length, info.poolSlot});
+      if (instr.absCode) {
+        if (info.imm64Offset >= 0)
+          relocs.push_back(
+              CodeReloc{static_cast<uint32_t>(
+                            start + static_cast<size_t>(info.imm64Offset)),
+                        static_cast<uint64_t>(instr.ops[1].imm)});
+        else
+          portable = false;  // address landed in a non-imm64 encoding
+      }
       ++instructions;
       if (code.size() > maxCodeBytes)
         return Error{ErrorCode::CodeBufferFull, block.guestAddress,
@@ -308,6 +319,19 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
     code.insert(code.end(), hi, hi + 8);
   }
 
+  // Side-exit pool slots hold absolute resume addresses into the original
+  // code; record each (deduplicated — addPoolConstant dedups by value, so
+  // several blocks may share one slot).
+  for (const int id : order) {
+    const Terminator& t = fn.block(id).term;
+    if (t.kind != Terminator::Kind::SideExit || t.poolSlot < 0) continue;
+    const uint32_t off = static_cast<uint32_t>(
+        poolOffset + static_cast<size_t>(t.poolSlot) * 16);
+    bool seen = false;
+    for (const CodeReloc& r : relocs) seen = seen || r.offset == off;
+    if (!seen) relocs.push_back(CodeReloc{off, t.guestTarget});
+  }
+
   // Relocation (§III-G last step).
   const uint64_t tReloc0 = telemetry::fastTicks();
   for (const BlockFixup& fixup : blockFixups) {
@@ -337,6 +361,8 @@ Result<ExecMemory> emit(const CapturedFunction& fn, size_t maxCodeBytes,
     stats->poolBytes = fn.pool().size() * 16;
     stats->instructions = instructions;
     stats->chainNs = telemetry::ticksToNs(chainTicks);
+    stats->relocs = std::move(relocs);
+    stats->portable = portable;
   }
   return std::move(*mem);
 }

@@ -93,6 +93,18 @@ class CapturedFunction {
   int entry_ = 0;
 };
 
+// One absolute-address site in an emitted unit. The code itself is
+// position independent (intra-function jumps are rel32, the literal pool is
+// RIP-relative), so these are the only fields the persistence layer must
+// re-target when a restarted process maps the subject module at a
+// different base: 8-byte movabs immediates of kept calls / tail calls /
+// injected handlers, and side-exit pool slots holding original-code resume
+// addresses.
+struct CodeReloc {
+  uint32_t offset = 0;  // byte offset of the 8-byte field in the unit
+  uint64_t target = 0;  // absolute address the field held at emit time
+};
+
 struct EmitStats {
   size_t codeBytes = 0;
   size_t poolBytes = 0;
@@ -100,6 +112,14 @@ struct EmitStats {
   // Time spent wiring blocks together: layout plus the block/pool
   // relocation passes (telemetry "phase.chain_ns").
   uint64_t chainNs = 0;
+  // Absolute-address fixups (see CodeReloc). Empty for fully-resolved
+  // kernels — those units are byte-portable and eligible for cross-process
+  // code-page sharing (docs/CACHE.md).
+  std::vector<CodeReloc> relocs;
+  // False when an absolute code address was embedded in a form the reloc
+  // records cannot express (e.g. a target that happened to fit imm32); the
+  // persistence layer then skips the entry instead of writing stale code.
+  bool portable = true;
 };
 
 // Lays out, encodes and relocates the function into executable memory.

@@ -24,6 +24,7 @@ struct Emitter {
   int32_t rel32Offset = -1;
   bool isPoolRef = false;
   int32_t poolSlot = -1;
+  int32_t imm64Offset = -1;
 
   void u8(uint8_t b) { buf[len++] = b; }
   void u16(uint16_t v) {
@@ -412,6 +413,7 @@ Status encodeImpl(const Instruction& instr, uint64_t instrAddress,
             const uint8_t n = regNum(dst.reg);
             em.u8(static_cast<uint8_t>(0x48 | ((n >> 3) & 1)));
             em.u8(static_cast<uint8_t>(0xB8 + (n & 7)));
+            em.imm64Offset = static_cast<int32_t>(em.len);
             em.u64(static_cast<uint64_t>(src.imm));
             return Status::okStatus();
           }
@@ -795,6 +797,7 @@ Status encode(const Instruction& instr, uint64_t instrAddress,
     info->rel32Offset = em.rel32Offset;
     info->isPoolRef = em.isPoolRef;
     info->poolSlot = em.poolSlot;
+    info->imm64Offset = em.imm64Offset;
   }
   return Status::okStatus();
 }

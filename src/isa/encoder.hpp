@@ -24,6 +24,10 @@ struct EncodeInfo {
   // (mem.poolSlot >= 0) rather than a branch target.
   bool isPoolRef = false;
   int32_t poolSlot = -1;
+  // Byte offset (from instruction start) of an 8-byte absolute immediate
+  // (movabs r64, imm64); -1 otherwise. Lets the emitter record relocations
+  // for instructions carrying absolute code addresses (Instruction::absCode).
+  int32_t imm64Offset = -1;
 };
 
 // Appends the encoding of `instr` (assumed to be placed at `instrAddress`)

@@ -165,6 +165,13 @@ struct Instruction {
   // Decode metadata (0 for synthesized instructions).
   uint64_t address = 0;      // guest address this was decoded from
   uint8_t length = 0;        // encoded length in bytes
+  // Set by the tracer on synthesized movabs whose immediate is an absolute
+  // address into static code (kept call/tail-call targets, injected
+  // handlers). The emitter turns these into relocation records so the
+  // persistence layer can re-target the bytes when a restarted process maps
+  // the module at a different base. Not part of operator== (metadata, like
+  // address/length).
+  bool absCode = false;
 
   Operand& op(unsigned i) { return ops[i]; }
   const Operand& op(unsigned i) const { return ops[i]; }

@@ -234,6 +234,25 @@ Result<ExecMemory> ExecMemory::allocate(size_t size) {
   return mem;
 }
 
+Result<ExecMemory> ExecMemory::adoptShared(int fd, size_t size) {
+  if (fd < 0 || size == 0)
+    return Error{ErrorCode::InvalidArgument, 0, "bad shared code fd"};
+  const size_t bytes = roundUpToPage(size);
+  void* x = ::mmap(nullptr, bytes, PROT_READ | PROT_EXEC, MAP_SHARED, fd, 0);
+  if (x == MAP_FAILED)
+    return Error{ErrorCode::CodeBufferFull, 0,
+                 std::string("mmap shared code: ") + std::strerror(errno)};
+  ExecMemory mem;
+  mem.base_ = x;
+  mem.wbase_ = nullptr;
+  mem.size_ = bytes;
+  mem.executable_ = true;
+  telemetry::counter(telemetry::CounterId::ExecAllocations).add();
+  telemetry::gauge(telemetry::GaugeId::ExecBytesLive)
+      .add(static_cast<int64_t>(bytes));
+  return mem;
+}
+
 Status ExecMemory::finalize() {
   if (base_ == nullptr)
     return Error{ErrorCode::InvalidArgument, 0, "finalize of empty region"};

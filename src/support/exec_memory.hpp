@@ -70,6 +70,13 @@ class ExecMemory {
   // writeView() until finalize().
   static Result<ExecMemory> allocate(size_t size);
 
+  // Maps `size` bytes of `fd` (a sealed memfd received from a sibling
+  // process's page server — see support/persist_cache.hpp) as a shared
+  // read-only-executable view. The region is born finalized: there is no
+  // writable alias and makeWritable() fails, exactly as the seals demand.
+  // The caller keeps ownership of `fd` (the mapping pins the inode).
+  static Result<ExecMemory> adoptShared(int fd, size_t size);
+
   // Makes the region executable. Emitting after this is invalid.
   Status finalize();
   // Makes the region writable again (e.g. to patch and re-finalize).

@@ -1,0 +1,160 @@
+// Persistent on-disk specialization cache with cross-process code-page
+// sharing (ROADMAP item 1, docs/CACHE.md "Persistence").
+//
+// A Store maps a cache directory to a set of immutable entry files, one per
+// finalized specialization unit. Entries are keyed by everything their
+// bytes depend on:
+//
+//   subdir            = hex(build-id hash of the main executable)
+//   entry file name   = hex(fnv(exe build-id, module id, fn module-offset,
+//                               Config/PassOptions fingerprint, args hash))
+//
+// so a restarted process (same binary, any ASLR layout) recomputes the same
+// name and warm-starts with zero trace phases, while a rebuilt binary or a
+// different specialization silently misses. Function addresses are stored
+// module-relative; the handful of absolute addresses inside a unit (kept
+// call / injected-handler movabs immediates and side-exit pool slots — see
+// ir::CodeReloc) are kept as (module, offset) relocation records and
+// re-based at load time.
+//
+// Crash safety: entries are written to an O_EXCL temp file and rename()d
+// into place, so readers only ever see complete files; every entry carries
+// a format version and two FNV-1a checksums (header and payload) and any
+// mismatch — truncation, bit flips, stale format, foreign build — is a
+// graceful reject that falls back to a cold rewrite and bumps
+// cache.persist_rejects. An append-only MANIFEST is maintained under
+// flock() for diagnostics and fleet bookkeeping. Temp files orphaned by a
+// killed writer are swept on open().
+//
+// Cross-process sharing: the first Store to open a directory binds a unix
+// socket next to the entries and serves sealed memfds of position-
+// independent entries (no relocations) over SCM_RIGHTS; sibling processes
+// map the received fd read-only-executable, so N workers share one set of
+// physical code pages. Any failure in that path (no server, noexec memfd
+// mount, sealing unavailable) falls back to a plain per-process mapping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/exec_memory.hpp"
+
+namespace brew::persist {
+
+// On-disk format version; bumped on any incompatible layout change.
+// Entries with a different version are rejected (cold-rewrite fallback).
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kEntryMagic = 0x3176'4350'5745'5242ULL;  // "BREWPCv1" LE
+
+// One absolute-address site to re-base at load: the 8 bytes at `offset`
+// become (current base of module `moduleIdx`) + `targetOffset`.
+struct RawReloc {
+  uint32_t offset = 0;
+  uint64_t target = 0;  // absolute address at emit time
+};
+
+struct WriteRequest {
+  const void* fn = nullptr;
+  uint64_t configFp = 0;
+  uint64_t argsHash = 0;
+  const uint8_t* bytes = nullptr;  // full unit: code + literal pool
+  size_t size = 0;
+  uint32_t codeBytes = 0;
+  uint32_t poolBytes = 0;
+  uint32_t instructions = 0;
+  uint32_t blockUnits = 0;
+  std::span<const RawReloc> relocs;
+  // From ir::EmitStats: false when an absolute address was embedded in a
+  // form the reloc records cannot express; such units are never written.
+  bool portable = true;
+};
+
+struct LoadedEntry {
+  ExecMemory memory;
+  uint32_t codeBytes = 0;
+  uint32_t poolBytes = 0;
+  uint32_t instructions = 0;
+  uint32_t blockUnits = 0;
+  uint32_t relocCount = 0;
+  // True when the RX pages came from the page server's sealed memfd and
+  // are physically shared with sibling processes.
+  bool shared = false;
+};
+
+struct ProbeResult {
+  std::optional<LoadedEntry> entry;
+  // True when an entry file existed but failed validation (corruption,
+  // version/build mismatch, unresolvable module) — distinguishes a reject
+  // from a plain miss for the cache counters.
+  bool rejected = false;
+};
+
+// Identity hash of the main executable (GNU build-id note when present,
+// path hash otherwise). Exposed for tests that forge foreign entries.
+uint64_t selfBuildId();
+
+class Store {
+ public:
+  // Opens (creating if needed) the cache directory and its per-build-id
+  // subdirectory, sweeps temp files orphaned by killed writers, and tries
+  // to become the page server for the subdirectory. Returns nullptr when
+  // the directory cannot be created or is not writable.
+  static std::unique_ptr<Store> open(const std::string& dir);
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // Looks the key up on disk; on success the returned entry holds
+  // finalized executable memory with every relocation applied. Bumps
+  // cache.persist_{hits,misses,rejects} and cache.persist_shared_maps.
+  ProbeResult probe(const void* fn, uint64_t configFp, uint64_t argsHash);
+
+  // Serializes one finalized unit (crash-safe: temp file + rename +
+  // flock'd manifest append). Returns false — without touching the store —
+  // when the unit is not persistable: unportable encodings, or a subject /
+  // relocation target outside any loaded module. Bumps
+  // cache.persist_writes on success.
+  bool write(const WriteRequest& req);
+
+  // The per-build-id subdirectory entries live in.
+  const std::string& directory() const { return dir_; }
+  // True when this Store owns the subdirectory's page-sharing socket.
+  bool servingPages() const { return listenFd_ >= 0; }
+
+  // Absolute path the entry for this key lives at (whether or not it
+  // exists). Exposed so the corruption tests can truncate / flip bits in a
+  // targeted entry.
+  std::string entryPathFor(const void* fn, uint64_t configFp,
+                           uint64_t argsHash) const;
+
+  // Manifest integrity scan: returns true when every line is well-formed,
+  // and reports the number of entry lines seen.
+  bool manifestIntact(size_t* lineCount = nullptr) const;
+
+ private:
+  explicit Store(std::string dir);
+
+  bool tryBindPageServer();
+  void serveLoop();
+  int sealedFdFor(uint64_t nameHash, uint64_t* sizeOut);
+  std::optional<ExecMemory> fetchShared(uint64_t nameHash, size_t* sizeOut);
+
+  std::string dir_;          // per-build-id subdirectory
+  std::string socketPath_;
+  int listenFd_ = -1;
+  int stopPipe_[2] = {-1, -1};
+  std::thread server_;
+
+  std::mutex fdMu_;
+  std::vector<std::pair<uint64_t, int>> sealedFds_;  // nameHash -> memfd
+};
+
+}  // namespace brew::persist

@@ -91,6 +91,11 @@ constexpr const char* kCounterNames[] = {
     "jit.stub_bytes",
     "exec.allocations",
     "exec.frees",
+    "cache.persist_hits",
+    "cache.persist_misses",
+    "cache.persist_writes",
+    "cache.persist_rejects",
+    "cache.persist_shared_maps",
 };
 static_assert(sizeof kCounterNames / sizeof kCounterNames[0] ==
                   static_cast<size_t>(CounterId::kCount),

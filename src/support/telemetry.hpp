@@ -90,6 +90,11 @@ enum class CounterId : int {
   JitStubBytes,
   ExecAllocations,
   ExecFrees,
+  PersistHits,            // on-disk cache entries loaded (trace skipped)
+  PersistMisses,          // probes that found no usable entry
+  PersistWrites,          // entries written (tmp + rename) to the store
+  PersistRejects,         // entries rejected: corrupt/stale/unresolvable
+  PersistSharedMaps,      // loads served as shared sealed-memfd RX pages
   kCount
 };
 

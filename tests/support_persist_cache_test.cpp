@@ -1,0 +1,447 @@
+// Persistent-cache battery (docs/CACHE.md "Persistence"): warm-start
+// round trips through a fresh SpecManager, the corruption battery
+// (truncation, bit flips, stale format version, foreign build id, a
+// kill-during-write torture loop — every case must fall back to a cold
+// rewrite, never crash, and bump cache.persist_rejects), plus the
+// in-process page-sharing path (server Store + client Store over the
+// sealed-memfd socket) hammered from 8 threads for the TSan sweep.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/code_cache.hpp"
+#include "core/rewriter.hpp"
+#include "core/spec_manager.hpp"
+#include "support/persist_cache.hpp"
+#include "support/telemetry.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BREW_TEST_TSAN 1
+#endif
+#endif
+#if !defined(BREW_TEST_TSAN) && defined(__SANITIZE_THREAD__)
+#define BREW_TEST_TSAN 1
+#endif
+
+namespace brew {
+namespace {
+
+__attribute__((noinline)) int addmul(int a, int b) { return a * 7 + b; }
+typedef int (*addmul_t)(int, int);
+
+Config knownFirstParam() {
+  Config config;
+  config.setParamKnown(0);
+  config.setReturnKind(ReturnKind::Int);
+  return config;
+}
+
+std::vector<ArgValue> argsFor(int known) {
+  return {ArgValue::fromInt(static_cast<uint64_t>(known)),
+          ArgValue::fromInt(0)};
+}
+
+// Fresh cache directory per test; removed best-effort at scope exit.
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/brew-persist-test-XXXXXX";
+    path = ::mkdtemp(tmpl);
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    if (!path.empty()) {
+      const std::string cmd = "rm -rf '" + path + "'";
+      [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+  }
+  std::string path;
+};
+
+SpecManager::Options persistOptions(const std::string& dir) {
+  SpecManager::Options options;
+  options.cacheDir = dir;
+  return options;
+}
+
+uint64_t counterValue(telemetry::CounterId id) {
+  return telemetry::counter(id).value();
+}
+
+// On-disk EntryHeader byte offsets the corruption tests patch. Kept in
+// sync with persist_cache.cpp by the layout static_asserts there; a drift
+// shows up as "stale version" entries failing differently, which the
+// battery would catch as a wrong reject reason.
+constexpr size_t kHeaderBytes = 104;
+constexpr size_t kExeBuildIdOffset = 8;
+constexpr size_t kHeaderChecksumOffset = 56;
+constexpr size_t kVersionOffset = 64;
+
+std::vector<uint8_t> readFile(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return bytes;
+  uint8_t buf[4096];
+  for (size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+    bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
+void writeFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+// Recomputes the header checksum (FNV-1a over the header with the
+// checksum field zeroed) so a test can patch header fields and present an
+// entry that is *internally consistent* but semantically wrong — the
+// stale-version and foreign-build cases must be rejected by the version /
+// key comparison, not bounce off the checksum.
+void fixHeaderChecksum(std::vector<uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), kHeaderBytes);
+  std::vector<uint8_t> hdr(bytes.begin(), bytes.begin() + kHeaderBytes);
+  std::memset(hdr.data() + kHeaderChecksumOffset, 0, 8);
+  uint64_t h = 1469598103934665603ULL;
+  for (const uint8_t b : hdr) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  std::memcpy(bytes.data() + kHeaderChecksumOffset, &h, 8);
+}
+
+// Seeds `dir` with one specialization of addmul (known a = `known`) and
+// returns the entry's path.
+std::string seedEntry(const std::string& dir, int known) {
+  SpecManager manager{persistOptions(dir)};
+  const Config config = knownFirstParam();
+  const auto args = argsFor(known);
+  auto result = manager.rewrite(config, {}, reinterpret_cast<void*>(&addmul),
+                                args);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(manager.cache().stats().persistWrites, 1u);
+  const CacheKey key = makeCacheKey(config, {},
+                                    reinterpret_cast<void*>(&addmul), args);
+  EXPECT_NE(manager.persistStore(), nullptr);
+  return manager.persistStore()->entryPathFor(
+      reinterpret_cast<void*>(&addmul), key.configFp, key.argsHash);
+}
+
+// After the entry at `dir` was corrupted: a fresh manager must rewrite
+// cold (correct results), count exactly one reject, and never crash.
+void expectColdFallback(const std::string& dir, int known) {
+  const uint64_t rejectsBefore = counterValue(
+      telemetry::CounterId::PersistRejects);
+  SpecManager manager{persistOptions(dir)};
+  auto result = manager.rewrite(knownFirstParam(), {},
+                                reinterpret_cast<void*>(&addmul),
+                                argsFor(known));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(reinterpret_cast<addmul_t>(result->entry())(known, 9),
+            known * 7 + 9);
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.persistHits, 0u);
+  EXPECT_EQ(stats.persistRejects, 1u);
+  EXPECT_EQ(counterValue(telemetry::CounterId::PersistRejects),
+            rejectsBefore + 1);
+  // The reject fell back to a cold rewrite, which re-published the entry.
+  EXPECT_EQ(stats.persistWrites, 1u);
+}
+
+TEST(PersistStore, SelfBuildIdStable) {
+  EXPECT_NE(persist::selfBuildId(), 0u);
+  EXPECT_EQ(persist::selfBuildId(), persist::selfBuildId());
+}
+
+TEST(PersistStore, OpenRejectsUnwritableDirectory) {
+  EXPECT_EQ(persist::Store::open("/proc/none/such/dir"), nullptr);
+  EXPECT_EQ(persist::Store::open(""), nullptr);
+}
+
+TEST(ConfigAslr, StableFingerprintClassification) {
+  EXPECT_TRUE(knownFirstParam().aslrStableFingerprint());
+  Config region = knownFirstParam();
+  static const int data[4] = {1, 2, 3, 4};
+  region.addKnownRegion(data, sizeof data);
+  EXPECT_FALSE(region.aslrStableFingerprint());
+  Config perFn = knownFirstParam();
+  perFn.setFunctionOptions(reinterpret_cast<void*>(&addmul), {});
+  EXPECT_FALSE(perFn.aslrStableFingerprint());
+  Config handler = knownFirstParam();
+  handler.injection().onEntry = [](uint64_t) {};
+  EXPECT_FALSE(handler.aslrStableFingerprint());
+}
+
+TEST(PersistRoundTrip, WarmStartHitsWithZeroTracePhases) {
+  TempDir dir;
+  const std::string entry = seedEntry(dir.path, 5);
+  struct stat st{};
+  ASSERT_EQ(::stat(entry.c_str(), &st), 0);
+  EXPECT_GT(st.st_size, 104);
+
+  // A "restarted process": a fresh manager over the same directory. The
+  // rewrite must come back from disk — no trace, no emulate, no emit.
+  const uint64_t attemptsBefore = counterValue(
+      telemetry::CounterId::RewriteAttempts);
+  SpecManager manager{persistOptions(dir.path)};
+  auto result = manager.rewrite(knownFirstParam(), {},
+                                reinterpret_cast<void*>(&addmul),
+                                argsFor(5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(reinterpret_cast<addmul_t>(result->entry())(5, 9), 44);
+  EXPECT_EQ(reinterpret_cast<addmul_t>(result->entry())(5, -3), 32);
+  EXPECT_EQ(counterValue(telemetry::CounterId::RewriteAttempts),
+            attemptsBefore);  // compileSpecialization never entered
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.persistHits, 1u);
+  EXPECT_EQ(stats.persistRejects, 0u);
+  EXPECT_EQ(stats.persistWrites, 0u);
+  // Cache accounting still sees the unit's blocks/bytes.
+  EXPECT_GT(stats.blocksLive, 0u);
+  EXPECT_GT(stats.codeBytes, 0u);
+
+  size_t lines = 0;
+  EXPECT_TRUE(manager.persistStore()->manifestIntact(&lines));
+  EXPECT_EQ(lines, 1u);
+}
+
+TEST(PersistRoundTrip, DifferentSpecializationMisses) {
+  TempDir dir;
+  seedEntry(dir.path, 5);
+  SpecManager manager{persistOptions(dir.path)};
+  // Same function, different known value: different argsHash, clean miss.
+  auto result = manager.rewrite(knownFirstParam(), {},
+                                reinterpret_cast<void*>(&addmul),
+                                argsFor(6));
+  ASSERT_TRUE(result.ok());
+  const CacheStats stats = manager.cache().stats();
+  EXPECT_EQ(stats.persistHits, 0u);
+  EXPECT_EQ(stats.persistMisses, 1u);
+  EXPECT_EQ(stats.persistRejects, 0u);
+}
+
+TEST(PersistCorruption, TruncatedEntriesReject) {
+  // Every truncation point: inside the header, header-only, inside the
+  // payload. All must reject, unlink the corpse, and rewrite cold.
+  for (const size_t keep : {size_t{3}, kHeaderBytes, kHeaderBytes + 7}) {
+    TempDir dir;
+    const std::string entry = seedEntry(dir.path, 5);
+    ASSERT_EQ(::truncate(entry.c_str(), static_cast<off_t>(keep)), 0);
+    expectColdFallback(dir.path, 5);
+  }
+}
+
+TEST(PersistCorruption, PayloadBitFlipRejects) {
+  TempDir dir;
+  const std::string entry = seedEntry(dir.path, 5);
+  std::vector<uint8_t> bytes = readFile(entry);
+  ASSERT_GT(bytes.size(), kHeaderBytes + 5);
+  bytes[kHeaderBytes + 5] ^= 0x40;
+  writeFile(entry, bytes);
+  expectColdFallback(dir.path, 5);
+}
+
+TEST(PersistCorruption, HeaderBitFlipRejects) {
+  TempDir dir;
+  const std::string entry = seedEntry(dir.path, 5);
+  std::vector<uint8_t> bytes = readFile(entry);
+  ASSERT_GT(bytes.size(), kHeaderBytes);
+  bytes[kVersionOffset + 8] ^= 0x01;  // flags field; header checksum trips
+  writeFile(entry, bytes);
+  expectColdFallback(dir.path, 5);
+}
+
+TEST(PersistCorruption, StaleFormatVersionRejects) {
+  TempDir dir;
+  const std::string entry = seedEntry(dir.path, 5);
+  std::vector<uint8_t> bytes = readFile(entry);
+  ASSERT_GT(bytes.size(), kHeaderBytes);
+  const uint32_t stale = persist::kFormatVersion + 1;
+  std::memcpy(bytes.data() + kVersionOffset, &stale, 4);
+  fixHeaderChecksum(bytes);  // internally consistent, wrong version
+  writeFile(entry, bytes);
+  expectColdFallback(dir.path, 5);
+}
+
+TEST(PersistCorruption, ForeignBuildIdRejects) {
+  TempDir dir;
+  const std::string entry = seedEntry(dir.path, 5);
+  std::vector<uint8_t> bytes = readFile(entry);
+  ASSERT_GT(bytes.size(), kHeaderBytes);
+  uint64_t foreign = persist::selfBuildId() ^ 0xdeadbeefULL;
+  std::memcpy(bytes.data() + kExeBuildIdOffset, &foreign, 8);
+  fixHeaderChecksum(bytes);  // consistent entry from a "rebuilt binary"
+  writeFile(entry, bytes);
+  expectColdFallback(dir.path, 5);
+}
+
+TEST(PersistCorruption, KillDuringWriteTortureLoop) {
+#ifdef BREW_TEST_TSAN
+  GTEST_SKIP() << "fork-without-exec torture loop is not TSan-compatible";
+#else
+  TempDir dir;
+  std::vector<uint8_t> payload(1536);
+  for (size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<uint8_t>(i * 131 + 7);
+
+  for (int round = 0; round < 6; ++round) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: hammer writes until the parent kills us mid-stream.
+      auto store = persist::Store::open(dir.path);
+      if (store == nullptr) ::_exit(1);
+      persist::WriteRequest req;
+      req.fn = reinterpret_cast<void*>(&addmul);
+      req.configFp = 0x1234;
+      req.bytes = payload.data();
+      req.size = payload.size();
+      req.codeBytes = static_cast<uint32_t>(payload.size());
+      req.blockUnits = 1;
+      for (uint64_t k = 0;; ++k) {
+        req.argsHash = k % 16;
+        store->write(req);
+      }
+    }
+    ::usleep(static_cast<useconds_t>(500 + round * 700));
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+  }
+
+  // Survivor's view: open() sweeps the dead writers' temp files, the
+  // manifest has no torn lines, and every key either loads a fully valid
+  // entry or misses — never crashes, never yields partial bytes.
+  auto store = persist::Store::open(dir.path);
+  ASSERT_NE(store, nullptr);
+  size_t lines = 0;
+  EXPECT_TRUE(store->manifestIntact(&lines));
+  const uint64_t rejectsBefore = counterValue(
+      telemetry::CounterId::PersistRejects);
+  size_t hits = 0;
+  for (uint64_t k = 0; k < 16; ++k) {
+    persist::ProbeResult probe =
+        store->probe(reinterpret_cast<void*>(&addmul), 0x1234, k);
+    EXPECT_FALSE(probe.rejected);
+    if (!probe.entry.has_value()) continue;
+    ++hits;
+    ASSERT_TRUE(probe.entry->memory.valid());
+    EXPECT_EQ(std::memcmp(probe.entry->memory.data(), payload.data(),
+                          payload.size()),
+              0);
+  }
+  EXPECT_GT(hits, 0u);  // the loop published entries before dying
+  EXPECT_GE(lines, hits);
+  EXPECT_EQ(counterValue(telemetry::CounterId::PersistRejects),
+            rejectsBefore);
+
+  // No orphaned temp files survive the sweep.
+  const std::string cmd =
+      "ls -A '" + store->directory() + "' | grep -c '^\\.tmp-' || true";
+  std::FILE* p = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(p, nullptr);
+  char buf[32] = {0};
+  ASSERT_NE(std::fgets(buf, sizeof buf, p), nullptr);
+  ::pclose(p);
+  EXPECT_EQ(std::strtol(buf, nullptr, 10), 0);
+#endif
+}
+
+TEST(PersistConcurrency, SharedPagesServedBetweenStores) {
+  TempDir dir;
+  auto server = persist::Store::open(dir.path);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->servingPages());
+
+  std::vector<uint8_t> payload(640);
+  for (size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<uint8_t>(i ^ 0xa5);
+  persist::WriteRequest req;
+  req.fn = reinterpret_cast<void*>(&addmul);
+  req.configFp = 7;
+  req.argsHash = 9;
+  req.bytes = payload.data();
+  req.size = payload.size();
+  req.codeBytes = static_cast<uint32_t>(payload.size());
+  req.blockUnits = 1;
+  ASSERT_TRUE(server->write(req));
+
+  // Second store in the same directory: the socket is taken, so it comes
+  // up as a client and its reloc-free probes map the server's sealed memfd.
+  auto client = persist::Store::open(dir.path);
+  ASSERT_NE(client, nullptr);
+  EXPECT_FALSE(client->servingPages());
+  persist::ProbeResult probe =
+      client->probe(reinterpret_cast<void*>(&addmul), 7, 9);
+  ASSERT_TRUE(probe.entry.has_value());
+  EXPECT_TRUE(probe.entry->shared);
+  EXPECT_EQ(std::memcmp(probe.entry->memory.data(), payload.data(),
+                        payload.size()),
+            0);
+  // Sealed mapping: flipping it back to writable must fail, not succeed.
+  EXPECT_FALSE(probe.entry->memory.makeWritable().ok());
+}
+
+TEST(PersistConcurrency, EightThreadHammerOverOneDirectory) {
+  TempDir dir;
+  auto server = persist::Store::open(dir.path);
+  ASSERT_NE(server, nullptr);
+  auto client = persist::Store::open(dir.path);
+  ASSERT_NE(client, nullptr);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 40;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<uint8_t> payload(256 + static_cast<size_t>(t) * 32);
+      for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<uint8_t>(i + t);
+      persist::Store* mine = (t % 2 == 0) ? server.get() : client.get();
+      for (int i = 0; i < kIters; ++i) {
+        persist::WriteRequest req;
+        req.fn = reinterpret_cast<void*>(&addmul);
+        req.configFp = 0x42;
+        req.argsHash = static_cast<uint64_t>(t);
+        req.bytes = payload.data();
+        req.size = payload.size();
+        req.codeBytes = static_cast<uint32_t>(payload.size());
+        req.blockUnits = 1;
+        if (!mine->write(req)) failures.fetch_add(1);
+        persist::ProbeResult probe = mine->probe(
+            reinterpret_cast<void*>(&addmul), 0x42,
+            static_cast<uint64_t>(t));
+        if (!probe.entry.has_value() || probe.rejected ||
+            std::memcmp(probe.entry->memory.data(), payload.data(),
+                        payload.size()) != 0)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  size_t lines = 0;
+  EXPECT_TRUE(server->manifestIntact(&lines));
+  EXPECT_EQ(lines, static_cast<size_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace brew

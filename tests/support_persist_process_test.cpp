@@ -1,0 +1,308 @@
+// Cross-process persistent-cache integration (docs/CACHE.md
+// "Persistence"): forked sibling processes share one cache directory.
+// Phase 1 races 8 cold workers writing into an empty directory; phase 2
+// restarts 8 warm workers that must load everything from disk with ZERO
+// trace phases (persist hits == kernels, no compileSpecialization, no
+// traced instructions) and byte-identical code. A separate test pins the
+// sealed-memfd page-sharing path: a child of a page-serving parent must
+// map its code as shared RX pages backed by "memfd:brew-persist".
+//
+// Forked children never run gtest machinery: they report through per-child
+// result files written with plain write() and leave via _exit(), so a
+// child failure surfaces as a parent assertion, not a hung or double
+// reporting test. Fork-without-exec is not TSan-compatible (the child
+// inherits a locked runtime), so these tests skip under TSan; the
+// in-process thread hammer in support_persist_cache_test.cpp carries the
+// TSan coverage for the same code paths.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rewriter.hpp"
+#include "core/spec_manager.hpp"
+#include "support/persist_cache.hpp"
+#include "support/telemetry.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BREW_TEST_TSAN 1
+#endif
+#endif
+#if !defined(BREW_TEST_TSAN) && defined(__SANITIZE_THREAD__)
+#define BREW_TEST_TSAN 1
+#endif
+
+namespace brew {
+namespace {
+
+// Distinct kernels so each worker materializes several independent cache
+// entries; noinline + asm marker keep them apart as trace subjects.
+__attribute__((noinline)) int kernAdd(int a, int b) {
+  asm volatile("");
+  return a * 7 + b;
+}
+__attribute__((noinline)) int kernXor(int a, int b) {
+  asm volatile("");
+  return (a ^ 0x15) * 3 + b;
+}
+__attribute__((noinline)) int kernShift(int a, int b) {
+  asm volatile("");
+  return (a << 2) - b + 11;
+}
+typedef int (*kern_t)(int, int);
+
+struct Kernel {
+  kern_t fn;
+  int known;
+  int probe;  // second argument used when executing
+};
+
+const Kernel kKernels[] = {
+    {&kernAdd, 5, 9},
+    {&kernXor, 12, -4},
+    {&kernShift, 3, 20},
+};
+constexpr size_t kKernelCount = sizeof(kKernels) / sizeof(kKernels[0]);
+
+Config knownFirstParam() {
+  Config config;
+  config.setParamKnown(0);
+  config.setReturnKind(ReturnKind::Int);
+  return config;
+}
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/brew-persist-proc-XXXXXX";
+    path = ::mkdtemp(tmpl);
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    if (!path.empty()) {
+      const std::string cmd = "rm -rf '" + path + "'";
+      [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+  }
+  std::string path;
+};
+
+uint64_t fnv(const void* data, size_t n, uint64_t h = 1469598103934665603ULL) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// What one worker observed, written to its result file before _exit().
+struct WorkerReport {
+  uint64_t magic = 0x574b5250;  // "WRKP": file fully written
+  uint64_t persistHits = 0;
+  uint64_t persistWrites = 0;
+  uint64_t persistRejects = 0;
+  uint64_t rewriteAttempts = 0;   // telemetry delta: trace phases entered
+  uint64_t traceInstructions = 0; // telemetry delta: instructions emulated
+  uint64_t codeDigest = 0;        // fnv over every unit's finalized bytes
+  uint64_t execChecksum = 0;      // results of running the rewritten code
+  uint64_t sharedMaps = 0;
+};
+
+// Child body: open a SpecManager over `dir`, rewrite + execute every
+// kernel, report what happened. Never returns.
+[[noreturn]] void runWorker(const std::string& dir,
+                            const std::string& reportPath) {
+  WorkerReport report;
+  const uint64_t attempts0 =
+      telemetry::counter(telemetry::CounterId::RewriteAttempts).value();
+  const uint64_t traced0 =
+      telemetry::counter(telemetry::CounterId::TraceInstructions).value();
+  {
+    SpecManager::Options options;
+    options.cacheDir = dir;
+    SpecManager manager{options};
+    const Config config = knownFirstParam();
+    for (const Kernel& k : kKernels) {
+      std::vector<ArgValue> args = {
+          ArgValue::fromInt(static_cast<uint64_t>(k.known)),
+          ArgValue::fromInt(0)};
+      auto result = manager.rewrite(config, {},
+                                    reinterpret_cast<void*>(k.fn), args);
+      if (!result.ok()) ::_exit(2);
+      report.codeDigest = fnv(result->entry(), result->codeSize(),
+                              report.codeDigest ? report.codeDigest
+                                                : 1469598103934665603ULL);
+      const int got = reinterpret_cast<kern_t>(result->entry())(k.known,
+                                                                k.probe);
+      if (got != k.fn(k.known, k.probe)) ::_exit(3);
+      report.execChecksum =
+          report.execChecksum * 31 + static_cast<uint64_t>(got);
+    }
+    const CacheStats stats = manager.cache().stats();
+    report.persistHits = stats.persistHits;
+    report.persistWrites = stats.persistWrites;
+    report.persistRejects = stats.persistRejects;
+  }
+  report.rewriteAttempts =
+      telemetry::counter(telemetry::CounterId::RewriteAttempts).value() -
+      attempts0;
+  report.traceInstructions =
+      telemetry::counter(telemetry::CounterId::TraceInstructions).value() -
+      traced0;
+  report.sharedMaps =
+      telemetry::counter(telemetry::CounterId::PersistSharedMaps).value();
+
+  const int fd = ::open(reportPath.c_str(),
+                        O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) ::_exit(4);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&report);
+  size_t left = sizeof report;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n <= 0) ::_exit(5);
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  ::close(fd);
+  ::_exit(0);  // skip atexit/dtors: the report file is the contract
+}
+
+bool readReport(const std::string& path, WorkerReport* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  const size_t n = std::fread(out, 1, sizeof *out, f);
+  std::fclose(f);
+  return n == sizeof *out && out->magic == 0x574b5250;
+}
+
+// Forks `count` workers over `dir` and collects their reports.
+std::vector<WorkerReport> runWorkers(const std::string& dir, int count,
+                                     const std::string& tag) {
+  std::vector<pid_t> pids;
+  std::vector<std::string> paths;
+  for (int i = 0; i < count; ++i) {
+    paths.push_back(dir + "/report-" + tag + "-" + std::to_string(i));
+    const pid_t pid = ::fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) runWorker(dir, paths.back());
+    pids.push_back(pid);
+  }
+  std::vector<WorkerReport> reports;
+  for (int i = 0; i < count; ++i) {
+    int status = 0;
+    EXPECT_EQ(::waitpid(pids[i], &status, 0), pids[i]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << tag << " worker " << i << " status " << status;
+    WorkerReport report;
+    EXPECT_TRUE(readReport(paths[i], &report)) << paths[i];
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+TEST(PersistProcess, ColdRaceThenWarmRestartZeroTracePhases) {
+#ifdef BREW_TEST_TSAN
+  GTEST_SKIP() << "fork-without-exec workers are not TSan-compatible";
+#else
+  TempDir dir;
+  constexpr int kWorkers = 8;
+
+  // Phase 1: 8 cold workers race writes into one empty directory. Every
+  // worker must finish correctly; the manifest must survive the race.
+  const auto cold = runWorkers(dir.path, kWorkers, "cold");
+  ASSERT_EQ(cold.size(), static_cast<size_t>(kWorkers));
+  uint64_t coldAttempts = 0;
+  uint64_t coldWrites = 0;
+  for (const WorkerReport& r : cold) {
+    EXPECT_EQ(r.persistRejects, 0u);
+    EXPECT_EQ(r.codeDigest, cold[0].codeDigest);  // same layout → same code
+    EXPECT_EQ(r.execChecksum, cold[0].execChecksum);
+    coldAttempts += r.rewriteAttempts;
+    coldWrites += r.persistWrites;
+  }
+  // Someone traced and published every kernel; a worker that lost the race
+  // legitimately warm-starts off a faster sibling's entries, so the trace
+  // floor is aggregate, not per-worker.
+  EXPECT_GT(coldAttempts, 0u);
+  EXPECT_GE(coldWrites, kKernelCount);
+
+  // Phase 2: 8 warm workers over the now-populated directory. Zero trace
+  // phases: every rewrite is served from disk.
+  const auto warm = runWorkers(dir.path, kWorkers, "warm");
+  for (const WorkerReport& r : warm) {
+    EXPECT_EQ(r.persistHits, kKernelCount);
+    EXPECT_EQ(r.persistWrites, 0u);
+    EXPECT_EQ(r.persistRejects, 0u);
+    EXPECT_EQ(r.rewriteAttempts, 0u);      // no compileSpecialization
+    EXPECT_EQ(r.traceInstructions, 0u);    // no emulation either
+    EXPECT_EQ(r.codeDigest, cold[0].codeDigest);  // byte-identical code
+    EXPECT_EQ(r.execChecksum, cold[0].execChecksum);
+  }
+
+  // The racing writers never tore the manifest.
+  auto store = persist::Store::open(dir.path);
+  ASSERT_NE(store, nullptr);
+  size_t lines = 0;
+  EXPECT_TRUE(store->manifestIntact(&lines));
+  EXPECT_GE(lines, kKernelCount);  // every entry was published at least once
+#endif
+}
+
+TEST(PersistProcess, ChildMapsSharedPagesFromParentServer) {
+#ifdef BREW_TEST_TSAN
+  GTEST_SKIP() << "fork-without-exec workers are not TSan-compatible";
+#else
+  TempDir dir;
+  // Parent seeds the directory and stays alive as the page server.
+  SpecManager::Options options;
+  options.cacheDir = dir.path;
+  SpecManager parent{options};
+  const Config config = knownFirstParam();
+  for (const Kernel& k : kKernels) {
+    std::vector<ArgValue> args = {
+        ArgValue::fromInt(static_cast<uint64_t>(k.known)),
+        ArgValue::fromInt(0)};
+    ASSERT_TRUE(parent.rewrite(config, {},
+                               reinterpret_cast<void*>(k.fn), args)
+                    .ok());
+  }
+  ASSERT_NE(parent.persistStore(), nullptr);
+  if (!parent.persistStore()->servingPages())
+    GTEST_SKIP() << "page server unavailable (no memfd sealing?)";
+
+  const std::string reportPath = dir.path + "/report-shared";
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: every kernel has no relocations (pure arithmetic), so each
+    // warm load should arrive as a shared sealed-memfd mapping. Verify the
+    // mapping really is memfd-backed before reporting.
+    runWorker(dir.path, reportPath);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "shared-map child status " << status;
+  WorkerReport report;
+  ASSERT_TRUE(readReport(reportPath, &report));
+  EXPECT_EQ(report.persistHits, kKernelCount);
+  EXPECT_EQ(report.rewriteAttempts, 0u);
+  // At least one unit came over the socket as shared pages. (All of them
+  // should, but a reloc-bearing build keeps correctness with a private
+  // mapping — sharedMaps > 0 is the contract.)
+  EXPECT_GT(report.sharedMaps, 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace brew
